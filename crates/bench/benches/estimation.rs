@@ -1,0 +1,88 @@
+//! Cost of fitting iBox models.
+//!
+//! §3.2: "The simplicity of iBoxNet and the use of network domain
+//! knowledge to directly estimate the parameters makes both learning the
+//! model and running it very efficient." These benches put numbers on
+//! "learning the model": static-parameter estimation, cross-traffic
+//! estimation, a full iBoxNet fit, and one epoch of iBoxML training on the
+//! same trace — the efficiency gap the paper contrasts in §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ibox::estimator::{CrossTrafficEstimate, StaticParams, DEFAULT_BIN_SECS};
+use ibox::iboxml::{IBoxMl, IBoxMlConfig};
+use ibox::IBoxNet;
+use ibox_cc::Cubic;
+use ibox_ml::TrainConfig;
+use ibox_sim::{CrossTrafficCfg, PathConfig, PathEmulator, SimTime};
+use ibox_trace::FlowTrace;
+
+fn training_trace() -> FlowTrace {
+    let emu = PathEmulator::new(
+        PathConfig::simple(8e6, SimTime::from_millis(25), 100_000),
+        SimTime::from_secs(20),
+    )
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        2e6,
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    ));
+    let out = emu.run_sender(Box::new(Cubic::new()), "m", 3);
+    out.traces.into_iter().next().expect("one flow").normalized()
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let trace = training_trace();
+    let mut group = c.benchmark_group("model_fitting");
+    group.sample_size(20);
+
+    group.bench_function("static_params", |b| {
+        b.iter(|| black_box(StaticParams::estimate(black_box(&trace))))
+    });
+
+    let params = StaticParams::estimate(&trace);
+    group.bench_function("cross_traffic_estimate", |b| {
+        b.iter(|| {
+            black_box(CrossTrafficEstimate::estimate(
+                black_box(&trace),
+                &params,
+                DEFAULT_BIN_SECS,
+            ))
+        })
+    });
+
+    group.bench_function("iboxnet_full_fit", |b| {
+        b.iter(|| black_box(IBoxNet::fit(black_box(&trace))))
+    });
+
+    group.sample_size(10);
+    group.bench_function("iboxml_one_epoch_16h", |b| {
+        let traces = [trace.clone()];
+        b.iter(|| {
+            black_box(IBoxMl::fit(
+                &traces,
+                IBoxMlConfig {
+                    hidden_sizes: vec![16],
+                    with_cross_traffic: false,
+                    known_params: None,
+                    train: TrainConfig {
+                        epochs: 1,
+                        lr: 3e-3,
+                        tbptt: 64,
+                        clip: 5.0,
+                        loss_weight: 0.2,
+                        delay_weight: 1.0,
+            ..Default::default()
+                    },
+                    seed: 1,
+                },
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Simulator throughput: how fast the substrate itself runs.
+//!
+//! iBox's pitch includes "the efficiency of execution for simulation" of
+//! the network-model approach; these benches quantify the discrete-event
+//! engine's packet throughput across the configurations the experiments
+//! use (constant FIFO path, Markov cellular path, proportional-fair
+//! scheduling, cross traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ibox_cc::Cubic;
+use ibox_sim::{
+    CrossTrafficCfg, FixedWindow, PathConfig, PathEmulator, RateModelCfg, SchedulerKind, SimTime,
+};
+
+fn base_path() -> PathConfig {
+    PathConfig::simple(10e6, SimTime::from_millis(20), 120_000)
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput_10s");
+    group.sample_size(10);
+
+    group.bench_function("fifo_constant_cubic", |b| {
+        b.iter(|| {
+            let emu = PathEmulator::new(base_path(), SimTime::from_secs(10));
+            black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
+        })
+    });
+
+    group.bench_function("markov_cellular_cubic", |b| {
+        b.iter(|| {
+            let mut path = base_path();
+            path.rate = RateModelCfg::Markov {
+                states: vec![4e6, 8e6, 12e6],
+                mean_dwell: SimTime::from_millis(500),
+            };
+            let emu = PathEmulator::new(path, SimTime::from_secs(10));
+            black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
+        })
+    });
+
+    group.bench_function("pf_scheduler_with_cross", |b| {
+        b.iter(|| {
+            let mut path = base_path();
+            path.scheduler = SchedulerKind::ProportionalFair { fading: 0.3 };
+            let emu = PathEmulator::new(path, SimTime::from_secs(10)).with_cross_traffic(
+                CrossTrafficCfg::cbr(3e6, SimTime::ZERO, SimTime::from_secs(10)),
+            );
+            black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
+        })
+    });
+
+    group.bench_function("fixed_window_saturation", |b| {
+        b.iter(|| {
+            let emu = PathEmulator::new(base_path(), SimTime::from_secs(10));
+            black_box(emu.run_sender(Box::new(FixedWindow::new(128.0)), "m", 1))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Fig. 7 — Control-loop bias and its mitigation.
+//!
+//! iBoxML is trained on traces of a delay-sensitive RTC control loop over
+//! a simple ns-like topology, then asked to predict delays for a high-rate
+//! CBR sender under varying cross traffic. The ground truth "exhibits high
+//! delay frequently, but iBoxML rarely outputs high delay … due to the
+//! control loop bias. Augmenting iBoxML with cross-traffic estimates as
+//! additional input helps mitigate the bias."
+//!
+//! Output: three delay histograms (frequency % per bin) — ground truth,
+//! iBoxML without cross traffic, iBoxML with cross traffic — plus the
+//! high-delay mass of each.
+
+use ibox::iboxml::{IBoxMl, IBoxMlConfig};
+use ibox_bench::{cell, render_table, Scale};
+use ibox_ml::TrainConfig;
+use ibox_sim::SimTime;
+use ibox_stats::Histogram;
+use ibox_testbed::rtc::{bias_test_trace, bias_training_trace, BIAS_CT_LEVELS};
+use ibox_trace::FlowTrace;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds_per_level = scale.pick(1, 3);
+    let duration = match scale {
+        Scale::Quick => SimTime::from_secs(12),
+        Scale::Full => SimTime::from_secs(30),
+    };
+
+    // Training corpus: the RTC control loop at every (below-capacity)
+    // cross-traffic level. The on-off cross traffic creates transient
+    // delay spikes at ON edges — rare enough that delays stay low overall
+    // (the bias), correlated enough with the cross-traffic estimate that
+    // the §5.2 melding can learn from them.
+    eprintln!("fig7: generating RTC training traces…");
+    let mut train: Vec<FlowTrace> = Vec::new();
+    for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
+        for s in 0..seeds_per_level {
+            train.push(bias_training_trace(*level, duration, (li * 20 + s) as u64));
+        }
+    }
+
+    // Test corpus: high-rate CBR at the same cross-traffic levels.
+    eprintln!("fig7: generating CBR test traces…");
+    let mut test: Vec<FlowTrace> = Vec::new();
+    for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
+        test.push(bias_test_trace(*level, duration, (900 + li) as u64));
+    }
+
+    // Fig. 7 is a *controlled* ns-like topology: the configuration is
+    // known, so the cross-traffic estimator gets the true (b, d, B)
+    // instead of violating its saturating-sender assumption on RTC traces.
+    let topo = ibox_testbed::rtc::bias_topology();
+    let known = ibox::StaticParams {
+        bandwidth_bps: topo.rate.mean_rate_bps(),
+        prop_delay: topo.prop_delay,
+        buffer_bytes: topo.buffer_bytes,
+    };
+
+    let train_cfg = TrainConfig {
+        epochs: scale.pick(8, 15),
+        lr: 3e-3,
+        tbptt: 64,
+        clip: 5.0,
+        loss_weight: 0.2,
+        delay_weight: 1.0,
+        ..Default::default()
+    };
+    eprintln!("fig7: training iBoxML without cross-traffic input…");
+    let without = IBoxMl::fit(
+        &train,
+        IBoxMlConfig {
+            hidden_sizes: vec![24, 24],
+            with_cross_traffic: false,
+            known_params: None,
+            train: train_cfg,
+            seed: 21,
+        },
+    );
+    eprintln!("fig7: training iBoxML with cross-traffic input…");
+    let with = IBoxMl::fit(
+        &train,
+        IBoxMlConfig {
+            hidden_sizes: vec![24, 24],
+            with_cross_traffic: true,
+            known_params: Some(known),
+            train: train_cfg,
+            seed: 21,
+        },
+    );
+
+    // Pool delays across the CBR test traces.
+    let gt_delays: Vec<f64> = test
+        .iter()
+        .flat_map(|t| t.delivered().filter_map(|r| r.delay_ms()).collect::<Vec<_>>())
+        .collect();
+    // Deterministic (conditional-mean) predictions: Fig. 7's claim is
+    // about systematic bias in what the model *expects*, so the mean —
+    // not a variance-inflated sample — is the honest probe.
+    let pred = |model: &IBoxMl| -> Vec<f64> {
+        test.iter()
+            .flat_map(|t| model.predict_delays(t))
+            .map(|d| d * 1e3)
+            .collect()
+    };
+    eprintln!("fig7: predicting test delays…");
+    let without_delays = pred(&without);
+    let with_delays = pred(&with);
+
+    // Histograms over 0–250 ms in 10 bins (Fig. 7's axes).
+    let (lo, hi, bins) = (0.0, 250.0, 10);
+    let mut rows = Vec::new();
+    let h_gt = Histogram::from_sample(lo, hi, bins, &gt_delays);
+    let h_wo = Histogram::from_sample(lo, hi, bins, &without_delays);
+    let h_wi = Histogram::from_sample(lo, hi, bins, &with_delays);
+    let (f_gt, f_wo, f_wi) =
+        (h_gt.frequencies_pct(), h_wo.frequencies_pct(), h_wi.frequencies_pct());
+    for b in 0..bins {
+        rows.push(vec![
+            format!("{:.0}-{:.0}", h_gt.bin_center(b) - 12.5, h_gt.bin_center(b) + 12.5),
+            cell(f_gt[b], 1),
+            cell(f_wo[b], 1),
+            cell(f_wi[b], 1),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Fig. 7 — delay histograms for the high-rate CBR test (frequency %)",
+            &["delay_ms", "ground-truth", "iboxml w/o CT", "iboxml with CT"],
+            &rows,
+        )
+    );
+
+    // The bias in two numbers: mean predicted delay and high-delay mass.
+    let mean = |d: &[f64]| {
+        if d.is_empty() {
+            0.0
+        } else {
+            d.iter().sum::<f64>() / d.len() as f64
+        }
+    };
+    let mass_above = |d: &[f64], thresh: f64| {
+        if d.is_empty() {
+            0.0
+        } else {
+            100.0 * d.iter().filter(|x| **x > thresh).count() as f64 / d.len() as f64
+        }
+    };
+    let rows2 = [
+        ("ground-truth", &gt_delays),
+        ("iboxml w/o CT", &without_delays),
+        ("iboxml with CT", &with_delays),
+    ]
+    .iter()
+    .map(|(name, d)| {
+        vec![
+            name.to_string(),
+            cell(mean(d), 1),
+            cell(mass_above(d, 75.0), 1),
+            cell(mass_above(d, 100.0), 1),
+        ]
+    })
+    .collect::<Vec<_>>();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 7 — summary: mean predicted delay; high-delay mass",
+            &["series", "mean_ms", "pct > 75ms", "pct > 100ms"],
+            &rows2,
+        )
+    );
+}

@@ -1,0 +1,127 @@
+//! # ibox-bench
+//!
+//! The experiment harness: one binary per figure/table of the paper's
+//! evaluation, plus Criterion microbenchmarks.
+//!
+//! | Target | Paper artifact | Invocation |
+//! |---|---|---|
+//! | `fig2` | Fig. 2 — ensemble test, iBoxNet vs GT (rate / p95 delay / loss) | `cargo run -p ibox-bench --release --bin fig2` |
+//! | `fig3` | Fig. 3 — ablations: no cross traffic & statistical loss | `... --bin fig3` |
+//! | `fig4` | Fig. 4 — instance test: clustering + t-SNE + rate alignment | `... --bin fig4` |
+//! | `fig5` | Fig. 5 — reordering-rate CDFs (GT / iBoxML / iBoxNet+LSTM / +Linear) | `... --bin fig5` |
+//! | `fig7` | Fig. 7 — control-loop bias delay histograms | `... --bin fig7` |
+//! | `fig8` | Fig. 8 — SAX behaviour-discovery pattern tables | `... --bin fig8` |
+//! | `table1` | Table 1 — iBoxML ± cross traffic on RTC calls | `... --bin table1` |
+//! | benches | §4.2 — per-packet inference latency; sim throughput; estimation cost | `cargo bench -p ibox-bench` |
+//!
+//! Every binary takes an optional `--quick` flag that shrinks dataset
+//! sizes for smoke-testing; the full runs match the scales reported in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets for smoke tests (`--quick`).
+    Quick,
+    /// The scale recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Pick `q` under `--quick`, else `f`.
+    pub fn pick(self, q: usize, f: usize) -> usize {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// Render a numeric table: header row + aligned columns (plain text, the
+/// binaries' stdout is the "figure").
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", line(&header_cells, &widths));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        let _ = writeln!(out, "{}", line(row, &widths));
+    }
+    out
+}
+
+/// Format a float with fixed precision as a table cell.
+pub fn cell(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Summarize a sample as `mean p25 p50 p75` cells.
+pub fn dist_cells(sample: &[f64]) -> Vec<String> {
+    let s = ibox_stats::quantile_summary(sample)
+        .unwrap_or(ibox_stats::QuantileSummary { p25: 0.0, p50: 0.0, p75: 0.0, mean: 0.0 });
+    vec![cell(s.mean, 2), cell(s.p25, 2), cell(s.p50, 2), cell(s.p75, 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["name", "v"],
+            &[vec!["a".into(), "1.0".into()], vec!["long".into(), "2.5".into()]],
+        );
+        assert!(t.contains("## T"));
+        assert!(t.contains("long"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(2, 30), 2);
+        assert_eq!(Scale::Full.pick(2, 30), 30);
+    }
+
+    #[test]
+    fn dist_cells_summarize() {
+        let c = dist_cells(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], "2.50");
+    }
+}

@@ -1,0 +1,227 @@
+//! TCP Cubic (RFC 8312) — the paper's "control" protocol A.
+//!
+//! Cubic grows the window as a cubic function of time since the last
+//! congestion event, anchored at the pre-loss window `W_max`, with a
+//! TCP-friendly (Reno-tracking) lower region. It is the dominant transport
+//! in the Internet, which is exactly why iBox fits its models on Cubic
+//! traces and then predicts *other* protocols.
+
+use ibox_sim::{AckEvent, CongestionControl, CongestionSignal, SimTime};
+
+/// Cubic scaling constant `C` (RFC 8312 §5).
+const C: f64 = 0.4;
+/// Multiplicative-decrease factor `beta_cubic` (RFC 8312 §4.5).
+const BETA: f64 = 0.7;
+/// Initial window (RFC 6928).
+const INITIAL_CWND: f64 = 10.0;
+/// Smallest window after any backoff.
+const MIN_CWND: f64 = 2.0;
+
+/// TCP Cubic congestion control (window in packets).
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Cubic inflection offset `K` for the current epoch.
+    k: f64,
+    /// Reno-tracking estimate for the TCP-friendly region.
+    w_est: f64,
+    /// Smoothed RTT used for the one-RTT-ahead target.
+    srtt: f64,
+}
+
+impl Cubic {
+    /// A fresh Cubic sender.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::INFINITY,
+            w_max: INITIAL_CWND,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            srtt: 0.1,
+        }
+    }
+
+    /// Whether the sender is still in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// The cubic window function `W_cubic(t) = C (t − K)³ + W_max`.
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        let rtt = ack.rtt.as_secs_f64().max(1e-4);
+        self.srtt = 0.875 * self.srtt + 0.125 * rtt;
+
+        if self.in_slow_start() {
+            self.cwnd += 1.0;
+            return;
+        }
+
+        let epoch_start = *self.epoch_start.get_or_insert_with(|| {
+            // New congestion-avoidance epoch: anchor the cubic curve.
+            self.k = ((self.w_max * (1.0 - BETA) / C).max(0.0)).cbrt();
+            self.w_est = self.cwnd;
+            ack.now
+        });
+        let t = (ack.now.saturating_sub(epoch_start)).as_secs_f64();
+
+        // TCP-friendly region (RFC 8312 §4.2): emulate Reno's average rate.
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) / self.cwnd;
+
+        let target = self.w_cubic(t + self.srtt);
+        if self.w_est > self.cwnd && self.w_est > target {
+            self.cwnd = self.w_est;
+        } else if target > self.cwnd {
+            self.cwnd += (target - self.cwnd) / self.cwnd;
+        } else {
+            // Max-probing plateau: tiny growth to keep exploring.
+            self.cwnd += 0.01 / self.cwnd;
+        }
+    }
+
+    fn on_congestion(&mut self, _now: SimTime, signal: CongestionSignal) {
+        self.w_max = self.cwnd;
+        self.epoch_start = None;
+        match signal {
+            CongestionSignal::Loss => {
+                self.cwnd = (self.cwnd * BETA).max(MIN_CWND);
+                self.ssthresh = self.cwnd;
+            }
+            CongestionSignal::Timeout => {
+                self.ssthresh = (self.cwnd * BETA).max(MIN_CWND);
+                self.cwnd = MIN_CWND;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::from_millis(ms),
+            seq: 0,
+            rtt: SimTime::from_millis(rtt_ms),
+            acked_bytes: 1400,
+            inflight: 0,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut cc = Cubic::new();
+        for _ in 0..10 {
+            cc.on_ack(&ack_at(1, 40));
+        }
+        assert_eq!(cc.cwnd(), 20.0);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut cc = Cubic::new();
+        for _ in 0..90 {
+            cc.on_ack(&ack_at(1, 40));
+        }
+        let w = cc.cwnd();
+        cc.on_congestion(SimTime::from_millis(2), CongestionSignal::Loss);
+        assert!((cc.cwnd() - w * BETA).abs() < 1e-9);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn cubic_growth_is_concave_then_convex() {
+        // After a loss, growth is fast initially (toward W_max), flattens
+        // near W_max (t = K), then accelerates.
+        let mut cc = Cubic::new();
+        for _ in 0..90 {
+            cc.on_ack(&ack_at(1, 40));
+        }
+        cc.on_congestion(SimTime::from_millis(2), CongestionSignal::Loss);
+        let w_after_loss = cc.cwnd();
+        let w_max = cc.w_max;
+
+        // Drive acks for simulated seconds and sample the window.
+        let mut samples = Vec::new();
+        for ms in (10..8_000).step_by(10) {
+            cc.on_ack(&ack_at(ms, 40));
+            samples.push((ms as f64 / 1000.0, cc.cwnd()));
+        }
+        // Window recovers to W_max and beyond.
+        assert!(samples.last().unwrap().1 > w_max);
+        // It first grows quickly from the post-loss level...
+        let early = samples.iter().find(|(t, _)| *t > 0.5).unwrap().1;
+        assert!(early > w_after_loss);
+        // ...and near the inflection K the growth per step is smaller than
+        // at the start.
+        let k = cc.k;
+        let near_k_growth = growth_at(&samples, k);
+        let early_growth = growth_at(&samples, 0.2);
+        assert!(
+            near_k_growth < early_growth,
+            "plateau at K: {near_k_growth} vs early {early_growth}"
+        );
+    }
+
+    fn growth_at(samples: &[(f64, f64)], t: f64) -> f64 {
+        let i = samples
+            .iter()
+            .position(|(ts, _)| *ts >= t)
+            .unwrap_or(samples.len() - 2)
+            .min(samples.len() - 2);
+        samples[i + 1].1 - samples[i].1
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut cc = Cubic::new();
+        for _ in 0..50 {
+            cc.on_ack(&ack_at(1, 40));
+        }
+        cc.on_congestion(SimTime::from_millis(2), CongestionSignal::Timeout);
+        assert_eq!(cc.cwnd(), MIN_CWND);
+    }
+
+    #[test]
+    fn tcp_friendly_region_tracks_reno_at_small_windows() {
+        // With a tiny W_max the cubic curve is nearly flat, so the Reno
+        // estimate should dominate and the window should keep growing.
+        let mut cc = Cubic::new();
+        for _ in 0..2 {
+            cc.on_ack(&ack_at(1, 40));
+        }
+        cc.on_congestion(SimTime::from_millis(2), CongestionSignal::Loss);
+        let w0 = cc.cwnd();
+        for ms in 3..2_000 {
+            cc.on_ack(&ack_at(ms, 40));
+        }
+        assert!(cc.cwnd() > w0 + 1.0, "cwnd = {}", cc.cwnd());
+    }
+}

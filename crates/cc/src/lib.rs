@@ -1,0 +1,68 @@
+//! # ibox-cc
+//!
+//! Congestion-control algorithms for the iBox reproduction, implementing
+//! [`ibox_sim::CongestionControl`].
+//!
+//! The paper's experiments need:
+//!
+//! * [`Cubic`] — the "control" protocol A (most prevalent in the Internet),
+//!   used to fit iBox models (RFC 8312 window growth).
+//! * [`Vegas`] — the "treatment" protocol B ("its delay sensitivity makes it
+//!   quite different from Cubic and hence challenging for iBoxNet").
+//! * [`Reno`] — the classical AIMD baseline.
+//! * [`BbrLite`] — a model-based pacing sender, exercising the rate-based
+//!   path of the flow runtime.
+//! * [`RtcController`] — a delay-gradient rate controller in the style of a
+//!   real-time-conferencing (GCC-like) control loop; its delay sensitivity
+//!   is what *induces* the control-loop bias of §4.2 / Fig. 7 and what the
+//!   RTC dataset of Table 1 is made of.
+//! * CBR and fixed-window senders live in `ibox_sim::cc` (they are part of
+//!   the runtime's test surface).
+//!
+//! All window arithmetic is in packets, matching the flow runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbr;
+pub mod cubic;
+pub mod reno;
+pub mod rtc;
+pub mod vegas;
+
+pub use bbr::BbrLite;
+pub use cubic::Cubic;
+pub use reno::Reno;
+pub use rtc::RtcController;
+pub use vegas::Vegas;
+
+use ibox_sim::CongestionControl;
+
+/// Construct a congestion controller by protocol name — the handle the
+/// experiment harnesses use to parameterize A/B tests.
+///
+/// Recognized names: `"cubic"`, `"reno"`, `"vegas"`, `"bbr"`, `"rtc"`.
+pub fn by_name(name: &str) -> Option<Box<dyn CongestionControl>> {
+    match name {
+        "cubic" => Some(Box::new(Cubic::new())),
+        "reno" => Some(Box::new(Reno::new())),
+        "vegas" => Some(Box::new(Vegas::new())),
+        "bbr" => Some(Box::new(BbrLite::new())),
+        "rtc" => Some(Box::new(RtcController::default_config())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_knows_all_protocols() {
+        for name in ["cubic", "reno", "vegas", "bbr", "rtc"] {
+            let cc = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(cc.name(), name);
+        }
+        assert!(by_name("quic-quac").is_none());
+    }
+}

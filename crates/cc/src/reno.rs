@@ -1,0 +1,135 @@
+//! TCP Reno: classical slow start + AIMD congestion avoidance.
+
+use ibox_sim::{AckEvent, CongestionControl, CongestionSignal, SimTime};
+
+/// TCP Reno (NewReno-style window arithmetic, packets).
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+/// Initial window (RFC 6928).
+const INITIAL_CWND: f64 = 10.0;
+/// Smallest window after any backoff.
+const MIN_CWND: f64 = 2.0;
+
+impl Reno {
+    /// A fresh Reno sender.
+    pub fn new() -> Self {
+        Self { cwnd: INITIAL_CWND, ssthresh: f64::INFINITY }
+    }
+
+    /// Whether the sender is still in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn on_ack(&mut self, _ack: &AckEvent) {
+        if self.in_slow_start() {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    fn on_congestion(&mut self, _now: SimTime, signal: CongestionSignal) {
+        match signal {
+            CongestionSignal::Loss => {
+                self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+                self.cwnd = self.ssthresh;
+            }
+            CongestionSignal::Timeout => {
+                self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+                self.cwnd = MIN_CWND;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::from_millis(now_ms),
+            seq: 0,
+            rtt: SimTime::from_millis(40),
+            acked_bytes: 1400,
+            inflight: 0,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new();
+        assert!(cc.in_slow_start());
+        let w0 = cc.cwnd();
+        // One ack per outstanding packet => +1 each => doubles per RTT.
+        for _ in 0..(w0 as usize) {
+            cc.on_ack(&ack(1));
+        }
+        assert_eq!(cc.cwnd(), 2.0 * w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_additive() {
+        let mut cc = Reno::new();
+        cc.on_congestion(SimTime::ZERO, CongestionSignal::Loss); // leave slow start
+        let w = cc.cwnd();
+        let n = w as usize;
+        for _ in 0..n {
+            cc.on_ack(&ack(2));
+        }
+        // Roughly +1 per window of acks.
+        assert!((cc.cwnd() - (w + 1.0)).abs() < 0.3, "cwnd = {}", cc.cwnd());
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut cc = Reno::new();
+        for _ in 0..54 {
+            cc.on_ack(&ack(1));
+        }
+        let w = cc.cwnd();
+        cc.on_congestion(SimTime::ZERO, CongestionSignal::Loss);
+        assert_eq!(cc.cwnd(), w / 2.0);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut cc = Reno::new();
+        for _ in 0..54 {
+            cc.on_ack(&ack(1));
+        }
+        cc.on_congestion(SimTime::ZERO, CongestionSignal::Timeout);
+        assert_eq!(cc.cwnd(), MIN_CWND);
+    }
+
+    #[test]
+    fn window_never_collapses_below_minimum() {
+        let mut cc = Reno::new();
+        for _ in 0..10 {
+            cc.on_congestion(SimTime::ZERO, CongestionSignal::Loss);
+        }
+        assert!(cc.cwnd() >= MIN_CWND);
+    }
+}

@@ -1,0 +1,121 @@
+//! Behavioural tests: the congestion controllers driven over the real
+//! simulator must exhibit their textbook signatures — this is what makes
+//! the paper's A/B counterfactual meaningful (Cubic is loss-driven and
+//! buffer-filling, Vegas is delay-driven and buffer-shy).
+
+use ibox_cc::{by_name, BbrLite, Cubic, Vegas};
+use ibox_sim::{PathConfig, PathEmulator, SimTime};
+use ibox_trace::metrics::{avg_rate_mbps, delay_percentile_ms};
+
+fn emulator(rate_mbps: f64, delay_ms: u64, buffer_bytes: u64) -> PathEmulator {
+    PathEmulator::new(
+        PathConfig::simple(rate_mbps * 1e6, SimTime::from_millis(delay_ms), buffer_bytes),
+        SimTime::from_secs(15),
+    )
+}
+
+#[test]
+fn cubic_saturates_the_link() {
+    let emu = emulator(8.0, 20, 120_000);
+    let out = emu.run_sender(Box::new(Cubic::new()), "cubic", 1);
+    let t = out.trace("cubic").unwrap();
+    let rate = avg_rate_mbps(t);
+    assert!(rate > 6.5, "cubic should achieve most of 8 Mbps, got {rate}");
+}
+
+#[test]
+fn vegas_achieves_lower_delay_than_cubic() {
+    let emu = emulator(8.0, 20, 150_000);
+    let cubic = emu.run_sender(Box::new(Cubic::new()), "a", 1);
+    let vegas = emu.run_sender(Box::new(Vegas::new()), "a", 1);
+    let d_cubic = delay_percentile_ms(cubic.trace("a").unwrap(), 0.95).unwrap();
+    let d_vegas = delay_percentile_ms(vegas.trace("a").unwrap(), 0.95).unwrap();
+    // Cubic fills the 150 KB buffer (≈150 ms at 8 Mbps); Vegas keeps only a
+    // few packets queued.
+    assert!(
+        d_vegas < d_cubic * 0.7,
+        "vegas p95 {d_vegas} ms should be well below cubic {d_cubic} ms"
+    );
+}
+
+#[test]
+fn vegas_still_uses_most_of_the_link() {
+    let emu = emulator(8.0, 20, 150_000);
+    let out = emu.run_sender(Box::new(Vegas::new()), "v", 2);
+    let rate = avg_rate_mbps(out.trace("v").unwrap());
+    assert!(rate > 5.5, "vegas rate = {rate}");
+}
+
+#[test]
+fn cubic_experiences_loss_on_shallow_buffers() {
+    let emu = emulator(6.0, 25, 20_000);
+    let out = emu.run_sender(Box::new(Cubic::new()), "c", 3);
+    let t = out.trace("c").unwrap();
+    assert!(t.loss_rate() > 0.001, "cubic should overflow a shallow buffer");
+    assert!(avg_rate_mbps(t) > 4.0, "and still mostly fill the link");
+}
+
+#[test]
+fn bbr_fills_link_without_filling_buffer() {
+    let emu = emulator(8.0, 20, 400_000); // deep buffer
+    let bbr = emu.run_sender(Box::new(BbrLite::new()), "b", 4);
+    let cubic = emu.run_sender(Box::new(Cubic::new()), "b", 4);
+    let r_bbr = avg_rate_mbps(bbr.trace("b").unwrap());
+    let d_bbr = delay_percentile_ms(bbr.trace("b").unwrap(), 0.95).unwrap();
+    let d_cubic = delay_percentile_ms(cubic.trace("b").unwrap(), 0.95).unwrap();
+    assert!(r_bbr > 5.0, "bbr rate = {r_bbr}");
+    assert!(
+        d_bbr < d_cubic,
+        "bbr p95 {d_bbr} ms should undercut cubic {d_cubic} ms on deep buffers"
+    );
+}
+
+#[test]
+fn rtc_controller_tracks_capacity_with_lower_delay_than_cubic() {
+    let emu = emulator(4.0, 30, 100_000);
+    let rtc = emu.run_sender(by_name("rtc").unwrap(), "r", 5);
+    let cubic = emu.run_sender(by_name("cubic").unwrap(), "r", 5);
+    let t = rtc.trace("r").unwrap();
+    let rate = avg_rate_mbps(t);
+    let p95_rtc = delay_percentile_ms(t, 0.95).unwrap();
+    let p95_cubic = delay_percentile_ms(cubic.trace("r").unwrap(), 0.95).unwrap();
+    // The delay-gradient loop should use a healthy share of the link while
+    // keeping p95 delay below a buffer-filling loss-based sender.
+    assert!(rate > 1.5, "rtc should use a fair share: {rate} Mbps");
+    assert!(
+        p95_rtc < p95_cubic,
+        "rtc p95 {p95_rtc} ms should undercut cubic {p95_cubic} ms"
+    );
+}
+
+#[test]
+fn protocols_are_deterministic_over_the_sim() {
+    let emu = emulator(6.0, 20, 80_000);
+    for name in ["cubic", "vegas", "reno", "bbr", "rtc"] {
+        let a = emu.run_sender(by_name(name).unwrap(), "x", 42);
+        let b = emu.run_sender(by_name(name).unwrap(), "x", 42);
+        assert_eq!(a.traces, b.traces, "{name} must be deterministic");
+    }
+}
+
+#[test]
+fn two_cubic_flows_share_the_link() {
+    use ibox_sim::FlowConfig;
+    let emu = emulator(8.0, 20, 120_000);
+    let out = emu.run_senders(
+        vec![
+            (
+                FlowConfig::bulk("f1", SimTime::from_secs(30)),
+                Box::new(Cubic::new()) as Box<dyn ibox_sim::CongestionControl>,
+            ),
+            (FlowConfig::bulk("f2", SimTime::from_secs(30)), Box::new(Cubic::new())),
+        ],
+        7,
+    );
+    let r1 = avg_rate_mbps(out.trace("f1").unwrap());
+    let r2 = avg_rate_mbps(out.trace("f2").unwrap());
+    let total = r1 + r2;
+    assert!(total > 6.5, "combined rate = {total}");
+    // Rough fairness: neither flow starves.
+    assert!(r1 > 1.5 && r2 > 1.5, "shares: {r1} / {r2}");
+}

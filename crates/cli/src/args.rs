@@ -1,0 +1,133 @@
+//! Minimal argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments plus `--key value` /
+/// `--flag` options.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Option values (`--key value`); flags map to an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Options that take no value.
+const FLAGS: &[&str] = &["--no-cross", "--with-reordering", "--quiet"];
+
+/// Parse `argv` (after the subcommand) into positionals and options.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let key = format!("--{key}");
+            if FLAGS.contains(&key.as_str()) {
+                out.options.insert(key, String::new());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option {key} needs a value"))?;
+                out.options.insert(key, value.clone());
+            }
+        } else if let Some(key) = arg.strip_prefix('-') {
+            // Short options: only `-o <path>`.
+            if key == "o" {
+                let value =
+                    it.next().ok_or_else(|| "option -o needs a value".to_string())?;
+                out.options.insert("-o".into(), value.clone());
+            } else {
+                return Err(format!("unknown option -{key}"));
+            }
+        } else {
+            out.positional.push(arg.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// Required positional argument `idx`.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Optional option value.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required option value.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.opt(key).ok_or_else(|| format!("missing required option {key}"))
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Numeric option with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let p = parse(&argv(&["trace.json", "--protocol", "vegas", "-o", "out.json"])).unwrap();
+        assert_eq!(p.positional, vec!["trace.json"]);
+        assert_eq!(p.opt("--protocol"), Some("vegas"));
+        assert_eq!(p.opt("-o"), Some("out.json"));
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let p = parse(&argv(&["--no-cross", "t.json", "--with-reordering"])).unwrap();
+        assert!(p.flag("--no-cross"));
+        assert!(p.flag("--with-reordering"));
+        assert_eq!(p.positional, vec!["t.json"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["--protocol"])).is_err());
+        assert!(parse(&argv(&["-o"])).is_err());
+    }
+
+    #[test]
+    fn unknown_short_option_rejected() {
+        assert!(parse(&argv(&["-x"])).is_err());
+    }
+
+    #[test]
+    fn numeric_options() {
+        let p = parse(&argv(&["--seed", "42", "--duration", "12.5"])).unwrap();
+        assert_eq!(p.num("--seed", 0u64).unwrap(), 42);
+        assert_eq!(p.num("--duration", 30.0f64).unwrap(), 12.5);
+        assert_eq!(p.num("--missing", 7u32).unwrap(), 7);
+        assert!(p.num::<u64>("--duration", 0).is_err());
+    }
+
+    #[test]
+    fn required_accessors() {
+        let p = parse(&argv(&["a"])).unwrap();
+        assert_eq!(p.positional(0, "trace").unwrap(), "a");
+        assert!(p.positional(1, "thing").is_err());
+        assert!(p.required("--protocol").is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Subcommand implementations.
+
+use ibox::{IBoxNet, ValidityRegion};
+use ibox_sim::SimTime;
+use ibox_testbed::pantheon::run_protocol;
+use ibox_testbed::Profile;
+use ibox_trace::metrics::TraceMetrics;
+
+use crate::args::parse;
+use crate::io::{load_trace, save_text, save_trace};
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  ibox fit <trace.{json,csv}> [-o profile.json] [--no-cross] [--with-reordering]
+  ibox simulate <profile.json> --protocol <cubic|reno|vegas|bbr|rtc>
+                [--duration S] [--seed N] [-o out.{json,csv}]
+  ibox metrics <trace.{json,csv}>
+  ibox synth --profile <india-cellular|india-cellular-pf|ethernet|token-bucket-wifi>
+             --protocol <name> [--duration S] [--seed N] [-o trace.{json,csv}]
+  ibox validity --train <trace>... --check <trace>";
+
+/// Dispatch a full argv (starting at the subcommand).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "fit" => cmd_fit(rest),
+        "simulate" => cmd_simulate(rest),
+        "metrics" => cmd_metrics(rest),
+        "synth" => cmd_synth(rest),
+        "validity" => cmd_validity(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_fit(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    let model = if p.flag("--no-cross") {
+        IBoxNet::fit_without_cross(&trace)
+    } else if p.flag("--with-reordering") {
+        IBoxNet::fit_with_reordering(&trace)
+    } else {
+        IBoxNet::fit(&trace)
+    };
+    println!("fitted iBoxNet profile from {} packets:", trace.len());
+    println!("  bandwidth   : {:.3} Mbps", model.params.bandwidth_bps / 1e6);
+    println!("  prop delay  : {:.2} ms", model.params.prop_delay.as_millis_f64());
+    println!("  buffer      : {} bytes", model.params.buffer_bytes);
+    println!("  cross bytes : {:.0}", model.cross.total_bytes());
+    if let Some(r) = &model.reorder {
+        println!(
+            "  reordering  : p={:.4}, extra {:.1}-{:.1} ms",
+            r.probability,
+            r.extra_min.as_millis_f64(),
+            r.extra_max.as_millis_f64()
+        );
+    }
+    if let Some(out) = p.opt("-o") {
+        save_text(&model.to_json(), out)?;
+        println!("profile written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let profile_text = std::fs::read_to_string(p.positional(0, "profile file")?)
+        .map_err(|e| format!("cannot read profile: {e}"))?;
+    let model = IBoxNet::from_json(&profile_text).map_err(|e| format!("bad profile: {e}"))?;
+    let protocol = p.required("--protocol")?;
+    if ibox_cc::by_name(protocol).is_none() {
+        return Err(format!("unknown protocol {protocol:?}"));
+    }
+    let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
+    let seed = p.num("--seed", 1u64)?;
+    let trace = model.simulate(protocol, duration, seed);
+    print_metrics(&trace);
+    if let Some(out) = p.opt("-o") {
+        save_trace(&trace, out)?;
+        println!("counterfactual trace written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_metrics(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let trace = load_trace(p.positional(0, "trace file")?)?;
+    print_metrics(&trace);
+    Ok(())
+}
+
+fn cmd_synth(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let profile = match p.required("--profile")? {
+        "india-cellular" => Profile::IndiaCellular,
+        "india-cellular-pf" => Profile::IndiaCellularPf,
+        "ethernet" => Profile::Ethernet,
+        "token-bucket-wifi" => Profile::TokenBucketWifi,
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let protocol = p.required("--protocol")?;
+    if ibox_cc::by_name(protocol).is_none() {
+        return Err(format!("unknown protocol {protocol:?}"));
+    }
+    let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
+    let seed = p.num("--seed", 1u64)?;
+    let inst = profile.sample(seed, duration);
+    let trace = run_protocol(&inst, protocol, duration, seed);
+    print_metrics(&trace);
+    if let Some(out) = p.opt("-o") {
+        save_trace(&trace, out)?;
+        println!("trace written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validity(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    // `--train` takes one value in the generic parser; extra training
+    // traces come as positionals before --check's value.
+    let mut train_paths: Vec<&str> = Vec::new();
+    if let Some(t) = p.opt("--train") {
+        train_paths.push(t);
+    }
+    for extra in &p.positional {
+        train_paths.push(extra);
+    }
+    if train_paths.is_empty() {
+        return Err("validity needs --train <trace> [more traces…]".into());
+    }
+    let check_path = p.required("--check")?;
+    let train: Result<Vec<_>, _> = train_paths.iter().map(|t| load_trace(t)).collect();
+    let region = ValidityRegion::fit(&train?);
+    let report = region.check(&load_trace(check_path)?);
+    println!("coverage: {:.3}", report.coverage);
+    for (feature, frac) in &report.out_of_range {
+        println!("  out of range: {feature} ({:.1}% of packets)", frac * 100.0);
+    }
+    println!("valid at 0.95: {}", report.is_valid(0.95));
+    Ok(())
+}
+
+fn print_metrics(trace: &ibox_trace::FlowTrace) {
+    let m = TraceMetrics::of(trace);
+    println!("packets       : {}", trace.len());
+    println!("avg rate      : {:.3} Mbps", m.avg_rate_mbps);
+    println!("p95 delay     : {:.1} ms", m.p95_delay_ms);
+    println!("loss          : {:.2} %", m.loss_pct);
+    println!("reordering    : {:.4} (mean per-1s-window rate)", m.mean_reorder_rate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn full_pipeline_synth_fit_simulate() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ibox_cli_e2e_trace.json").to_string_lossy().into_owned();
+        let profile_path =
+            dir.join("ibox_cli_e2e_profile.json").to_string_lossy().into_owned();
+        let out_path = dir.join("ibox_cli_e2e_out.csv").to_string_lossy().into_owned();
+
+        dispatch(&argv(&[
+            "synth",
+            "--profile",
+            "india-cellular",
+            "--protocol",
+            "cubic",
+            "--duration",
+            "5",
+            "--seed",
+            "3",
+            "-o",
+            &trace_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["fit", &trace_path, "-o", &profile_path])).unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            &profile_path,
+            "--protocol",
+            "vegas",
+            "--duration",
+            "5",
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["metrics", &out_path])).unwrap();
+
+        for p in [&trace_path, &profile_path, &out_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_missing_file() {
+        assert!(dispatch(&argv(&["fit", "/nope/missing.json"])).is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_protocol() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ibox_cli_proto_trace.json").to_string_lossy().into_owned();
+        let profile_path =
+            dir.join("ibox_cli_proto_profile.json").to_string_lossy().into_owned();
+        dispatch(&argv(&[
+            "synth",
+            "--profile",
+            "ethernet",
+            "--protocol",
+            "reno",
+            "--duration",
+            "3",
+            "-o",
+            &trace_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["fit", &trace_path, "-o", &profile_path])).unwrap();
+        assert!(dispatch(&argv(&[
+            "simulate",
+            &profile_path,
+            "--protocol",
+            "quic-quac"
+        ]))
+        .is_err());
+        for p in [&trace_path, &profile_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

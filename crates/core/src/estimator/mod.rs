@@ -1,0 +1,11 @@
+//! Parameter estimation from input-output traces (§3 of the paper).
+//!
+//! * [`static_params`] — the `(b, d, B)` of iBoxNet's network model.
+//! * [`crosstraffic`] — the dynamic cross-traffic series `C`, recovered
+//!   from queue dynamics as a conservative lower bound.
+
+pub mod crosstraffic;
+pub mod static_params;
+
+pub use crosstraffic::{CrossTrafficEstimate, DEFAULT_BIN_SECS};
+pub use static_params::{StaticParams, BANDWIDTH_WINDOW_SECS};

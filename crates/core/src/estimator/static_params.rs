@@ -1,0 +1,166 @@
+//! Static path-parameter estimation (§3 of the paper).
+//!
+//! From an input-output trace, iBoxNet estimates:
+//!
+//! * **bottleneck bandwidth** `b` — "the peak receiving rate, over 1 s
+//!   sliding windows, seen in the training data (even if the sender does
+//!   not fill the bottleneck link on a sustained basis, short bursts would
+//!   still enable accurate estimation)";
+//! * **propagation delay** `d` — "the minimum delay seen in the traces
+//!   (the assumption being that in a long-enough trace, at least some
+//!   packets will likely encounter an empty bottleneck queue)";
+//! * **buffer size** `B` — "the estimated bandwidth times the difference
+//!   between the maximum and minimum delays (the assumption being that at
+//!   least some packets would encounter an almost full buffer)", byte-based.
+
+use serde::{Deserialize, Serialize};
+
+use ibox_sim::SimTime;
+use ibox_trace::series::peak_recv_rate_bps;
+use ibox_trace::FlowTrace;
+
+/// The sliding window used for the peak-rate bandwidth estimator.
+pub const BANDWIDTH_WINDOW_SECS: f64 = 1.0;
+
+/// Estimated static parameters of a path: the `(b, d, B)` of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticParams {
+    /// Bottleneck bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub prop_delay: SimTime,
+    /// Bottleneck buffer, bytes.
+    pub buffer_bytes: u64,
+}
+
+impl StaticParams {
+    /// Estimate `(b, d, B)` from a trace.
+    ///
+    /// Panics if the trace has no delivered packets — there is nothing to
+    /// learn from silence, and harnesses should filter such runs out.
+    pub fn estimate(trace: &FlowTrace) -> Self {
+        assert!(
+            trace.delivered_count() > 0,
+            "cannot estimate parameters from a trace with no delivered packets"
+        );
+        let bandwidth_bps = peak_recv_rate_bps(trace, BANDWIDTH_WINDOW_SECS).max(1_000.0);
+        let min_ns = trace.min_delay_ns().expect("has delivered packets");
+        let max_ns = trace.max_delay_ns().expect("has delivered packets");
+        let delay_range_secs = (max_ns - min_ns) as f64 / 1e9;
+        // Byte-based buffer: b/8 bytes per second of standing delay. Floor
+        // at two MTUs so a clean trace still yields a runnable emulator.
+        let buffer_bytes = ((bandwidth_bps / 8.0) * delay_range_secs).max(3_000.0) as u64;
+        Self {
+            bandwidth_bps,
+            prop_delay: SimTime::from_nanos(min_ns),
+            buffer_bytes,
+        }
+    }
+
+    /// Maximum queueing delay this parameterization allows (buffer drain
+    /// time at the bottleneck rate).
+    pub fn max_queue_delay_secs(&self) -> f64 {
+        self.buffer_bytes as f64 * 8.0 / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_sim::{FixedWindow, PathConfig, PathEmulator};
+    use ibox_trace::PacketRecord;
+
+    fn measured(rate_bps: f64, delay_ms: u64, buffer: u64, window: f64) -> StaticParams {
+        let emu = PathEmulator::new(
+            PathConfig::simple(rate_bps, SimTime::from_millis(delay_ms), buffer),
+            SimTime::from_secs(20),
+        );
+        let out = emu.run_sender(Box::new(FixedWindow::new(window)), "probe", 1);
+        StaticParams::estimate(out.trace("probe").unwrap())
+    }
+
+    #[test]
+    fn recovers_bandwidth_of_a_saturated_link() {
+        let p = measured(8e6, 30, 120_000, 200.0);
+        assert!(
+            (p.bandwidth_bps - 8e6).abs() / 8e6 < 0.05,
+            "b = {} Mbps",
+            p.bandwidth_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn recovers_propagation_delay() {
+        let p = measured(8e6, 30, 120_000, 200.0);
+        // Min delay includes one serialization time (1400 B at 8 Mbps =
+        // 1.4 ms) on top of 30 ms.
+        let d = p.prop_delay.as_millis_f64();
+        assert!((d - 31.4).abs() < 1.0, "d = {d} ms");
+    }
+
+    #[test]
+    fn recovers_buffer_size_when_sender_fills_it() {
+        // A huge fixed window pins the 60 KB buffer.
+        let p = measured(6e6, 20, 60_000, 400.0);
+        assert!(
+            (40_000..=75_000).contains(&p.buffer_bytes),
+            "B = {} bytes",
+            p.buffer_bytes
+        );
+    }
+
+    #[test]
+    fn bursty_sender_still_reveals_bandwidth() {
+        // "Even if the sender does not fill the bottleneck link on a
+        // sustained basis, short bursts would still enable accurate
+        // estimation": a trace whose average rate is ~0.5 Mbps but which
+        // contains one 1-second burst delivered at the 8 Mbps line rate.
+        let mut recs = Vec::new();
+        let mut seq = 0u64;
+        // Sparse background: one packet per 100 ms for 20 s.
+        for i in 0..200u64 {
+            recs.push(PacketRecord::delivered(
+                seq,
+                i * 100 * 1_000_000,
+                1000,
+                i * 100 * 1_000_000 + 30_000_000,
+            ));
+            seq += 1;
+        }
+        // Burst: 8 Mbps for 1 s starting at t = 5 s: 1000 B every 1 ms.
+        for k in 0..1000u64 {
+            let send = 5_000_000_000 + k * 1_000_000;
+            recs.push(PacketRecord::delivered(seq, send, 1000, send + 30_000_000));
+            seq += 1;
+        }
+        let t = FlowTrace::from_records(Default::default(), recs);
+        let p = StaticParams::estimate(&t);
+        assert!(
+            p.bandwidth_bps > 7.5e6,
+            "burst should reveal the 8 Mbps line rate, got {}",
+            p.bandwidth_bps
+        );
+        // Average rate is far below the estimate.
+        assert!(ibox_trace::metrics::avg_rate_mbps(&t) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no delivered packets")]
+    fn empty_trace_rejected() {
+        let t = FlowTrace::from_records(
+            Default::default(),
+            vec![ibox_trace::PacketRecord::lost(0, 0, 100)],
+        );
+        StaticParams::estimate(&t);
+    }
+
+    #[test]
+    fn max_queue_delay_is_consistent() {
+        let p = StaticParams {
+            bandwidth_bps: 8e6,
+            prop_delay: SimTime::from_millis(10),
+            buffer_bytes: 100_000,
+        };
+        assert!((p.max_queue_delay_secs() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-packet feature extraction for iBoxML (§4.1, §5.2).
+//!
+//! "The input x_t to the model consists of simple features readily
+//! available from the sender packet stream at time t including
+//! instantaneous sending rate (the number of packet bytes sent during the
+//! second preceding the current packet timestamp t), inter-packet spacing,
+//! packet size, and previous delay d_{t−1}" — plus, for the §5.2 variant,
+//! the domain-knowledge cross-traffic estimate from §3.
+//!
+//! The **previous delay is always the last feature column** so the
+//! closed-loop unroller knows which column to overwrite with its own
+//! predictions.
+
+use ibox_trace::series::trailing_send_rate;
+use ibox_trace::FlowTrace;
+
+use crate::estimator::CrossTrafficEstimate;
+
+/// Extracted per-packet features and targets for one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceFeatures {
+    /// Raw (unscaled) feature rows, one per sent packet.
+    pub rows: Vec<Vec<f64>>,
+    /// Target one-way delays in seconds (carry-forward value for lost
+    /// packets, which the trainer masks out).
+    pub delays: Vec<f64>,
+    /// `1.0` where the packet was lost.
+    pub loss_labels: Vec<f32>,
+}
+
+/// Feature layout configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Whether to include the cross-traffic-estimate column (§5.2).
+    pub with_cross_traffic: bool,
+}
+
+impl FeatureConfig {
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        if self.with_cross_traffic {
+            5
+        } else {
+            4
+        }
+    }
+
+    /// Index of the previous-delay column (always last).
+    pub fn prev_delay_idx(&self) -> usize {
+        self.width() - 1
+    }
+}
+
+/// Extract features from a trace. `cross` must be provided iff the config
+/// includes the cross-traffic column.
+pub fn extract(
+    trace: &FlowTrace,
+    cfg: &FeatureConfig,
+    cross: Option<&CrossTrafficEstimate>,
+) -> TraceFeatures {
+    assert_eq!(
+        cfg.with_cross_traffic,
+        cross.is_some(),
+        "cross-traffic estimate must match the feature config"
+    );
+    let recs = trace.records();
+    if recs.is_empty() {
+        return TraceFeatures::default();
+    }
+    let send_rates = trailing_send_rate(trace, 1.0);
+    let mut rows = Vec::with_capacity(recs.len());
+    let mut delays = Vec::with_capacity(recs.len());
+    let mut loss_labels = Vec::with_capacity(recs.len());
+    let mut prev_delay = 0.0f64;
+    let mut prev_send_ns = recs[0].send_ns;
+
+    for (i, r) in recs.iter().enumerate() {
+        let spacing = (r.send_ns - prev_send_ns) as f64 / 1e9;
+        prev_send_ns = r.send_ns;
+        let mut row = vec![send_rates[i], spacing, f64::from(r.size)];
+        if let Some(ct) = cross {
+            row.push(ct.rate_bps_at(r.send_ns as f64 / 1e9));
+        }
+        row.push(prev_delay);
+        rows.push(row);
+
+        match r.delay_secs() {
+            Some(d) => {
+                delays.push(d);
+                loss_labels.push(0.0);
+                prev_delay = d;
+            }
+            None => {
+                // Lost: target carried forward, masked in training; the
+                // previous-delay feature also carries forward (the sender
+                // never observed a delay for this packet).
+                delays.push(prev_delay);
+                loss_labels.push(1.0);
+            }
+        }
+    }
+    TraceFeatures { rows, delays, loss_labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_trace::{FlowMeta, PacketRecord};
+
+    const MS: u64 = 1_000_000;
+
+    fn trace() -> FlowTrace {
+        FlowTrace::from_records(
+            FlowMeta::default(),
+            vec![
+                PacketRecord::delivered(0, 0, 1000, 40 * MS),
+                PacketRecord::delivered(1, 10 * MS, 1200, 55 * MS),
+                PacketRecord::lost(2, 20 * MS, 1000),
+                PacketRecord::delivered(3, 30 * MS, 800, 90 * MS),
+            ],
+        )
+    }
+
+    #[test]
+    fn layout_without_cross() {
+        let cfg = FeatureConfig { with_cross_traffic: false };
+        let f = extract(&trace(), &cfg, None);
+        assert_eq!(f.rows.len(), 4);
+        assert_eq!(f.rows[0].len(), 4);
+        assert_eq!(cfg.prev_delay_idx(), 3);
+        // Row 1: spacing 10 ms, size 1200, prev delay = 40 ms.
+        assert!((f.rows[1][1] - 0.010).abs() < 1e-12);
+        assert_eq!(f.rows[1][2], 1200.0);
+        assert!((f.rows[1][3] - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_packets_carry_forward_and_are_labelled() {
+        let cfg = FeatureConfig { with_cross_traffic: false };
+        let f = extract(&trace(), &cfg, None);
+        assert_eq!(f.loss_labels, vec![0.0, 0.0, 1.0, 0.0]);
+        // Lost packet's target = previous delay (45 ms), masked anyway.
+        assert!((f.delays[2] - 0.045).abs() < 1e-12);
+        // Packet 3's prev-delay feature skips the lost packet.
+        assert!((f.rows[3][3] - 0.045).abs() < 1e-12);
+        // Delivered targets are the actual delays.
+        assert!((f.delays[3] - 0.060).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_traffic_column_is_inserted_before_prev_delay() {
+        let cfg = FeatureConfig { with_cross_traffic: true };
+        let ct = CrossTrafficEstimate { bin_secs: 0.01, bins: vec![1250.0, 0.0, 2500.0, 0.0] };
+        let f = extract(&trace(), &cfg, Some(&ct));
+        assert_eq!(f.rows[0].len(), 5);
+        assert_eq!(cfg.prev_delay_idx(), 4);
+        // Packet 0 at t=0: bin 0 -> 1250 B / 10 ms = 1 Mbps.
+        assert_eq!(f.rows[0][3], 1e6);
+        // Packet 2 at t=20 ms: bin 2 -> 2 Mbps.
+        assert_eq!(f.rows[2][3], 2e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-traffic estimate must match")]
+    fn config_mismatch_rejected() {
+        extract(&trace(), &FeatureConfig { with_cross_traffic: true }, None);
+    }
+
+    #[test]
+    fn trailing_rate_is_first_column() {
+        let cfg = FeatureConfig { with_cross_traffic: false };
+        let f = extract(&trace(), &cfg, None);
+        // First packet: only itself in the window: 1000 B * 8 = 8 kbps.
+        assert_eq!(f.rows[0][0], 8_000.0);
+        // Fourth packet: all four packets within 1 s: 4000 B * 8.
+        assert_eq!(f.rows[3][0], 32_000.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Behaviour discovery by SAX + motif "diff" (§5.1, Fig. 8).
+//!
+//! "We employ a popular tool, SAX, which takes a given set of transformed
+//! traces (e.g., delay differences), and discretizes the transformed traces
+//! into symbolic representations; then, a motif finding algorithm is
+//! applied to find frequently occurring segments. … A 'diff' would surface
+//! behaviours present in the former [real traces] but absent in the latter
+//! [the simulator]."
+//!
+//! Here the transformed series is the inter-packet arrival difference
+//! `Δ_i = recv_i − recv_{i−1}` in send order; symbol `'a'` denotes negative
+//! values (reordering events), `'b'`–`'f'` increasing positive values.
+
+use serde::{Deserialize, Serialize};
+
+use ibox_stats::motif::{motif_diff, MotifCounts};
+use ibox_stats::sax::{SaxConfig, SaxEncoder};
+use ibox_trace::series::inter_arrival_diffs;
+use ibox_trace::FlowTrace;
+
+/// Minimum ground-truth frequency for a "diff" pattern to be reported
+/// (filters one-off noise, as a domain expert would).
+pub const DIFF_MIN_FREQ: f64 = 0.001;
+
+/// The outcome of a behaviour-discovery pass over two trace sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveryReport {
+    /// Length-1 pattern table for the ground-truth traces.
+    pub gt_unigrams: MotifCounts,
+    /// Length-1 pattern table for the simulated traces.
+    pub sim_unigrams: MotifCounts,
+    /// Length-2 pattern table for the ground-truth traces.
+    pub gt_bigrams: MotifCounts,
+    /// Length-2 pattern table for the simulated traces.
+    pub sim_bigrams: MotifCounts,
+    /// Length-1 patterns present in ground truth but absent from the
+    /// simulator, with their ground-truth frequencies.
+    pub missing_unigrams: Vec<(String, f64)>,
+    /// Length-2 patterns present in ground truth but absent from the
+    /// simulator.
+    pub missing_bigrams: Vec<(String, f64)>,
+}
+
+/// Encode a trace's inter-arrival-difference series with a fitted encoder.
+pub fn encode_trace(trace: &FlowTrace, encoder: &SaxEncoder) -> String {
+    encoder.encode_letters(&inter_arrival_diffs(trace).v)
+}
+
+/// Fit the reorder-aware SAX encoder on the pooled ground-truth series.
+pub fn fit_encoder(ground_truth: &[FlowTrace]) -> SaxEncoder {
+    let pooled: Vec<f64> = ground_truth
+        .iter()
+        .flat_map(|t| inter_arrival_diffs(t).v)
+        .collect();
+    SaxEncoder::reorder_aware(SaxConfig::default(), &pooled)
+}
+
+/// Run the full discovery pipeline: fit the encoder on ground truth,
+/// encode both sets, count length-1/2 motifs, and diff.
+pub fn discover(ground_truth: &[FlowTrace], simulated: &[FlowTrace]) -> DiscoveryReport {
+    assert!(!ground_truth.is_empty(), "discovery needs ground-truth traces");
+    assert!(!simulated.is_empty(), "discovery needs simulated traces");
+    let encoder = fit_encoder(ground_truth);
+    let gt_strings: Vec<String> =
+        ground_truth.iter().map(|t| encode_trace(t, &encoder)).collect();
+    let sim_strings: Vec<String> =
+        simulated.iter().map(|t| encode_trace(t, &encoder)).collect();
+
+    let gt_unigrams = MotifCounts::from_many(gt_strings.iter().map(String::as_str), 1);
+    let sim_unigrams = MotifCounts::from_many(sim_strings.iter().map(String::as_str), 1);
+    let gt_bigrams = MotifCounts::from_many(gt_strings.iter().map(String::as_str), 2);
+    let sim_bigrams = MotifCounts::from_many(sim_strings.iter().map(String::as_str), 2);
+
+    let missing_unigrams = motif_diff(&gt_unigrams, &sim_unigrams, DIFF_MIN_FREQ);
+    let missing_bigrams = motif_diff(&gt_bigrams, &sim_bigrams, DIFF_MIN_FREQ);
+
+    DiscoveryReport {
+        gt_unigrams,
+        sim_unigrams,
+        gt_bigrams,
+        sim_bigrams,
+        missing_unigrams,
+        missing_bigrams,
+    }
+}
+
+impl DiscoveryReport {
+    /// The Fig. 8(b)-style comparison rows: frequency of each pattern in
+    /// ground truth vs. the simulated set, for all patterns involving the
+    /// reordering symbol `'a'` plus the top `extra` other patterns.
+    pub fn comparison_rows(&self, extra: usize) -> Vec<(String, f64, f64)> {
+        let mut rows = Vec::new();
+        // Unigram 'a'.
+        rows.push((
+            "a".to_string(),
+            self.gt_unigrams.frequency("a"),
+            self.sim_unigrams.frequency("a"),
+        ));
+        // All bigrams involving 'a' seen in ground truth.
+        for (p, _) in self.gt_bigrams.patterns() {
+            if p.contains('a') {
+                rows.push((
+                    p.to_string(),
+                    self.gt_bigrams.frequency(p),
+                    self.sim_bigrams.frequency(p),
+                ));
+            }
+        }
+        // Top non-'a' bigrams for context.
+        for (p, f) in self.gt_bigrams.top(extra + rows.len()) {
+            if !p.contains('a') && rows.len() < extra + 8 {
+                rows.push((p.clone(), f, self.sim_bigrams.frequency(&p)));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_trace::{FlowMeta, PacketRecord};
+
+    const MS: u64 = 1_000_000;
+
+    /// A trace with `reorder_every`-spaced reordering events.
+    fn synthetic_trace(n: u64, reorder_every: Option<u64>) -> FlowTrace {
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let send = i * 10 * MS;
+            let mut recv = send + 40 * MS;
+            if let Some(k) = reorder_every {
+                if i % k == k - 1 {
+                    // Arrives before its predecessor.
+                    recv = send + 25 * MS;
+                }
+            }
+            recs.push(PacketRecord::delivered(i, send, 1000, recv));
+        }
+        FlowTrace::from_records(FlowMeta::default(), recs)
+    }
+
+    #[test]
+    fn diff_surfaces_the_reordering_symbol() {
+        let gt = vec![synthetic_trace(500, Some(50))];
+        let sim = vec![synthetic_trace(500, None)];
+        let report = discover(&gt, &sim);
+        let missing: Vec<&str> =
+            report.missing_unigrams.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(
+            missing.contains(&"a"),
+            "'a' must be discovered as missing; got {missing:?}"
+        );
+        // Reordering frequency ~2% (1 in 50 packets).
+        assert!(report.gt_unigrams.frequency("a") > 0.01);
+        assert_eq!(report.sim_unigrams.frequency("a"), 0.0);
+    }
+
+    #[test]
+    fn bigrams_involving_a_are_missing_too() {
+        let gt = vec![synthetic_trace(500, Some(50))];
+        let sim = vec![synthetic_trace(500, None)];
+        let report = discover(&gt, &sim);
+        assert!(
+            report.missing_bigrams.iter().any(|(p, _)| p.contains('a')),
+            "higher-order patterns involving 'a' must be absent from the sim"
+        );
+    }
+
+    #[test]
+    fn identical_sets_have_empty_diff() {
+        let gt = vec![synthetic_trace(300, Some(30))];
+        let report = discover(&gt, &gt);
+        assert!(report.missing_unigrams.is_empty());
+        assert!(report.missing_bigrams.is_empty());
+    }
+
+    #[test]
+    fn comparison_rows_include_a_patterns() {
+        let gt = vec![synthetic_trace(500, Some(25))];
+        let sim = vec![synthetic_trace(500, None)];
+        let report = discover(&gt, &sim);
+        let rows = report.comparison_rows(3);
+        assert_eq!(rows[0].0, "a");
+        assert!(rows[0].1 > 0.0);
+        assert_eq!(rows[0].2, 0.0);
+        assert!(rows.iter().any(|(p, _, _)| p.len() == 2));
+    }
+}

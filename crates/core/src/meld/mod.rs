@@ -1,0 +1,16 @@
+//! Melding network and ML models (§5).
+//!
+//! * [`discovery`] — find behaviours present in real traces but missing
+//!   from the simulator (SAX + motif diff, Fig. 8).
+//! * [`reorder`] — learn to predict reordering events and graft them onto
+//!   iBoxNet's output (LSTM, linear-logistic, and the naive-random
+//!   ablation; Figs. 5 & 8b).
+
+pub mod discovery;
+pub mod reorder;
+
+pub use discovery::{discover, DiscoveryReport};
+pub use reorder::{
+    augment_with_reordering, reorder_labels, NaiveRandom, ReorderLinear, ReorderLstm,
+    ReorderPredictor,
+};

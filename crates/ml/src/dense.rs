@@ -1,0 +1,116 @@
+//! Fully-connected layer (batch size 1 along a sequence).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier;
+use crate::matrix::vecops::add_assign;
+use crate::matrix::Mat;
+
+/// A dense layer `y = W·x + b` with gradient accumulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, `out × in`.
+    pub w: Mat,
+    /// Bias, `out`.
+    pub b: Vec<f32>,
+    /// Weight gradient.
+    #[serde(skip)]
+    pub gw: Option<Mat>,
+    /// Bias gradient.
+    #[serde(skip)]
+    pub gb: Vec<f32>,
+}
+
+impl Dense {
+    /// A new layer with Xavier weights and zero bias.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        Self { w: xavier(output, input, rng), b: vec![0.0; output], gw: None, gb: Vec::new() }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.matvec(x);
+        add_assign(&mut y, &self.b);
+        y
+    }
+
+    /// Zero/allocate gradient buffers.
+    pub fn zero_grad(&mut self) {
+        match &mut self.gw {
+            Some(m) => m.fill_zero(),
+            None => self.gw = Some(Mat::zeros(self.w.rows(), self.w.cols())),
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        } else {
+            self.gb.fill(0.0);
+        }
+    }
+
+    /// Backward: given `dy` and the cached input `x`, accumulate gradients
+    /// and return `dx`.
+    pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
+        debug_assert!(self.gw.is_some(), "call zero_grad before backward");
+        self.gw.as_mut().expect("zero_grad called").add_outer(dy, x, 1.0);
+        add_assign(&mut self.gb, dy);
+        self.w.matvec_t(dy)
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded;
+
+    #[test]
+    fn forward_is_affine() {
+        let mut rng = seeded(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.w = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        d.b = vec![10.0, 20.0];
+        assert_eq!(d.forward(&[1.0, 1.0]), vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut rng = seeded(2);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = [0.5f32, -1.0, 0.25];
+        // Loss = sum(y²).
+        let loss = |d: &Dense| -> f64 {
+            d.forward(&x).iter().map(|v| f64::from(*v) * f64::from(*v)).sum()
+        };
+        d.zero_grad();
+        let y = d.forward(&x);
+        let dy: Vec<f32> = y.iter().map(|v| 2.0 * v).collect();
+        let dx = d.backward(&x, &dy);
+
+        let eps = 1e-3f32;
+        // Weight gradient check.
+        for (r, c) in [(0, 0), (1, 2)] {
+            let analytic = f64::from(d.gw.as_ref().unwrap().get(r, c));
+            let mut dp = d.clone();
+            dp.w.set(r, c, dp.w.get(r, c) + eps);
+            let lp = loss(&dp);
+            dp.w.set(r, c, dp.w.get(r, c) - 2.0 * eps);
+            let lm = loss(&dp);
+            let numeric = (lp - lm) / (2.0 * f64::from(eps));
+            assert!((analytic - numeric).abs() < 1e-2, "{analytic} vs {numeric}");
+        }
+        // Input gradient check.
+        let analytic_dx0 = f64::from(dx[0]);
+        let mut xp = x;
+        xp[0] += eps;
+        let lp: f64 = d.forward(&xp).iter().map(|v| f64::from(*v) * f64::from(*v)).sum();
+        xp[0] -= 2.0 * eps;
+        let lm: f64 = d.forward(&xp).iter().map(|v| f64::from(*v) * f64::from(*v)).sum();
+        let numeric = (lp - lm) / (2.0 * f64::from(eps));
+        assert!((analytic_dx0 - numeric).abs() < 1e-2);
+    }
+}

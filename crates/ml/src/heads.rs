@@ -1,0 +1,208 @@
+//! Output heads: Gaussian delay head and Bernoulli loss head.
+//!
+//! §4.1 of the paper: "We model P as a Gaussian N(w₁ᵀh_t, w₂ᵀh_t); the
+//! weights w₁, w₂ are learnt using a fully-connected neural network with a
+//! suitable loss". The delay head predicts `(μ, σ²)` with a Gaussian
+//! negative-log-likelihood loss (σ² through a softplus for positivity);
+//! the loss head predicts a packet-loss probability ("or packet loss
+//! indicator") with binary cross-entropy.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dense::Dense;
+use crate::matrix::vecops::{add_assign, sigmoid, softplus};
+
+/// Variance floor, keeps the NLL bounded.
+const VAR_FLOOR: f32 = 1e-4;
+
+/// Gaussian head: `h ↦ (μ, σ²)` with NLL loss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianHead {
+    mu: Dense,
+    raw_var: Dense,
+}
+
+/// Forward cache of a Gaussian head evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianOut {
+    /// Predicted mean.
+    pub mu: f32,
+    /// Predicted variance (post-softplus, floored).
+    pub var: f32,
+    raw: f32,
+}
+
+impl GaussianHead {
+    /// A head over hidden width `hidden`.
+    pub fn new(hidden: usize, rng: &mut StdRng) -> Self {
+        Self { mu: Dense::new(hidden, 1, rng), raw_var: Dense::new(hidden, 1, rng) }
+    }
+
+    /// Predict `(μ, σ²)` from the hidden state.
+    pub fn forward(&self, h: &[f32]) -> GaussianOut {
+        let mu = self.mu.forward(h)[0];
+        let raw = self.raw_var.forward(h)[0];
+        GaussianOut { mu, var: softplus(raw) + VAR_FLOOR, raw }
+    }
+
+    /// Gaussian negative log-likelihood of target `y`.
+    pub fn nll(out: &GaussianOut, y: f32) -> f32 {
+        let var = out.var;
+        0.5 * (2.0 * std::f32::consts::PI * var).ln() + (y - out.mu).powi(2) / (2.0 * var)
+    }
+
+    /// Zero/allocate gradients.
+    pub fn zero_grad(&mut self) {
+        self.mu.zero_grad();
+        self.raw_var.zero_grad();
+    }
+
+    /// Backward for one step: accumulate head gradients and return `dh`.
+    pub fn backward(&mut self, h: &[f32], out: &GaussianOut, y: f32) -> Vec<f32> {
+        let var = out.var;
+        // dNLL/dμ = (μ − y)/σ².
+        let dmu = (out.mu - y) / var;
+        // dNLL/dσ² = 1/(2σ²) − (y−μ)²/(2σ⁴); dσ²/draw = sigmoid(raw).
+        let dvar = 0.5 / var - (y - out.mu).powi(2) / (2.0 * var * var);
+        let draw = dvar * sigmoid(out.raw);
+        let mut dh = self.mu.backward(h, &[dmu]);
+        add_assign(&mut dh, &self.raw_var.backward(h, &[draw]));
+        dh
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.mu.param_count() + self.raw_var.param_count()
+    }
+
+    /// Access the two dense sublayers (for the optimizer).
+    pub fn layers_mut(&mut self) -> [&mut Dense; 2] {
+        [&mut self.mu, &mut self.raw_var]
+    }
+}
+
+/// Bernoulli head: `h ↦ P(lost)` with BCE loss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BernoulliHead {
+    logit: Dense,
+}
+
+impl BernoulliHead {
+    /// A head over hidden width `hidden`.
+    pub fn new(hidden: usize, rng: &mut StdRng) -> Self {
+        Self { logit: Dense::new(hidden, 1, rng) }
+    }
+
+    /// Predicted probability.
+    pub fn forward(&self, h: &[f32]) -> f32 {
+        sigmoid(self.logit.forward(h)[0])
+    }
+
+    /// Binary cross-entropy of prediction `p` against label `y ∈ {0, 1}`.
+    pub fn bce(p: f32, y: f32) -> f32 {
+        let p = p.clamp(1e-6, 1.0 - 1e-6);
+        -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+    }
+
+    /// Zero/allocate gradients.
+    pub fn zero_grad(&mut self) {
+        self.logit.zero_grad();
+    }
+
+    /// Backward: accumulate gradients, return `dh`.
+    /// (`dBCE/dlogit = p − y` — the classic simplification.)
+    pub fn backward(&mut self, h: &[f32], p: f32, y: f32) -> Vec<f32> {
+        self.logit.backward(h, &[p - y])
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.logit.param_count()
+    }
+
+    /// The dense sublayer (for the optimizer).
+    pub fn layer_mut(&mut self) -> &mut Dense {
+        &mut self.logit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded;
+
+    #[test]
+    fn gaussian_nll_is_minimized_at_target() {
+        let out_good = GaussianOut { mu: 5.0, var: 1.0, raw: 0.0 };
+        let out_bad = GaussianOut { mu: 9.0, var: 1.0, raw: 0.0 };
+        assert!(GaussianHead::nll(&out_good, 5.0) < GaussianHead::nll(&out_bad, 5.0));
+    }
+
+    #[test]
+    fn gaussian_variance_is_positive() {
+        let mut rng = seeded(1);
+        let head = GaussianHead::new(4, &mut rng);
+        for h in [[-10.0f32, -10.0, -10.0, -10.0], [10.0, 10.0, 10.0, 10.0]] {
+            assert!(head.forward(&h).var > 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_gradient_check() {
+        let mut rng = seeded(2);
+        let mut head = GaussianHead::new(3, &mut rng);
+        let h = [0.4f32, -0.7, 0.1];
+        let y = 0.8f32;
+        head.zero_grad();
+        let out = head.forward(&h);
+        let dh = head.backward(&h, &out, y);
+
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut hp = h;
+            hp[k] += eps;
+            let lp = GaussianHead::nll(&head.forward(&hp), y);
+            hp[k] -= 2.0 * eps;
+            let lm = GaussianHead::nll(&head.forward(&hp), y);
+            let numeric = f64::from(lp - lm) / (2.0 * f64::from(eps));
+            assert!(
+                (f64::from(dh[k]) - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "dh[{k}] = {} vs numeric {numeric}",
+                dh[k]
+            );
+        }
+    }
+
+    #[test]
+    fn bce_properties() {
+        assert!(BernoulliHead::bce(0.9, 1.0) < BernoulliHead::bce(0.1, 1.0));
+        assert!(BernoulliHead::bce(0.1, 0.0) < BernoulliHead::bce(0.9, 0.0));
+        // Clamped at the extremes (finite).
+        assert!(BernoulliHead::bce(1.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn bernoulli_gradient_check() {
+        let mut rng = seeded(3);
+        let mut head = BernoulliHead::new(3, &mut rng);
+        let h = [0.2f32, 0.9, -0.5];
+        let y = 1.0f32;
+        head.zero_grad();
+        let p = head.forward(&h);
+        let dh = head.backward(&h, p, y);
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut hp = h;
+            hp[k] += eps;
+            let lp = BernoulliHead::bce(head.forward(&hp), y);
+            hp[k] -= 2.0 * eps;
+            let lm = BernoulliHead::bce(head.forward(&hp), y);
+            let numeric = f64::from(lp - lm) / (2.0 * f64::from(eps));
+            assert!(
+                (f64::from(dh[k]) - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "dh[{k}] mismatch"
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Mat;
+
+/// A seeded RNG for deterministic weight init.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Xavier/Glorot uniform init: `U(−a, a)` with `a = sqrt(6 / (fan_in +
+/// fan_out))`.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = (rng.random::<f32>() * 2.0 - 1.0) * a;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = seeded(3);
+        let m = xavier(64, 32, &mut rng);
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(m.data().iter().all(|v| v.abs() <= a));
+        // Not all zero.
+        assert!(m.sq_norm() > 0.0);
+        // Deterministic.
+        let mut rng2 = seeded(3);
+        assert_eq!(xavier(64, 32, &mut rng2), m);
+    }
+}

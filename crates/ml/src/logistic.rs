@@ -1,0 +1,176 @@
+//! Binary logistic regression.
+//!
+//! §5.1 of the paper: "we train a lightweight and much faster linear
+//! logistic regression model" to predict packet reordering from
+//! instantaneous sending rate, inter-packet spacing, and the cross-traffic
+//! estimate. This is that model: plain gradient descent on BCE with L2
+//! regularization, deterministic given the data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::vecops::sigmoid;
+
+/// Logistic-regression training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    /// Gradient-descent epochs over the dataset.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Weight on positive examples (class balancing for the rare
+    /// reordering events — a few percent of packets).
+    pub positive_weight: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { epochs: 200, lr: 0.5, l2: 1e-4, positive_weight: 1.0 }
+    }
+}
+
+/// A trained binary logistic-regression classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Logistic {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Logistic {
+    /// Train on standardized feature rows and `{0, 1}` labels with
+    /// full-batch gradient descent.
+    pub fn train(rows: &[Vec<f64>], labels: &[f64], cfg: &LogisticConfig) -> Self {
+        assert_eq!(rows.len(), labels.len(), "row/label count mismatch");
+        assert!(!rows.is_empty(), "cannot train on no data");
+        let d = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == d), "inconsistent widths");
+        assert!(labels.iter().all(|y| *y == 0.0 || *y == 1.0), "labels must be 0/1");
+
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let n = rows.len() as f64;
+        for _ in 0..cfg.epochs {
+            let mut gw = vec![0.0f64; d];
+            let mut gb = 0.0f64;
+            for (r, &y) in rows.iter().zip(labels) {
+                let z: f64 = w.iter().zip(r).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let p = f64::from(sigmoid(z as f32));
+                let weight = if y > 0.5 { cfg.positive_weight } else { 1.0 };
+                let err = (p - y) * weight;
+                for (g, x) in gw.iter_mut().zip(r) {
+                    *g += err * x;
+                }
+                gb += err;
+            }
+            for k in 0..d {
+                w[k] -= cfg.lr * (gw[k] / n + cfg.l2 * w[k]);
+            }
+            b -= cfg.lr * gb / n;
+        }
+        Self { weights: w, bias: b }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "width mismatch");
+        let z: f64 =
+            self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias;
+        f64::from(sigmoid(z as f32))
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) > 0.5
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 iff x0 + x1 > 1.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x0 = i as f64 / 10.0 - 1.0;
+                let x1 = j as f64 / 10.0 - 1.0;
+                rows.push(vec![x0, x1]);
+                labels.push(if x0 + x1 > 1.0 { 1.0 } else { 0.0 });
+            }
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let (rows, labels) = linearly_separable();
+        let model = Logistic::train(&rows, &labels, &LogisticConfig::default());
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &y)| model.predict(r) == (y > 0.5))
+            .count();
+        let acc = correct as f64 / rows.len() as f64;
+        assert!(acc > 0.95, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_monotone_along_the_decision_axis() {
+        let (rows, labels) = linearly_separable();
+        let model = Logistic::train(&rows, &labels, &LogisticConfig::default());
+        let p_low = model.predict_proba(&[-1.0, -1.0]);
+        let p_mid = model.predict_proba(&[0.5, 0.5]);
+        let p_high = model.predict_proba(&[1.0, 1.0]);
+        assert!(p_low < p_mid && p_mid < p_high);
+    }
+
+    #[test]
+    fn positive_weighting_raises_recall_on_imbalanced_data() {
+        // 5% positives with feature noise.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            let pos = i % 20 == 0;
+            let x = if pos { 0.6 } else { -0.2 } + ((i % 7) as f64 - 3.0) * 0.1;
+            rows.push(vec![x]);
+            labels.push(if pos { 1.0 } else { 0.0 });
+        }
+        let plain = Logistic::train(&rows, &labels, &LogisticConfig::default());
+        let weighted = Logistic::train(
+            &rows,
+            &labels,
+            &LogisticConfig { positive_weight: 19.0, ..Default::default() },
+        );
+        let recall = |m: &Logistic| {
+            let tp = rows
+                .iter()
+                .zip(&labels)
+                .filter(|(r, &y)| y > 0.5 && m.predict(r))
+                .count();
+            tp as f64 / labels.iter().filter(|&&y| y > 0.5).count() as f64
+        };
+        assert!(recall(&weighted) >= recall(&plain));
+        assert!(recall(&weighted) > 0.9, "recall = {}", recall(&weighted));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (rows, labels) = linearly_separable();
+        let a = Logistic::train(&rows, &labels, &LogisticConfig::default());
+        let b = Logistic::train(&rows, &labels, &LogisticConfig::default());
+        assert_eq!(a, b);
+    }
+}

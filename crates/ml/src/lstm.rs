@@ -1,0 +1,467 @@
+//! LSTM layers with truncated backpropagation through time.
+//!
+//! iBoxML (§4.1, Fig. 6) is a multi-layer LSTM state-space model: the
+//! hidden state `h_t` is the learned "network state", conditioned on packet
+//! features `x_t` and the previous delay. This module implements the cell
+//! and stacked layers from scratch with exact analytic gradients
+//! (verified against numerical differentiation in the tests).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier;
+use crate::matrix::vecops::{add_assign, sigmoid};
+use crate::matrix::Mat;
+
+/// One LSTM layer: gates `[i; f; g; o]` stacked in a `4H` block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    /// Input weights, `4H × I`.
+    pub wx: Mat,
+    /// Recurrent weights, `4H × H`.
+    pub wh: Mat,
+    /// Bias, `4H` (forget-gate slice initialized to 1 — the classic trick
+    /// to keep memory open early in training).
+    pub b: Vec<f32>,
+    /// Gradients (zeroed by [`Lstm::zero_grad`]).
+    #[serde(skip)]
+    pub gwx: Option<Mat>,
+    #[serde(skip)]
+    /// Recurrent-weight gradient.
+    pub gwh: Option<Mat>,
+    #[serde(skip)]
+    /// Bias gradient.
+    pub gb: Vec<f32>,
+}
+
+/// Cached activations for one timestep (needed by the backward pass).
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// The recurrent state `(h, c)` of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Vec<f32>,
+    /// Cell state.
+    pub c: Vec<f32>,
+}
+
+impl LstmState {
+    /// The zero state.
+    pub fn zeros(hidden: usize) -> Self {
+        Self { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+    }
+}
+
+impl Lstm {
+    /// A new layer with Xavier weights.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "layer sizes must be positive");
+        let mut b = vec![0.0f32; 4 * hidden_size];
+        for v in b.iter_mut().skip(hidden_size).take(hidden_size) {
+            *v = 1.0; // forget-gate bias
+        }
+        Self {
+            wx: xavier(4 * hidden_size, input_size, rng),
+            wh: xavier(4 * hidden_size, hidden_size, rng),
+            b,
+            gwx: None,
+            gwh: None,
+            gb: Vec::new(),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Hidden width of this layer.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Input width of this layer.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    /// One forward step; returns the new state and the cache for backward.
+    pub fn step(&self, x: &[f32], state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        let h = self.hidden_size;
+        let mut z = self.wx.matvec(x);
+        add_assign(&mut z, &self.wh.matvec(&state.h));
+        add_assign(&mut z, &self.b);
+
+        let mut i = vec![0.0f32; h];
+        let mut f = vec![0.0f32; h];
+        let mut g = vec![0.0f32; h];
+        let mut o = vec![0.0f32; h];
+        for k in 0..h {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[h + k]);
+            g[k] = z[2 * h + k].tanh();
+            o[k] = sigmoid(z[3 * h + k]);
+        }
+        let mut c = vec![0.0f32; h];
+        let mut tanh_c = vec![0.0f32; h];
+        let mut h_new = vec![0.0f32; h];
+        for k in 0..h {
+            c[k] = f[k] * state.c[k] + i[k] * g[k];
+            tanh_c[k] = c[k].tanh();
+            h_new[k] = o[k] * tanh_c[k];
+        }
+        let cache = StepCache {
+            x: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (LstmState { h: h_new, c }, cache)
+    }
+
+    /// Ensure gradient buffers exist and are zeroed.
+    pub fn zero_grad(&mut self) {
+        match &mut self.gwx {
+            Some(m) => m.fill_zero(),
+            None => self.gwx = Some(Mat::zeros(self.wx.rows(), self.wx.cols())),
+        }
+        match &mut self.gwh {
+            Some(m) => m.fill_zero(),
+            None => self.gwh = Some(Mat::zeros(self.wh.rows(), self.wh.cols())),
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        } else {
+            self.gb.fill(0.0);
+        }
+    }
+
+    /// One backward step.
+    ///
+    /// * `dh` — gradient flowing into `h_t` (from the loss at `t` and from
+    ///   the upper layer).
+    /// * `dh_next`, `dc_next` — gradients from timestep `t+1` of this layer.
+    ///
+    /// Returns `(dx, dh_prev, dc_prev)` and accumulates weight gradients.
+    pub fn step_backward(
+        &mut self,
+        cache: &StepCache,
+        dh: &[f32],
+        dh_next: &[f32],
+        dc_next: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let h = self.hidden_size;
+        debug_assert!(self.gwx.is_some(), "call zero_grad before backward");
+        let mut dh_total = dh.to_vec();
+        add_assign(&mut dh_total, dh_next);
+
+        let mut dz = vec![0.0f32; 4 * h];
+        let mut dc_prev = vec![0.0f32; h];
+        for k in 0..h {
+            let do_ = dh_total[k] * cache.tanh_c[k];
+            let dc = dh_total[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k])
+                + dc_next[k];
+            let di = dc * cache.g[k];
+            let df = dc * cache.c_prev[k];
+            let dg = dc * cache.i[k];
+            dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+            dc_prev[k] = dc * cache.f[k];
+        }
+
+        self.gwx.as_mut().expect("zero_grad called").add_outer(&dz, &cache.x, 1.0);
+        self.gwh
+            .as_mut()
+            .expect("zero_grad called")
+            .add_outer(&dz, &cache.h_prev, 1.0);
+        add_assign(&mut self.gb, &dz);
+
+        let dx = self.wx.matvec_t(&dz);
+        let dh_prev = self.wh.matvec_t(&dz);
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+/// A stack of LSTM layers (layer `l` feeds layer `l+1`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmStack {
+    layers: Vec<Lstm>,
+}
+
+/// Per-timestep caches for the whole stack.
+pub type StackCache = Vec<StepCache>;
+
+impl LstmStack {
+    /// A stack with the given input width and hidden widths.
+    pub fn new(input_size: usize, hidden_sizes: &[usize], rng: &mut StdRng) -> Self {
+        assert!(!hidden_sizes.is_empty(), "stack needs at least one layer");
+        let mut layers = Vec::with_capacity(hidden_sizes.len());
+        let mut in_size = input_size;
+        for &h in hidden_sizes {
+            layers.push(Lstm::new(in_size, h, rng));
+            in_size = h;
+        }
+        Self { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Lstm] {
+        &self.layers
+    }
+
+    /// Mutable layer access (for the optimizer).
+    pub fn layers_mut(&mut self) -> &mut [Lstm] {
+        &mut self.layers
+    }
+
+    /// Hidden width of the top layer (the model's "network state").
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("nonempty").hidden_size()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Lstm::param_count).sum()
+    }
+
+    /// Zero states for every layer.
+    pub fn zero_state(&self) -> Vec<LstmState> {
+        self.layers.iter().map(|l| LstmState::zeros(l.hidden_size())).collect()
+    }
+
+    /// One forward step through all layers. Returns the top hidden vector,
+    /// the new states, and the caches.
+    pub fn step(
+        &self,
+        x: &[f32],
+        states: &[LstmState],
+    ) -> (Vec<f32>, Vec<LstmState>, StackCache) {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        let mut input = x.to_vec();
+        let mut new_states = Vec::with_capacity(self.layers.len());
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (layer, state) in self.layers.iter().zip(states) {
+            let (ns, cache) = layer.step(&input, state);
+            input = ns.h.clone();
+            new_states.push(ns);
+            caches.push(cache);
+        }
+        (input, new_states, caches)
+    }
+
+    /// Zero all gradient buffers.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Backward through a whole (sub)sequence.
+    ///
+    /// * `caches[t]` — the stack cache of timestep `t`.
+    /// * `dh_top[t]` — loss gradient w.r.t. the top hidden state at `t`.
+    ///
+    /// Accumulates weight gradients; gradient flow is truncated at the
+    /// start of the subsequence (TBPTT).
+    pub fn backward(&mut self, caches: &[StackCache], dh_top: &[Vec<f32>]) {
+        assert_eq!(caches.len(), dh_top.len(), "cache/grad length mismatch");
+        let n_layers = self.layers.len();
+        let mut dh_next: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect();
+        let mut dc_next: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect();
+
+        for t in (0..caches.len()).rev() {
+            // Top layer receives the loss gradient; lower layers receive
+            // dx from the layer above.
+            let mut dh_from_above = dh_top[t].clone();
+            for l in (0..n_layers).rev() {
+                let (dx, dh_prev, dc_prev) = self.layers[l].step_backward(
+                    &caches[t][l],
+                    &dh_from_above,
+                    &dh_next[l],
+                    &dc_next[l],
+                );
+                dh_next[l] = dh_prev;
+                dc_next[l] = dc_prev;
+                dh_from_above = dx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded;
+
+    #[test]
+    fn step_shapes_and_determinism() {
+        let mut rng = seeded(1);
+        let l = Lstm::new(3, 5, &mut rng);
+        let s0 = LstmState::zeros(5);
+        let x = [0.1, -0.2, 0.3];
+        let (s1, _) = l.step(&x, &s0);
+        assert_eq!(s1.h.len(), 5);
+        assert_eq!(s1.c.len(), 5);
+        let (s1b, _) = l.step(&x, &s0);
+        assert_eq!(s1, s1b);
+        // State evolves.
+        let (s2, _) = l.step(&x, &s1);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn forget_bias_is_one() {
+        let mut rng = seeded(2);
+        let l = Lstm::new(2, 3, &mut rng);
+        assert_eq!(&l.b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&l.b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = seeded(3);
+        let l = Lstm::new(4, 8, &mut rng);
+        // 4H(I + H) + 4H = 32*(4+8) + 32 = 416.
+        assert_eq!(l.param_count(), 416);
+        let stack = LstmStack::new(4, &[8, 8], &mut rng);
+        assert_eq!(stack.param_count(), 416 + 32 * 16 + 32);
+    }
+
+    /// Numerical gradient check: perturb each of a sample of weights and
+    /// compare the loss difference against the analytic gradient. This is
+    /// the canonical BPTT correctness test.
+    #[test]
+    fn gradient_check_single_layer() {
+        let mut rng = seeded(7);
+        let mut layer = Lstm::new(2, 3, &mut rng);
+        let xs = [vec![0.5f32, -0.3], vec![-0.1, 0.8], vec![0.2, 0.2]];
+
+        // Loss = sum of squared top hidden states over the sequence.
+        let forward_loss = |layer: &Lstm| -> f64 {
+            let mut state = LstmState::zeros(3);
+            let mut loss = 0.0f64;
+            for x in &xs {
+                let (ns, _) = layer.step(x, &state);
+                loss += ns.h.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>();
+                state = ns;
+            }
+            loss
+        };
+
+        // Analytic gradients.
+        layer.zero_grad();
+        let mut state = LstmState::zeros(3);
+        let mut caches = Vec::new();
+        let mut dhs = Vec::new();
+        for x in &xs {
+            let (ns, cache) = layer.step(x, &state);
+            dhs.push(ns.h.iter().map(|v| 2.0 * v).collect::<Vec<f32>>());
+            caches.push(cache);
+            state = ns;
+        }
+        let mut dh_next = vec![0.0f32; 3];
+        let mut dc_next = vec![0.0f32; 3];
+        for t in (0..xs.len()).rev() {
+            let (_, dh_prev, dc_prev) =
+                layer.step_backward(&caches[t], &dhs[t], &dh_next, &dc_next);
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+
+        // Numerical check on a sample of wx, wh, and b entries.
+        let eps = 1e-3f32;
+        let checks: Vec<(usize, usize, char)> = vec![
+            (0, 0, 'x'),
+            (5, 1, 'x'),
+            (11, 0, 'x'),
+            (0, 0, 'h'),
+            (7, 2, 'h'),
+            (2, 0, 'b'),
+            (9, 0, 'b'),
+        ];
+        for (r, c, kind) in checks {
+            let analytic = match kind {
+                'x' => f64::from(layer.gwx.as_ref().unwrap().get(r, c)),
+                'h' => f64::from(layer.gwh.as_ref().unwrap().get(r, c)),
+                _ => f64::from(layer.gb[r]),
+            };
+            let mut perturbed = layer.clone();
+            match kind {
+                'x' => {
+                    let v = perturbed.wx.get(r, c);
+                    perturbed.wx.set(r, c, v + eps);
+                }
+                'h' => {
+                    let v = perturbed.wh.get(r, c);
+                    perturbed.wh.set(r, c, v + eps);
+                }
+                _ => perturbed.b[r] += eps,
+            }
+            let lp = forward_loss(&perturbed);
+            match kind {
+                'x' => {
+                    let v = perturbed.wx.get(r, c);
+                    perturbed.wx.set(r, c, v - 2.0 * eps);
+                }
+                'h' => {
+                    let v = perturbed.wh.get(r, c);
+                    perturbed.wh.set(r, c, v - 2.0 * eps);
+                }
+                _ => perturbed.b[r] -= 2.0 * eps,
+            }
+            let lm = forward_loss(&perturbed);
+            let numeric = (lp - lm) / (2.0 * f64::from(eps));
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad mismatch {kind}[{r},{c}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn stack_backward_runs_and_accumulates() {
+        let mut rng = seeded(9);
+        let mut stack = LstmStack::new(2, &[4, 3], &mut rng);
+        stack.zero_grad();
+        let mut states = stack.zero_state();
+        let mut caches = Vec::new();
+        let mut dhs = Vec::new();
+        for t in 0..5 {
+            let x = [t as f32 * 0.1, -0.2];
+            let (top, ns, cache) = stack.step(&x, &states);
+            assert_eq!(top.len(), 3);
+            caches.push(cache);
+            dhs.push(vec![1.0; 3]);
+            states = ns;
+        }
+        stack.backward(&caches, &dhs);
+        let g0 = stack.layers()[0].gwx.as_ref().unwrap().sq_norm();
+        let g1 = stack.layers()[1].gwx.as_ref().unwrap().sq_norm();
+        assert!(g0 > 0.0, "gradient must reach the bottom layer");
+        assert!(g1 > 0.0);
+    }
+}

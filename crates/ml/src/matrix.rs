@@ -1,0 +1,228 @@
+//! Minimal dense-matrix and vector kernels.
+//!
+//! The iBoxML models are small (the paper's largest is a 4-layer LSTM with
+//! ≈2M parameters) and run with batch size 1 along a packet sequence, so
+//! activations are plain `Vec<f32>` and weights are row-major [`Mat`]s with
+//! exactly the three kernels backpropagation needs: `W·v`, `Wᵀ·u`, and the
+//! rank-1 accumulation `G += u ⊗ v`.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw data (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = W · v` (matrix–vector product).
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// `y = Wᵀ · u` (transpose–vector product).
+    pub fn matvec_t(&self, u: &[f32]) -> Vec<f32> {
+        assert_eq!(u.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, &w) in y.iter_mut().zip(row) {
+                *yc += ur * w;
+            }
+        }
+        y
+    }
+
+    /// `self += scale · (u ⊗ v)` — rank-1 update, the gradient kernel.
+    pub fn add_outer(&mut self, u: &[f32], v: &[f32], scale: f32) {
+        assert_eq!(u.len(), self.rows, "outer rows mismatch");
+        assert_eq!(v.len(), self.cols, "outer cols mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let s = scale * ur;
+            for (w, &vc) in row.iter_mut().zip(v) {
+                *w += s * vc;
+            }
+        }
+    }
+
+    /// Set every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of squared elements (for global-norm clipping).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|x| f64::from(*x) * f64::from(*x)).sum()
+    }
+
+    /// Scale all elements in place.
+    pub fn scale(&mut self, k: f32) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+}
+
+/// Elementwise vector helpers used by the layers.
+pub mod vecops {
+    /// `a += b`.
+    pub fn add_assign(a: &mut [f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Numerically-stable softplus `ln(1 + eˣ)`.
+    pub fn softplus(x: f32) -> f32 {
+        if x > 20.0 {
+            x
+        } else if x < -20.0 {
+            x.exp()
+        } else {
+            x.exp().ln_1p()
+        }
+    }
+
+    /// Sum of squares of a slice.
+    pub fn sq_norm(v: &[f32]) -> f64 {
+        v.iter().map(|x| f64::from(*x) * f64::from(*x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known_values() {
+        let w = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(w.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let w = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(w.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut g = Mat::zeros(2, 2);
+        g.add_outer(&[1.0, 2.0], &[3.0, 4.0], 1.0);
+        assert_eq!(g.data(), &[3.0, 4.0, 6.0, 8.0]);
+        g.add_outer(&[1.0, 0.0], &[1.0, 1.0], 0.5);
+        assert_eq!(g.data(), &[3.5, 4.5, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn norms_and_scaling() {
+        let mut m = Mat::from_vec(1, 3, vec![3.0, 0.0, 4.0]);
+        assert_eq!(m.sq_norm(), 25.0);
+        m.scale(2.0);
+        assert_eq!(m.data(), &[6.0, 0.0, 8.0]);
+        m.fill_zero();
+        assert_eq!(m.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_and_softplus_reference_values() {
+        assert!((vecops::sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(vecops::sigmoid(20.0) > 0.999);
+        assert!((vecops::softplus(0.0) - 0.693_147).abs() < 1e-5);
+        assert!((vecops::softplus(30.0) - 30.0).abs() < 1e-5);
+        assert!(vecops::softplus(-30.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        Mat::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

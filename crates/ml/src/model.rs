@@ -1,0 +1,643 @@
+//! The full sequence model: stacked LSTM + Gaussian delay head
+//! (+ optional Bernoulli loss head), with truncated-BPTT training and
+//! open-/closed-loop inference.
+//!
+//! This is Fig. 6 of the paper: features `x_t` (and the previous delay)
+//! enter a deep LSTM whose hidden state parameterizes
+//! `P(d_t | x_{0..t}, d_{0..t−1})`. During inference "we feed the
+//! predicted delays as we unroll the LSTM network over time (blue dashed
+//! lines in Fig. 6)" — that is [`SequenceModel::predict_closed_loop`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::heads::{BernoulliHead, GaussianHead};
+use crate::init::seeded;
+use crate::lstm::{LstmStack, LstmState};
+use crate::optim::{clip_global_norm, Adam, AdamConfig};
+
+/// Model architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceModelConfig {
+    /// Input feature width.
+    pub input_size: usize,
+    /// Hidden widths of the LSTM stack (one entry per layer).
+    pub hidden_sizes: Vec<usize>,
+    /// Whether to attach the packet-loss (Bernoulli) head.
+    pub predict_loss: bool,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Truncated-BPTT chunk length.
+    pub tbptt: usize,
+    /// Global gradient-norm clip.
+    pub clip: f64,
+    /// Weight of the loss-head BCE relative to the delay NLL.
+    pub loss_weight: f32,
+    /// Weight of the delay NLL itself. Setting this to `0` turns the model
+    /// into a pure sequence classifier (used by the reordering predictor
+    /// of §5.1, which reuses this architecture with only the Bernoulli
+    /// head active).
+    pub delay_weight: f32,
+    /// Scheduled sampling (Bengio et al. '15): the input column that
+    /// carries the previous delay, if the model will be unrolled
+    /// closed-loop at inference. With probability [`feedback_prob`] each
+    /// training step feeds the model's *own* previous prediction instead
+    /// of the ground-truth previous delay, so the closed-loop unroll of
+    /// Fig. 6 doesn't meet its own outputs for the first time at test
+    /// time.
+    ///
+    /// [`feedback_prob`]: TrainConfig::feedback_prob
+    pub feedback_idx: Option<usize>,
+    /// Probability of substituting the model's own prediction (see
+    /// [`TrainConfig::feedback_idx`]).
+    pub feedback_prob: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            lr: 3e-3,
+            tbptt: 64,
+            clip: 5.0,
+            loss_weight: 0.5,
+            delay_weight: 1.0,
+            feedback_idx: None,
+            feedback_prob: 0.0,
+        }
+    }
+}
+
+/// One training sequence (already standardized by the caller).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeqExample {
+    /// Feature rows, one per packet.
+    pub inputs: Vec<Vec<f32>>,
+    /// Standardized delay targets, one per packet (ignored where
+    /// `loss_labels` marks a lost packet).
+    pub targets: Vec<f32>,
+    /// `1.0` where the packet was lost, else `0.0`.
+    pub loss_labels: Vec<f32>,
+}
+
+impl SeqExample {
+    /// Validate internal consistency.
+    pub fn validate(&self) {
+        assert_eq!(self.inputs.len(), self.targets.len(), "inputs/targets mismatch");
+        assert_eq!(self.inputs.len(), self.loss_labels.len(), "inputs/labels mismatch");
+    }
+}
+
+/// One per-packet prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted (standardized) delay mean.
+    pub mu: f32,
+    /// Predicted (standardized) delay variance.
+    pub var: f32,
+    /// Predicted loss probability (0 when the model has no loss head).
+    pub p_loss: f32,
+}
+
+/// The deep state-space model of §4.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceModel {
+    cfg: SequenceModelConfig,
+    stack: LstmStack,
+    delay_head: GaussianHead,
+    loss_head: Option<BernoulliHead>,
+}
+
+impl SequenceModel {
+    /// Build a model with Xavier-initialized weights.
+    pub fn new(cfg: SequenceModelConfig) -> Self {
+        assert!(cfg.input_size > 0, "need at least one input feature");
+        let mut rng: StdRng = seeded(cfg.seed);
+        let stack = LstmStack::new(cfg.input_size, &cfg.hidden_sizes, &mut rng);
+        let delay_head = GaussianHead::new(stack.output_size(), &mut rng);
+        let loss_head =
+            cfg.predict_loss.then(|| BernoulliHead::new(stack.output_size(), &mut rng));
+        Self { cfg, stack, delay_head, loss_head }
+    }
+
+    /// The architecture config.
+    pub fn config(&self) -> &SequenceModelConfig {
+        &self.cfg
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.stack.param_count()
+            + self.delay_head.param_count()
+            + self.loss_head.as_ref().map_or(0, BernoulliHead::param_count)
+    }
+
+    /// Train on a set of sequences; returns the mean per-step loss per
+    /// epoch (for convergence checks).
+    pub fn train(&mut self, data: &[SeqExample], tc: &TrainConfig) -> Vec<f64> {
+        assert!(!data.is_empty(), "cannot train on no sequences");
+        assert!(tc.tbptt >= 1, "TBPTT chunk must be positive");
+        for ex in data {
+            ex.validate();
+        }
+        if let Some(idx) = tc.feedback_idx {
+            assert!(idx < self.cfg.input_size, "feedback index out of range");
+            assert!(
+                (0.0..=1.0).contains(&tc.feedback_prob),
+                "feedback probability out of range"
+            );
+        }
+        let mut adam = Adam::new(AdamConfig { lr: tc.lr, ..Default::default() });
+        let mut rng: StdRng = seeded(self.cfg.seed ^ 0x5EED_5A3B);
+        let mut epoch_losses = Vec::with_capacity(tc.epochs);
+
+        for _epoch in 0..tc.epochs {
+            let mut total_loss = 0.0f64;
+            let mut total_steps = 0usize;
+            for ex in data {
+                let mut states = self.stack.zero_state();
+                let mut t0 = 0;
+                while t0 < ex.inputs.len() {
+                    let t1 = (t0 + tc.tbptt).min(ex.inputs.len());
+                    let (loss, steps, new_states) =
+                        self.train_chunk(ex, t0, t1, states, tc, &mut adam, &mut rng);
+                    total_loss += loss;
+                    total_steps += steps;
+                    states = new_states;
+                    t0 = t1;
+                }
+            }
+            epoch_losses.push(total_loss / total_steps.max(1) as f64);
+        }
+        epoch_losses
+    }
+
+    /// Forward + backward + update over one TBPTT chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn train_chunk(
+        &mut self,
+        ex: &SeqExample,
+        t0: usize,
+        t1: usize,
+        mut states: Vec<LstmState>,
+        tc: &TrainConfig,
+        adam: &mut Adam,
+        rng: &mut StdRng,
+    ) -> (f64, usize, Vec<LstmState>) {
+        self.stack.zero_grad();
+        self.delay_head.zero_grad();
+        if let Some(h) = &mut self.loss_head {
+            h.zero_grad();
+        }
+
+        let mut caches = Vec::with_capacity(t1 - t0);
+        let mut tops = Vec::with_capacity(t1 - t0);
+        let mut delay_outs = Vec::with_capacity(t1 - t0);
+        let mut prev_mu: Option<f32> = None;
+        for t in t0..t1 {
+            // Scheduled sampling: sometimes feed the model its own
+            // previous prediction where the previous delay would go.
+            let x = match (tc.feedback_idx, prev_mu) {
+                (Some(idx), Some(mu))
+                    if t > 0 && rng.random::<f32>() < tc.feedback_prob =>
+                {
+                    let mut row = ex.inputs[t].clone();
+                    row[idx] = mu;
+                    row
+                }
+                _ => ex.inputs[t].clone(),
+            };
+            let (top, ns, cache) = self.stack.step(&x, &states);
+            let out = self.delay_head.forward(&top);
+            prev_mu = Some(out.mu);
+            caches.push(cache);
+            tops.push(top);
+            delay_outs.push(out);
+            states = ns;
+        }
+
+        // Head losses and gradients w.r.t. the top hidden state.
+        let mut chunk_loss = 0.0f64;
+        let mut dh_top = Vec::with_capacity(t1 - t0);
+        for (k, t) in (t0..t1).enumerate() {
+            let h = &tops[k];
+            let lost = ex.loss_labels[t] > 0.5;
+            let mut dh = vec![0.0f32; h.len()];
+            if !lost && tc.delay_weight > 0.0 {
+                // Delay NLL only where the delay was observed.
+                let out = &delay_outs[k];
+                chunk_loss +=
+                    f64::from(tc.delay_weight * GaussianHead::nll(out, ex.targets[t]));
+                let d = self.delay_head.backward(h, out, ex.targets[t]);
+                for (a, b) in dh.iter_mut().zip(&d) {
+                    *a += tc.delay_weight * b;
+                }
+            }
+            if let Some(head) = &mut self.loss_head {
+                let p = head.forward(h);
+                chunk_loss +=
+                    f64::from(tc.loss_weight * BernoulliHead::bce(p, ex.loss_labels[t]));
+                let d = head.backward(h, p, ex.loss_labels[t]);
+                for (a, b) in dh.iter_mut().zip(&d) {
+                    *a += tc.loss_weight * b;
+                }
+            }
+            dh_top.push(dh);
+        }
+
+        self.stack.backward(&caches, &dh_top);
+        self.apply_grads(adam, tc.clip, (t1 - t0) as f32);
+        (chunk_loss, t1 - t0, states)
+    }
+
+    /// Clip gradients and apply one Adam step across all parameters.
+    fn apply_grads(&mut self, adam: &mut Adam, clip: f64, steps: f32) {
+        let inv = 1.0 / steps.max(1.0);
+        // Normalize gradients by chunk length (mean loss).
+        for layer in self.stack.layers_mut() {
+            layer.gwx.as_mut().expect("zero_grad").scale(inv);
+            layer.gwh.as_mut().expect("zero_grad").scale(inv);
+            for g in &mut layer.gb {
+                *g *= inv;
+            }
+        }
+        for d in self.delay_head.layers_mut() {
+            d.gw.as_mut().expect("zero_grad").scale(inv);
+            for g in &mut d.gb {
+                *g *= inv;
+            }
+        }
+        if let Some(h) = &mut self.loss_head {
+            let d = h.layer_mut();
+            d.gw.as_mut().expect("zero_grad").scale(inv);
+            for g in &mut d.gb {
+                *g *= inv;
+            }
+        }
+
+        // Global-norm clip.
+        {
+            let mut mats: Vec<&mut crate::matrix::Mat> = Vec::new();
+            let mut vecs: Vec<&mut [f32]> = Vec::new();
+            for layer in self.stack.layers_mut() {
+                mats.push(layer.gwx.as_mut().expect("zero_grad"));
+                mats.push(layer.gwh.as_mut().expect("zero_grad"));
+                vecs.push(&mut layer.gb);
+            }
+            for d in self.delay_head.layers_mut() {
+                mats.push(d.gw.as_mut().expect("zero_grad"));
+                vecs.push(&mut d.gb);
+            }
+            if let Some(h) = &mut self.loss_head {
+                let d = h.layer_mut();
+                mats.push(d.gw.as_mut().expect("zero_grad"));
+                vecs.push(&mut d.gb);
+            }
+            clip_global_norm(&mut mats, &mut vecs, clip);
+        }
+
+        // Adam updates with stable keys.
+        adam.begin_step();
+        let mut key = 0u64;
+        for layer in self.stack.layers_mut() {
+            let g = layer.gwx.take().expect("zero_grad");
+            adam.update_mat(key, &mut layer.wx, &g);
+            layer.gwx = Some(g);
+            key += 1;
+            let g = layer.gwh.take().expect("zero_grad");
+            adam.update_mat(key, &mut layer.wh, &g);
+            layer.gwh = Some(g);
+            key += 1;
+            let gb = std::mem::take(&mut layer.gb);
+            adam.update_vec(key, &mut layer.b, &gb);
+            layer.gb = gb;
+            key += 1;
+        }
+        for d in self.delay_head.layers_mut() {
+            let g = d.gw.take().expect("zero_grad");
+            adam.update_mat(key, &mut d.w, &g);
+            d.gw = Some(g);
+            key += 1;
+            let gb = std::mem::take(&mut d.gb);
+            adam.update_vec(key, &mut d.b, &gb);
+            d.gb = gb;
+            key += 1;
+        }
+        if let Some(h) = &mut self.loss_head {
+            let d = h.layer_mut();
+            let g = d.gw.take().expect("zero_grad");
+            adam.update_mat(key, &mut d.w, &g);
+            d.gw = Some(g);
+            key += 1;
+            let gb = std::mem::take(&mut d.gb);
+            adam.update_vec(key, &mut d.b, &gb);
+            d.gb = gb;
+        }
+    }
+
+    /// Open-loop (teacher-forced) prediction: every input row is taken as
+    /// given, including any previous-delay feature.
+    pub fn predict_open_loop(&self, inputs: &[Vec<f32>]) -> Vec<Prediction> {
+        let mut states = self.stack.zero_state();
+        let mut out = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (top, ns, _) = self.stack.step(x, &states);
+            states = ns;
+            out.push(self.head_outputs(&top));
+        }
+        out
+    }
+
+    /// Closed-loop prediction: feature column `feedback_idx` of each input
+    /// row is **replaced** by the previous step's predicted delay mean —
+    /// the self-fed unrolling of Fig. 6. The first step uses the provided
+    /// value as-is.
+    pub fn predict_closed_loop(
+        &self,
+        inputs: &[Vec<f32>],
+        feedback_idx: usize,
+    ) -> Vec<Prediction> {
+        self.predict_closed_loop_clamped(inputs, feedback_idx, (f32::MIN, f32::MAX))
+    }
+
+    /// Closed-loop prediction with the fed-back (and reported) delay mean
+    /// clamped to `clamp = (lo, hi)` in target (standardized) units.
+    ///
+    /// Autoregressive unrolls can run away once a prediction leaves the
+    /// training support — each out-of-range output feeds an even more
+    /// out-of-range input. Clamping to the training target range is the
+    /// §6 "limits of model validity" applied to the model's own feedback
+    /// loop.
+    pub fn predict_closed_loop_clamped(
+        &self,
+        inputs: &[Vec<f32>],
+        feedback_idx: usize,
+        clamp: (f32, f32),
+    ) -> Vec<Prediction> {
+        self.closed_loop_impl(inputs, feedback_idx, clamp, None)
+    }
+
+    /// Generative closed-loop prediction: each step's delay is **sampled**
+    /// from the predicted Gaussian `N(μ, σ²)` (clamped to the training
+    /// range) and fed back. This is the paper's state-space model used as
+    /// a generative simulator — "predict output (delay/loss) from a
+    /// certain delay distribution conditioned on the estimated current
+    /// state" — and it is what reproduces delay *tails*, which the mean
+    /// alone understates.
+    pub fn predict_closed_loop_sampled(
+        &self,
+        inputs: &[Vec<f32>],
+        feedback_idx: usize,
+        clamp: (f32, f32),
+        seed: u64,
+    ) -> Vec<Prediction> {
+        self.closed_loop_impl(inputs, feedback_idx, clamp, Some(seed))
+    }
+
+    fn closed_loop_impl(
+        &self,
+        inputs: &[Vec<f32>],
+        feedback_idx: usize,
+        clamp: (f32, f32),
+        sample_seed: Option<u64>,
+    ) -> Vec<Prediction> {
+        assert!(feedback_idx < self.cfg.input_size, "feedback index out of range");
+        assert!(clamp.0 <= clamp.1, "clamp range inverted");
+        let mut rng = sample_seed.map(seeded);
+        let mut states = self.stack.zero_state();
+        let mut out: Vec<Prediction> = Vec::with_capacity(inputs.len());
+        for (t, x) in inputs.iter().enumerate() {
+            let mut row = x.clone();
+            if t > 0 {
+                row[feedback_idx] = out[t - 1].mu;
+            }
+            let (top, ns, _) = self.stack.step(&row, &states);
+            states = ns;
+            let mut p = self.head_outputs(&top);
+            if let Some(r) = &mut rng {
+                // Box–Muller draw from the predicted distribution.
+                let u1: f32 = r.random::<f32>().max(1e-12);
+                let u2: f32 = r.random::<f32>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                p.mu += p.var.sqrt() * z;
+            }
+            p.mu = p.mu.clamp(clamp.0, clamp.1);
+            out.push(p);
+        }
+        out
+    }
+
+    /// Streaming single-step inference (used by the speed benchmark):
+    /// advances `states` in place and returns the prediction.
+    pub fn step_inference(&self, x: &[f32], states: &mut Vec<LstmState>) -> Prediction {
+        let (top, ns, _) = self.stack.step(x, states);
+        *states = ns;
+        self.head_outputs(&top)
+    }
+
+    /// Fresh zero recurrent state.
+    pub fn zero_state(&self) -> Vec<LstmState> {
+        self.stack.zero_state()
+    }
+
+    fn head_outputs(&self, top: &[f32]) -> Prediction {
+        let g = self.delay_head.forward(top);
+        let p_loss = self.loss_head.as_ref().map_or(0.0, |h| h.forward(top));
+        Prediction { mu: g.mu, var: g.var, p_loss }
+    }
+
+    /// Serialize to JSON (the promised "iBox profile" artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(input: usize, hidden: &[usize], loss: bool) -> SequenceModelConfig {
+        SequenceModelConfig {
+            input_size: input,
+            hidden_sizes: hidden.to_vec(),
+            predict_loss: loss,
+            seed: 11,
+        }
+    }
+
+    /// A synthetic "network": delay_t = 0.8 * x_t + 0.2 * x_{t-1}, so the
+    /// model must use memory to fit it.
+    fn synthetic_sequences(n: usize, len: usize) -> Vec<SeqExample> {
+        (0..n)
+            .map(|s| {
+                let mut inputs = Vec::with_capacity(len);
+                let mut targets = Vec::with_capacity(len);
+                let mut prev = 0.0f32;
+                for t in 0..len {
+                    let x = (((t * 7 + s * 13) % 10) as f32) / 5.0 - 1.0;
+                    inputs.push(vec![x]);
+                    targets.push(0.8 * x + 0.2 * prev);
+                    prev = x;
+                }
+                SeqExample { loss_labels: vec![0.0; len], inputs, targets }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = SequenceModel::new(cfg(1, &[16], false));
+        let data = synthetic_sequences(4, 80);
+        let losses = model.train(
+            &data,
+            &TrainConfig { epochs: 30, lr: 1e-2, tbptt: 20, ..Default::default() },
+        );
+        assert!(
+            losses.last().unwrap() < &(losses[0] - 0.5),
+            "loss should drop: {:?} -> {:?}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn trained_model_predicts_the_synthetic_law() {
+        let mut model = SequenceModel::new(cfg(1, &[16], false));
+        let data = synthetic_sequences(4, 80);
+        model.train(
+            &data,
+            &TrainConfig { epochs: 60, lr: 1e-2, tbptt: 20, ..Default::default() },
+        );
+        let test = &synthetic_sequences(5, 40)[4];
+        let preds = model.predict_open_loop(&test.inputs);
+        let mse: f64 = preds
+            .iter()
+            .zip(&test.targets)
+            .skip(2)
+            .map(|(p, y)| f64::from((p.mu - y) * (p.mu - y)))
+            .sum::<f64>()
+            / (preds.len() - 2) as f64;
+        assert!(mse < 0.05, "mse = {mse}");
+    }
+
+    #[test]
+    fn loss_head_learns_imbalanced_labels() {
+        // Losses occur exactly when x reaches its top value (0.8).
+        let len = 200;
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for t in 0..len {
+            let x = ((t % 10) as f32) / 5.0 - 1.0;
+            inputs.push(vec![x]);
+            labels.push(if x > 0.75 { 1.0 } else { 0.0 });
+        }
+        let ex = SeqExample {
+            targets: vec![0.0; len],
+            loss_labels: labels.clone(),
+            inputs: inputs.clone(),
+        };
+        let mut model = SequenceModel::new(cfg(1, &[8], true));
+        model.train(
+            &[ex],
+            &TrainConfig { epochs: 60, lr: 1e-2, tbptt: 50, loss_weight: 1.0, ..Default::default() },
+        );
+        let preds = model.predict_open_loop(&inputs);
+        let mut hi = 0.0f32;
+        let mut lo = 0.0f32;
+        let (mut nh, mut nl) = (0, 0);
+        for (p, &y) in preds.iter().zip(&labels) {
+            if y > 0.5 {
+                hi += p.p_loss;
+                nh += 1;
+            } else {
+                lo += p.p_loss;
+                nl += 1;
+            }
+        }
+        assert!(
+            hi / nh as f32 > 2.0 * (lo / nl as f32),
+            "p_loss should separate: {} vs {}",
+            hi / nh as f32,
+            lo / nl as f32
+        );
+    }
+
+    #[test]
+    fn closed_loop_feeds_back_predictions() {
+        // Model with 2 features; feature 1 is "previous delay".
+        let model = SequenceModel::new(cfg(2, &[8], false));
+        let inputs: Vec<Vec<f32>> = (0..10).map(|t| vec![t as f32 / 10.0, 99.0]).collect();
+        let open = model.predict_open_loop(&inputs);
+        let closed = model.predict_closed_loop(&inputs, 1);
+        // First step identical (same provided feedback), later steps differ
+        // because closed-loop replaces the bogus 99.0 with predictions.
+        assert_eq!(open[0].mu, closed[0].mu);
+        assert!(
+            open.iter().zip(&closed).skip(1).any(|(a, b)| a.mu != b.mu),
+            "closed loop must diverge from teacher forcing"
+        );
+    }
+
+    #[test]
+    fn masked_losses_do_not_crash_and_are_ignored() {
+        let len = 30;
+        let ex = SeqExample {
+            inputs: (0..len).map(|t| vec![t as f32 / len as f32]).collect(),
+            targets: vec![0.1; len],
+            loss_labels: (0..len).map(|t| if t % 3 == 0 { 1.0 } else { 0.0 }).collect(),
+        };
+        let mut model = SequenceModel::new(cfg(1, &[8], true));
+        let losses =
+            model.train(&[ex], &TrainConfig { epochs: 5, ..Default::default() });
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let mut model = SequenceModel::new(cfg(2, &[8, 4], true));
+        let data: Vec<SeqExample> = vec![SeqExample {
+            inputs: (0..20).map(|t| vec![t as f32 * 0.05, 0.0]).collect(),
+            targets: (0..20).map(|t| (t as f32 * 0.05).sin()).collect(),
+            loss_labels: vec![0.0; 20],
+        }];
+        model.train(&data, &TrainConfig { epochs: 3, ..Default::default() });
+        let json = model.to_json();
+        let back = SequenceModel::from_json(&json).unwrap();
+        let x: Vec<Vec<f32>> = (0..5).map(|t| vec![t as f32 * 0.1, 0.1]).collect();
+        let a = model.predict_open_loop(&x);
+        let b = back.predict_open_loop(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let model = SequenceModel::new(cfg(4, &[8, 8], true));
+        // Layer 1: 32*(4+8)+32 = 416; layer 2: 32*(8+8)+32 = 544.
+        // Gaussian head: 2*(8+1) = 18; Bernoulli: 9.
+        assert_eq!(model.param_count(), 416 + 544 + 18 + 9);
+    }
+
+    #[test]
+    fn paper_scale_model_has_about_two_million_params() {
+        // The paper's iBoxML: 4-layer LSTM, ~2M parameters. Hidden 256
+        // with 6 input features gives ≈2.1M.
+        let model = SequenceModel::new(cfg(6, &[256, 256, 256, 256], true));
+        let p = model.param_count();
+        assert!((1_800_000..2_500_000).contains(&p), "params = {p}");
+    }
+}

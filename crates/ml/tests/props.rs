@@ -1,0 +1,140 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+
+use ibox_ml::lstm::{LstmStack, LstmState};
+use ibox_ml::matrix::Mat;
+use ibox_ml::{Logistic, LogisticConfig, SequenceModel, SequenceModelConfig, StandardScaler};
+
+fn seeded(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Scaler: transform then inverse is the identity (dimension 0).
+    #[test]
+    fn scaler_roundtrip(values in prop::collection::vec(-1e6f64..1e6, 2..100), probe in -1e6f64..1e6) {
+        let s = StandardScaler::fit_scalar(&values);
+        let z = s.transform_scalar(probe);
+        prop_assert!((s.inverse_scalar(z) - probe).abs() < 1e-6 * (1.0 + probe.abs()));
+    }
+
+    /// Scaler on its own training data has ~zero mean, ~unit variance.
+    #[test]
+    fn scaler_standardizes(values in prop::collection::vec(-1e3f64..1e3, 8..100)) {
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let s = StandardScaler::fit_scalar(&values);
+        let z: Vec<f64> = values.iter().map(|v| s.transform_scalar(*v)).collect();
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+        prop_assert!((var - 1.0).abs() < 1e-6, "var {var}");
+    }
+
+    /// Matrix kernels: (Wᵀ u)·v == u·(W v) — the adjoint identity that
+    /// backprop correctness rests on.
+    #[test]
+    fn matvec_adjoint_identity(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let mut w = Mat::zeros(rows, cols);
+        for x in w.data_mut() {
+            *x = rng.random::<f32>() - 0.5;
+        }
+        let u: Vec<f32> = (0..rows).map(|_| rng.random::<f32>() - 0.5).collect();
+        let v: Vec<f32> = (0..cols).map(|_| rng.random::<f32>() - 0.5).collect();
+        let wv = w.matvec(&v);
+        let wtu = w.matvec_t(&u);
+        let lhs: f64 = wtu.iter().zip(&v).map(|(a, b)| f64::from(a * b)).sum();
+        let rhs: f64 = u.iter().zip(&wv).map(|(a, b)| f64::from(a * b)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// LSTM hidden/cell states stay bounded (h in (−1, 1) by construction)
+    /// under arbitrary bounded input sequences.
+    #[test]
+    fn lstm_states_bounded(
+        inputs in prop::collection::vec(prop::collection::vec(-3.0f32..3.0, 3), 1..50),
+        seed in 0u64..100,
+    ) {
+        let mut rng = seeded(seed);
+        let stack = LstmStack::new(3, &[8, 4], &mut rng);
+        let mut states: Vec<LstmState> = stack.zero_state();
+        for x in &inputs {
+            let (top, ns, _) = stack.step(x, &states);
+            states = ns;
+            for h in &top {
+                prop_assert!(h.abs() <= 1.0 + 1e-6, "|h| = {}", h.abs());
+                prop_assert!(h.is_finite());
+            }
+        }
+    }
+
+    /// Sequence-model inference is a pure function of (weights, inputs).
+    #[test]
+    fn model_inference_is_deterministic(
+        inputs in prop::collection::vec(prop::collection::vec(-2.0f32..2.0, 2), 1..30),
+        seed in 0u64..100,
+    ) {
+        let model = SequenceModel::new(SequenceModelConfig {
+            input_size: 2,
+            hidden_sizes: vec![6],
+            predict_loss: true,
+            seed,
+        });
+        prop_assert_eq!(
+            model.predict_open_loop(&inputs),
+            model.predict_open_loop(&inputs)
+        );
+        prop_assert_eq!(
+            model.predict_closed_loop(&inputs, 1),
+            model.predict_closed_loop(&inputs, 1)
+        );
+    }
+
+    /// Logistic outputs are probabilities, and training is scale-stable.
+    #[test]
+    fn logistic_outputs_probabilities(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 2), 4..60),
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, _)| f64::from((i + seed as usize) % 3 == 0))
+            .collect();
+        let m = Logistic::train(&rows, &labels, &LogisticConfig { epochs: 30, ..Default::default() });
+        for r in &rows {
+            let p = m.predict_proba(r);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    /// Closed-loop clamping actually bounds the reported means.
+    #[test]
+    fn closed_loop_clamp_bounds_outputs(
+        inputs in prop::collection::vec(prop::collection::vec(-50.0f32..50.0, 2), 2..40),
+        lo in -2.0f32..0.0,
+        hi in 0.0f32..2.0,
+    ) {
+        let model = SequenceModel::new(SequenceModelConfig {
+            input_size: 2,
+            hidden_sizes: vec![6],
+            predict_loss: false,
+            seed: 3,
+        });
+        for p in model.predict_closed_loop_clamped(&inputs, 1, (lo, hi)) {
+            prop_assert!(p.mu >= lo && p.mu <= hi);
+        }
+    }
+}

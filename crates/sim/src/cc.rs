@@ -1,0 +1,142 @@
+//! The congestion-control interface.
+//!
+//! iBox's central trick is running the *same* sender implementation over
+//! both the ground-truth network and a fitted model, so senders are plugged
+//! into the simulator behind one trait. The flow runtime
+//! ([`crate::flow::FlowState`]) owns sequencing, ack clocking, loss
+//! detection and pacing; a [`CongestionControl`] implementation only decides
+//! *how much* may be in flight (window) and/or *how fast* to release
+//! packets (pacing rate).
+
+use crate::time::SimTime;
+
+/// Information delivered to the sender for each acknowledged packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckEvent {
+    /// Simulation time the ack reached the sender.
+    pub now: SimTime,
+    /// Sequence number of the acknowledged data packet.
+    pub seq: u64,
+    /// Round-trip time sample for that packet.
+    pub rtt: SimTime,
+    /// Bytes newly acknowledged by this ack.
+    pub acked_bytes: u32,
+    /// Packets in flight *after* this ack was processed.
+    pub inflight: usize,
+}
+
+/// Why the sender is being told to back off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionSignal {
+    /// Loss inferred from duplicate acks (fast-retransmit equivalent).
+    Loss,
+    /// Retransmission timeout: the pipe drained without feedback.
+    Timeout,
+}
+
+/// A congestion-control algorithm.
+///
+/// Window-based algorithms (Cubic, Reno, Vegas) implement [`cwnd`]
+/// (in packets) and leave [`pacing_rate_bps`] as `None`; rate-based senders
+/// (CBR, the RTC controller, BBR-lite) return a pacing rate and may use an
+/// effectively-infinite window.
+///
+/// [`cwnd`]: CongestionControl::cwnd
+/// [`pacing_rate_bps`]: CongestionControl::pacing_rate_bps
+pub trait CongestionControl: Send {
+    /// Short human-readable algorithm name (e.g. `"cubic"`).
+    fn name(&self) -> &'static str;
+
+    /// Called for every acknowledged packet.
+    fn on_ack(&mut self, ack: &AckEvent);
+
+    /// Called at most once per congestion episode (coalesced by the flow
+    /// runtime across a window).
+    fn on_congestion(&mut self, now: SimTime, signal: CongestionSignal);
+
+    /// Current congestion window in packets.
+    fn cwnd(&self) -> f64;
+
+    /// Pacing rate in bits per second, if this sender is rate-driven.
+    /// `None` means pure ack-clocked window sending.
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The simplest possible window sender: a fixed window, no reaction.
+/// Useful in tests and as a deterministic probe workload.
+#[derive(Debug, Clone)]
+pub struct FixedWindow {
+    window: f64,
+}
+
+impl FixedWindow {
+    /// A sender that keeps exactly `window` packets in flight.
+    pub fn new(window: f64) -> Self {
+        assert!(window >= 1.0, "window must admit at least one packet");
+        Self { window }
+    }
+}
+
+impl CongestionControl for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed-window"
+    }
+    fn on_ack(&mut self, _ack: &AckEvent) {}
+    fn on_congestion(&mut self, _now: SimTime, _signal: CongestionSignal) {}
+    fn cwnd(&self) -> f64 {
+        self.window
+    }
+}
+
+/// A fixed-rate sender with an unbounded window — the "CBR sender" used in
+/// the paper's control-loop-bias experiment (§4.2, Fig. 7).
+#[derive(Debug, Clone)]
+pub struct FixedRate {
+    rate_bps: f64,
+}
+
+impl FixedRate {
+    /// A sender pacing packets at `rate_bps` regardless of feedback.
+    pub fn new(rate_bps: f64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        Self { rate_bps }
+    }
+}
+
+impl CongestionControl for FixedRate {
+    fn name(&self) -> &'static str {
+        "cbr"
+    }
+    fn on_ack(&mut self, _ack: &AckEvent) {}
+    fn on_congestion(&mut self, _now: SimTime, _signal: CongestionSignal) {}
+    fn cwnd(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        Some(self.rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_window_is_inert() {
+        let mut cc = FixedWindow::new(8.0);
+        assert_eq!(cc.cwnd(), 8.0);
+        cc.on_congestion(SimTime::ZERO, CongestionSignal::Loss);
+        assert_eq!(cc.cwnd(), 8.0);
+        assert_eq!(cc.pacing_rate_bps(), None);
+        assert_eq!(cc.name(), "fixed-window");
+    }
+
+    #[test]
+    fn fixed_rate_paces() {
+        let cc = FixedRate::new(5e6);
+        assert_eq!(cc.pacing_rate_bps(), Some(5e6));
+        assert!(cc.cwnd().is_infinite());
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulation configuration types.
+//!
+//! [`PathConfig`] is the serializable description of a network path — the
+//! `(b, d, B, C)` tuple of the paper's Fig. 1 plus the ground-truth-only
+//! extras (variable rate, PF scheduling, reordering, random loss) that the
+//! testbed uses and iBoxNet deliberately cannot express.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queue::SchedulerKind;
+use crate::rate::RateModelCfg;
+use crate::time::SimTime;
+
+/// Default data-packet wire size (bytes): 1380 B payload + headers,
+/// matching a typical MTU-limited TCP segment.
+pub const DEFAULT_PACKET_SIZE: u32 = 1400;
+
+/// Reordering stage: a fraction of packets take a "second path" with extra
+/// delay, arriving behind later-sent packets (the behaviour iBoxNet's
+/// single-FIFO model cannot produce, §3.2 / Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderCfg {
+    /// Per-packet probability of taking the slow path.
+    pub probability: f64,
+    /// Minimum extra delay on the slow path.
+    pub extra_min: SimTime,
+    /// Maximum extra delay on the slow path.
+    pub extra_max: SimTime,
+}
+
+impl ReorderCfg {
+    /// Validate invariants; call before running.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.probability),
+            "reorder probability out of range"
+        );
+        assert!(self.extra_max >= self.extra_min, "reorder delay range inverted");
+    }
+}
+
+/// Full description of one network path (the bottleneck model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathConfig {
+    /// Bottleneck capacity model (`b` — possibly time-varying in ground
+    /// truth, constant in fitted iBoxNet models).
+    pub rate: RateModelCfg,
+    /// One-way propagation delay on the data path (`d`).
+    pub prop_delay: SimTime,
+    /// Bottleneck buffer in bytes (`B`, byte-based as in §3).
+    pub buffer_bytes: u64,
+    /// Queueing discipline at the bottleneck.
+    pub scheduler: SchedulerKind,
+    /// One-way delay of the (uncongested) ack path.
+    pub ack_delay: SimTime,
+    /// Bernoulli loss applied at link egress (used by the statistical-loss
+    /// baseline and lossy ground-truth paths).
+    pub random_loss: f64,
+    /// Optional reordering stage after the bottleneck.
+    pub reorder: Option<ReorderCfg>,
+    /// Optional per-packet delay jitter: every packet gets an extra delay
+    /// uniform in `[0, jitter]`. Small values (below one serialization
+    /// time) perturb timing without reordering — the "slight timing
+    /// variations in the emulator execution" of §3.1.2.
+    pub jitter: Option<SimTime>,
+}
+
+impl PathConfig {
+    /// A plain single-bottleneck path: constant `rate_bps`, symmetric
+    /// propagation delay, FIFO queue — exactly iBoxNet's network model.
+    pub fn simple(rate_bps: f64, prop_delay: SimTime, buffer_bytes: u64) -> Self {
+        Self {
+            rate: RateModelCfg::constant(rate_bps),
+            prop_delay,
+            buffer_bytes,
+            scheduler: SchedulerKind::Fifo,
+            ack_delay: prop_delay,
+            random_loss: 0.0,
+            reorder: None,
+            jitter: None,
+        }
+    }
+
+    /// Validate invariants; panics on configuration bugs.
+    pub fn validate(&self) {
+        assert!(self.buffer_bytes > 0, "buffer must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.random_loss),
+            "loss probability out of range"
+        );
+        if let Some(r) = &self.reorder {
+            r.validate();
+        }
+    }
+}
+
+/// Configuration of one congestion-controlled flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Trace label (becomes `FlowMeta::run`).
+    pub label: String,
+    /// When the flow starts sending.
+    pub start: SimTime,
+    /// When the flow stops sending (in-flight packets still drain).
+    pub stop: SimTime,
+    /// Wire size of every data packet.
+    pub packet_size: u32,
+    /// Whether to record this flow's input-output trace in the output.
+    pub record: bool,
+}
+
+impl FlowConfig {
+    /// A recorded bulk flow running `[ZERO, duration)` with the default
+    /// packet size.
+    pub fn bulk(label: impl Into<String>, duration: SimTime) -> Self {
+        Self {
+            label: label.into(),
+            start: SimTime::ZERO,
+            stop: duration,
+            packet_size: DEFAULT_PACKET_SIZE,
+            record: true,
+        }
+    }
+
+    /// Same, but starting at `start` and stopping at `stop`.
+    pub fn scheduled(label: impl Into<String>, start: SimTime, stop: SimTime) -> Self {
+        Self {
+            label: label.into(),
+            start,
+            stop,
+            packet_size: DEFAULT_PACKET_SIZE,
+            record: true,
+        }
+    }
+
+    /// Mark this flow as unrecorded (e.g. adaptive cross traffic).
+    pub fn unrecorded(mut self) -> Self {
+        self.record = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path_defaults() {
+        let p = PathConfig::simple(10e6, SimTime::from_millis(20), 150_000);
+        p.validate();
+        assert_eq!(p.ack_delay, p.prop_delay);
+        assert_eq!(p.random_loss, 0.0);
+        assert!(p.reorder.is_none());
+        assert_eq!(p.scheduler, SchedulerKind::Fifo);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let mut p = PathConfig::simple(1e6, SimTime::from_millis(10), 10_000);
+        p.random_loss = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder delay range")]
+    fn inverted_reorder_range_rejected() {
+        ReorderCfg {
+            probability: 0.1,
+            extra_min: SimTime::from_millis(10),
+            extra_max: SimTime::from_millis(5),
+        }
+        .validate();
+    }
+
+    #[test]
+    fn flow_builders() {
+        let f = FlowConfig::bulk("main", SimTime::from_secs(30));
+        assert!(f.record);
+        assert_eq!(f.start, SimTime::ZERO);
+        let g = FlowConfig::scheduled("ct", SimTime::from_secs(5), SimTime::from_secs(15))
+            .unrecorded();
+        assert!(!g.record);
+        assert_eq!(g.stop, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn path_config_serde_roundtrip() {
+        let p = PathConfig::simple(5e6, SimTime::from_millis(30), 60_000);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PathConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

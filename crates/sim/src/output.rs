@@ -1,0 +1,69 @@
+//! Simulation outputs: traces, statistics, ground-truth link samples.
+
+use serde::{Deserialize, Serialize};
+
+use ibox_trace::FlowTrace;
+
+use crate::time::SimTime;
+
+/// Per-flow delivery statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// The flow's configured label.
+    pub label: String,
+    /// Congestion-control algorithm name.
+    pub cc_name: String,
+    /// Packets sent.
+    pub sent: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets lost (queue drops + random loss).
+    pub lost: u64,
+}
+
+/// A ground-truth sample of the bottleneck state — never shown to models,
+/// only used to validate estimators in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Bytes queued at the bottleneck.
+    pub queue_bytes: u64,
+    /// Instantaneous link capacity, bits per second.
+    pub rate_bps: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// Input-output traces of the flows configured with `record = true`,
+    /// in flow-insertion order.
+    pub traces: Vec<FlowTrace>,
+    /// Statistics for *all* flows (recorded or not).
+    pub flow_stats: Vec<FlowStats>,
+    /// Ground-truth cross-traffic emissions per source:
+    /// `(time_secs, bytes)` pairs.
+    pub cross_emissions: Vec<Vec<(f64, u32)>>,
+    /// Periodic ground-truth bottleneck samples.
+    pub link_samples: Vec<LinkSample>,
+    /// Total packets dropped at the bottleneck buffer.
+    pub queue_drops: u64,
+}
+
+impl SimOutput {
+    /// Find a recorded trace by its flow label.
+    pub fn trace(&self, label: &str) -> Option<&FlowTrace> {
+        self.traces.iter().find(|t| t.meta.run == label)
+    }
+
+    /// Total ground-truth cross-traffic bytes emitted in `[from, to)`.
+    pub fn cross_bytes_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let (lo, hi) = (from.as_secs_f64(), to.as_secs_f64());
+        self.cross_emissions
+            .iter()
+            .flatten()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .map(|(_, b)| f64::from(*b))
+            .sum()
+    }
+}

@@ -1,0 +1,58 @@
+//! Packets and stream identities inside the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Identifies a traffic stream inside one simulation: either a controlled
+/// flow (with a congestion-control sender and an ack loop) or a raw
+/// cross-traffic source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StreamId {
+    /// A congestion-controlled flow, by index into the simulation's flows.
+    Flow(usize),
+    /// A cross-traffic source, by index into the simulation's sources.
+    Cross(usize),
+}
+
+impl StreamId {
+    /// Whether this stream is a controlled flow.
+    pub fn is_flow(self) -> bool {
+        matches!(self, StreamId::Flow(_))
+    }
+}
+
+/// A data packet in flight inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The stream this packet belongs to.
+    pub stream: StreamId,
+    /// Per-stream sequence number (monotone at the sender).
+    pub seq: u64,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// When the sender released the packet into the network.
+    pub sent_at: SimTime,
+}
+
+/// What ultimately happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketFate {
+    /// Delivered to the receiver at the given time.
+    Delivered(SimTime),
+    /// Dropped (queue overflow or random loss) at the given time.
+    Dropped(SimTime),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_kinds() {
+        assert!(StreamId::Flow(0).is_flow());
+        assert!(!StreamId::Cross(0).is_flow());
+        assert_ne!(StreamId::Flow(1), StreamId::Flow(2));
+        assert_ne!(StreamId::Flow(1), StreamId::Cross(1));
+    }
+}

@@ -1,0 +1,109 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component of the simulator draws from a seeded
+//! [`StdRng`]; these helpers add the distributions we need (exponential for
+//! Poisson arrivals, Gaussian via Box–Muller for fading/jitter) without
+//! pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for one simulation component.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a stream-specific seed from a base seed, so components get
+/// decorrelated but reproducible randomness (splitmix64 finalizer).
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponentially distributed sample with the given mean (> 0).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.random::<f64>().max(1e-15);
+    -mean * u.ln()
+}
+
+/// Standard-normal sample (Box–Muller).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-15);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform sample in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    debug_assert!(hi >= lo, "uniform range inverted");
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// Bernoulli trial with probability `p`.
+pub fn coin(rng: &mut StdRng, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_differ_per_stream() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn exponential_has_right_mean() {
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, -2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn coin_is_calibrated() {
+        let mut rng = seeded(4);
+        let hits = (0..10_000).filter(|_| coin(&mut rng, 0.3)).count();
+        assert!((2800..3200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+}

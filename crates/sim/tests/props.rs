@@ -1,0 +1,165 @@
+//! Property-based tests for the simulator's components.
+
+use proptest::prelude::*;
+
+use ibox_sim::crosstraffic::CrossSource;
+use ibox_sim::queue::{BottleneckQueue, EnqueueResult};
+use ibox_sim::rate::RateModel;
+use ibox_sim::{
+    CrossTrafficCfg, Packet, RateModelCfg, SchedulerKind, SimTime, StreamId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A CBR source emits exactly rate × duration bytes (± one packet).
+    #[test]
+    fn cbr_byte_accounting(
+        rate_mbps in 0.5f64..20.0,
+        secs in 1u64..20,
+        pkt in 200u32..1500,
+    ) {
+        let cfg = CrossTrafficCfg::Cbr {
+            rate_bps: rate_mbps * 1e6,
+            pkt_size: pkt,
+            start: SimTime::ZERO,
+            stop: SimTime::from_secs(secs),
+        };
+        let mut src = CrossSource::new(cfg, 1);
+        let mut bytes = 0u64;
+        while let Some(t) = src.next_emission() {
+            prop_assert!(t < SimTime::from_secs(secs));
+            bytes += u64::from(src.emit(t));
+        }
+        let expected = rate_mbps * 1e6 / 8.0 * secs as f64;
+        // Fencepost: the emission at t = 0 plus rounding allow up to two
+        // packets of slack.
+        prop_assert!(
+            (bytes as f64 - expected).abs() <= 2.0 * f64::from(pkt),
+            "bytes {bytes} vs expected {expected}"
+        );
+    }
+
+    /// Replay sources conserve the byte budget exactly (rounding only).
+    #[test]
+    fn replay_byte_conservation(
+        budget in prop::collection::vec(0.0f64..100_000.0, 1..30),
+        pkt in 200u32..1500,
+    ) {
+        let bins: Vec<(SimTime, f64)> = budget
+            .iter()
+            .enumerate()
+            .map(|(k, b)| (SimTime::from_millis(100 * k as u64), *b))
+            .collect();
+        let total: f64 = budget.iter().filter(|b| **b >= 1.0).sum();
+        let cfg = CrossTrafficCfg::Replay { bins, pkt_size: pkt };
+        let mut src = CrossSource::new(cfg, 1);
+        let mut bytes = 0.0;
+        while let Some(t) = src.next_emission() {
+            bytes += f64::from(src.emit(t));
+        }
+        prop_assert!(
+            (bytes - total).abs() <= budget.len() as f64,
+            "bytes {bytes} vs budget {total}"
+        );
+    }
+
+    /// The byte-accounted queue never exceeds its capacity and never goes
+    /// negative, under any admit/serve interleaving.
+    #[test]
+    fn queue_occupancy_invariant(
+        capacity in 2_000u64..100_000,
+        ops in prop::collection::vec((any::<bool>(), 100u32..1500), 1..200),
+    ) {
+        let mut q = BottleneckQueue::new(SchedulerKind::Fifo, capacity, 7);
+        let mut seq = 0u64;
+        for (enqueue, size) in ops {
+            if enqueue {
+                let pkt = Packet {
+                    stream: StreamId::Flow(0),
+                    seq,
+                    size,
+                    sent_at: SimTime::ZERO,
+                };
+                seq += 1;
+                let _ = q.enqueue(pkt, SimTime::ZERO);
+            } else {
+                let _ = q.dequeue(SimTime::ZERO);
+            }
+            prop_assert!(q.occupied_bytes() <= capacity);
+        }
+        // Drain completely.
+        while q.dequeue(SimTime::ZERO).is_some() {}
+        prop_assert_eq!(q.occupied_bytes(), 0);
+    }
+
+    /// Admission is exact: a packet is dropped iff it would overflow.
+    #[test]
+    fn droptail_is_exact(
+        capacity in 2_000u64..50_000,
+        sizes in prop::collection::vec(100u32..1500, 1..100),
+    ) {
+        let mut q = BottleneckQueue::new(SchedulerKind::Fifo, capacity, 7);
+        for (i, size) in sizes.iter().enumerate() {
+            let fits = q.occupied_bytes() + u64::from(*size) <= capacity;
+            let result = q.enqueue(
+                Packet {
+                    stream: StreamId::Flow(0),
+                    seq: i as u64,
+                    size: *size,
+                    sent_at: SimTime::ZERO,
+                },
+                SimTime::ZERO,
+            );
+            prop_assert_eq!(result == EnqueueResult::Queued, fits);
+        }
+    }
+
+    /// Markov rate models only ever report configured state rates, and
+    /// trace models respect their schedule.
+    #[test]
+    fn rate_models_report_configured_rates(
+        states in prop::collection::vec(1e5f64..1e8, 1..6),
+        seed in 0u64..500,
+    ) {
+        let cfg = RateModelCfg::Markov {
+            states: states.clone(),
+            mean_dwell: SimTime::from_millis(50),
+        };
+        let mut m = RateModel::new(&cfg, seed);
+        for ms in (0..2_000u64).step_by(13) {
+            let r = m.rate_at(SimTime::from_millis(ms));
+            prop_assert!(
+                states.iter().any(|s| (s - r).abs() < 1e-9),
+                "rate {r} not a configured state"
+            );
+        }
+    }
+
+    /// Token buckets never deliver more than burst + fill × time bytes.
+    #[test]
+    fn token_bucket_long_run_rate(
+        fill_mbps in 1.0f64..50.0,
+        bucket_kb in 1u64..100,
+        n in 10usize..300,
+    ) {
+        let cfg = RateModelCfg::TokenBucket {
+            fill_bps: fill_mbps * 1e6,
+            bucket_bytes: bucket_kb * 1000,
+        };
+        let mut m = RateModel::new(&cfg, 1);
+        let pkt = 1200u32;
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now = m.tx_finish(now, pkt);
+        }
+        let sent = n as u64 * u64::from(pkt);
+        let allowed = bucket_kb as f64 * 1000.0
+            + fill_mbps * 1e6 / 8.0 * now.as_secs_f64()
+            + f64::from(pkt);
+        prop_assert!(
+            (sent as f64) <= allowed + 1.0,
+            "sent {sent} bytes vs allowance {allowed}"
+        );
+    }
+}

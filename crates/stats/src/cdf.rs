@@ -1,0 +1,198 @@
+//! Empirical CDFs and fixed-bin histograms.
+//!
+//! Fig. 5 of the paper is a CDF of per-window reordering rates; Fig. 7 is a
+//! delay histogram. Both are computed here in plain data form (the bench
+//! binaries print the series; no plotting dependency).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample (values are copied and sorted; NaNs rejected by
+    /// panic — they indicate an upstream bug).
+    pub fn new(sample: &[f64]) -> Self {
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF sample"));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`. Zero for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile) by nearest rank; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Evaluate the CDF on a uniform grid of `n` points spanning
+    /// `[lo, hi]` — the "series" form that Fig. 5 plots.
+    pub fn curve(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "curve needs at least two points");
+        assert!(hi > lo, "curve range must be nonempty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The sorted sample (useful for exact-step plotting).
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with out-of-range values clamped
+/// into the edge bins (Fig. 7 style: "Frequency (%)" per delay bin).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with `bins` bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Build from a sample.
+    pub fn from_sample(lo: f64, hi: f64, bins: usize, sample: &[f64]) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for &x in sample {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Add one observation (clamped into the edge bins if out of range).
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin frequencies as percentages (each in `[0, 100]`).
+    pub fn frequencies_pct(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|c| *c as f64 * 100.0 / self.total as f64).collect()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_eval_steps() {
+        let c = Cdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.0), 0.75);
+        assert_eq!(c.eval(2.5), 0.75);
+        assert_eq!(c.eval(3.0), 1.0);
+        assert_eq!(c.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.quantile(0.25), Some(10.0));
+        assert_eq!(c.quantile(0.5), Some(20.0));
+        assert_eq!(c.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let c = Cdf::new(&[]);
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+
+    #[test]
+    fn cdf_curve_monotone() {
+        let c = Cdf::new(&[0.0, 0.1, 0.2, 0.5, 0.9]);
+        let curve = c.curve(0.0, 1.0, 11);
+        assert_eq!(curve.len(), 11);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be nondecreasing");
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.0); // bin 0
+        h.add(1.9); // bin 0
+        h.add(2.0); // bin 1
+        h.add(9.99); // bin 4
+        h.add(-5.0); // clamped to bin 0
+        h.add(50.0); // clamped to bin 4
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        assert_eq!(h.total(), 6);
+        let f = h.frequencies_pct();
+        assert!((f[0] - 50.0).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Descriptive statistics: means, deviations, percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Percentile by linear interpolation between order statistics
+/// (the "linear" / type-7 method, matching numpy's default).
+///
+/// `q` in `[0, 1]`. Returns `None` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "percentile out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_sorted(&sorted, q))
+}
+
+/// Percentile of an already-sorted slice (linear interpolation). Panics on
+/// empty input.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// The P25/P50/P75/mean summary used in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Compute a [`QuantileSummary`]; `None` for an empty slice.
+pub fn quantile_summary(xs: &[f64]) -> Option<QuantileSummary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(QuantileSummary {
+        p25: percentile_sorted(&sorted, 0.25),
+        p50: percentile_sorted(&sorted, 0.50),
+        p75: percentile_sorted(&sorted, 0.75),
+        mean: mean(xs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(quantile_summary(&[]), None);
+    }
+
+    #[test]
+    fn percentile_linear_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        // h = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1) = 1.75
+        assert_eq!(percentile(&xs, 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn summary_matches_percentiles() {
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let s = quantile_summary(&xs).unwrap();
+        assert_eq!(s.p25, 26.0);
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p75, 76.0);
+        assert_eq!(s.mean, 51.0);
+    }
+}

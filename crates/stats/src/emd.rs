@@ -1,0 +1,94 @@
+//! One-dimensional Wasserstein (earth mover's) distance.
+//!
+//! The KS statistic measures the worst-case CDF gap; the 1-D Wasserstein
+//! distance `W₁ = ∫ |F₁(x) − F₂(x)| dx` measures the *area* between the
+//! CDFs — in the units of the metric itself (e.g. "ms of p95 delay"),
+//! which makes ensemble-test mismatches interpretable. The experiment
+//! binaries report both.
+
+/// 1-D Wasserstein-1 distance between two empirical distributions.
+///
+/// Computed exactly from the sorted samples via the quantile form
+/// `W₁ = ∫₀¹ |Q₁(u) − Q₂(u)| du` evaluated on the merged probability
+/// grid. Panics on empty samples or NaNs.
+pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "W1 requires nonempty samples");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|p, q| p.partial_cmp(q).expect("NaN in W1 sample"));
+    xb.sort_by(|p, q| p.partial_cmp(q).expect("NaN in W1 sample"));
+
+    // Merge the two quantile grids: break [0,1] at every i/n and j/m.
+    let (n, m) = (xa.len(), xb.len());
+    let mut cuts: Vec<f64> = (0..=n)
+        .map(|i| i as f64 / n as f64)
+        .chain((0..=m).map(|j| j as f64 / m as f64))
+        .collect();
+    cuts.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    cuts.dedup();
+
+    let mut w = 0.0;
+    for seg in cuts.windows(2) {
+        let (lo, hi) = (seg[0], seg[1]);
+        if hi <= lo {
+            continue;
+        }
+        let mid = (lo + hi) / 2.0;
+        // Quantile of each sample at `mid` (right-continuous inverse CDF).
+        let qa = xa[((mid * n as f64) as usize).min(n - 1)];
+        let qb = xb[((mid * m as f64) as usize).min(m - 1)];
+        w += (qa - qb).abs() * (hi - lo);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 5.0, 9.0];
+        assert!(wasserstein_1d(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn constant_shift_equals_the_shift() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 7.5).collect();
+        let w = wasserstein_1d(&a, &b);
+        assert!((w - 7.5).abs() < 1e-9, "W1 = {w}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [5.0, 6.0, 9.0];
+        assert!((wasserstein_1d(&a, &b) - wasserstein_1d(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_masses() {
+        // δ(0) vs δ(3): W1 = 3.
+        assert!((wasserstein_1d(&[0.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_sizes() {
+        // Uniform {0, 1} vs point mass at 0.5: W1 = 0.5 (each half moves
+        // 0.5)... actually each half moves 0.5 → W1 = 0.5.
+        let w = wasserstein_1d(&[0.0, 1.0], &[0.5]);
+        assert!((w - 0.5).abs() < 1e-9, "W1 = {w}");
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = [0.0, 1.0, 4.0];
+        let b = [2.0, 3.0, 5.0];
+        let c = [1.0, 1.5, 8.0];
+        let ab = wasserstein_1d(&a, &b);
+        let bc = wasserstein_1d(&b, &c);
+        let ac = wasserstein_1d(&a, &c);
+        assert!(ac <= ab + bc + 1e-9);
+    }
+}

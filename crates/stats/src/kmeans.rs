@@ -1,0 +1,234 @@
+//! k-means clustering with k-means++ seeding.
+//!
+//! Used by the instance test (Fig. 4b): k-means with `k = 3` over
+//! cross-correlation features must cluster iBoxNet-simulated runs together
+//! with their ground-truth instances "with no mistakes".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` rows of dimension `d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means with k-means++ initialization and Lloyd iterations.
+///
+/// * `points` — row-major points, all of equal dimension.
+/// * `k` — number of clusters (`1..=points.len()`).
+/// * `seed` — RNG seed for the k-means++ init (results are deterministic
+///   given the seed).
+///
+/// Runs up to `max_iter = 100` Lloyd iterations or until assignments stop
+/// changing. Panics on empty input, inconsistent dimensions, or `k` out of
+/// range — these are programming errors in experiment harnesses.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans on empty input");
+    assert!(k >= 1 && k <= points.len(), "k out of range");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "inconsistent dimensions");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = kmeanspp_init(points, k, &mut rng);
+    let mut assignments = vec![usize::MAX; points.len()];
+    let max_iter = 100;
+    let mut iterations = 0;
+
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("NaN distance")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid to avoid dead clusters.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, p), (_, q)| {
+                        sq_dist(p, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(q, &centroids[assignments[0]]))
+                            .expect("NaN distance")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                centroids[c] = points[far].clone();
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &c)| sq_dist(p, &centroids[c]))
+        .sum();
+    KMeansResult { assignments, centroids, inertia, iterations }
+}
+
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[0].clone());
+            continue;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, dist) in dists.iter().enumerate() {
+            if target < *dist {
+                chosen = i;
+                break;
+            }
+            target -= dist;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Clustering purity against known labels: for each cluster take its
+/// majority label; purity = correctly-majority-labelled points / total.
+/// `1.0` means the clustering is perfect up to label permutation —
+/// the paper's "no mistakes" criterion for Fig. 4.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    if assignments.is_empty() {
+        return 1.0;
+    }
+    let k = assignments.iter().max().expect("nonempty") + 1;
+    let l = labels.iter().max().expect("nonempty") + 1;
+    let mut table = vec![vec![0usize; l]; k];
+    for (&a, &b) in assignments.iter().zip(labels) {
+        table[a][b] += 1;
+    }
+    let correct: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rng = StdRng::seed_from_u64(7);
+        for (li, (cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..20 {
+                let dx: f64 = rng.random::<f64>() - 0.5;
+                let dy: f64 = rng.random::<f64>() - 0.5;
+                pts.push(vec![cx + dx, cy + dy]);
+                labels.push(li);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn separable_blobs_cluster_perfectly() {
+        let (pts, labels) = three_blobs();
+        let r = kmeans(&pts, 3, 42);
+        assert_eq!(purity(&r.assignments, &labels), 1.0);
+        assert!(r.inertia < 20.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = three_blobs();
+        let a = kmeans(&pts, 3, 1);
+        let b = kmeans(&pts, 3, 1);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_one_groups_everything() {
+        let (pts, _) = three_blobs();
+        let r = kmeans(&pts, 1, 0);
+        assert!(r.assignments.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 3.0]).collect();
+        let r = kmeans(&pts, 5, 0);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn purity_detects_mistakes() {
+        // Two clusters of 2; one point misassigned.
+        let assignments = [0, 0, 1, 1];
+        let labels = [0, 1, 1, 1];
+        assert_eq!(purity(&assignments, &labels), 0.75);
+        assert_eq!(purity(&assignments, &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let pts = vec![vec![1.0, 1.0]; 6];
+        let r = kmeans(&pts, 2, 0);
+        assert_eq!(r.assignments.len(), 6);
+        assert!(r.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Fig. 2 of the paper verifies the ensemble-test match between ground-truth
+//! and iBoxNet metric distributions "through a two-sample KS test". This is
+//! the classical test: statistic `D = sup_x |F1(x) − F2(x)|`, p-value from
+//! the asymptotic Kolmogorov distribution with the standard effective-size
+//! correction (as in scipy's `ks_2samp(mode="asymp")`).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D` in `[0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic p-value in `[0, 1]`. Large values mean "no evidence the
+    /// samples come from different distributions".
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the test fails to reject at the given significance level
+    /// (i.e. the two samples are statistically indistinguishable).
+    pub fn matches(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Two-sample KS test. Panics on empty samples or NaNs (upstream bugs).
+///
+/// ```
+/// use ibox_stats::ks_two_sample;
+/// let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+/// let b: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let r = ks_two_sample(&a, &b);
+/// assert!(r.matches(0.05)); // same distribution: fail to reject
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test requires nonempty samples");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS sample"));
+    xb.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS sample"));
+
+    let (n, m) = (xa.len(), xb.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = xa[i].min(xb[j]);
+        while i < n && xa[i] <= x {
+            i += 1;
+        }
+        while j < m && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let p = kolmogorov_survival((en + 0.12 + 0.11 / en) * d);
+    KsResult { statistic: d, p_value: p.clamp(0.0, 1.0) }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)` (Numerical Recipes form).
+fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let l2 = -2.0 * lambda * lambda;
+    for k in 1..=100 {
+        let term = sign * (l2 * (k * k) as f64).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+        assert!(r.matches(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 1000.0 + i as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 1e-6);
+        assert!(!r.matches(0.05));
+    }
+
+    #[test]
+    fn same_distribution_matches() {
+        // Two interleaved arithmetic samples of the same uniform grid.
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.05);
+        assert!(r.matches(0.05));
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.5 + i as f64 / 200.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.5).abs() < 0.01, "D = {}", r.statistic);
+        assert!(!r.matches(0.05));
+    }
+
+    #[test]
+    fn statistic_matches_hand_computed_value() {
+        // a = {1,2,3}, b = {1.5, 2.5, 3.5, 4.5}:
+        // D occurs at x=3: F_a = 1.0, F_b = 0.5 -> D = 0.5.
+        let r = ks_two_sample(&[1.0, 2.0, 3.0], &[1.5, 2.5, 3.5, 4.5]);
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_sizes_are_supported() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.15);
+    }
+
+    #[test]
+    fn survival_function_reference_values() {
+        // Q(0.828) ≈ 0.5 (median of the Kolmogorov distribution ~0.8276).
+        assert!((kolmogorov_survival(0.8276) - 0.5).abs() < 0.01);
+        assert!(kolmogorov_survival(0.0) == 1.0);
+        assert!(kolmogorov_survival(3.0) < 1e-6);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ibox-stats
+//!
+//! Statistics and analytics substrate for the iBox reproduction.
+//!
+//! The paper's evaluation leans on a handful of classical tools that the
+//! original authors took from Python's ecosystem (scipy, scikit-learn, the
+//! SAX reference implementation). This crate re-implements each of them from
+//! scratch, unit-tested against known values:
+//!
+//! * [`descriptive`] — means, variances, percentiles, quantile summaries.
+//! * [`cdf`] — empirical CDFs and fixed-bin histograms (Figs. 5 & 7).
+//! * [`ks`] — the two-sample Kolmogorov–Smirnov test used to verify the
+//!   ensemble-test match (Fig. 2, "match verified through a two-sample KS
+//!   test").
+//! * [`mod@kmeans`] — k-means with k-means++ seeding (instance-test clustering,
+//!   Fig. 4b).
+//! * [`mod@tsne`] — exact t-SNE for 2-D embedding of instance-test features
+//!   (Fig. 4b's plot).
+//! * [`sax`] — Symbolic Aggregate approXimation discretization with a
+//!   networking twist: a dedicated symbol for *negative* values (reordering)
+//!   as used in the behaviour-discovery experiment (Fig. 8).
+//! * [`motif`] — n-gram motif counting over symbol strings (Fig. 8's
+//!   length-1/length-2 pattern tables).
+//! * [`xcorr`] — normalized cross-correlation of time series (instance-test
+//!   features, Fig. 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod descriptive;
+pub mod emd;
+pub mod kmeans;
+pub mod ks;
+pub mod motif;
+pub mod sax;
+pub mod tsne;
+pub mod xcorr;
+
+pub use cdf::{Cdf, Histogram};
+pub use descriptive::{mean, percentile, quantile_summary, std_dev, QuantileSummary};
+pub use emd::wasserstein_1d;
+pub use kmeans::{kmeans, KMeansResult};
+pub use ks::{ks_two_sample, KsResult};
+pub use motif::{motif_diff, MotifCounts};
+pub use sax::{SaxConfig, SaxEncoder};
+pub use tsne::{tsne, TsneConfig};
+pub use xcorr::{normalized_xcorr, xcorr_feature};

@@ -1,0 +1,202 @@
+//! Motif counting over symbol strings (Lin et al., Temporal Data Mining
+//! workshop '02, simplified to exhaustive n-gram frequency counting).
+//!
+//! Fig. 8 of the paper lists the relative frequencies of length-1 and
+//! length-2 patterns in the SAX encodings of ground-truth vs. simulated
+//! traces, and the "diff" — patterns present in ground truth but absent
+//! from the simulator — which is how missing behaviours (reordering, symbol
+//! `'a'`) are discovered.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Frequency table of fixed-length symbol patterns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MotifCounts {
+    /// Pattern string -> occurrence count. BTreeMap for deterministic
+    /// iteration order in printed tables.
+    counts: BTreeMap<String, u64>,
+    total: u64,
+    /// Pattern length this table was built for.
+    len: usize,
+}
+
+impl MotifCounts {
+    /// Count all length-`len` substrings (n-grams) of the symbol string.
+    pub fn from_symbols(symbols: &str, len: usize) -> Self {
+        assert!(len >= 1, "pattern length must be positive");
+        let chars: Vec<char> = symbols.chars().collect();
+        let mut counts = BTreeMap::new();
+        let mut total = 0u64;
+        if chars.len() >= len {
+            for w in chars.windows(len) {
+                let key: String = w.iter().collect();
+                *counts.entry(key).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        Self { counts, total, len }
+    }
+
+    /// Merge counts from several traces' symbol strings (the figure pools
+    /// the whole test set).
+    pub fn from_many<'a>(symbol_strings: impl IntoIterator<Item = &'a str>, len: usize) -> Self {
+        let mut merged = Self { counts: BTreeMap::new(), total: 0, len };
+        for s in symbol_strings {
+            let one = Self::from_symbols(s, len);
+            for (k, v) in one.counts {
+                *merged.counts.entry(k).or_insert(0) += v;
+            }
+            merged.total += one.total;
+        }
+        merged
+    }
+
+    /// Relative frequency of a pattern in `[0, 1]`.
+    pub fn frequency(&self, pattern: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(pattern).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Raw count of a pattern.
+    pub fn count(&self, pattern: &str) -> u64 {
+        *self.counts.get(pattern).unwrap_or(&0)
+    }
+
+    /// Total n-grams counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Pattern length of this table.
+    pub fn pattern_len(&self) -> usize {
+        self.len
+    }
+
+    /// All patterns with nonzero count, in lexicographic order.
+    pub fn patterns(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Patterns sorted by descending frequency (ties lexicographic) — the
+    /// "frequently occurring segments" of the motif-finding step.
+    pub fn top(&self, n: usize) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, u64)> =
+            self.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.into_iter()
+            .take(n)
+            .map(|(k, c)| {
+                let f = c as f64 / self.total.max(1) as f64;
+                (k, f)
+            })
+            .collect()
+    }
+}
+
+/// The behaviour-discovery "diff" (Fig. 8a): patterns occurring in
+/// `ground_truth` at or above `min_freq` but **absent** (zero occurrences)
+/// from `simulated`. Returns `(pattern, gt_frequency)` pairs sorted by
+/// descending ground-truth frequency.
+pub fn motif_diff(
+    ground_truth: &MotifCounts,
+    simulated: &MotifCounts,
+    min_freq: f64,
+) -> Vec<(String, f64)> {
+    assert_eq!(
+        ground_truth.pattern_len(),
+        simulated.pattern_len(),
+        "diff requires equal pattern lengths"
+    );
+    let mut out: Vec<(String, f64)> = ground_truth
+        .patterns()
+        .filter(|(p, _)| simulated.count(p) == 0)
+        .map(|(p, _)| (p.to_string(), ground_truth.frequency(p)))
+        .filter(|(_, f)| *f >= min_freq)
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN freq").then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigram_counting() {
+        let m = MotifCounts::from_symbols("aabbbc", 1);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.count("a"), 2);
+        assert_eq!(m.count("b"), 3);
+        assert!((m.frequency("c") - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(m.count("z"), 0);
+    }
+
+    #[test]
+    fn bigram_counting_overlapping() {
+        let m = MotifCounts::from_symbols("abab", 2);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.count("ab"), 2);
+        assert_eq!(m.count("ba"), 1);
+    }
+
+    #[test]
+    fn short_strings_yield_nothing() {
+        let m = MotifCounts::from_symbols("a", 2);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.frequency("aa"), 0.0);
+    }
+
+    #[test]
+    fn merging_pools_counts_without_crossing_boundaries() {
+        let m = MotifCounts::from_many(["ab", "ba"], 2);
+        // "ab" has one bigram, "ba" has one; no "b|b" across the boundary.
+        assert_eq!(m.total(), 2);
+        assert_eq!(m.count("ab"), 1);
+        assert_eq!(m.count("ba"), 1);
+        assert_eq!(m.count("bb"), 0);
+    }
+
+    #[test]
+    fn top_sorts_by_frequency() {
+        let m = MotifCounts::from_symbols("aaabbc", 1);
+        let top = m.top(2);
+        assert_eq!(top[0].0, "a");
+        assert_eq!(top[1].0, "b");
+        assert!((top[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_finds_missing_patterns() {
+        // Ground truth has reordering symbol 'a'; simulation does not —
+        // exactly the Fig. 8 situation.
+        let gt = MotifCounts::from_symbols("bcbcabcbca", 1);
+        let sim = MotifCounts::from_symbols("bcbcbcbc", 1);
+        let diff = motif_diff(&gt, &sim, 0.0);
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff[0].0, "a");
+        assert!((diff[0].1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_respects_min_freq() {
+        let gt = MotifCounts::from_symbols("bbbbbbbbba", 1); // 'a' at 10%
+        let sim = MotifCounts::from_symbols("bbbb", 1);
+        assert_eq!(motif_diff(&gt, &sim, 0.5).len(), 0);
+        assert_eq!(motif_diff(&gt, &sim, 0.05).len(), 1);
+    }
+
+    #[test]
+    fn bigram_diff_surfaces_higher_order_patterns() {
+        let gt = MotifCounts::from_symbols("bcab", 2); // bc, ca, ab
+        let sim = MotifCounts::from_symbols("bcbc", 2); // bc, cb
+        let diff = motif_diff(&gt, &sim, 0.0);
+        let patterns: Vec<&str> = diff.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(patterns.contains(&"ca"));
+        assert!(patterns.contains(&"ab"));
+        assert!(!patterns.contains(&"bc"));
+    }
+}

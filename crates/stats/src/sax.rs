@@ -1,0 +1,278 @@
+//! SAX — Symbolic Aggregate approXimation (Lin, Keogh, Lonardi, Chiu;
+//! DMKD '03) with the paper's networking twist.
+//!
+//! §5.1 of the paper discretizes transformed traces (inter-packet arrival
+//! differences) into symbols `'a'..'f'`, where **`'a'` denotes negative
+//! values** (i.e. reordering events), `'b'` small positive values, through
+//! `'f'` for large positive values. A motif-finding pass (see
+//! [`crate::motif`]) then compares pattern frequencies between ground truth
+//! and simulator output — the "diff" that surfaces behaviours the simulator
+//! is missing.
+//!
+//! Classic SAX applies Piecewise Aggregate Approximation (PAA) and then cuts
+//! the z-normalized values at Gaussian breakpoints. We support both:
+//!
+//! * [`SaxEncoder::classic`] — PAA + Gaussian breakpoints (the textbook
+//!   algorithm, property-tested).
+//! * [`SaxEncoder::reorder_aware`] — the paper's variant: symbol 0 (`'a'`)
+//!   reserved for negative values, remaining symbols from quantile
+//!   breakpoints fit on the positive part of a reference sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a SAX encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaxConfig {
+    /// Alphabet size (2–26). The paper uses 6 (`'a'..='f'`).
+    pub alphabet: usize,
+    /// PAA frame size: how many raw samples aggregate into one symbol.
+    /// `1` disables aggregation (per-sample symbols, as the paper's
+    /// per-packet analysis needs).
+    pub paa_frame: usize,
+}
+
+impl Default for SaxConfig {
+    fn default() -> Self {
+        Self { alphabet: 6, paa_frame: 1 }
+    }
+}
+
+/// A fitted SAX encoder: breakpoints mapping values to symbols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaxEncoder {
+    config: SaxConfig,
+    /// `alphabet - 1` increasing cut points; value `v` maps to the first
+    /// symbol `s` with `v <= cuts[s]`, else the last symbol.
+    cuts: Vec<f64>,
+    /// Whether to z-normalize inputs before cutting (classic SAX).
+    normalize: bool,
+}
+
+impl SaxEncoder {
+    /// Classic SAX: z-normalize, then cut at standard-normal quantile
+    /// breakpoints so symbols are equiprobable under a Gaussian.
+    pub fn classic(config: SaxConfig) -> Self {
+        assert!((2..=26).contains(&config.alphabet), "alphabet size out of range");
+        let cuts = gaussian_breakpoints(config.alphabet);
+        Self { config, cuts, normalize: true }
+    }
+
+    /// The paper's reorder-aware variant, fit on a reference sample:
+    /// symbol `'a'` covers `v < 0`; the remaining `alphabet − 1` symbols
+    /// split the positive part of `reference` at equal-frequency quantiles.
+    pub fn reorder_aware(config: SaxConfig, reference: &[f64]) -> Self {
+        assert!((2..=26).contains(&config.alphabet), "alphabet size out of range");
+        let mut pos: Vec<f64> = reference.iter().copied().filter(|v| *v >= 0.0).collect();
+        pos.sort_by(|a, b| a.partial_cmp(b).expect("NaN in SAX reference"));
+        let k = config.alphabet - 1; // symbols 'b'.. cover positives
+        let mut cuts = Vec::with_capacity(config.alphabet - 1);
+        cuts.push(0.0); // 'a' | 'b' boundary: v < 0 -> 'a'
+        for i in 1..k {
+            let q = i as f64 / k as f64;
+            let cut = if pos.is_empty() {
+                i as f64 // arbitrary increasing cuts when no reference
+            } else {
+                crate::descriptive::percentile_sorted(&pos, q)
+            };
+            cuts.push(cut);
+        }
+        // Enforce strictly increasing cuts (duplicate quantiles can occur
+        // in heavy-tailed references).
+        for i in 1..cuts.len() {
+            if cuts[i] <= cuts[i - 1] {
+                cuts[i] = cuts[i - 1] + f64::EPSILON.max(cuts[i - 1].abs() * 1e-12);
+            }
+        }
+        Self { config, cuts, normalize: false }
+    }
+
+    /// Encode a series into symbol indices `0..alphabet`.
+    pub fn encode(&self, series: &[f64]) -> Vec<u8> {
+        let paa = self.paa(series);
+        let values: Vec<f64> = if self.normalize { z_normalize(&paa) } else { paa };
+        values.iter().map(|&v| self.symbol(v)).collect()
+    }
+
+    /// Encode into the letters `'a'..` used in the paper's tables.
+    pub fn encode_letters(&self, series: &[f64]) -> String {
+        self.encode(series)
+            .into_iter()
+            .map(|s| (b'a' + s) as char)
+            .collect()
+    }
+
+    /// Map one (already-normalized, if applicable) value to its symbol.
+    fn symbol(&self, v: f64) -> u8 {
+        // 'a' is v <= cuts[0] for reorder-aware (cut 0 is 0.0, and
+        // negatives map below it); partition by first cut >= v.
+        let mut s = self.cuts.len() as u8;
+        for (i, c) in self.cuts.iter().enumerate() {
+            if v < *c {
+                s = i as u8;
+                break;
+            }
+        }
+        s
+    }
+
+    /// Piecewise Aggregate Approximation with the configured frame size.
+    fn paa(&self, series: &[f64]) -> Vec<f64> {
+        let f = self.config.paa_frame.max(1);
+        if f == 1 {
+            return series.to_vec();
+        }
+        series
+            .chunks(f)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+
+    /// The fitted cut points.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+}
+
+/// Standard-normal quantile breakpoints for an alphabet of size `a`:
+/// `a − 1` cuts at `Φ⁻¹(i/a)`.
+fn gaussian_breakpoints(a: usize) -> Vec<f64> {
+    (1..a).map(|i| inverse_normal_cdf(i as f64 / a as f64)).collect()
+}
+
+/// Acklam's rational approximation of the standard normal quantile
+/// function (max abs error ~1.15e-9).
+fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument out of (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+fn z_normalize(xs: &[f64]) -> Vec<f64> {
+    let m = crate::descriptive::mean(xs);
+    let s = crate::descriptive::std_dev(xs);
+    if s < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_breakpoints_match_tables() {
+        // Published SAX breakpoints for alphabet 4: [-0.67, 0, 0.67].
+        let cuts = gaussian_breakpoints(4);
+        assert!((cuts[0] + 0.6745).abs() < 1e-3);
+        assert!(cuts[1].abs() < 1e-9);
+        assert!((cuts[2] - 0.6745).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_normal_reference_points() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classic_encoding_is_equiprobable_on_gaussian_like_data() {
+        // A ramp z-normalizes to a uniform spread; with alphabet 2 the
+        // halves split evenly.
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let enc = SaxEncoder::classic(SaxConfig { alphabet: 2, paa_frame: 1 });
+        let symbols = enc.encode(&series);
+        let zeros = symbols.iter().filter(|&&s| s == 0).count();
+        assert_eq!(zeros, 50);
+    }
+
+    #[test]
+    fn reorder_aware_maps_negatives_to_a() {
+        let reference: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let enc = SaxEncoder::reorder_aware(SaxConfig::default(), &reference);
+        let symbols = enc.encode_letters(&[-5.0, -0.001, 0.0, 10.0, 99.0, 1000.0]);
+        let chars: Vec<char> = symbols.chars().collect();
+        assert_eq!(chars[0], 'a');
+        assert_eq!(chars[1], 'a');
+        assert_ne!(chars[2], 'a'); // zero is not a reordering
+        assert_eq!(chars[5], 'f'); // beyond all cuts -> last symbol
+        // Monotone: larger values never map to smaller symbols.
+        assert!(chars.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reorder_aware_quantile_cuts_balance_positives() {
+        let reference: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let enc = SaxEncoder::reorder_aware(SaxConfig::default(), &reference);
+        let symbols = enc.encode(&reference);
+        // 5 positive symbols over 1000 uniform values: ~200 each.
+        for s in 1..=5u8 {
+            let count = symbols.iter().filter(|&&x| x == s).count();
+            assert!((150..=250).contains(&count), "symbol {s}: {count}");
+        }
+    }
+
+    #[test]
+    fn paa_aggregates_frames() {
+        let enc = SaxEncoder::classic(SaxConfig { alphabet: 4, paa_frame: 2 });
+        let paa = enc.paa(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(paa, vec![2.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn constant_series_is_single_symbol() {
+        let enc = SaxEncoder::classic(SaxConfig::default());
+        let symbols = enc.encode(&vec![5.0; 20]);
+        assert!(symbols.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn empty_reference_still_encodes() {
+        let enc = SaxEncoder::reorder_aware(SaxConfig::default(), &[]);
+        let s = enc.encode_letters(&[-1.0, 0.5, 10.0]);
+        assert_eq!(s.chars().next(), Some('a'));
+    }
+}

@@ -1,0 +1,260 @@
+//! Exact t-SNE (t-distributed Stochastic Neighbor Embedding).
+//!
+//! Fig. 4b of the paper is a t-SNE plot of instance-test feature vectors
+//! (van der Maaten & Hinton, JMLR 2008). The instance test embeds ~60
+//! points, so the exact O(N²) algorithm is more than fast enough; no
+//! Barnes–Hut approximation is needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbors). Typical: 5–50.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 10.0, iterations: 500, learning_rate: 100.0, exaggeration: 4.0, seed: 0 }
+    }
+}
+
+/// Embed `points` (row-major, equal dimension) into 2-D.
+///
+/// Returns one `[x, y]` pair per input point. Deterministic given the
+/// config seed. Panics on fewer than 3 points or inconsistent dimensions.
+pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "inconsistent dimensions");
+
+    // Pairwise squared distances in input space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Conditional probabilities p_{j|i} with per-point bandwidth found by
+    // binary search on perplexity.
+    let mut p = vec![0.0f64; n * n];
+    let target_entropy = config.perplexity.max(1.01).ln();
+    for i in 0..n {
+        let mut beta = 1.0; // 1 / (2 sigma^2)
+        let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+        for _ in 0..64 {
+            let (entropy, row) = row_probabilities(&d2, n, i, beta);
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                for j in 0..n {
+                    p[i * n + j] = row[j];
+                }
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+            for j in 0..n {
+                p[i * n + j] = row[j];
+            }
+        }
+    }
+
+    // Symmetrize and normalize.
+    let mut pij = vec![0.0f64; n * n];
+    let norm = 2.0 * n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / norm).max(1e-12);
+        }
+    }
+
+    // Initialize embedding with small Gaussian noise (Box–Muller).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| {
+            [gaussian(&mut rng) * 1e-2, gaussian(&mut rng) * 1e-2]
+        })
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let mut gains = vec![[1.0f64; 2]; n];
+
+    let exaggeration_until = config.iterations / 4;
+    for it in 0..config.iterations {
+        let exag = if it < exaggeration_until { config.exaggeration } else { 1.0 };
+        let momentum = if it < exaggeration_until { 0.5 } else { 0.8 };
+
+        // Low-dimensional affinities q_{ij} (Student-t kernel).
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+
+        // Gradient.
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = qnum[i * n + j];
+                let coeff = (exag * pij[i * n + j] - q / qsum) * q;
+                grad[0] += 4.0 * coeff * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                // Adaptive gains as in the reference implementation.
+                gains[i][k] = if grad[k].signum() != velocity[i][k].signum() {
+                    gains[i][k] + 0.2
+                } else {
+                    (gains[i][k] * 0.8).max(0.01)
+                };
+                velocity[i][k] =
+                    momentum * velocity[i][k] - config.learning_rate * gains[i][k] * grad[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Re-center.
+        let cx = y.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let cy = y.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        for point in y.iter_mut() {
+            point[0] -= cx;
+            point[1] -= cy;
+        }
+    }
+    y
+}
+
+/// Shannon entropy and probabilities of row `i` at bandwidth `beta`.
+fn row_probabilities(d2: &[f64], n: usize, i: usize, beta: f64) -> (f64, Vec<f64>) {
+    let mut row = vec![0.0f64; n];
+    let mut sum = 0.0;
+    for j in 0..n {
+        if j != i {
+            let v = (-beta * d2[i * n + j]).exp();
+            row[j] = v;
+            sum += v;
+        }
+    }
+    if sum <= 0.0 {
+        // Degenerate: all other points infinitely far; uniform fallback.
+        let u = 1.0 / (n - 1) as f64;
+        for (j, item) in row.iter_mut().enumerate() {
+            *item = if j == i { 0.0 } else { u };
+        }
+        return ((n as f64 - 1.0).ln(), row);
+    }
+    let mut entropy = 0.0;
+    for (j, item) in row.iter_mut().enumerate() {
+        if j != i {
+            *item /= sum;
+            if *item > 1e-12 {
+                entropy -= *item * item.ln();
+            }
+        }
+    }
+    (entropy, row)
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller transform; avoids a rand_distr dependency.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![cx + rng.random::<f64>() * 0.2, cy + rng.random::<f64>() * 0.2])
+            .collect()
+    }
+
+    #[test]
+    fn separable_clusters_stay_separable() {
+        let mut pts = blob(0.0, 0.0, 10, 1);
+        pts.extend(blob(20.0, 0.0, 10, 2));
+        let emb = tsne(&pts, &TsneConfig { iterations: 300, ..Default::default() });
+        assert_eq!(emb.len(), 20);
+        // Mean intra-cluster distance must be far below inter-cluster.
+        let centroid = |range: std::ops::Range<usize>| -> [f64; 2] {
+            let mut c = [0.0; 2];
+            for i in range.clone() {
+                c[0] += emb[i][0];
+                c[1] += emb[i][1];
+            }
+            [c[0] / range.len() as f64, c[1] / range.len() as f64]
+        };
+        let c0 = centroid(0..10);
+        let c1 = centroid(10..20);
+        let inter = ((c0[0] - c1[0]).powi(2) + (c0[1] - c1[1]).powi(2)).sqrt();
+        let intra: f64 = (0..10)
+            .map(|i| ((emb[i][0] - c0[0]).powi(2) + (emb[i][1] - c0[1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / 10.0;
+        assert!(inter > 3.0 * intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blob(0.0, 0.0, 8, 3);
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        assert_eq!(tsne(&pts, &cfg), tsne(&pts, &cfg));
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let pts = blob(5.0, 5.0, 12, 4);
+        let emb = tsne(&pts, &TsneConfig { iterations: 100, ..Default::default() });
+        let cx: f64 = emb.iter().map(|p| p[0]).sum::<f64>() / emb.len() as f64;
+        let cy: f64 = emb.iter().map(|p| p[1]).sum::<f64>() / emb.len() as f64;
+        assert!(cx.abs() < 1e-6 && cy.abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_identical_points() {
+        let pts = vec![vec![1.0, 2.0]; 5];
+        let emb = tsne(&pts, &TsneConfig { iterations: 50, ..Default::default() });
+        assert_eq!(emb.len(), 5);
+        assert!(emb.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+}

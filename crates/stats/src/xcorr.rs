@@ -1,0 +1,120 @@
+//! Normalized cross-correlation of time series.
+//!
+//! The instance test (Fig. 4) clusters runs using, "as features, the
+//! cross-correlation between the iBoxNet rate and delay time series and
+//! their respective ground truth time series". This module provides the
+//! zero-lag normalized cross-correlation (Pearson correlation of aligned
+//! series) and a max-over-lags variant robust to small timing offsets.
+
+/// Pearson correlation of two equal-length series; 0 if either is constant
+/// or the series are empty. Panics on length mismatch.
+pub fn normalized_xcorr(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = crate::descriptive::mean(a);
+    let mb = crate::descriptive::mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va < 1e-24 || vb < 1e-24 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Maximum Pearson correlation over integer lags in `[-max_lag, max_lag]`
+/// (shifting `b` relative to `a`, correlating the overlap).
+///
+/// Small emulation-timing offsets between a simulated and a real run
+/// otherwise depress the zero-lag correlation; the instance test uses a
+/// modest `max_lag` to absorb them.
+pub fn xcorr_feature(a: &[f64], b: &[f64], max_lag: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut best = f64::NEG_INFINITY;
+    let max_lag = max_lag.min(n.saturating_sub(2));
+    for lag in 0..=max_lag {
+        // b shifted right by `lag`: correlate a[lag..] with b[..n-lag].
+        let c1 = normalized_xcorr(&a[lag..], &b[..n - lag]);
+        // b shifted left by `lag`.
+        let c2 = normalized_xcorr(&a[..n - lag], &b[lag..]);
+        best = best.max(c1).max(c2);
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_correlate_perfectly() {
+        let a = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((normalized_xcorr(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negated_series_anticorrelate() {
+        let a = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((normalized_xcorr(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 5.0];
+        assert_eq!(normalized_xcorr(&a, &b), 0.0);
+        assert_eq!(normalized_xcorr(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn scale_and_offset_invariance() {
+        let a = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| 10.0 * x + 7.0).collect();
+        assert!((normalized_xcorr(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lagged_correlation_recovered_by_feature() {
+        // A spike train shifted by 2 samples.
+        let mut a = vec![0.0; 50];
+        let mut b = vec![0.0; 50];
+        for i in (0..50).step_by(10) {
+            a[i] = 1.0;
+            if i + 2 < 50 {
+                b[i + 2] = 1.0;
+            }
+        }
+        let zero_lag = normalized_xcorr(&a, &b);
+        let with_lag = xcorr_feature(&a, &b, 3);
+        assert!(zero_lag < 0.5);
+        assert!(with_lag > 0.9, "with_lag = {with_lag}");
+    }
+
+    #[test]
+    fn feature_is_symmetric_in_shift_direction() {
+        let a = [0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0]; // a shifted right
+        let c = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0]; // a shifted left
+        assert!(xcorr_feature(&a, &b, 2) > 0.9);
+        assert!(xcorr_feature(&a, &c, 2) > 0.9);
+    }
+}

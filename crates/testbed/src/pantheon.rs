@@ -1,0 +1,149 @@
+//! Pantheon-style dataset generation.
+//!
+//! Pantheon gathered "tens of thousands of 30-second traces" of many
+//! congestion-control protocols over the same set of paths. This module
+//! reproduces the shape of that corpus: N randomized instances of a
+//! [`Profile`], each measured with one or more protocols. Paired
+//! generation runs every protocol over the *same* path instance (same
+//! seed ⇒ same rate process, cross traffic, loss draws), which is what
+//! makes the ground-truth A/B comparison of Fig. 2 exact.
+
+use ibox_cc::by_name;
+use ibox_sim::{PathEmulator, SimTime};
+use ibox_trace::{FlowTrace, TraceDataset};
+
+use crate::profile::{PathInstance, Profile};
+
+/// Standard Pantheon trace length (30 s).
+pub const PANTHEON_DURATION: SimTime = SimTime(30_000_000_000);
+
+/// Run one protocol over one path instance and return its (normalized)
+/// input-output trace.
+///
+/// Panics on an unknown protocol name — a harness bug.
+pub fn run_protocol(
+    inst: &PathInstance,
+    protocol: &str,
+    duration: SimTime,
+    seed: u64,
+) -> FlowTrace {
+    let cc = by_name(protocol)
+        .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
+    let mut emu = PathEmulator::new(inst.path.clone(), duration).with_name(inst.name.clone());
+    for c in &inst.cross {
+        emu = emu.with_cross_traffic(c.clone());
+    }
+    let out = emu.run_sender(cc, format!("run{seed}"), seed);
+    out.traces.into_iter().next().expect("one recorded flow").normalized()
+}
+
+/// Generate a dataset of `n` runs of `protocol` over `profile`, one fresh
+/// path instance per run (instance seed = `base_seed + i`).
+pub fn generate_dataset(
+    profile: Profile,
+    protocol: &str,
+    n: usize,
+    duration: SimTime,
+    base_seed: u64,
+) -> TraceDataset {
+    let traces = (0..n)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            let inst = profile.sample(seed, duration);
+            run_protocol(&inst, protocol, duration, seed)
+        })
+        .collect();
+    TraceDataset::from_traces(format!("{}/{}", profile.name(), protocol), traces)
+}
+
+/// Generate paired datasets: for each of `n` path instances, run *every*
+/// protocol over the identical instance (identical hidden network state).
+/// Returns one dataset per protocol, in the order given.
+pub fn generate_paired_datasets(
+    profile: Profile,
+    protocols: &[&str],
+    n: usize,
+    duration: SimTime,
+    base_seed: u64,
+) -> Vec<TraceDataset> {
+    let mut out: Vec<TraceDataset> = protocols
+        .iter()
+        .map(|p| TraceDataset::new(format!("{}/{}", profile.name(), p)))
+        .collect();
+    for i in 0..n {
+        let seed = base_seed + i as u64;
+        let inst = profile.sample(seed, duration);
+        for (k, proto) in protocols.iter().enumerate() {
+            out[k].traces.push(run_protocol(&inst, proto, duration, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_trace::metrics::TraceMetrics;
+
+    const SHORT: SimTime = SimTime(10_000_000_000);
+
+    #[test]
+    fn run_protocol_produces_a_plausible_trace() {
+        let inst = Profile::IndiaCellular.sample(1, SHORT);
+        let t = run_protocol(&inst, "cubic", SHORT, 1);
+        assert!(t.len() > 500, "packets = {}", t.len());
+        assert_eq!(t.meta.protocol, "cubic");
+        assert_eq!(t.records()[0].send_ns, 0, "trace must be normalized");
+        let m = TraceMetrics::of(&t);
+        assert!(m.avg_rate_mbps > 0.5, "rate = {}", m.avg_rate_mbps);
+        assert!(m.p95_delay_ms > 10.0);
+    }
+
+    #[test]
+    fn dataset_has_n_runs_with_distinct_paths() {
+        let d = generate_dataset(Profile::IndiaCellular, "cubic", 3, SHORT, 10);
+        assert_eq!(d.len(), 3);
+        assert_ne!(d.traces[0].meta.path, d.traces[1].meta.path);
+        // Distinct path instances ⇒ distinct dynamics.
+        assert_ne!(d.traces[0], d.traces[1]);
+    }
+
+    #[test]
+    fn paired_datasets_share_instances() {
+        let ds = generate_paired_datasets(
+            Profile::IndiaCellular,
+            &["cubic", "vegas"],
+            2,
+            SHORT,
+            20,
+        );
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].traces[0].meta.path, ds[1].traces[0].meta.path);
+        assert_eq!(ds[0].traces[0].meta.protocol, "cubic");
+        assert_eq!(ds[1].traces[0].meta.protocol, "vegas");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_dataset(Profile::Ethernet, "reno", 2, SimTime::from_secs(3), 5);
+        let b = generate_dataset(Profile::Ethernet, "reno", 2, SimTime::from_secs(3), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown congestion-control protocol")]
+    fn unknown_protocol_panics() {
+        let inst = Profile::Ethernet.sample(1, SHORT);
+        run_protocol(&inst, "nope", SHORT, 1);
+    }
+
+    #[test]
+    fn cellular_traces_exhibit_reordering() {
+        let d = generate_dataset(Profile::IndiaCellular, "cubic", 2, SHORT, 33);
+        let any_reordering = d
+            .traces
+            .iter()
+            .any(|t| ibox_trace::metrics::overall_reordering_rate(t) > 0.0);
+        assert!(any_reordering, "cellular profile must reorder some packets");
+    }
+}

@@ -1,0 +1,264 @@
+//! Randomized network-path profiles.
+//!
+//! A profile is a distribution over [`PathInstance`]s: each `sample(seed)`
+//! draws a concrete path (rate process, delay, buffer, cross traffic,
+//! reordering) the way Pantheon's measurements sample real network
+//! conditions at different times.
+
+use rand::rngs::StdRng;
+
+use ibox_sim::rng::{self, uniform};
+use ibox_sim::{CrossTrafficCfg, PathConfig, RateModelCfg, ReorderCfg, SchedulerKind, SimTime};
+
+/// A concrete sampled path: the bottleneck plus its hidden cross traffic.
+#[derive(Debug, Clone)]
+pub struct PathInstance {
+    /// The bottleneck configuration (ground truth — never shown to models).
+    pub path: PathConfig,
+    /// Hidden non-adaptive cross-traffic sources.
+    pub cross: Vec<CrossTrafficCfg>,
+    /// Human-readable instance name (profile + seed).
+    pub name: String,
+}
+
+/// Families of network paths the testbed can synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Cellular-like: Markov-modulated capacity around a per-instance base
+    /// rate, generous (bufferbloat-era) buffers, on-off cross traffic, and
+    /// a little multipath reordering. FIFO queue.
+    IndiaCellular,
+    /// Cellular with a proportional-fair scheduler and fading — the
+    /// scheduling complexity the paper says iBoxNet must survive (§3.1.1).
+    IndiaCellularPf,
+    /// Clean wired path: fast constant rate, small delay, light Poisson
+    /// cross traffic, no reordering.
+    Ethernet,
+    /// A token-bucket-regulated link (the "variable bandwidth … token
+    /// bucket regulator" behaviour of §3.2).
+    TokenBucketWifi,
+}
+
+impl Profile {
+    /// The profile's name (used in trace metadata).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::IndiaCellular => "india-cellular",
+            Profile::IndiaCellularPf => "india-cellular-pf",
+            Profile::Ethernet => "ethernet",
+            Profile::TokenBucketWifi => "token-bucket-wifi",
+        }
+    }
+
+    /// Draw one concrete path instance. Deterministic per `(self, seed)`.
+    ///
+    /// `duration` bounds the cross-traffic schedules.
+    pub fn sample(self, seed: u64, duration: SimTime) -> PathInstance {
+        let mut r = rng::seeded(rng::derive_seed(seed, 0xA11CE));
+        match self {
+            Profile::IndiaCellular => self.cellular(&mut r, duration, SchedulerKind::Fifo, seed),
+            Profile::IndiaCellularPf => self.cellular(
+                &mut r,
+                duration,
+                SchedulerKind::ProportionalFair { fading: 0.3 },
+                seed,
+            ),
+            Profile::Ethernet => {
+                let rate = uniform(&mut r, 40e6, 80e6);
+                let delay = SimTime::from_micros(uniform(&mut r, 2_000.0, 10_000.0) as u64);
+                // Shallow switch buffers: a few ms at line rate.
+                let buffer = (rate / 8.0 * uniform(&mut r, 0.004, 0.012)) as u64;
+                let path = PathConfig {
+                    rate: RateModelCfg::constant(rate),
+                    prop_delay: delay,
+                    buffer_bytes: buffer.max(20_000),
+                    scheduler: SchedulerKind::Fifo,
+                    ack_delay: delay,
+                    random_loss: 0.0,
+                    reorder: None,
+                    jitter: None,
+                };
+                let cross = vec![CrossTrafficCfg::Poisson {
+                    mean_rate_bps: uniform(&mut r, 0.02, 0.1) * rate,
+                    pkt_size: 1200,
+                    start: SimTime::ZERO,
+                    stop: duration,
+                }];
+                PathInstance { path, cross, name: format!("{}#{seed}", self.name()) }
+            }
+            Profile::TokenBucketWifi => {
+                let fill = uniform(&mut r, 4e6, 15e6);
+                let delay = SimTime::from_millis(uniform(&mut r, 5.0, 25.0) as u64);
+                let path = PathConfig {
+                    rate: RateModelCfg::TokenBucket {
+                        fill_bps: fill,
+                        bucket_bytes: uniform(&mut r, 20_000.0, 120_000.0) as u64,
+                    },
+                    prop_delay: delay,
+                    buffer_bytes: (fill / 8.0 * uniform(&mut r, 0.1, 0.3)) as u64,
+                    scheduler: SchedulerKind::Fifo,
+                    ack_delay: delay,
+                    random_loss: uniform(&mut r, 0.0, 0.005),
+                    reorder: Some(ReorderCfg {
+                        probability: uniform(&mut r, 0.0, 0.01),
+                        extra_min: SimTime::from_millis(1),
+                        extra_max: SimTime::from_millis(8),
+                    }),
+                    jitter: None,
+                };
+                let cross = vec![CrossTrafficCfg::OnOff {
+                    rate_bps: uniform(&mut r, 0.1, 0.4) * fill,
+                    pkt_size: 1200,
+                    on: SimTime::from_secs_f64(uniform(&mut r, 1.0, 4.0)),
+                    off: SimTime::from_secs_f64(uniform(&mut r, 1.0, 6.0)),
+                    start: SimTime::ZERO,
+                    stop: duration,
+                }];
+                PathInstance { path, cross, name: format!("{}#{seed}", self.name()) }
+            }
+        }
+    }
+
+    fn cellular(
+        self,
+        r: &mut StdRng,
+        duration: SimTime,
+        scheduler: SchedulerKind,
+        seed: u64,
+    ) -> PathInstance {
+        // Per-instance base rate: 3–10 Mbps, with Markov states swinging
+        // ±30% around it on ~0.5 s dwell times — LTE-like variability.
+        let base = uniform(r, 3e6, 10e6);
+        let states = vec![0.7 * base, base, 1.35 * base];
+        let delay = SimTime::from_millis(uniform(r, 20.0, 60.0) as u64);
+        // Cellular buffers worth 60–160 ms at base rate: deep enough for
+        // visible bufferbloat, shallow enough that loss-based senders
+        // actually reach them — matching the 1–5% loss rates the paper's
+        // India Cellular runs report (Fig. 2b).
+        let buffer = (base / 8.0 * uniform(r, 0.06, 0.16)) as u64;
+        let path = PathConfig {
+            rate: RateModelCfg::Markov {
+                states,
+                mean_dwell: SimTime::from_millis(uniform(r, 300.0, 800.0) as u64),
+            },
+            prop_delay: delay,
+            buffer_bytes: buffer.max(30_000),
+            scheduler,
+            ack_delay: delay,
+            // Residual (post-HARQ) random loss is tiny on cellular links;
+            // anything larger would dominate a loss-based sender's
+            // dynamics, and congestion (buffer) loss is what the paper's
+            // India Cellular runs show.
+            random_loss: uniform(r, 0.0, 0.0005),
+            // Mild multipath reordering: a couple of percent of packets
+            // displaced by a few milliseconds (a handful of packet slots).
+            // Heavier displacement would make the sender's dup-ack loss
+            // detector dominate the dynamics, which real stacks avoid with
+            // RACK-style reorder tolerance.
+            reorder: Some(ReorderCfg {
+                probability: uniform(r, 0.005, 0.02),
+                extra_min: SimTime::from_millis(1),
+                extra_max: SimTime::from_millis(uniform(r, 4.0, 10.0) as u64),
+            }),
+            jitter: None,
+        };
+        // Hidden cross traffic: one bursty on-off source plus light
+        // Poisson background.
+        let cross = vec![
+            CrossTrafficCfg::OnOff {
+                rate_bps: uniform(r, 0.15, 0.45) * base,
+                pkt_size: 1200,
+                on: SimTime::from_secs_f64(uniform(r, 2.0, 6.0)),
+                off: SimTime::from_secs_f64(uniform(r, 2.0, 8.0)),
+                start: SimTime::from_secs_f64(uniform(r, 0.0, 5.0)),
+                stop: duration,
+            },
+            CrossTrafficCfg::Poisson {
+                mean_rate_bps: uniform(r, 0.02, 0.08) * base,
+                pkt_size: 800,
+                start: SimTime::ZERO,
+                stop: duration,
+            },
+        ];
+        PathInstance { path, cross, name: format!("{}#{seed}", self.name()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUR: SimTime = SimTime(30_000_000_000);
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for p in [
+            Profile::IndiaCellular,
+            Profile::IndiaCellularPf,
+            Profile::Ethernet,
+            Profile::TokenBucketWifi,
+        ] {
+            let a = p.sample(7, DUR);
+            let b = p.sample(7, DUR);
+            assert_eq!(a.path, b.path, "{} must be deterministic", p.name());
+            assert_eq!(a.cross, b.cross);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Profile::IndiaCellular.sample(1, DUR);
+        let b = Profile::IndiaCellular.sample(2, DUR);
+        assert_ne!(a.path, b.path);
+    }
+
+    #[test]
+    fn cellular_has_reordering_and_variable_rate() {
+        let inst = Profile::IndiaCellular.sample(3, DUR);
+        assert!(inst.path.reorder.is_some());
+        assert!(matches!(inst.path.rate, RateModelCfg::Markov { .. }));
+        assert_eq!(inst.path.scheduler, SchedulerKind::Fifo);
+        assert!(!inst.cross.is_empty());
+        inst.path.validate();
+    }
+
+    #[test]
+    fn pf_variant_uses_pf_scheduler() {
+        let inst = Profile::IndiaCellularPf.sample(3, DUR);
+        assert!(matches!(inst.path.scheduler, SchedulerKind::ProportionalFair { .. }));
+    }
+
+    #[test]
+    fn ethernet_is_clean_and_fast() {
+        let inst = Profile::Ethernet.sample(4, DUR);
+        assert!(inst.path.reorder.is_none());
+        assert_eq!(inst.path.random_loss, 0.0);
+        assert!(inst.path.rate.mean_rate_bps() >= 40e6);
+        inst.path.validate();
+    }
+
+    #[test]
+    fn token_bucket_profile_is_token_bucket() {
+        let inst = Profile::TokenBucketWifi.sample(5, DUR);
+        assert!(matches!(inst.path.rate, RateModelCfg::TokenBucket { .. }));
+        inst.path.validate();
+    }
+
+    #[test]
+    fn all_instances_validate() {
+        for p in [
+            Profile::IndiaCellular,
+            Profile::IndiaCellularPf,
+            Profile::Ethernet,
+            Profile::TokenBucketWifi,
+        ] {
+            for seed in 0..20 {
+                let inst = p.sample(seed, DUR);
+                inst.path.validate();
+                for c in &inst.cross {
+                    c.validate();
+                }
+            }
+        }
+    }
+}

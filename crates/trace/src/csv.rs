@@ -1,0 +1,181 @@
+//! CSV interchange for traces.
+//!
+//! JSON is the native artifact format, but real packet traces usually
+//! arrive as flat per-packet tables (tcpdump post-processing, Pantheon
+//! logs, spreadsheet exports). This module reads and writes a minimal
+//! four-column CSV so external traces can flow into the estimators:
+//!
+//! ```csv
+//! seq,send_ns,size,recv_ns
+//! 0,0,1400,31400000
+//! 1,1400000,1400,32800000
+//! 2,2800000,1400,          # empty recv_ns = lost
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::flow::{FlowMeta, FlowTrace};
+use crate::record::PacketRecord;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header row is missing or has the wrong columns.
+    BadHeader(String),
+    /// A data row failed to parse (1-based line number and reason).
+    BadRow(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader(h) => write!(f, "bad CSV header: {h:?}"),
+            CsvError::BadRow(line, why) => write!(f, "bad CSV row at line {line}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Expected header.
+pub const CSV_HEADER: &str = "seq,send_ns,size,recv_ns";
+
+/// Serialize a trace to CSV (header + one row per packet).
+pub fn to_csv(trace: &FlowTrace) -> String {
+    let mut out = String::with_capacity(trace.len() * 24 + 32);
+    let _ = writeln!(out, "{CSV_HEADER}");
+    for r in trace.records() {
+        match r.recv_ns {
+            Some(recv) => {
+                let _ = writeln!(out, "{},{},{},{}", r.seq, r.send_ns, r.size, recv);
+            }
+            None => {
+                let _ = writeln!(out, "{},{},{},", r.seq, r.send_ns, r.size);
+            }
+        }
+    }
+    out
+}
+
+/// Parse a trace from CSV. `meta` labels the result (CSV carries no
+/// metadata). Blank lines are skipped; a `#` prefix marks a comment.
+pub fn from_csv(text: &str, meta: FlowMeta) -> Result<FlowTrace, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+            Some((_, l)) => break l,
+            None => return Err(CsvError::BadHeader("<empty input>".into())),
+        }
+    };
+    if header.trim() != CSV_HEADER {
+        return Err(CsvError::BadHeader(header.to_string()));
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = trimmed.split(',').collect();
+        if cols.len() != 4 {
+            return Err(CsvError::BadRow(line_no, format!("{} columns", cols.len())));
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|e| CsvError::BadRow(line_no, format!("{what}: {e}")))
+        };
+        let seq = parse_u64(cols[0], "seq")?;
+        let send_ns = parse_u64(cols[1], "send_ns")?;
+        let size = parse_u64(cols[2], "size")? as u32;
+        let recv = cols[3].trim();
+        let rec = if recv.is_empty() {
+            PacketRecord::lost(seq, send_ns, size)
+        } else {
+            let recv_ns = parse_u64(recv, "recv_ns")?;
+            if recv_ns < send_ns {
+                return Err(CsvError::BadRow(
+                    line_no,
+                    format!("recv_ns {recv_ns} precedes send_ns {send_ns}"),
+                ));
+            }
+            PacketRecord::delivered(seq, send_ns, size, recv_ns)
+        };
+        records.push(rec);
+    }
+    Ok(FlowTrace::from_records(meta, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlowTrace {
+        FlowTrace::from_records(
+            FlowMeta::new("p", "cubic", "r0"),
+            vec![
+                PacketRecord::delivered(0, 0, 1400, 31_400_000),
+                PacketRecord::lost(1, 1_400_000, 1400),
+                PacketRecord::delivered(2, 2_800_000, 700, 40_000_000),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv, t.meta.clone()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn lost_packets_have_empty_recv() {
+        let csv = to_csv(&sample());
+        assert!(csv.lines().nth(2).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n# a comment\nseq,send_ns,size,recv_ns\n0,0,100,500\n\n# more\n1,10,100,\n";
+        let t = from_csv(text, FlowMeta::default()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lost_count(), 1);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = from_csv("a,b,c\n", FlowMeta::default()).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)));
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let text = "seq,send_ns,size,recv_ns\n0,0,100,500\nnope,0,100,\n";
+        match from_csv(text, FlowMeta::default()) {
+            Err(CsvError::BadRow(line, why)) => {
+                assert_eq!(line, 3);
+                assert!(why.contains("seq"));
+            }
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn causality_violations_are_rejected() {
+        let text = "seq,send_ns,size,recv_ns\n0,1000,100,500\n";
+        let err = from_csv(text, FlowMeta::default()).unwrap_err();
+        assert!(matches!(err, CsvError::BadRow(2, _)));
+    }
+
+    #[test]
+    fn wrong_column_count_is_rejected() {
+        let text = "seq,send_ns,size,recv_ns\n0,0,100\n";
+        assert!(matches!(
+            from_csv(text, FlowMeta::default()),
+            Err(CsvError::BadRow(2, _))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Collections of flow traces with persistence and splitting.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowTrace;
+
+/// A collection of flow traces — e.g. one Pantheon-like dataset of many runs
+/// of one protocol over randomized path instances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceDataset {
+    /// Dataset label (e.g. `"india-cellular/cubic"`).
+    pub name: String,
+    /// The member traces.
+    pub traces: Vec<FlowTrace>,
+}
+
+impl TraceDataset {
+    /// An empty dataset with a label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), traces: Vec::new() }
+    }
+
+    /// Build from traces.
+    pub fn from_traces(name: impl Into<String>, traces: Vec<FlowTrace>) -> Self {
+        Self { name: name.into(), traces }
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Deterministic split into (train, test): the first
+    /// `ceil(len * train_frac)` traces train, the rest test.
+    ///
+    /// The testbed already randomizes path instances per trace, so a
+    /// positional split is an unbiased split; keeping it deterministic makes
+    /// experiments reproducible without threading an RNG through.
+    pub fn split(&self, train_frac: f64) -> (TraceDataset, TraceDataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train fraction out of range");
+        let k = (self.traces.len() as f64 * train_frac).ceil() as usize;
+        let k = k.min(self.traces.len());
+        (
+            TraceDataset::from_traces(
+                format!("{}/train", self.name),
+                self.traces[..k].to_vec(),
+            ),
+            TraceDataset::from_traces(format!("{}/test", self.name), self.traces[k..].to_vec()),
+        )
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Write the dataset to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Read a dataset from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowMeta;
+    use crate::record::PacketRecord;
+
+    fn mk_dataset(n: usize) -> TraceDataset {
+        let traces = (0..n)
+            .map(|i| {
+                FlowTrace::from_records(
+                    FlowMeta::new("p", "cubic", i.to_string()),
+                    vec![PacketRecord::delivered(0, 0, 100, 1000 + i as u64)],
+                )
+            })
+            .collect();
+        TraceDataset::from_traces("test", traces)
+    }
+
+    #[test]
+    fn split_fractions() {
+        let d = mk_dataset(10);
+        let (train, test) = d.split(0.6);
+        assert_eq!(train.len(), 6);
+        assert_eq!(test.len(), 4);
+        let (train, test) = d.split(0.0);
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 10);
+        let (train, test) = d.split(1.0);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 0);
+    }
+
+    #[test]
+    fn split_is_positional_and_disjoint() {
+        let d = mk_dataset(5);
+        let (train, test) = d.split(0.4);
+        assert_eq!(train.traces[0].meta.run, "0");
+        assert_eq!(test.traces[0].meta.run, "2");
+        assert_eq!(train.len() + test.len(), d.len());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = mk_dataset(3);
+        let back = TraceDataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = mk_dataset(2);
+        let path = std::env::temp_dir().join("ibox_trace_dataset_test.json");
+        d.save(&path).unwrap();
+        let back = TraceDataset::load(&path).unwrap();
+        assert_eq!(d, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

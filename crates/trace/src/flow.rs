@@ -1,0 +1,287 @@
+//! The input-output trace of a single flow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::PacketRecord;
+use crate::time::ns_to_secs;
+
+/// Metadata describing where a trace came from.
+///
+/// iBox treats the network as a black box, so the metadata is purely
+/// descriptive (used for dataset bookkeeping and experiment labelling) and
+/// never consulted by the models.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowMeta {
+    /// Name of the network path (e.g. `"india-cellular"`).
+    pub path: String,
+    /// Name of the sender / congestion-control protocol (e.g. `"cubic"`).
+    pub protocol: String,
+    /// Free-form run label (e.g. seed or instance id).
+    pub run: String,
+}
+
+impl FlowMeta {
+    /// Construct metadata from the three labels.
+    pub fn new(
+        path: impl Into<String>,
+        protocol: impl Into<String>,
+        run: impl Into<String>,
+    ) -> Self {
+        Self { path: path.into(), protocol: protocol.into(), run: run.into() }
+    }
+}
+
+/// The input-output trace of one flow over a network path.
+///
+/// Records are kept **sorted by send time** (ties broken by sequence
+/// number); [`FlowTrace::push`] maintains the invariant and
+/// [`FlowTrace::from_records`] establishes it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Descriptive metadata.
+    pub meta: FlowMeta,
+    records: Vec<PacketRecord>,
+}
+
+impl FlowTrace {
+    /// An empty trace with the given metadata.
+    pub fn new(meta: FlowMeta) -> Self {
+        Self { meta, records: Vec::new() }
+    }
+
+    /// Build a trace from records, sorting them by send time.
+    ///
+    /// ```
+    /// use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
+    /// let trace = FlowTrace::from_records(
+    ///     FlowMeta::new("path", "cubic", "run0"),
+    ///     vec![
+    ///         PacketRecord::delivered(0, 0, 1400, 40_000_000),
+    ///         PacketRecord::lost(1, 1_000_000, 1400),
+    ///     ],
+    /// );
+    /// assert_eq!(trace.delivered_count(), 1);
+    /// assert_eq!(trace.loss_rate(), 0.5);
+    /// ```
+    pub fn from_records(meta: FlowMeta, mut records: Vec<PacketRecord>) -> Self {
+        records.sort_by_key(|r| (r.send_ns, r.seq));
+        Self { meta, records }
+    }
+
+    /// Append a record. Records must arrive in nondecreasing send order;
+    /// out-of-order pushes are re-sorted (rare path, e.g. merged traces).
+    pub fn push(&mut self, rec: PacketRecord) {
+        if let Some(last) = self.records.last() {
+            if (rec.send_ns, rec.seq) < (last.send_ns, last.seq) {
+                self.records.push(rec);
+                self.records.sort_by_key(|r| (r.send_ns, r.seq));
+                return;
+            }
+        }
+        self.records.push(rec);
+    }
+
+    /// All records, sorted by send time.
+    #[inline]
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Number of packets sent.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace has no packets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterator over delivered packets only.
+    pub fn delivered(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(|r| !r.is_lost())
+    }
+
+    /// Number of delivered packets.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered().count()
+    }
+
+    /// Number of lost packets.
+    pub fn lost_count(&self) -> usize {
+        self.records.iter().filter(|r| r.is_lost()).count()
+    }
+
+    /// Total bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.size)).sum()
+    }
+
+    /// Total bytes delivered.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.delivered().map(|r| u64::from(r.size)).sum()
+    }
+
+    /// Send-side duration (first send to last send), seconds.
+    pub fn send_duration_secs(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => ns_to_secs(b.send_ns - a.send_ns),
+            _ => 0.0,
+        }
+    }
+
+    /// Wall-clock span covered by the trace: first send to the latest of
+    /// (last send, last receive), in seconds.
+    pub fn span_secs(&self) -> f64 {
+        let Some(first) = self.records.first() else { return 0.0 };
+        let mut end = self.records.last().map(|r| r.send_ns).unwrap_or(first.send_ns);
+        for r in self.delivered() {
+            end = end.max(r.recv_ns.expect("delivered"));
+        }
+        ns_to_secs(end - first.send_ns)
+    }
+
+    /// Minimum one-way delay over delivered packets, nanoseconds.
+    ///
+    /// iBoxNet uses this as the propagation-delay estimate (§3).
+    pub fn min_delay_ns(&self) -> Option<u64> {
+        self.delivered().filter_map(|r| r.delay_ns()).min()
+    }
+
+    /// Maximum one-way delay over delivered packets, nanoseconds.
+    pub fn max_delay_ns(&self) -> Option<u64> {
+        self.delivered().filter_map(|r| r.delay_ns()).max()
+    }
+
+    /// Loss rate in `[0, 1]` (lost / sent). Zero for an empty trace.
+    pub fn loss_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.lost_count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Delivered packets sorted by *receive* time — the receiver's view,
+    /// used for reordering analysis.
+    pub fn arrival_order(&self) -> Vec<&PacketRecord> {
+        let mut v: Vec<&PacketRecord> = self.delivered().collect();
+        v.sort_by_key(|r| (r.recv_ns.expect("delivered"), r.seq));
+        v
+    }
+
+    /// Shift all timestamps so that the first send is at t = 0.
+    ///
+    /// Models treat traces as starting at zero; the testbed records absolute
+    /// simulation time, so datasets normalize on export.
+    pub fn normalized(&self) -> FlowTrace {
+        let Some(first) = self.records.first() else { return self.clone() };
+        let t0 = first.send_ns;
+        let records = self
+            .records
+            .iter()
+            .map(|r| PacketRecord {
+                seq: r.seq,
+                send_ns: r.send_ns - t0,
+                size: r.size,
+                recv_ns: r.recv_ns.map(|x| x - t0),
+            })
+            .collect();
+        Self { meta: self.meta.clone(), records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MILLIS, SECONDS};
+
+    fn sample() -> FlowTrace {
+        let meta = FlowMeta::new("p", "cubic", "0");
+        FlowTrace::from_records(
+            meta,
+            vec![
+                PacketRecord::delivered(0, 0, 1000, 50 * MILLIS),
+                PacketRecord::delivered(1, 10 * MILLIS, 1000, 70 * MILLIS),
+                PacketRecord::lost(2, 20 * MILLIS, 1000),
+                PacketRecord::delivered(3, 30 * MILLIS, 500, 60 * MILLIS),
+                PacketRecord::delivered(4, SECONDS, 1000, SECONDS + 40 * MILLIS),
+            ],
+        )
+    }
+
+    #[test]
+    fn counting() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.delivered_count(), 4);
+        assert_eq!(t.lost_count(), 1);
+        assert_eq!(t.bytes_sent(), 4500);
+        assert_eq!(t.bytes_delivered(), 3500);
+        assert!((t.loss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_extremes() {
+        let t = sample();
+        // seq 3: sent 30ms, received 60ms -> 30ms min.
+        assert_eq!(t.min_delay_ns(), Some(30 * MILLIS));
+        // seq 1: sent 10ms, received 70ms -> 60ms max.
+        assert_eq!(t.max_delay_ns(), Some(60 * MILLIS));
+    }
+
+    #[test]
+    fn durations() {
+        let t = sample();
+        assert!((t.send_duration_secs() - 1.0).abs() < 1e-12);
+        assert!((t.span_secs() - 1.040).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_order_reflects_reordering() {
+        let t = sample();
+        let order: Vec<u64> = t.arrival_order().iter().map(|r| r.seq).collect();
+        // seq 3 arrives (60ms) before seq 1 finished? No: 1 arrives at 70ms,
+        // 3 at 60ms, so arrival order is 0, 3, 1, 4.
+        assert_eq!(order, vec![0, 3, 1, 4]);
+    }
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut t = FlowTrace::new(FlowMeta::default());
+        t.push(PacketRecord::delivered(1, 100, 1, 200));
+        t.push(PacketRecord::delivered(0, 50, 1, 300)); // out of order
+        let seqs: Vec<u64> = t.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn normalization_zeroes_first_send() {
+        let t = sample();
+        let mut shifted = t.clone();
+        shifted = FlowTrace::from_records(
+            shifted.meta.clone(),
+            shifted
+                .records()
+                .iter()
+                .map(|r| PacketRecord {
+                    seq: r.seq,
+                    send_ns: r.send_ns + 5 * SECONDS,
+                    size: r.size,
+                    recv_ns: r.recv_ns.map(|x| x + 5 * SECONDS),
+                })
+                .collect(),
+        );
+        assert_eq!(shifted.normalized(), t);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: FlowTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ibox-trace
+//!
+//! Packet-trace data model for the iBox reproduction.
+//!
+//! iBox ("Internet in a Box", HotNets '20) turns *input-output packet
+//! traces* of a network path into simulation models. This crate defines the
+//! canonical trace representation shared by every other crate in the
+//! workspace:
+//!
+//! * [`PacketRecord`] — one packet: send timestamp, size, and (optional)
+//!   receive timestamp. A lost packet is a record with no receive timestamp
+//!   (the paper models loss as "infinite delay").
+//! * [`FlowTrace`] — the input-output trace of one flow: an ordered sequence
+//!   of [`PacketRecord`]s plus metadata.
+//! * [`TraceDataset`] — a collection of flow traces (e.g. a Pantheon-like
+//!   dataset of many runs) with JSON (de)serialization and train/test
+//!   splitting.
+//! * [`series`] — time-series views over a trace (send-rate series, delay
+//!   series, inter-arrival differences, …) used as model features.
+//! * [`metrics`] — the summary metrics the paper's figures report
+//!   (average rate, 95th-percentile delay, loss %, per-window reordering
+//!   rate).
+//!
+//! Timestamps are integer **nanoseconds** (`u64`) to keep traces exact and
+//! deterministic; series and metrics convert to `f64` seconds at the edges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod flow;
+pub mod metrics;
+pub mod record;
+pub mod series;
+pub mod time;
+
+pub use csv::{from_csv, to_csv, CsvError};
+pub use dataset::TraceDataset;
+pub use flow::{FlowMeta, FlowTrace};
+pub use metrics::TraceMetrics;
+pub use record::PacketRecord;
+pub use series::TimeSeries;
+pub use time::{ns_to_secs, secs_to_ns, MICROS, MILLIS, SECONDS};

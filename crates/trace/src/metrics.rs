@@ -1,0 +1,209 @@
+//! Summary metrics reported by the paper's figures.
+//!
+//! Fig. 2/3 plot each run as (average rate, 95th-percentile delay, loss %);
+//! Fig. 5 plots the distribution of per-1 s-window reordering rates. This
+//! module computes all of them from a [`FlowTrace`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowTrace;
+use crate::time::secs_to_ns;
+
+/// Per-run summary metrics (one scatter point in the paper's Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceMetrics {
+    /// Mean delivered throughput over the trace span, megabits per second.
+    pub avg_rate_mbps: f64,
+    /// 95th-percentile one-way delay over delivered packets, milliseconds.
+    pub p95_delay_ms: f64,
+    /// Packet loss percentage in `[0, 100]`.
+    pub loss_pct: f64,
+    /// Mean per-1 s-window reordering rate (fraction of delivered packets
+    /// arriving out of order), `[0, 1]`.
+    pub mean_reorder_rate: f64,
+}
+
+impl TraceMetrics {
+    /// Compute all summary metrics for a trace.
+    pub fn of(trace: &FlowTrace) -> Self {
+        Self {
+            avg_rate_mbps: avg_rate_mbps(trace),
+            p95_delay_ms: delay_percentile_ms(trace, 0.95).unwrap_or(0.0),
+            loss_pct: trace.loss_rate() * 100.0,
+            mean_reorder_rate: {
+                let rates = reordering_rates(trace, 1.0);
+                if rates.is_empty() {
+                    0.0
+                } else {
+                    rates.iter().sum::<f64>() / rates.len() as f64
+                }
+            },
+        }
+    }
+}
+
+/// Mean delivered throughput over the trace span, Mbps.
+pub fn avg_rate_mbps(trace: &FlowTrace) -> f64 {
+    let span = trace.span_secs();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    trace.bytes_delivered() as f64 * 8.0 / span / 1e6
+}
+
+/// Delay percentile over delivered packets, milliseconds.
+///
+/// `q` in `[0, 1]`; uses the nearest-rank method on the sorted delays.
+/// Returns `None` if no packets were delivered.
+pub fn delay_percentile_ms(trace: &FlowTrace, q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "percentile out of range");
+    let mut delays: Vec<u64> = trace.delivered().filter_map(|r| r.delay_ns()).collect();
+    if delays.is_empty() {
+        return None;
+    }
+    delays.sort_unstable();
+    let rank = ((q * delays.len() as f64).ceil() as usize).clamp(1, delays.len());
+    Some(delays[rank - 1] as f64 / 1e6)
+}
+
+/// Per-window reordering rates (Fig. 5): for each window of `window_secs`
+/// (aligned to the first arrival, indexed by arrival time), the fraction of
+/// delivered packets in that window that arrived **out of order** — i.e.
+/// whose sequence number is smaller than the maximum sequence number already
+/// seen at the receiver.
+///
+/// Windows with no arrivals are skipped (they have no defined rate).
+pub fn reordering_rates(trace: &FlowTrace, window_secs: f64) -> Vec<f64> {
+    assert!(window_secs > 0.0, "window must be positive");
+    let arrivals = trace.arrival_order();
+    if arrivals.is_empty() {
+        return Vec::new();
+    }
+    let window_ns = secs_to_ns(window_secs).max(1);
+    let t0 = arrivals[0].recv_ns.expect("delivered");
+    let n_windows =
+        ((arrivals.last().expect("nonempty").recv_ns.expect("delivered") - t0) / window_ns + 1)
+            as usize;
+    let mut total = vec![0usize; n_windows];
+    let mut reordered = vec![0usize; n_windows];
+    let mut max_seq_seen: Option<u64> = None;
+    for r in arrivals {
+        let idx = ((r.recv_ns.expect("delivered") - t0) / window_ns) as usize;
+        total[idx] += 1;
+        if let Some(m) = max_seq_seen {
+            if r.seq < m {
+                reordered[idx] += 1;
+            }
+        }
+        max_seq_seen = Some(max_seq_seen.map_or(r.seq, |m| m.max(r.seq)));
+    }
+    total
+        .iter()
+        .zip(&reordered)
+        .filter(|(t, _)| **t > 0)
+        .map(|(t, r)| *r as f64 / *t as f64)
+        .collect()
+}
+
+/// Overall reordering rate: out-of-order arrivals / delivered packets.
+pub fn overall_reordering_rate(trace: &FlowTrace) -> f64 {
+    let arrivals = trace.arrival_order();
+    if arrivals.is_empty() {
+        return 0.0;
+    }
+    let mut max_seq_seen: Option<u64> = None;
+    let mut reordered = 0usize;
+    for r in &arrivals {
+        if let Some(m) = max_seq_seen {
+            if r.seq < m {
+                reordered += 1;
+            }
+        }
+        max_seq_seen = Some(max_seq_seen.map_or(r.seq, |m| m.max(r.seq)));
+    }
+    reordered as f64 / arrivals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowMeta;
+    use crate::record::PacketRecord;
+    use crate::time::{MILLIS, SECONDS};
+
+    fn mk(records: Vec<PacketRecord>) -> FlowTrace {
+        FlowTrace::from_records(FlowMeta::default(), records)
+    }
+
+    #[test]
+    fn avg_rate_uses_span() {
+        // 1 MB delivered over a 2 s span -> 4 Mbps.
+        let t = mk(vec![
+            PacketRecord::delivered(0, 0, 500_000, SECONDS),
+            PacketRecord::delivered(1, SECONDS, 500_000, 2 * SECONDS),
+        ]);
+        assert!((avg_rate_mbps(&t) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        // Delays 10..=100 ms in 10 ms steps.
+        let recs: Vec<_> = (0..10u64)
+            .map(|i| PacketRecord::delivered(i, 0, 100, (i + 1) * 10 * MILLIS))
+            .collect();
+        let t = mk(recs);
+        assert_eq!(delay_percentile_ms(&t, 0.95), Some(100.0));
+        assert_eq!(delay_percentile_ms(&t, 0.50), Some(50.0));
+        assert_eq!(delay_percentile_ms(&t, 0.0), Some(10.0));
+        assert_eq!(delay_percentile_ms(&t, 1.0), Some(100.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        let t = mk(vec![PacketRecord::lost(0, 0, 100)]);
+        assert_eq!(delay_percentile_ms(&t, 0.95), None);
+    }
+
+    #[test]
+    fn reordering_detected_per_window() {
+        // Window 0 (arrivals in [0, 1s)): seqs arrive 0, 2, 1 -> one
+        // reordered of three. Window 1: in-order.
+        let t = mk(vec![
+            PacketRecord::delivered(0, 0, 100, 10 * MILLIS),
+            PacketRecord::delivered(1, MILLIS, 100, 30 * MILLIS),
+            PacketRecord::delivered(2, 2 * MILLIS, 100, 20 * MILLIS),
+            PacketRecord::delivered(3, SECONDS, 100, SECONDS + 10 * MILLIS),
+            PacketRecord::delivered(4, SECONDS, 100, SECONDS + 20 * MILLIS),
+        ]);
+        let rates = reordering_rates(&t, 1.0);
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rates[1], 0.0);
+        assert!((overall_reordering_rate(&t) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_order_trace_has_zero_reordering() {
+        let recs: Vec<_> = (0..100u64)
+            .map(|i| PacketRecord::delivered(i, i * MILLIS, 100, (i + 20) * MILLIS))
+            .collect();
+        let t = mk(recs);
+        assert_eq!(overall_reordering_rate(&t), 0.0);
+        assert!(reordering_rates(&t, 1.0).iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn metrics_bundle() {
+        let t = mk(vec![
+            PacketRecord::delivered(0, 0, 1000, 50 * MILLIS),
+            PacketRecord::lost(1, MILLIS, 1000),
+            PacketRecord::delivered(2, 2 * MILLIS, 1000, 60 * MILLIS),
+            PacketRecord::delivered(3, 3 * MILLIS, 1000, 70 * MILLIS),
+        ]);
+        let m = TraceMetrics::of(&t);
+        assert!((m.loss_pct - 25.0).abs() < 1e-12);
+        assert!((m.p95_delay_ms - 67.0).abs() < 1e-9); // delays 50, 58, 67 ms
+        assert!(m.avg_rate_mbps > 0.0);
+        assert_eq!(m.mean_reorder_rate, 0.0);
+    }
+}

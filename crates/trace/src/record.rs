@@ -1,0 +1,92 @@
+//! A single packet's input-output record.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::ns_to_secs;
+
+/// The input-output record of one packet on a network path.
+///
+/// iBox's problem formulation (§2 of the paper) expresses end-to-end
+/// behaviour purely as per-packet delay: each packet enters the path at
+/// `send_ns` and leaves it at `recv_ns`; loss is "infinite delay", which we
+/// encode as `recv_ns == None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Monotone per-flow sequence number assigned at the sender.
+    pub seq: u64,
+    /// Time the packet entered the path (sender-side), nanoseconds.
+    pub send_ns: u64,
+    /// Packet size in bytes (including headers; iBox does not distinguish).
+    pub size: u32,
+    /// Time the packet left the path (receiver-side), nanoseconds.
+    /// `None` means the packet was lost.
+    pub recv_ns: Option<u64>,
+}
+
+impl PacketRecord {
+    /// A delivered packet.
+    pub fn delivered(seq: u64, send_ns: u64, size: u32, recv_ns: u64) -> Self {
+        debug_assert!(recv_ns >= send_ns, "packet received before it was sent");
+        Self { seq, send_ns, size, recv_ns: Some(recv_ns) }
+    }
+
+    /// A lost packet.
+    pub fn lost(seq: u64, send_ns: u64, size: u32) -> Self {
+        Self { seq, send_ns, size, recv_ns: None }
+    }
+
+    /// Whether the packet was lost.
+    #[inline]
+    pub fn is_lost(&self) -> bool {
+        self.recv_ns.is_none()
+    }
+
+    /// One-way delay in nanoseconds, or `None` if the packet was lost.
+    #[inline]
+    pub fn delay_ns(&self) -> Option<u64> {
+        self.recv_ns.map(|r| r.saturating_sub(self.send_ns))
+    }
+
+    /// One-way delay in seconds, or `None` if the packet was lost.
+    #[inline]
+    pub fn delay_secs(&self) -> Option<f64> {
+        self.delay_ns().map(ns_to_secs)
+    }
+
+    /// One-way delay in milliseconds, or `None` if the packet was lost.
+    #[inline]
+    pub fn delay_ms(&self) -> Option<f64> {
+        self.delay_ns().map(|d| d as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MILLIS;
+
+    #[test]
+    fn delivered_packet_has_delay() {
+        let p = PacketRecord::delivered(7, 1_000, 1500, 1_000 + 40 * MILLIS);
+        assert!(!p.is_lost());
+        assert_eq!(p.delay_ns(), Some(40 * MILLIS));
+        assert_eq!(p.delay_ms(), Some(40.0));
+        assert_eq!(p.delay_secs(), Some(0.040));
+    }
+
+    #[test]
+    fn lost_packet_has_no_delay() {
+        let p = PacketRecord::lost(3, 5_000, 1200);
+        assert!(p.is_lost());
+        assert_eq!(p.delay_ns(), None);
+        assert_eq!(p.delay_ms(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = PacketRecord::delivered(1, 2, 3, 4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PacketRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,67 @@
+//! Time unit helpers.
+//!
+//! All trace timestamps are integer nanoseconds since the start of the run.
+//! These constants and conversions keep unit handling explicit at the
+//! boundaries where traces meet floating-point analytics.
+
+/// Nanoseconds in one microsecond.
+pub const MICROS: u64 = 1_000;
+/// Nanoseconds in one millisecond.
+pub const MILLIS: u64 = 1_000_000;
+/// Nanoseconds in one second.
+pub const SECONDS: u64 = 1_000_000_000;
+
+/// Convert integer nanoseconds to floating-point seconds.
+#[inline]
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / SECONDS as f64
+}
+
+/// Convert floating-point seconds to integer nanoseconds (saturating at 0).
+///
+/// Negative inputs clamp to zero; this is deliberate, because trace
+/// timestamps are offsets from the start of a run and can never be negative.
+#[inline]
+pub fn secs_to_ns(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * SECONDS as f64).round() as u64
+    }
+}
+
+/// Convert integer nanoseconds to floating-point milliseconds.
+#[inline]
+pub fn ns_to_millis(ns: u64) -> f64 {
+    ns as f64 / MILLIS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(SECONDS, 1_000 * MILLIS);
+        assert_eq!(MILLIS, 1_000 * MICROS);
+    }
+
+    #[test]
+    fn roundtrip_secs() {
+        for ns in [0u64, 1, 999, MILLIS, SECONDS, 30 * SECONDS + 123_456] {
+            let secs = ns_to_secs(ns);
+            assert_eq!(secs_to_ns(secs), ns, "roundtrip failed for {ns}");
+        }
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(secs_to_ns(-1.5), 0);
+        assert_eq!(secs_to_ns(0.0), 0);
+    }
+
+    #[test]
+    fn millis_conversion() {
+        assert_eq!(ns_to_millis(2 * MILLIS + MILLIS / 2), 2.5);
+    }
+}

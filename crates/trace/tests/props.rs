@@ -1,0 +1,128 @@
+//! Property-based tests for the trace data model and its series/metrics.
+
+use proptest::prelude::*;
+
+use ibox_trace::metrics::{avg_rate_mbps, delay_percentile_ms, reordering_rates};
+use ibox_trace::series::{peak_recv_rate_bps, send_rate_series, trailing_send_rate};
+use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
+
+/// Strategy: a plausible random trace (sorted send times, delays, losses).
+fn arb_trace() -> impl Strategy<Value = FlowTrace> {
+    prop::collection::vec(
+        (
+            0u64..30_000,        // send offset, ms
+            100u32..1500,        // size
+            1u64..500,           // delay, ms
+            prop::bool::weighted(0.9), // delivered?
+        ),
+        1..200,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|(t, _, _, _)| *t);
+        let records = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t_ms, size, d_ms, delivered))| {
+                let send = t_ms * 1_000_000;
+                if delivered {
+                    PacketRecord::delivered(i as u64, send, size, send + d_ms * 1_000_000)
+                } else {
+                    PacketRecord::lost(i as u64, send, size)
+                }
+            })
+            .collect();
+        FlowTrace::from_records(FlowMeta::default(), records)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The peak sliding-window receive rate is an upper bound on any
+    /// fixed-window rate and at least the long-run average.
+    #[test]
+    fn peak_rate_dominates(trace in arb_trace()) {
+        prop_assume!(trace.delivered_count() > 1);
+        let peak = peak_recv_rate_bps(&trace, 1.0);
+        let span = trace.span_secs();
+        prop_assume!(span > 1.0);
+        let avg = trace.bytes_delivered() as f64 * 8.0 / span;
+        prop_assert!(peak + 1e-6 >= avg, "peak {peak} < avg {avg}");
+    }
+
+    /// Normalization is idempotent and preserves counts, delays, metrics.
+    #[test]
+    fn normalization_is_idempotent(trace in arb_trace()) {
+        let once = trace.normalized();
+        let twice = once.normalized();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.len(), trace.len());
+        prop_assert_eq!(once.lost_count(), trace.lost_count());
+        prop_assert_eq!(once.min_delay_ns(), trace.min_delay_ns());
+        prop_assert_eq!(once.max_delay_ns(), trace.max_delay_ns());
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max delay.
+    #[test]
+    fn delay_percentiles_are_monotone(trace in arb_trace()) {
+        prop_assume!(trace.delivered_count() > 0);
+        let mut last = 0.0f64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let p = delay_percentile_ms(&trace, q).unwrap();
+            prop_assert!(p + 1e-9 >= last, "percentile not monotone at {q}");
+            last = p;
+        }
+        let min = trace.min_delay_ns().unwrap() as f64 / 1e6;
+        let max = trace.max_delay_ns().unwrap() as f64 / 1e6;
+        prop_assert!((delay_percentile_ms(&trace, 0.0).unwrap() - min).abs() < 1e-6);
+        prop_assert!((delay_percentile_ms(&trace, 1.0).unwrap() - max).abs() < 1e-6);
+    }
+
+    /// Reordering rates live in [0, 1] per window.
+    #[test]
+    fn reordering_rates_are_fractions(trace in arb_trace()) {
+        for r in reordering_rates(&trace, 1.0) {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    /// The fixed-window send-rate series accounts for every sent byte.
+    #[test]
+    fn send_rate_series_conserves_bytes(trace in arb_trace()) {
+        prop_assume!(!trace.is_empty());
+        let s = send_rate_series(&trace, 1.0);
+        let total: f64 = s.v.iter().map(|bps| bps / 8.0).sum(); // bytes (1 s windows)
+        prop_assert!(
+            (total - trace.bytes_sent() as f64).abs() < 1.0,
+            "windows sum {total} vs sent {}",
+            trace.bytes_sent()
+        );
+    }
+
+    /// The trailing send-rate feature is positive and bounded by the
+    /// whole-trace burst ceiling.
+    #[test]
+    fn trailing_rate_is_sane(trace in arb_trace()) {
+        prop_assume!(!trace.is_empty());
+        let rates = trailing_send_rate(&trace, 1.0);
+        prop_assert_eq!(rates.len(), trace.len());
+        let ceiling = trace.bytes_sent() as f64 * 8.0; // all bytes in one window
+        for r in rates {
+            prop_assert!(r > 0.0 && r <= ceiling + 1.0);
+        }
+    }
+
+    /// avg_rate is nonnegative and zero only for empty/zero-span traces.
+    #[test]
+    fn avg_rate_nonnegative(trace in arb_trace()) {
+        prop_assert!(avg_rate_mbps(&trace) >= 0.0);
+    }
+
+    /// JSON serde roundtrips any trace exactly.
+    #[test]
+    fn serde_roundtrip(trace in arb_trace()) {
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: FlowTrace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the whole iBox loop in one file.
+//!
+//! 1. Run a real congestion-control protocol (Cubic) over a ground-truth
+//!    network with hidden cross traffic, collecting its input-output trace
+//!    — the only thing iBox ever sees.
+//! 2. Fit an iBoxNet model `(b, d, B, C)` from that trace alone.
+//! 3. Counterfactual: run a *different* protocol (Vegas) over the fitted
+//!    model, and compare against Vegas on the real network.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ibox::IBoxNet;
+use ibox_cc::{Cubic, Vegas};
+use ibox_sim::{CrossTrafficCfg, PathConfig, PathEmulator, SimTime};
+use ibox_trace::metrics::TraceMetrics;
+
+fn main() {
+    // --- 1. The "real" network: 8 Mbps, 30 ms, 120 KB buffer, plus a
+    // 2 Mbps cross-traffic burst in the middle that iBox must discover.
+    let duration = SimTime::from_secs(20);
+    let real_network = PathEmulator::new(
+        PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
+        duration,
+    )
+    .with_name("real-path")
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        2e6,
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    ));
+
+    println!("measuring cubic on the real network…");
+    let out = real_network.run_sender(Box::new(Cubic::new()), "measure", 1);
+    let cubic_trace = out.trace("measure").unwrap().normalized();
+    println!(
+        "  {} packets, {:.2} Mbps, p95 delay {:.1} ms, loss {:.2}%",
+        cubic_trace.len(),
+        TraceMetrics::of(&cubic_trace).avg_rate_mbps,
+        TraceMetrics::of(&cubic_trace).p95_delay_ms,
+        TraceMetrics::of(&cubic_trace).loss_pct,
+    );
+
+    // --- 2. Fit iBoxNet from the trace alone.
+    let model = IBoxNet::fit(&cubic_trace);
+    println!("\nfitted iBoxNet profile:");
+    println!("  bandwidth  : {:.2} Mbps (true: 8.00)", model.params.bandwidth_bps / 1e6);
+    println!(
+        "  prop delay : {:.1} ms (true: 30.0 + serialization)",
+        model.params.prop_delay.as_millis_f64()
+    );
+    println!("  buffer     : {} bytes (true: 120000)", model.params.buffer_bytes);
+    println!(
+        "  cross traffic recovered: {:.0} KB (true: 2 Mbps x 10 s = 2500 KB, lower bound)",
+        model.cross.total_bytes() / 1e3
+    );
+
+    // --- 3. Counterfactual: Vegas over the fitted model vs. reality.
+    println!("\ncounterfactual: vegas over the fitted model vs the real network");
+    let vegas_sim = model.simulate("vegas", duration, 42);
+    let vegas_real = real_network
+        .run_sender(Box::new(Vegas::new()), "v", 1)
+        .trace("v")
+        .unwrap()
+        .normalized();
+    let (m_sim, m_real) = (TraceMetrics::of(&vegas_sim), TraceMetrics::of(&vegas_real));
+    println!("  metric          real       iBoxNet");
+    println!("  rate (Mbps)     {:<10.2} {:.2}", m_real.avg_rate_mbps, m_sim.avg_rate_mbps);
+    println!("  p95 delay (ms)  {:<10.1} {:.1}", m_real.p95_delay_ms, m_sim.p95_delay_ms);
+    println!("  loss (%)        {:<10.2} {:.2}", m_real.loss_pct, m_sim.loss_pct);
+
+    // The fitted profile is a shareable artifact (the paper's promised
+    // "iBoxNet profiles").
+    let json = model.to_json();
+    println!("\nprofile serializes to {} bytes of JSON", json.len());
+}

@@ -1,0 +1,16 @@
+//! `ibox-suite` — workspace-root package that hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! The library itself re-exports the member crates for convenience so that
+//! examples can `use ibox_suite::prelude::*`.
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use ibox::{self};
+    pub use ibox_cc as cc;
+    pub use ibox_ml as ml;
+    pub use ibox_sim as sim;
+    pub use ibox_stats as stats;
+    pub use ibox_testbed as testbed;
+    pub use ibox_trace as trace;
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) on the simulator's and analytics'
+//! invariants, with randomized configurations.
+
+use proptest::prelude::*;
+
+use ibox_sim::{
+    CrossTrafficCfg, FixedRate, FixedWindow, PathConfig, PathEmulator, SimTime,
+};
+use ibox_stats::{ks_two_sample, Cdf, SaxConfig, SaxEncoder};
+use ibox_trace::metrics::overall_reordering_rate;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Conservation: every sent packet resolves as delivered or lost, the
+    /// trace length equals the sent count, and min delay is bounded below
+    /// by propagation + one serialization time.
+    #[test]
+    fn simulator_conservation_and_delay_floor(
+        rate_mbps in 2.0f64..20.0,
+        delay_ms in 5u64..80,
+        buffer_kb in 10u64..200,
+        window in 4.0f64..128.0,
+        seed in 0u64..1000,
+    ) {
+        let path = PathConfig::simple(
+            rate_mbps * 1e6,
+            SimTime::from_millis(delay_ms),
+            buffer_kb * 1000,
+        );
+        let emu = PathEmulator::new(path, SimTime::from_secs(4));
+        let out = emu.run_sender(Box::new(FixedWindow::new(window)), "p", seed);
+        let stats = &out.flow_stats[0];
+        prop_assert_eq!(stats.sent, stats.delivered + stats.lost);
+        let trace = &out.traces[0];
+        prop_assert_eq!(trace.len() as u64, stats.sent);
+
+        let floor_ns = delay_ms * 1_000_000
+            + (1400.0 * 8.0 / (rate_mbps * 1e6) * 1e9) as u64;
+        if let Some(min) = trace.min_delay_ns() {
+            prop_assert!(
+                min + 1000 >= floor_ns,
+                "min delay {} below physical floor {}",
+                min,
+                floor_ns
+            );
+        }
+        // No reordering on a plain FIFO path.
+        prop_assert_eq!(overall_reordering_rate(trace), 0.0);
+    }
+
+    /// Max queueing delay is bounded by the buffer drain time: delay ≤
+    /// prop + (buffer + packet) / rate (+ slack for rounding).
+    #[test]
+    fn queueing_delay_bounded_by_buffer(
+        rate_mbps in 2.0f64..12.0,
+        buffer_kb in 10u64..120,
+        send_factor in 1.1f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let rate = rate_mbps * 1e6;
+        let path = PathConfig::simple(rate, SimTime::from_millis(20), buffer_kb * 1000);
+        let emu = PathEmulator::new(path, SimTime::from_secs(4));
+        // Overdrive the link so the buffer pins.
+        let out = emu.run_sender(Box::new(FixedRate::new(rate * send_factor)), "p", seed);
+        let trace = &out.traces[0];
+        let bound_secs = 0.020 + (buffer_kb as f64 * 1000.0 + 1400.0) * 8.0 / rate + 0.002;
+        if let Some(max) = trace.max_delay_ns() {
+            prop_assert!(
+                (max as f64) / 1e9 <= bound_secs,
+                "max delay {} exceeds buffer bound {}",
+                max as f64 / 1e9,
+                bound_secs
+            );
+        }
+        // Overdriven link must drop.
+        prop_assert!(trace.loss_rate() > 0.0);
+    }
+
+    /// Cross traffic can only reduce the main flow's delivered share.
+    #[test]
+    fn cross_traffic_never_helps(
+        rate_mbps in 4.0f64..12.0,
+        ct_frac in 0.3f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let rate = rate_mbps * 1e6;
+        let mk = |with_ct: bool| {
+            let mut emu = PathEmulator::new(
+                PathConfig::simple(rate, SimTime::from_millis(20), 60_000),
+                SimTime::from_secs(4),
+            );
+            if with_ct {
+                emu = emu.with_cross_traffic(CrossTrafficCfg::cbr(
+                    ct_frac * rate,
+                    SimTime::ZERO,
+                    SimTime::from_secs(4),
+                ));
+            }
+            let out = emu.run_sender(Box::new(FixedWindow::new(256.0)), "p", seed);
+            out.flow_stats[0].delivered
+        };
+        prop_assert!(mk(true) <= mk(false));
+    }
+
+    /// KS-test properties: D(x, x) = 0; D is symmetric; D ∈ [0, 1].
+    #[test]
+    fn ks_test_properties(
+        a in prop::collection::vec(-1e3f64..1e3, 2..60),
+        b in prop::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let self_test = ks_two_sample(&a, &a);
+        prop_assert_eq!(self_test.statistic, 0.0);
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+    }
+
+    /// Empirical CDFs are monotone, and quantile/eval agree at the sample
+    /// points.
+    #[test]
+    fn cdf_is_monotone(sample in prop::collection::vec(-1e3f64..1e3, 1..80)) {
+        let cdf = Cdf::new(&sample);
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let curve = cdf.curve(lo - 1.0, hi + 1.0, 20);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    /// SAX encoding is monotone in the value: bigger inputs never get a
+    /// smaller symbol, and negative values always map to 'a' in the
+    /// reorder-aware variant.
+    #[test]
+    fn sax_reorder_aware_monotone(
+        reference in prop::collection::vec(0.0f64..1e3, 8..100),
+        probe in prop::collection::vec(-1e2f64..1e3, 2..50),
+    ) {
+        let enc = SaxEncoder::reorder_aware(SaxConfig::default(), &reference);
+        let mut sorted = probe.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let symbols = enc.encode(&sorted);
+        for w in symbols.windows(2) {
+            prop_assert!(w[1] >= w[0], "symbols must be monotone");
+        }
+        for (v, s) in sorted.iter().zip(&symbols) {
+            if *v < 0.0 {
+                prop_assert_eq!(*s, 0, "negative values are 'a'");
+            }
+        }
+    }
+}
