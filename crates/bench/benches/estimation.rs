@@ -44,11 +44,7 @@ fn bench_estimation(c: &mut Criterion) {
     let params = StaticParams::estimate(&trace);
     group.bench_function("cross_traffic_estimate", |b| {
         b.iter(|| {
-            black_box(CrossTrafficEstimate::estimate(
-                black_box(&trace),
-                &params,
-                DEFAULT_BIN_SECS,
-            ))
+            black_box(CrossTrafficEstimate::estimate(black_box(&trace), &params, DEFAULT_BIN_SECS))
         })
     });
 
@@ -73,7 +69,7 @@ fn bench_estimation(c: &mut Criterion) {
                         clip: 5.0,
                         loss_weight: 0.2,
                         delay_weight: 1.0,
-            ..Default::default()
+                        ..Default::default()
                     },
                     seed: 1,
                 },

@@ -38,6 +38,7 @@ fn gt_trace(seed: u64) -> FlowTrace {
 }
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("ablations");
     let scale = Scale::from_args();
     let n = scale.pick(2, 6);
     let traces: Vec<FlowTrace> = (0..n as u64).map(gt_trace).collect();
@@ -73,10 +74,7 @@ fn main() {
     // 2. Bandwidth window sweep.
     let mut rows = Vec::new();
     for window in [0.1, 0.25, 0.5, 1.0, 2.0, 5.0] {
-        let ratios: Vec<f64> = traces
-            .iter()
-            .map(|t| peak_recv_rate_bps(t, window) / 8e6)
-            .collect();
+        let ratios: Vec<f64> = traces.iter().map(|t| peak_recv_rate_bps(t, window) / 8e6).collect();
         rows.push(vec![format!("{window:.2} s"), cell(ibox_stats::mean(&ratios), 3)]);
     }
     print!(
@@ -113,4 +111,5 @@ fn main() {
             &rows,
         )
     );
+    bench.finish();
 }

@@ -25,13 +25,13 @@ use ibox_trace::series::send_rate_series;
 use ibox_trace::FlowTrace;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("extensions");
     let scale = Scale::from_args();
 
     // --- 1. Validity regions.
-    eprintln!("extensions: validity region…");
+    ibox_obs::info!("extensions: validity region…");
     let dur = SimTime::from_secs(scale.pick(8, 20) as u64);
-    let train: Vec<FlowTrace> =
-        (0..3).map(|i| bias_training_trace(0.3, dur, i)).collect();
+    let train: Vec<FlowTrace> = (0..3).map(|i| bias_training_trace(0.3, dur, i)).collect();
     let region = ValidityRegion::fit(&train);
     let fresh_rtc = bias_training_trace(0.3, dur, 99);
     let cbr = bias_test_trace(0.3, dur, 99);
@@ -57,20 +57,17 @@ fn main() {
     );
 
     // --- 2. Realism discriminator.
-    eprintln!("extensions: realism discriminator…");
+    ibox_obs::info!("extensions: realism discriminator…");
     let n = scale.pick(3, 8);
     let gt: Vec<FlowTrace> = (0..n as u64)
         .map(|i| {
-            PathEmulator::new(
-                PathConfig::simple(7e6, SimTime::from_millis(25), 100_000),
-                dur,
-            )
-            .run_sender(Box::new(Cubic::new()), "m", i)
-            .traces
-            .into_iter()
-            .next()
-            .expect("one recorded flow")
-            .normalized()
+            PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
+                .run_sender(Box::new(Cubic::new()), "m", i)
+                .traces
+                .into_iter()
+                .next()
+                .expect("one recorded flow")
+                .normalized()
         })
         .collect();
     let iboxnet_sims: Vec<FlowTrace> = gt
@@ -80,16 +77,13 @@ fn main() {
         .collect();
     let crude: Vec<FlowTrace> = (0..n as u64)
         .map(|i| {
-            PathEmulator::new(
-                PathConfig::simple(7e6, SimTime::from_millis(25), 100_000),
-                dur,
-            )
-            .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i)
-            .traces
-            .into_iter()
-            .next()
-            .expect("one recorded flow")
-            .normalized()
+            PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
+                .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i)
+                .traces
+                .into_iter()
+                .next()
+                .expect("one recorded flow")
+                .normalized()
         })
         .collect();
     let r_net = realism_test(&gt, &iboxnet_sims);
@@ -116,7 +110,7 @@ fn main() {
     );
 
     // --- 3. Adaptive cross traffic on the instance scenario.
-    eprintln!("extensions: adaptive cross traffic…");
+    ibox_obs::info!("extensions: adaptive cross traffic…");
     let scenario = InstanceScenario::new(1); // CT in [20, 30) s
     let fit_trace = run_instance(&scenario, "cubic", 3);
     let model = IBoxNet::fit(&fit_trace);
@@ -141,10 +135,7 @@ fn main() {
     rows.push(vec!["iBoxNet (replay CT)".to_string(), cell(dip(&replay_sim), 3)]);
     if let Some(a) = adaptive {
         let sim = a.simulate(&model, "cubic", INSTANCE_DURATION, 9);
-        rows.push(vec![
-            format!("iBoxNet (adaptive, {} cubic)", a.n_flows),
-            cell(dip(&sim), 3),
-        ]);
+        rows.push(vec![format!("iBoxNet (adaptive, {} cubic)", a.n_flows), cell(dip(&sim), 3)]);
     }
     print!(
         "{}",
@@ -154,4 +145,5 @@ fn main() {
             &rows,
         )
     );
+    bench.finish();
 }

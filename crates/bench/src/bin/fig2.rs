@@ -16,15 +16,17 @@ use ibox_testbed::pantheon::{generate_paired_datasets, PANTHEON_DURATION};
 use ibox_testbed::Profile;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig2");
     let scale = Scale::from_args();
     let n = scale.pick(6, 30);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => PANTHEON_DURATION,
     };
-    eprintln!("fig2: generating {n} paired cubic/vegas runs on india-cellular…");
-    let ds = generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
-    eprintln!("fig2: fitting iBoxNet per trace and replaying both protocols…");
+    ibox_obs::info!("fig2: generating {n} paired cubic/vegas runs on india-cellular…");
+    let ds =
+        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
+    ibox_obs::info!("fig2: fitting iBoxNet per trace and replaying both protocols…");
     let report = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 7);
 
     // Distribution summary (the shape Fig. 2's markers encode).
@@ -50,9 +52,18 @@ fn main() {
             "Fig. 2 — metric distributions (rate Mbps | p95 delay ms | loss %)",
             &[
                 "population",
-                "rate.mean", "rate.p25", "rate.p50", "rate.p75",
-                "d95.mean", "d95.p25", "d95.p50", "d95.p75",
-                "loss.mean", "loss.p25", "loss.p50", "loss.p75",
+                "rate.mean",
+                "rate.p25",
+                "rate.p50",
+                "rate.p75",
+                "d95.mean",
+                "d95.p25",
+                "d95.p50",
+                "d95.p75",
+                "loss.mean",
+                "loss.p25",
+                "loss.p50",
+                "loss.p75",
             ],
             &rows,
         )
@@ -116,4 +127,5 @@ fn main() {
             &scatter,
         )
     );
+    bench.finish();
 }

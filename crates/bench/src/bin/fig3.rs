@@ -17,14 +17,16 @@ use ibox_testbed::pantheon::{generate_paired_datasets, PANTHEON_DURATION};
 use ibox_testbed::Profile;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig3");
     let scale = Scale::from_args();
     let n = scale.pick(6, 30);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => PANTHEON_DURATION,
     };
-    eprintln!("fig3: generating {n} paired cubic/vegas runs…");
-    let ds = generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
+    ibox_obs::info!("fig3: generating {n} paired cubic/vegas runs…");
+    let ds =
+        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
 
     let kinds = [
         ModelKind::IBoxNet,
@@ -38,7 +40,7 @@ fn main() {
     let reports: Vec<EnsembleReport> = kinds
         .iter()
         .map(|k| {
-            eprintln!("fig3: evaluating {}…", k.name());
+            ibox_obs::info!("fig3: evaluating {}…", k.name());
             ensemble_test(&ds[0], &ds[1], *k, duration, 7)
         })
         .collect();
@@ -108,4 +110,5 @@ fn main() {
             &bias_rows,
         )
     );
+    bench.finish();
 }

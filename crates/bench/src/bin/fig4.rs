@@ -14,13 +14,19 @@ use ibox::abtest::instance_test;
 use ibox_bench::{cell, render_table, Scale};
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig4");
     let scale = Scale::from_args();
     let runs = scale.pick(3, 10);
-    eprintln!("fig4: running instance test with {runs} runs per pattern…");
+    ibox_obs::info!("fig4: running instance test with {runs} runs per pattern…");
     let report = instance_test(runs, "vegas", 42);
 
-    println!("## Fig. 4 — instance test (treatment: Vegas, {runs} GT + {runs} sim runs per pattern)");
-    println!("k-means (k=3) clustering purity: {:.3} (1.000 = the paper's \"no mistakes\")", report.purity);
+    println!(
+        "## Fig. 4 — instance test (treatment: Vegas, {runs} GT + {runs} sim runs per pattern)"
+    );
+    println!(
+        "k-means (k=3) clustering purity: {:.3} (1.000 = the paper's \"no mistakes\")",
+        report.purity
+    );
     println!();
 
     // Confusion: cluster x true pattern.
@@ -84,4 +90,5 @@ fn main() {
             &emb_rows,
         )
     );
+    bench.finish();
 }

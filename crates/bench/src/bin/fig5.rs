@@ -30,6 +30,7 @@ fn pooled_rates(traces: &[FlowTrace]) -> Vec<f64> {
 }
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig5");
     let scale = Scale::from_args();
     let n_train = scale.pick(4, 24);
     let n_test = scale.pick(3, 16);
@@ -37,7 +38,7 @@ fn main() {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => SimTime::from_secs(30),
     };
-    eprintln!("fig5: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
+    ibox_obs::info!("fig5: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
     let ds = generate_paired_datasets(
         Profile::IndiaCellular,
         &["cubic", "vegas"],
@@ -49,7 +50,7 @@ fn main() {
     let (vegas_train, vegas_test) = ds[1].split(n_train as f64 / (n_train + n_test) as f64);
 
     // iBoxML trained on the Vegas training split (§4.1's setup).
-    eprintln!("fig5: training iBoxML on {} vegas traces…", vegas_train.len());
+    ibox_obs::info!("fig5: training iBoxML on {} vegas traces…", vegas_train.len());
     let ml_cfg = IBoxMlConfig {
         hidden_sizes: vec![24, 24],
         with_cross_traffic: false,
@@ -68,12 +69,12 @@ fn main() {
     let iboxml = IBoxMl::fit(&vegas_train.traces, ml_cfg);
 
     // Reordering predictors trained on the Cubic training split (§5.1).
-    eprintln!("fig5: training reorder predictors on {} cubic traces…", cubic_train.len());
+    ibox_obs::info!("fig5: training reorder predictors on {} cubic traces…", cubic_train.len());
     let lstm = ReorderLstm::fit(&cubic_train.traces, 16, scale.pick(3, 8), 3);
     let linear = ReorderLinear::fit(&cubic_train.traces);
 
     // Evaluate on the Vegas test split.
-    eprintln!("fig5: evaluating on {} vegas test traces…", vegas_test.len());
+    ibox_obs::info!("fig5: evaluating on {} vegas test traces…", vegas_test.len());
     let mut gt_traces = Vec::new();
     let mut ml_traces = Vec::new();
     let mut net_traces = Vec::new();
@@ -131,10 +132,7 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(
-            "Fig. 5 — mean per-window reordering rate",
-            &["series", "mean"],
-            &mean_rows,
-        )
+        render_table("Fig. 5 — mean per-window reordering rate", &["series", "mean"], &mean_rows,)
     );
+    bench.finish();
 }

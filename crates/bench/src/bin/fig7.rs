@@ -20,6 +20,7 @@ use ibox_testbed::rtc::{bias_test_trace, bias_training_trace, BIAS_CT_LEVELS};
 use ibox_trace::FlowTrace;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig7");
     let scale = Scale::from_args();
     let seeds_per_level = scale.pick(1, 3);
     let duration = match scale {
@@ -32,7 +33,7 @@ fn main() {
     // delay spikes at ON edges — rare enough that delays stay low overall
     // (the bias), correlated enough with the cross-traffic estimate that
     // the §5.2 melding can learn from them.
-    eprintln!("fig7: generating RTC training traces…");
+    ibox_obs::info!("fig7: generating RTC training traces…");
     let mut train: Vec<FlowTrace> = Vec::new();
     for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
         for s in 0..seeds_per_level {
@@ -41,7 +42,7 @@ fn main() {
     }
 
     // Test corpus: high-rate CBR at the same cross-traffic levels.
-    eprintln!("fig7: generating CBR test traces…");
+    ibox_obs::info!("fig7: generating CBR test traces…");
     let mut test: Vec<FlowTrace> = Vec::new();
     for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
         test.push(bias_test_trace(*level, duration, (900 + li) as u64));
@@ -66,7 +67,7 @@ fn main() {
         delay_weight: 1.0,
         ..Default::default()
     };
-    eprintln!("fig7: training iBoxML without cross-traffic input…");
+    ibox_obs::info!("fig7: training iBoxML without cross-traffic input…");
     let without = IBoxMl::fit(
         &train,
         IBoxMlConfig {
@@ -77,7 +78,7 @@ fn main() {
             seed: 21,
         },
     );
-    eprintln!("fig7: training iBoxML with cross-traffic input…");
+    ibox_obs::info!("fig7: training iBoxML with cross-traffic input…");
     let with = IBoxMl::fit(
         &train,
         IBoxMlConfig {
@@ -98,12 +99,9 @@ fn main() {
     // about systematic bias in what the model *expects*, so the mean —
     // not a variance-inflated sample — is the honest probe.
     let pred = |model: &IBoxMl| -> Vec<f64> {
-        test.iter()
-            .flat_map(|t| model.predict_delays(t))
-            .map(|d| d * 1e3)
-            .collect()
+        test.iter().flat_map(|t| model.predict_delays(t)).map(|d| d * 1e3).collect()
     };
-    eprintln!("fig7: predicting test delays…");
+    ibox_obs::info!("fig7: predicting test delays…");
     let without_delays = pred(&without);
     let with_delays = pred(&with);
 
@@ -170,4 +168,5 @@ fn main() {
             &rows2,
         )
     );
+    bench.finish();
 }

@@ -15,6 +15,7 @@ use ibox_testbed::pantheon::generate_paired_datasets;
 use ibox_testbed::Profile;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("fig8");
     let scale = Scale::from_args();
     let n_train = scale.pick(3, 16);
     let n_test = scale.pick(3, 12);
@@ -22,7 +23,7 @@ fn main() {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => SimTime::from_secs(30),
     };
-    eprintln!("fig8: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
+    ibox_obs::info!("fig8: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
     let ds = generate_paired_datasets(
         Profile::IndiaCellular,
         &["cubic", "vegas"],
@@ -34,7 +35,7 @@ fn main() {
     let (_, vegas_test) = ds[1].split(n_train as f64 / (n_train + n_test) as f64);
 
     // iBoxNet simulations of the test set (reordering-free by construction).
-    eprintln!("fig8: simulating iBoxNet traces…");
+    ibox_obs::info!("fig8: simulating iBoxNet traces…");
     let net_traces: Vec<_> = vegas_test
         .traces
         .iter()
@@ -57,7 +58,7 @@ fn main() {
     println!();
 
     // (b) Augment with the learned LSTM reorder model and re-compare.
-    eprintln!("fig8: training the LSTM reorder model and augmenting…");
+    ibox_obs::info!("fig8: training the LSTM reorder model and augmenting…");
     let lstm = ReorderLstm::fit(&cubic_train.traces, 16, scale.pick(3, 8), 3);
     let augmented: Vec<_> = net_traces
         .iter()
@@ -103,4 +104,5 @@ fn main() {
             println!("  length-1 pattern {p:?} gt-frequency {}", cell(f * 100.0, 2));
         }
     }
+    bench.finish();
 }

@@ -17,6 +17,7 @@ use ibox_testbed::pantheon::generate_paired_datasets;
 use ibox_testbed::Profile;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("profiles");
     let scale = Scale::from_args();
     let n = scale.pick(4, 15);
     let duration = match scale {
@@ -31,7 +32,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for p in profiles {
-        eprintln!("profiles: {} ({n} paired runs)…", p.name());
+        ibox_obs::info!("profiles: {} ({n} paired runs)…", p.name());
         let ds = generate_paired_datasets(p, &["cubic", "vegas"], n, duration, 5_000);
         let r = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 11);
         rows.push(vec![
@@ -52,4 +53,5 @@ fn main() {
             &rows,
         )
     );
+    bench.finish();
 }

@@ -18,6 +18,7 @@ use ibox_testbed::pantheon::generate_paired_datasets;
 use ibox_testbed::Profile;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("protocols");
     let scale = Scale::from_args();
     let n = scale.pick(4, 15);
     let duration = match scale {
@@ -28,7 +29,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for b in treatments {
-        eprintln!("protocols: cubic -> {b} ({n} paired runs)…");
+        ibox_obs::info!("protocols: cubic -> {b} ({n} paired runs)…");
         let ds =
             generate_paired_datasets(Profile::IndiaCellular, &["cubic", b], n, duration, 21_000);
         let r = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 5);
@@ -51,17 +52,10 @@ fn main() {
         "{}",
         render_table(
             "Cross-protocol counterfactuals: iBoxNet fitted on Cubic, treatment swept",
-            &[
-                "pair",
-                "D(d95)",
-                "p(d95)",
-                "D(rate)",
-                "p(rate)",
-                "W1(d95) ms",
-                "W1(rate) Mbps",
-            ],
+            &["pair", "D(d95)", "p(d95)", "D(rate)", "p(rate)", "W1(d95) ms", "W1(rate) Mbps",],
             &rows,
         )
     );
     println!("(W1 = 1-D Wasserstein distance between GT and model metric distributions)");
+    bench.finish();
 }

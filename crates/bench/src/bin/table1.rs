@@ -19,9 +19,10 @@ use ibox_testbed::rtc::generate_calls;
 use ibox_trace::metrics::delay_percentile_ms;
 
 fn main() {
+    let bench = ibox_bench::BenchRun::start("table1");
     let scale = Scale::from_args();
     let n_calls = scale.pick(24, 540);
-    eprintln!("table1: generating {n_calls} synthetic RTC calls…");
+    ibox_obs::info!("table1: generating {n_calls} synthetic RTC calls…");
     let calls = generate_calls(n_calls, 31_000);
     let (mut train, test) = calls.split(0.7);
     // CPU budget: LSTM training cost is linear in total training packets;
@@ -31,7 +32,7 @@ fn main() {
     if train.traces.len() > cap {
         train.traces.truncate(cap);
     }
-    eprintln!("table1: {} training calls, {} test calls", train.len(), test.len());
+    ibox_obs::info!("table1: {} training calls, {} test calls", train.len(), test.len());
 
     let train_cfg = TrainConfig {
         epochs: scale.pick(3, 5),
@@ -54,7 +55,7 @@ fn main() {
         seeds
             .iter()
             .map(|seed| {
-                eprintln!(
+                ibox_obs::info!(
                     "table1: training iBoxML {} cross-traffic input (seed {seed})…",
                     if with_ct { "with" } else { "without" }
                 );
@@ -75,11 +76,7 @@ fn main() {
     let with = fit(true);
 
     // Ground-truth distribution of per-call p95 delays.
-    let gt: Vec<f64> = test
-        .traces
-        .iter()
-        .filter_map(|t| delay_percentile_ms(t, 0.95))
-        .collect();
+    let gt: Vec<f64> = test.traces.iter().filter_map(|t| delay_percentile_ms(t, 0.95)).collect();
     let gt_summary = quantile_summary(&gt).expect("test calls exist");
 
     let evaluate = |ensemble: &[IBoxMl]| -> Vec<String> {
@@ -101,7 +98,8 @@ fn main() {
             })
             .collect();
         let s = quantile_summary(&pred).expect("predictions exist");
-        let fmt = |p: f64, g: f64| format!("{:.0} ({:.0}%)", (p - g).abs(), (p - g).abs() / g * 100.0);
+        let fmt =
+            |p: f64, g: f64| format!("{:.0} ({:.0}%)", (p - g).abs(), (p - g).abs() / g * 100.0);
         vec![
             fmt(s.p25, gt_summary.p25),
             fmt(s.p50, gt_summary.p50),
@@ -110,7 +108,7 @@ fn main() {
         ]
     };
 
-    eprintln!("table1: evaluating…");
+    ibox_obs::info!("table1: evaluating…");
     let mut row_no = vec!["No".to_string()];
     row_no.extend(evaluate(&without));
     let mut row_yes = vec!["Yes".to_string()];
@@ -132,4 +130,5 @@ fn main() {
         gt_summary.mean,
         gt.len()
     );
+    bench.finish();
 }

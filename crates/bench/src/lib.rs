@@ -51,6 +51,41 @@ impl Scale {
     }
 }
 
+/// One figure/table binary's run record: times the run and, on
+/// [`finish`](BenchRun::finish), writes `BENCH_<name>.json` — a run
+/// manifest embedding the full global metrics snapshot (simulator
+/// counters, estimation spans, ML training stats) so every reported
+/// number is traceable to what actually ran.
+pub struct BenchRun {
+    name: String,
+    builder: ibox_obs::RunManifestBuilder,
+}
+
+impl BenchRun {
+    /// Start timing the bench binary `name` (e.g. `fig2`).
+    pub fn start(name: &str) -> Self {
+        ibox_obs::info!("{name}: starting ({:?})", Scale::from_args());
+        Self {
+            name: name.to_string(),
+            builder: ibox_obs::RunManifestBuilder::new(&format!("bench:{name}")),
+        }
+    }
+
+    /// Write `BENCH_<name>.json` next to the working directory with the
+    /// global metrics snapshot. Failures are logged, not fatal — the
+    /// figures on stdout are the primary artifact.
+    pub fn finish(self) {
+        let manifest = self.builder.finish(ibox_obs::global().snapshot());
+        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
+        match manifest.write_to(&path) {
+            Ok(()) => ibox_obs::info!("{}: metrics manifest in {}", self.name, path.display()),
+            Err(e) => {
+                ibox_obs::warn!("{}: cannot write {}: {e}", self.name, path.display());
+            }
+        }
+    }
+}
+
 /// Render a numeric table: header row + aligned columns (plain text, the
 /// binaries' stdout is the "figure").
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -63,12 +98,7 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     let mut out = String::new();
     let _ = writeln!(out, "## {title}");
     let line = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     let _ = writeln!(out, "{}", line(&header_cells, &widths));
@@ -90,8 +120,12 @@ pub fn cell(v: f64, prec: usize) -> String {
 
 /// Summarize a sample as `mean p25 p50 p75` cells.
 pub fn dist_cells(sample: &[f64]) -> Vec<String> {
-    let s = ibox_stats::quantile_summary(sample)
-        .unwrap_or(ibox_stats::QuantileSummary { p25: 0.0, p50: 0.0, p75: 0.0, mean: 0.0 });
+    let s = ibox_stats::quantile_summary(sample).unwrap_or(ibox_stats::QuantileSummary {
+        p25: 0.0,
+        p50: 0.0,
+        p75: 0.0,
+        mean: 0.0,
+    });
     vec![cell(s.mean, 2), cell(s.p25, 2), cell(s.p50, 2), cell(s.p75, 2)]
 }
 

@@ -117,10 +117,11 @@ impl CongestionControl for BbrLite {
             }
         }
         let prev_bw = self.bw_est;
-        if let Some(max) =
-            self.bw_samples.iter().map(|(_, b)| *b).fold(None::<f64>, |m, b| {
-                Some(m.map_or(b, |x| x.max(b)))
-            })
+        if let Some(max) = self
+            .bw_samples
+            .iter()
+            .map(|(_, b)| *b)
+            .fold(None::<f64>, |m, b| Some(m.map_or(b, |x| x.max(b))))
         {
             self.bw_est = max.max(MIN_RATE);
         }
@@ -134,12 +135,8 @@ impl CongestionControl for BbrLite {
                 break;
             }
         }
-        self.min_rtt = self
-            .rtt_samples
-            .iter()
-            .map(|(_, r)| *r)
-            .min()
-            .unwrap_or(SimTime::from_millis(100));
+        self.min_rtt =
+            self.rtt_samples.iter().map(|(_, r)| *r).min().unwrap_or(SimTime::from_millis(100));
 
         // Exit startup once bandwidth stops growing (25% over a cycle).
         if self.in_startup && self.bw_samples.len() > 10 && self.bw_est < prev_bw * 1.03 {
@@ -148,9 +145,7 @@ impl CongestionControl for BbrLite {
         }
 
         // Advance the ProbeBW gain cycle once per min RTT.
-        if !self.in_startup
-            && ack.now.saturating_sub(self.cycle_advanced) >= self.min_rtt
-        {
+        if !self.in_startup && ack.now.saturating_sub(self.cycle_advanced) >= self.min_rtt {
             self.cycle_idx = (self.cycle_idx + 1) % GAIN_CYCLE.len();
             self.cycle_advanced = ack.now;
         }

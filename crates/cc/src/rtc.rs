@@ -123,8 +123,7 @@ impl CongestionControl for RtcController {
 
     fn on_congestion(&mut self, _now: SimTime, _signal: CongestionSignal) {
         // Loss is a strong overuse signal for a conferencing flow.
-        self.rate_bps =
-            (self.rate_bps * 0.7).clamp(self.cfg.min_rate_bps, self.cfg.max_rate_bps);
+        self.rate_bps = (self.rate_bps * 0.7).clamp(self.cfg.min_rate_bps, self.cfg.max_rate_bps);
     }
 
     fn cwnd(&self) -> f64 {

@@ -82,10 +82,7 @@ fn rtc_controller_tracks_capacity_with_lower_delay_than_cubic() {
     // The delay-gradient loop should use a healthy share of the link while
     // keeping p95 delay below a buffer-filling loss-based sender.
     assert!(rate > 1.5, "rtc should use a fair share: {rate} Mbps");
-    assert!(
-        p95_rtc < p95_cubic,
-        "rtc p95 {p95_rtc} ms should undercut cubic {p95_cubic} ms"
-    );
+    assert!(p95_rtc < p95_cubic, "rtc p95 {p95_rtc} ms should undercut cubic {p95_cubic} ms");
 }
 
 #[test]

@@ -13,7 +13,7 @@ pub struct Parsed {
 }
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["--no-cross", "--with-reordering", "--quiet"];
+const FLAGS: &[&str] = &["--no-cross", "--with-reordering", "--quiet", "--verbose"];
 
 /// Parse `argv` (after the subcommand) into positionals and options.
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
@@ -25,16 +25,13 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
             if FLAGS.contains(&key.as_str()) {
                 out.options.insert(key, String::new());
             } else {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("option {key} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("option {key} needs a value"))?;
                 out.options.insert(key, value.clone());
             }
         } else if let Some(key) = arg.strip_prefix('-') {
             // Short options: only `-o <path>`.
             if key == "o" {
-                let value =
-                    it.next().ok_or_else(|| "option -o needs a value".to_string())?;
+                let value = it.next().ok_or_else(|| "option -o needs a value".to_string())?;
                 out.options.insert("-o".into(), value.clone());
             } else {
                 return Err(format!("unknown option -{key}"));
@@ -49,10 +46,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
 impl Parsed {
     /// Required positional argument `idx`.
     pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
-        self.positional
-            .get(idx)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+        self.positional.get(idx).map(String::as_str).ok_or_else(|| format!("missing {what}"))
     }
 
     /// Optional option value.

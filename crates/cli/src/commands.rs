@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
+use std::path::Path;
+
 use ibox::{IBoxNet, ValidityRegion};
+use ibox_obs::{RunManifest, RunManifestBuilder};
 use ibox_sim::SimTime;
 use ibox_testbed::pantheon::run_protocol;
 use ibox_testbed::Profile;
@@ -17,14 +20,26 @@ pub const USAGE: &str = "usage:
   ibox metrics <trace.{json,csv}>
   ibox synth --profile <india-cellular|india-cellular-pf|ethernet|token-bucket-wifi>
              --protocol <name> [--duration S] [--seed N] [-o trace.{json,csv}]
-  ibox validity --train <trace>... --check <trace>";
+  ibox validity --train <trace>... --check <trace>
+
+global flags: --verbose (debug diagnostics on stderr), --quiet (errors only);
+the IBOX_LOG env var (off|error|warn|info|debug|trace) sets the default.
+Commands with an output file also write a <output>.manifest.<ext> run
+manifest (seed, config hash, git rev, metrics).";
 
 /// Dispatch a full argv (starting at the subcommand).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    // Verbosity flags apply to every subcommand; map them onto the
+    // process-wide log filter before any command logic runs.
+    let quiet = argv.iter().any(|a| a == "--quiet");
+    let verbose = argv.iter().any(|a| a == "--verbose");
+    ibox_obs::log::set_level_from_flags(quiet, verbose);
+
     let Some(cmd) = argv.first() else {
         return Err("no subcommand".into());
     };
     let rest = &argv[1..];
+    ibox_obs::debug!("dispatching {cmd} {rest:?}");
     match cmd.as_str() {
         "fit" => cmd_fit(rest),
         "simulate" => cmd_simulate(rest),
@@ -37,6 +52,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Write the run manifest next to `out`, carrying the global registry
+/// snapshot (the simulator folds each run's per-run metrics into it).
+fn write_manifest(builder: RunManifestBuilder, out: &str) -> Result<(), String> {
+    let manifest = builder.finish(ibox_obs::global().snapshot());
+    let path = RunManifest::path_for_output(Path::new(out));
+    manifest
+        .write_to(&path)
+        .map_err(|e| format!("cannot write manifest {}: {e}", path.display()))?;
+    ibox_obs::info!("run manifest written to {}", path.display());
+    Ok(())
 }
 
 fn cmd_fit(argv: &[String]) -> Result<(), String> {
@@ -64,13 +91,15 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
     }
     if let Some(out) = p.opt("-o") {
         save_text(&model.to_json(), out)?;
-        println!("profile written to {out}");
+        ibox_obs::info!("profile written to {out}");
+        write_manifest(RunManifestBuilder::new("fit").config(&model), out)?;
     }
     Ok(())
 }
 
 fn cmd_simulate(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    let builder = RunManifestBuilder::new("simulate");
     let profile_text = std::fs::read_to_string(p.positional(0, "profile file")?)
         .map_err(|e| format!("cannot read profile: {e}"))?;
     let model = IBoxNet::from_json(&profile_text).map_err(|e| format!("bad profile: {e}"))?;
@@ -84,7 +113,8 @@ fn cmd_simulate(argv: &[String]) -> Result<(), String> {
     print_metrics(&trace);
     if let Some(out) = p.opt("-o") {
         save_trace(&trace, out)?;
-        println!("counterfactual trace written to {out}");
+        ibox_obs::info!("counterfactual trace written to {out}");
+        write_manifest(builder.seed(seed).config(&model), out)?;
     }
     Ok(())
 }
@@ -98,6 +128,7 @@ fn cmd_metrics(argv: &[String]) -> Result<(), String> {
 
 fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    let builder = RunManifestBuilder::new("synth");
     let profile = match p.required("--profile")? {
         "india-cellular" => Profile::IndiaCellular,
         "india-cellular-pf" => Profile::IndiaCellularPf,
@@ -116,7 +147,8 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     print_metrics(&trace);
     if let Some(out) = p.opt("-o") {
         save_trace(&trace, out)?;
-        println!("trace written to {out}");
+        ibox_obs::info!("trace written to {out}");
+        write_manifest(builder.seed(seed).config(&inst.path), out)?;
     }
     Ok(())
 }
@@ -179,8 +211,7 @@ mod tests {
     fn full_pipeline_synth_fit_simulate() {
         let dir = std::env::temp_dir();
         let trace_path = dir.join("ibox_cli_e2e_trace.json").to_string_lossy().into_owned();
-        let profile_path =
-            dir.join("ibox_cli_e2e_profile.json").to_string_lossy().into_owned();
+        let profile_path = dir.join("ibox_cli_e2e_profile.json").to_string_lossy().into_owned();
         let out_path = dir.join("ibox_cli_e2e_out.csv").to_string_lossy().into_owned();
 
         dispatch(&argv(&[
@@ -205,14 +236,39 @@ mod tests {
             "vegas",
             "--duration",
             "5",
+            "--seed",
+            "11",
             "-o",
             &out_path,
         ]))
         .unwrap();
         dispatch(&argv(&["metrics", &out_path])).unwrap();
 
+        // Every command with an output wrote a manifest next to it; the
+        // simulate manifest carries the engine's per-run metrics.
+        let manifest_path = RunManifest::path_for_output(Path::new(&out_path));
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        let manifest: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(manifest.schema, ibox_obs::manifest::MANIFEST_SCHEMA);
+        assert_eq!(manifest.command, "simulate");
+        assert_eq!(manifest.seed, Some(11));
+        assert!(manifest.config_hash.is_some());
+        assert!(
+            manifest.metrics.len() >= 10,
+            "expected a rich snapshot, got {} metrics",
+            manifest.metrics.len()
+        );
+        assert!(manifest.metrics.counters["sim.events_processed"] > 0);
+        assert!(manifest.metrics.counters["sim.packets_delivered"] > 0);
+        assert!(manifest.metrics.gauges["sim.events_per_sec"] > 0.0);
+        assert!(manifest.metrics.spans.contains_key("estimate.static_params"));
+
+        let fit_manifest = RunManifest::path_for_output(Path::new(&profile_path));
+        assert!(fit_manifest.exists());
+
         for p in [&trace_path, &profile_path, &out_path] {
             let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
         }
     }
 
@@ -225,8 +281,7 @@ mod tests {
     fn simulate_rejects_unknown_protocol() {
         let dir = std::env::temp_dir();
         let trace_path = dir.join("ibox_cli_proto_trace.json").to_string_lossy().into_owned();
-        let profile_path =
-            dir.join("ibox_cli_proto_profile.json").to_string_lossy().into_owned();
+        let profile_path = dir.join("ibox_cli_proto_profile.json").to_string_lossy().into_owned();
         dispatch(&argv(&[
             "synth",
             "--profile",
@@ -240,15 +295,10 @@ mod tests {
         ]))
         .unwrap();
         dispatch(&argv(&["fit", &trace_path, "-o", &profile_path])).unwrap();
-        assert!(dispatch(&argv(&[
-            "simulate",
-            &profile_path,
-            "--protocol",
-            "quic-quac"
-        ]))
-        .is_err());
+        assert!(dispatch(&argv(&["simulate", &profile_path, "--protocol", "quic-quac"])).is_err());
         for p in [&trace_path, &profile_path] {
             let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
         }
     }
 }

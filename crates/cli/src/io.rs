@@ -7,8 +7,7 @@ use ibox_trace::{from_csv, to_csv, FlowMeta, FlowTrace};
 
 /// Load a single-flow trace from `.json` or `.csv`.
 pub fn load_trace(path: &str) -> Result<FlowTrace, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     match extension(path) {
         "json" => serde_json::from_str(&text).map_err(|e| format!("bad JSON in {path}: {e}")),
         "csv" => {
@@ -24,11 +23,7 @@ pub fn save_trace(trace: &FlowTrace, path: &str) -> Result<(), String> {
     let text = match extension(path) {
         "json" => serde_json::to_string(trace).expect("trace serialization cannot fail"),
         "csv" => to_csv(trace),
-        other => {
-            return Err(format!(
-                "unsupported output extension {other:?} (use .json or .csv)"
-            ))
-        }
+        other => return Err(format!("unsupported output extension {other:?} (use .json or .csv)")),
     };
     fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }

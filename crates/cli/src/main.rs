@@ -21,7 +21,7 @@ fn main() -> ExitCode {
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            ibox_obs::error!("{e}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
             ExitCode::FAILURE

@@ -133,9 +133,8 @@ pub fn ensemble_test(
         sim_b_m.push(TraceMetrics::of(&kind.fit_simulate(ta, &proto_b, duration, s + 10_000)));
     }
 
-    let pick = |v: &[TraceMetrics], f: fn(&TraceMetrics) -> f64| -> Vec<f64> {
-        v.iter().map(f).collect()
-    };
+    let pick =
+        |v: &[TraceMetrics], f: fn(&TraceMetrics) -> f64| -> Vec<f64> { v.iter().map(f).collect() };
     let ks_of = |f: fn(&TraceMetrics) -> f64| MetricKs {
         a: ks_two_sample(&pick(&gt_a_m, f), &pick(&sim_a_m, f)),
         b: ks_two_sample(&pick(&gt_b_m, f), &pick(&sim_b_m, f)),
@@ -256,7 +255,10 @@ pub fn instance_test(runs_per_pattern: usize, treatment: &str, seed: u64) -> Ins
     let pur = purity(&km.assignments, &labels);
     let embedding = tsne(
         &features,
-        &TsneConfig { perplexity: (features.len() as f64 / 6.0).clamp(3.0, 15.0), ..Default::default() },
+        &TsneConfig {
+            perplexity: (features.len() as f64 / 6.0).clamp(3.0, 15.0),
+            ..Default::default()
+        },
     );
 
     InstanceReport {
@@ -307,9 +309,8 @@ mod tests {
         assert_eq!(report.gt_a.len(), 4);
         assert_eq!(report.sim_b.len(), 4);
         // Simulated rates should be in the same universe as ground truth.
-        let mean = |v: &[TraceMetrics]| {
-            v.iter().map(|m| m.avg_rate_mbps).sum::<f64>() / v.len() as f64
-        };
+        let mean =
+            |v: &[TraceMetrics]| v.iter().map(|m| m.avg_rate_mbps).sum::<f64>() / v.len() as f64;
         let (g, s) = (mean(&report.gt_a), mean(&report.sim_a));
         assert!(s > 0.3 * g && s < 3.0 * g, "rates: gt {g} vs sim {s}");
     }

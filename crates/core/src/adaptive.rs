@@ -59,10 +59,8 @@ impl AdaptiveCross {
 
         // Cross-traffic share of the bottleneck during the active window,
         // then invert the fair-share relation share = n / (n + 1).
-        let ct_rate = model.cross.bytes_between(
-            window.0.as_secs_f64(),
-            window.1.as_secs_f64(),
-        ) * 8.0
+        let ct_rate = model.cross.bytes_between(window.0.as_secs_f64(), window.1.as_secs_f64())
+            * 8.0
             / active_secs;
         let share = (ct_rate / model.params.bandwidth_bps).clamp(0.0, 0.9);
         if share < 0.05 {
@@ -90,8 +88,7 @@ impl AdaptiveCross {
             vec![(FlowConfig::bulk(protocol, duration), main)];
         for k in 0..self.n_flows {
             senders.push((
-                FlowConfig::scheduled(format!("ct{k}"), self.window.0, self.window.1)
-                    .unrecorded(),
+                FlowConfig::scheduled(format!("ct{k}"), self.window.0, self.window.1).unrecorded(),
                 Box::new(Cubic::new()),
             ));
         }
@@ -120,14 +117,8 @@ mod tests {
             adaptive.n_flows
         );
         let (a, b) = adaptive.window;
-        assert!(
-            a.as_secs_f64() > 14.0 && a.as_secs_f64() < 26.0,
-            "window start {a}"
-        );
-        assert!(
-            b.as_secs_f64() > 24.0 && b.as_secs_f64() < 40.0,
-            "window stop {b}"
-        );
+        assert!(a.as_secs_f64() > 14.0 && a.as_secs_f64() < 26.0, "window start {a}");
+        assert!(b.as_secs_f64() > 24.0 && b.as_secs_f64() < 40.0, "window stop {b}");
     }
 
     #[test]

@@ -52,6 +52,7 @@ impl CrossTrafficEstimate {
     /// positive (≥ one packet) — "periods when we are sure that the queue
     /// was non-empty".
     pub fn estimate(trace: &FlowTrace, params: &StaticParams, bin_secs: f64) -> Self {
+        let _span = ibox_obs::span!("estimate.crosstraffic");
         assert!(bin_secs > 0.0, "bin width must be positive");
         let span = trace.span_secs().max(bin_secs);
         let n_bins = (span / bin_secs).ceil() as usize + 1;
@@ -227,14 +228,8 @@ mod tests {
         let (est, out) = run_and_estimate(Some(cfg));
         let truth = out.cross_bytes_between(SimTime::ZERO, SimTime::from_secs(20));
         let total = est.total_bytes();
-        assert!(
-            total > 0.3 * truth,
-            "estimate {total} should capture a sizable share of {truth}"
-        );
-        assert!(
-            total < 1.4 * truth,
-            "estimate {total} should not wildly exceed the truth {truth}"
-        );
+        assert!(total > 0.3 * truth, "estimate {total} should capture a sizable share of {truth}");
+        assert!(total < 1.4 * truth, "estimate {total} should not wildly exceed the truth {truth}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl StaticParams {
     /// Panics if the trace has no delivered packets — there is nothing to
     /// learn from silence, and harnesses should filter such runs out.
     pub fn estimate(trace: &FlowTrace) -> Self {
+        let _span = ibox_obs::span!("estimate.static_params");
         assert!(
             trace.delivered_count() > 0,
             "cannot estimate parameters from a trace with no delivered packets"
@@ -50,11 +51,7 @@ impl StaticParams {
         // Byte-based buffer: b/8 bytes per second of standing delay. Floor
         // at two MTUs so a clean trace still yields a runnable emulator.
         let buffer_bytes = ((bandwidth_bps / 8.0) * delay_range_secs).max(3_000.0) as u64;
-        Self {
-            bandwidth_bps,
-            prop_delay: SimTime::from_nanos(min_ns),
-            buffer_bytes,
-        }
+        Self { bandwidth_bps, prop_delay: SimTime::from_nanos(min_ns), buffer_bytes }
     }
 
     /// Maximum queueing delay this parameterization allows (buffer drain
@@ -82,11 +79,7 @@ mod tests {
     #[test]
     fn recovers_bandwidth_of_a_saturated_link() {
         let p = measured(8e6, 30, 120_000, 200.0);
-        assert!(
-            (p.bandwidth_bps - 8e6).abs() / 8e6 < 0.05,
-            "b = {} Mbps",
-            p.bandwidth_bps / 1e6
-        );
+        assert!((p.bandwidth_bps - 8e6).abs() / 8e6 < 0.05, "b = {} Mbps", p.bandwidth_bps / 1e6);
     }
 
     #[test]
@@ -102,11 +95,7 @@ mod tests {
     fn recovers_buffer_size_when_sender_fills_it() {
         // A huge fixed window pins the 60 KB buffer.
         let p = measured(6e6, 20, 60_000, 400.0);
-        assert!(
-            (40_000..=75_000).contains(&p.buffer_bytes),
-            "B = {} bytes",
-            p.buffer_bytes
-        );
+        assert!((40_000..=75_000).contains(&p.buffer_bytes), "B = {} bytes", p.buffer_bytes);
     }
 
     #[test]

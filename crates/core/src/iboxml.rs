@@ -77,24 +77,27 @@ impl IBoxMl {
     /// is estimated with the §3 domain-knowledge estimator and fed as an
     /// input feature — the melding of §5.2.
     pub fn fit(traces: &[FlowTrace], cfg: IBoxMlConfig) -> Self {
+        let _span = ibox_obs::span!("ml.fit");
         assert!(!traces.is_empty(), "cannot fit on no traces");
         let fcfg = FeatureConfig { with_cross_traffic: cfg.with_cross_traffic };
 
         // Extract raw features for every trace.
         let mut all: Vec<crate::features::TraceFeatures> = Vec::with_capacity(traces.len());
-        for t in traces {
-            let ct = cfg.with_cross_traffic.then(|| {
-                let params = cfg.known_params.unwrap_or_else(|| StaticParams::estimate(t));
-                CrossTrafficEstimate::estimate(t, &params, DEFAULT_BIN_SECS)
-            });
-            all.push(extract(t, &fcfg, ct.as_ref()));
+        {
+            let _span = ibox_obs::span!("ml.fit.features");
+            for t in traces {
+                let ct = cfg.with_cross_traffic.then(|| {
+                    let params = cfg.known_params.unwrap_or_else(|| StaticParams::estimate(t));
+                    CrossTrafficEstimate::estimate(t, &params, DEFAULT_BIN_SECS)
+                });
+                all.push(extract(t, &fcfg, ct.as_ref()));
+            }
         }
 
         // Fit scalers on the pooled training data. The previous-delay
         // column is scaled with the *target* scaler so closed-loop
         // feedback stays consistent.
-        let pooled_rows: Vec<Vec<f64>> =
-            all.iter().flat_map(|f| f.rows.iter().cloned()).collect();
+        let pooled_rows: Vec<Vec<f64>> = all.iter().flat_map(|f| f.rows.iter().cloned()).collect();
         assert!(!pooled_rows.is_empty(), "training traces contain no packets");
         let pooled_delays: Vec<f64> = all.iter().flat_map(|f| f.delays.clone()).collect();
         let y_scaler = StandardScaler::fit_scalar(&pooled_delays);
@@ -137,7 +140,10 @@ impl IBoxMl {
         if train_cfg.feedback_prob == 0.0 {
             train_cfg.feedback_prob = 0.5;
         }
-        model.train(&examples, &train_cfg);
+        {
+            let _span = ibox_obs::span!("ml.fit.train");
+            model.train(&examples, &train_cfg);
+        }
         Self { cfg, model, x_scaler, y_scaler, target_range }
     }
 
@@ -174,8 +180,7 @@ impl IBoxMl {
     fn predict_impl(&self, trace: &FlowTrace, sample_seed: Option<u64>) -> FlowTrace {
         let fcfg = self.feature_config();
         let ct = self.cfg.with_cross_traffic.then(|| {
-            let params =
-                self.cfg.known_params.unwrap_or_else(|| StaticParams::estimate(trace));
+            let params = self.cfg.known_params.unwrap_or_else(|| StaticParams::estimate(trace));
             CrossTrafficEstimate::estimate(trace, &params, DEFAULT_BIN_SECS)
         });
         let feats = extract(trace, &fcfg, ct.as_ref());
@@ -190,15 +195,10 @@ impl IBoxMl {
             })
             .collect();
         let preds = match sample_seed {
-            None => {
-                self.model.predict_closed_loop_clamped(&inputs, prev_idx, self.target_range)
+            None => self.model.predict_closed_loop_clamped(&inputs, prev_idx, self.target_range),
+            Some(seed) => {
+                self.model.predict_closed_loop_sampled(&inputs, prev_idx, self.target_range, seed)
             }
-            Some(seed) => self.model.predict_closed_loop_sampled(
-                &inputs,
-                prev_idx,
-                self.target_range,
-                seed,
-            ),
         };
 
         let min_delay = 1e-4; // physical floor: delays cannot be ≤ 0
@@ -233,10 +233,7 @@ impl IBoxMl {
     /// Predicted delays (seconds) for a trace, without building records —
     /// handy for distribution-level comparisons (Fig. 7, Table 1).
     pub fn predict_delays(&self, trace: &FlowTrace) -> Vec<f64> {
-        self.predict_trace(trace)
-            .delivered()
-            .filter_map(|r| r.delay_secs())
-            .collect()
+        self.predict_trace(trace).delivered().filter_map(|r| r.delay_secs()).collect()
     }
 
     /// Serialize to JSON.
@@ -276,8 +273,15 @@ mod tests {
             hidden_sizes: vec![16],
             with_cross_traffic: cross,
             known_params: None,
-            train: TrainConfig { epochs: 6, lr: 5e-3, tbptt: 48, clip: 5.0, loss_weight: 0.2, delay_weight: 1.0,
-            ..Default::default() },
+            train: TrainConfig {
+                epochs: 6,
+                lr: 5e-3,
+                tbptt: 48,
+                clip: 5.0,
+                loss_weight: 0.2,
+                delay_weight: 1.0,
+                ..Default::default()
+            },
             seed: 5,
         }
     }

@@ -133,6 +133,7 @@ impl IBoxNet {
 /// quantiles of those events. Returns `None` when the trace shows no
 /// meaningful reordering.
 fn estimate_reordering(trace: &FlowTrace) -> Option<ReorderCfg> {
+    let _span = ibox_obs::span!("estimate.reordering");
     let delivered: Vec<_> = trace.delivered().collect();
     if delivered.len() < 10 {
         return None;
@@ -200,16 +201,10 @@ mod tests {
         let model = IBoxNet::fit(&gt);
         let sim = model.simulate("cubic", SimTime::from_secs(20), 42);
         let (r_gt, r_sim) = (avg_rate_mbps(&gt), avg_rate_mbps(&sim));
-        assert!(
-            (r_gt - r_sim).abs() / r_gt < 0.25,
-            "rates: gt {r_gt} vs sim {r_sim} Mbps"
-        );
+        assert!((r_gt - r_sim).abs() / r_gt < 0.25, "rates: gt {r_gt} vs sim {r_sim} Mbps");
         let d_gt = delay_percentile_ms(&gt, 0.95).unwrap();
         let d_sim = delay_percentile_ms(&sim, 0.95).unwrap();
-        assert!(
-            (d_gt - d_sim).abs() / d_gt < 0.35,
-            "p95 delays: gt {d_gt} vs sim {d_sim} ms"
-        );
+        assert!((d_gt - d_sim).abs() / d_gt < 0.35, "p95 delays: gt {d_gt} vs sim {d_sim} ms");
     }
 
     #[test]

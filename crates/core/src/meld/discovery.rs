@@ -48,23 +48,20 @@ pub fn encode_trace(trace: &FlowTrace, encoder: &SaxEncoder) -> String {
 
 /// Fit the reorder-aware SAX encoder on the pooled ground-truth series.
 pub fn fit_encoder(ground_truth: &[FlowTrace]) -> SaxEncoder {
-    let pooled: Vec<f64> = ground_truth
-        .iter()
-        .flat_map(|t| inter_arrival_diffs(t).v)
-        .collect();
+    let _span = ibox_obs::span!("meld.fit_encoder");
+    let pooled: Vec<f64> = ground_truth.iter().flat_map(|t| inter_arrival_diffs(t).v).collect();
     SaxEncoder::reorder_aware(SaxConfig::default(), &pooled)
 }
 
 /// Run the full discovery pipeline: fit the encoder on ground truth,
 /// encode both sets, count length-1/2 motifs, and diff.
 pub fn discover(ground_truth: &[FlowTrace], simulated: &[FlowTrace]) -> DiscoveryReport {
+    let _span = ibox_obs::span!("meld.discovery");
     assert!(!ground_truth.is_empty(), "discovery needs ground-truth traces");
     assert!(!simulated.is_empty(), "discovery needs simulated traces");
     let encoder = fit_encoder(ground_truth);
-    let gt_strings: Vec<String> =
-        ground_truth.iter().map(|t| encode_trace(t, &encoder)).collect();
-    let sim_strings: Vec<String> =
-        simulated.iter().map(|t| encode_trace(t, &encoder)).collect();
+    let gt_strings: Vec<String> = ground_truth.iter().map(|t| encode_trace(t, &encoder)).collect();
+    let sim_strings: Vec<String> = simulated.iter().map(|t| encode_trace(t, &encoder)).collect();
 
     let gt_unigrams = MotifCounts::from_many(gt_strings.iter().map(String::as_str), 1);
     let sim_unigrams = MotifCounts::from_many(sim_strings.iter().map(String::as_str), 1);
@@ -145,12 +142,8 @@ mod tests {
         let gt = vec![synthetic_trace(500, Some(50))];
         let sim = vec![synthetic_trace(500, None)];
         let report = discover(&gt, &sim);
-        let missing: Vec<&str> =
-            report.missing_unigrams.iter().map(|(p, _)| p.as_str()).collect();
-        assert!(
-            missing.contains(&"a"),
-            "'a' must be discovered as missing; got {missing:?}"
-        );
+        let missing: Vec<&str> = report.missing_unigrams.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(missing.contains(&"a"), "'a' must be discovered as missing; got {missing:?}");
         // Reordering frequency ~2% (1 in 50 packets).
         assert!(report.gt_unigrams.frequency("a") > 0.01);
         assert_eq!(report.sim_unigrams.frequency("a"), 0.0);

@@ -96,6 +96,7 @@ pub struct ReorderLinear {
 impl ReorderLinear {
     /// Train on ground-truth traces.
     pub fn fit(traces: &[FlowTrace]) -> Self {
+        let _span = ibox_obs::span!("meld.reorder_linear.fit");
         assert!(!traces.is_empty(), "cannot fit on no traces");
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -114,8 +115,8 @@ impl ReorderLinear {
             &labels,
             &LogisticConfig { positive_weight: pw, epochs: 150, ..Default::default() },
         );
-        let mean_prob = rows.iter().map(|r| model.predict_proba(r)).sum::<f64>()
-            / rows.len().max(1) as f64;
+        let mean_prob =
+            rows.iter().map(|r| model.predict_proba(r)).sum::<f64>() / rows.len().max(1) as f64;
         let true_rate = positives as f64 / labels.len().max(1) as f64;
         let calibration = if mean_prob > 1e-9 { true_rate / mean_prob } else { 1.0 };
         Self { model, scaler, calibration }
@@ -149,16 +150,15 @@ pub struct ReorderLstm {
 impl ReorderLstm {
     /// Train on ground-truth traces.
     pub fn fit(traces: &[FlowTrace], hidden: usize, epochs: usize, seed: u64) -> Self {
+        let _span = ibox_obs::span!("meld.reorder_lstm.fit");
         assert!(!traces.is_empty(), "cannot fit on no traces");
         let pooled: Vec<Vec<f64>> = traces.iter().flat_map(reorder_features).collect();
         let scaler = StandardScaler::fit(&pooled);
         let examples: Vec<SeqExample> = traces
             .iter()
             .map(|t| {
-                let inputs: Vec<Vec<f32>> = reorder_features(t)
-                    .iter()
-                    .map(|r| scaler.transform_f32(r))
-                    .collect();
+                let inputs: Vec<Vec<f32>> =
+                    reorder_features(t).iter().map(|r| scaler.transform_f32(r)).collect();
                 let labels = reorder_labels(t);
                 SeqExample { targets: vec![0.0; inputs.len()], loss_labels: labels, inputs }
             })
@@ -178,7 +178,7 @@ impl ReorderLstm {
                 clip: 5.0,
                 loss_weight: 1.0,
                 delay_weight: 0.0,
-            ..Default::default()
+                ..Default::default()
             },
         );
         Self { model, scaler }
@@ -187,15 +187,9 @@ impl ReorderLstm {
 
 impl ReorderPredictor for ReorderLstm {
     fn predict(&self, trace: &FlowTrace) -> Vec<f64> {
-        let inputs: Vec<Vec<f32>> = reorder_features(trace)
-            .iter()
-            .map(|r| self.scaler.transform_f32(r))
-            .collect();
-        self.model
-            .predict_open_loop(&inputs)
-            .into_iter()
-            .map(|p| f64::from(p.p_loss))
-            .collect()
+        let inputs: Vec<Vec<f32>> =
+            reorder_features(trace).iter().map(|r| self.scaler.transform_f32(r)).collect();
+        self.model.predict_open_loop(&inputs).into_iter().map(|p| f64::from(p.p_loss)).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -245,6 +239,7 @@ pub fn augment_with_reordering(
     predictor: &dyn ReorderPredictor,
     seed: u64,
 ) -> FlowTrace {
+    let _span = ibox_obs::span!("meld.augment_reordering");
     let probs = predictor.predict(trace);
     let mut rng: StdRng = rng::seeded(seed);
     let mut records: Vec<PacketRecord> = trace.records().to_vec();

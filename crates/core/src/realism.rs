@@ -48,13 +48,8 @@ fn window_features(trace: &FlowTrace) -> Vec<Vec<f64>> {
     while t0 + WINDOW_SECS <= span {
         let t1 = t0 + WINDOW_SECS;
         let in_window = |ts: &f64| *ts >= t0 && *ts < t1;
-        let window_rate: Vec<f64> = rate
-            .t
-            .iter()
-            .zip(&rate.v)
-            .filter(|(ts, _)| in_window(ts))
-            .map(|(_, v)| *v)
-            .collect();
+        let window_rate: Vec<f64> =
+            rate.t.iter().zip(&rate.v).filter(|(ts, _)| in_window(ts)).map(|(_, v)| *v).collect();
         let window_delay: Vec<f64> = delays
             .t
             .iter()
@@ -62,13 +57,8 @@ fn window_features(trace: &FlowTrace) -> Vec<Vec<f64>> {
             .filter(|(ts, _)| in_window(ts))
             .map(|(_, v)| *v)
             .collect();
-        let window_diffs: Vec<f64> = diffs
-            .t
-            .iter()
-            .zip(&diffs.v)
-            .filter(|(ts, _)| in_window(ts))
-            .map(|(_, v)| *v)
-            .collect();
+        let window_diffs: Vec<f64> =
+            diffs.t.iter().zip(&diffs.v).filter(|(ts, _)| in_window(ts)).map(|(_, v)| *v).collect();
         t0 = t1;
         if window_delay.len() < 4 {
             continue;
@@ -126,16 +116,10 @@ pub fn realism_test(real: &[FlowTrace], simulated: &[FlowTrace]) -> RealismRepor
             test_y.push(*y);
         }
     }
-    let model = Logistic::train(
-        &train_x,
-        &train_y,
-        &LogisticConfig { epochs: 300, ..Default::default() },
-    );
-    let correct = test_x
-        .iter()
-        .zip(&test_y)
-        .filter(|(r, &y)| model.predict(r) == (y > 0.5))
-        .count();
+    let model =
+        Logistic::train(&train_x, &train_y, &LogisticConfig { epochs: 300, ..Default::default() });
+    let correct =
+        test_x.iter().zip(&test_y).filter(|(r, &y)| model.predict(r) == (y > 0.5)).count();
     let accuracy = correct as f64 / test_x.len().max(1) as f64;
     RealismReport {
         discriminator_accuracy: accuracy,

@@ -22,7 +22,8 @@ use ibox_trace::FlowTrace;
 use crate::features::{extract, FeatureConfig};
 
 /// Names of the feature columns (without the cross-traffic column).
-const FEATURE_NAMES: [&str; 4] = ["send_rate_bps", "inter_packet_gap_s", "packet_size_B", "prev_delay_s"];
+const FEATURE_NAMES: [&str; 4] =
+    ["send_rate_bps", "inter_packet_gap_s", "packet_size_B", "prev_delay_s"];
 
 /// The support envelope of a training corpus, per feature.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,14 +67,10 @@ impl ValidityRegion {
             }
         }
         assert!(!columns[0].is_empty(), "training traces contain no packets");
-        let lo = columns
-            .iter()
-            .map(|c| ibox_stats::percentile(c, 0.005).expect("nonempty"))
-            .collect();
-        let hi = columns
-            .iter()
-            .map(|c| ibox_stats::percentile(c, 0.995).expect("nonempty"))
-            .collect();
+        let lo =
+            columns.iter().map(|c| ibox_stats::percentile(c, 0.005).expect("nonempty")).collect();
+        let hi =
+            columns.iter().map(|c| ibox_stats::percentile(c, 0.995).expect("nonempty")).collect();
         Self { lo, hi }
     }
 
@@ -131,9 +128,8 @@ mod tests {
 
     #[test]
     fn training_traces_cover_themselves() {
-        let traces: Vec<FlowTrace> = (0..3)
-            .map(|i| run(Box::new(RtcController::default_config()), i))
-            .collect();
+        let traces: Vec<FlowTrace> =
+            (0..3).map(|i| run(Box::new(RtcController::default_config()), i)).collect();
         let region = ValidityRegion::fit(&traces);
         for t in &traces {
             let report = region.check(t);
@@ -145,9 +141,8 @@ mod tests {
     #[test]
     fn high_rate_cbr_is_flagged_against_rtc_training() {
         // The exact §6 scenario: training never saw 8 Mbps sending rates.
-        let train: Vec<FlowTrace> = (0..3)
-            .map(|i| run(Box::new(RtcController::default_config()), i))
-            .collect();
+        let train: Vec<FlowTrace> =
+            (0..3).map(|i| run(Box::new(RtcController::default_config()), i)).collect();
         let region = ValidityRegion::fit(&train);
         let cbr = run(Box::new(FixedRate::new(8e6)), 9);
         let report = region.check(&cbr);
@@ -161,9 +156,8 @@ mod tests {
 
     #[test]
     fn same_protocol_new_run_is_valid() {
-        let train: Vec<FlowTrace> = (0..3)
-            .map(|i| run(Box::new(RtcController::default_config()), i))
-            .collect();
+        let train: Vec<FlowTrace> =
+            (0..3).map(|i| run(Box::new(RtcController::default_config()), i)).collect();
         let region = ValidityRegion::fit(&train);
         let fresh = run(Box::new(RtcController::default_config()), 99);
         assert!(region.check(&fresh).is_valid(0.9));
@@ -171,8 +165,7 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let train: Vec<FlowTrace> =
-            (0..2).map(|i| run(Box::new(FixedRate::new(2e6)), i)).collect();
+        let train: Vec<FlowTrace> = (0..2).map(|i| run(Box::new(FixedRate::new(2e6)), i)).collect();
         let region = ValidityRegion::fit(&train);
         let json = serde_json::to_string(&region).unwrap();
         let back: ValidityRegion = serde_json::from_str(&json).unwrap();

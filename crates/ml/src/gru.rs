@@ -109,9 +109,7 @@ impl Gru {
             }
             hhat[k] = acc.tanh();
         }
-        let h: Vec<f32> = (0..hsz)
-            .map(|k| (1.0 - z[k]) * h_prev[k] + z[k] * hhat[k])
-            .collect();
+        let h: Vec<f32> = (0..hsz).map(|k| (1.0 - z[k]) * h_prev[k] + z[k] * hhat[k]).collect();
         let cache = GruCache { x: x.to_vec(), h_prev: h_prev.to_vec(), z, r, hhat, rh };
         (h, cache)
     }
@@ -180,19 +178,20 @@ impl Gru {
             let dpre_zr: Vec<f32> =
                 dpre[..2 * hsz].iter().copied().chain(zero.iter().copied()).collect();
             gwh.add_outer(&dpre_zr, &cache.h_prev, 1.0);
-            let dpre_h: Vec<f32> =
-                zero.iter().copied().chain(zero.iter().copied()).chain(dpre[2 * hsz..].iter().copied()).collect();
+            let dpre_h: Vec<f32> = zero
+                .iter()
+                .copied()
+                .chain(zero.iter().copied())
+                .chain(dpre[2 * hsz..].iter().copied())
+                .collect();
             gwh.add_outer(&dpre_h, &cache.rh, 1.0);
         }
         add_assign(&mut self.gb, &dpre);
 
         // Input gradient and the z/r recurrent paths.
         let dx = self.wx.matvec_t(&dpre);
-        let dpre_zr_only: Vec<f32> = dpre[..2 * hsz]
-            .iter()
-            .copied()
-            .chain(std::iter::repeat(0.0).take(hsz))
-            .collect();
+        let dpre_zr_only: Vec<f32> =
+            dpre[..2 * hsz].iter().copied().chain(std::iter::repeat_n(0.0, hsz)).collect();
         let dh_prev_zr = self.wh.matvec_t(&dpre_zr_only);
         for (a, b) in dh_prev.iter_mut().zip(&dh_prev_zr) {
             *a += b;

@@ -74,8 +74,7 @@ impl Logistic {
     /// Predicted probability of the positive class.
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "width mismatch");
-        let z: f64 =
-            self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias;
+        let z: f64 = self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias;
         f64::from(sigmoid(z as f32))
     }
 
@@ -118,11 +117,8 @@ mod tests {
     fn learns_a_separable_problem() {
         let (rows, labels) = linearly_separable();
         let model = Logistic::train(&rows, &labels, &LogisticConfig::default());
-        let correct = rows
-            .iter()
-            .zip(&labels)
-            .filter(|(r, &y)| model.predict(r) == (y > 0.5))
-            .count();
+        let correct =
+            rows.iter().zip(&labels).filter(|(r, &y)| model.predict(r) == (y > 0.5)).count();
         let acc = correct as f64 / rows.len() as f64;
         assert!(acc > 0.95, "accuracy = {acc}");
     }
@@ -155,11 +151,7 @@ mod tests {
             &LogisticConfig { positive_weight: 19.0, ..Default::default() },
         );
         let recall = |m: &Logistic| {
-            let tp = rows
-                .iter()
-                .zip(&labels)
-                .filter(|(r, &y)| y > 0.5 && m.predict(r))
-                .count();
+            let tp = rows.iter().zip(&labels).filter(|(r, &y)| y > 0.5 && m.predict(r)).count();
             tp as f64 / labels.iter().filter(|&&y| y > 0.5).count() as f64
         };
         assert!(recall(&weighted) >= recall(&plain));

@@ -179,8 +179,8 @@ impl Lstm {
         let mut dc_prev = vec![0.0f32; h];
         for k in 0..h {
             let do_ = dh_total[k] * cache.tanh_c[k];
-            let dc = dh_total[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k])
-                + dc_next[k];
+            let dc =
+                dh_total[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc_next[k];
             let di = dc * cache.g[k];
             let df = dc * cache.c_prev[k];
             let dg = dc * cache.i[k];
@@ -192,10 +192,7 @@ impl Lstm {
         }
 
         self.gwx.as_mut().expect("zero_grad called").add_outer(&dz, &cache.x, 1.0);
-        self.gwh
-            .as_mut()
-            .expect("zero_grad called")
-            .add_outer(&dz, &cache.h_prev, 1.0);
+        self.gwh.as_mut().expect("zero_grad called").add_outer(&dz, &cache.h_prev, 1.0);
         add_assign(&mut self.gb, &dz);
 
         let dx = self.wx.matvec_t(&dz);
@@ -253,11 +250,7 @@ impl LstmStack {
 
     /// One forward step through all layers. Returns the top hidden vector,
     /// the new states, and the caches.
-    pub fn step(
-        &self,
-        x: &[f32],
-        states: &[LstmState],
-    ) -> (Vec<f32>, Vec<LstmState>, StackCache) {
+    pub fn step(&self, x: &[f32], states: &[LstmState]) -> (Vec<f32>, Vec<LstmState>, StackCache) {
         assert_eq!(states.len(), self.layers.len(), "state count mismatch");
         let mut input = x.to_vec();
         let mut new_states = Vec::with_capacity(self.layers.len());

@@ -60,29 +60,16 @@ impl Adam {
     pub fn update_mat(&mut self, key: u64, param: &mut Mat, grad: &Mat) {
         assert_eq!(param.len(), grad.len(), "gradient shape mismatch");
         let n = param.len();
-        let (m, v) = self
-            .moments
-            .entry(key)
-            .or_insert_with(|| (vec![0.0; n], vec![0.0; n]));
+        let (m, v) = self.moments.entry(key).or_insert_with(|| (vec![0.0; n], vec![0.0; n]));
         assert_eq!(m.len(), n, "parameter size changed under the optimizer");
-        adam_update(
-            self.cfg,
-            self.step,
-            param.data_mut(),
-            grad.data(),
-            m,
-            v,
-        );
+        adam_update(self.cfg, self.step, param.data_mut(), grad.data(), m, v);
     }
 
     /// Update one vector parameter under id `key`.
     pub fn update_vec(&mut self, key: u64, param: &mut [f32], grad: &[f32]) {
         assert_eq!(param.len(), grad.len(), "gradient shape mismatch");
         let n = param.len();
-        let (m, v) = self
-            .moments
-            .entry(key)
-            .or_insert_with(|| (vec![0.0; n], vec![0.0; n]));
+        let (m, v) = self.moments.entry(key).or_insert_with(|| (vec![0.0; n], vec![0.0; n]));
         assert_eq!(m.len(), n, "parameter size changed under the optimizer");
         adam_update(self.cfg, self.step, param, grad, m, v);
     }

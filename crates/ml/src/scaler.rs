@@ -66,8 +66,8 @@ impl StandardScaler {
     /// Standardize one row in place.
     pub fn transform(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.mean.len(), "width mismatch");
-        for k in 0..row.len() {
-            row[k] = (row[k] - self.mean[k]) / self.std[k];
+        for (k, x) in row.iter_mut().enumerate() {
+            *x = (*x - self.mean[k]) / self.std[k];
         }
     }
 

@@ -1,0 +1,70 @@
+//! `ibox-obs`: zero-dependency observability for the iBox workspace.
+//!
+//! iBox's fidelity claims (paper Figs. 2–8, Table 1) are only as
+//! trustworthy as the visibility into what the simulator, estimators, and
+//! training loop actually did on each run. This crate provides that
+//! substrate, with nothing beyond the workspace's own vendored serde:
+//!
+//! * [`log`] — leveled diagnostics on stderr, filtered by `IBOX_LOG` or
+//!   the CLI's `--verbose`/`--quiet` ([`error!`], [`warn!`], [`info!`],
+//!   [`debug!`], [`trace!`]).
+//! * [`metrics`] — a [`Registry`] of counters, gauges, fixed-bucket
+//!   histograms, and P² streaming quantiles; one relaxed atomic op per
+//!   update on the hot path.
+//! * span timers — `let _g = span!("estimate.crosstraffic");` aggregates
+//!   wall time per label via RAII ([`Registry::span`]).
+//! * [`manifest`] — a JSON run manifest (seed, config hash, git rev,
+//!   duration, metrics snapshot) written next to every command's output.
+
+pub mod log;
+pub mod manifest;
+pub mod metrics;
+pub mod quantile;
+
+pub use manifest::{config_hash, git_rev, RunManifest, RunManifestBuilder};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SpanGuard, SpanStat,
+};
+pub use quantile::StreamingQuantile;
+
+use std::sync::OnceLock;
+
+/// The process-wide registry: backs the CLI, benches, and anything not
+/// running against its own per-run [`Registry`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Time a scope into a registry: `span!("label")` uses the global
+/// registry, `span!(registry, "label")` a specific one. Bind the result
+/// (`let _g = span!(..)`) — the time is recorded when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::global().span($label)
+    };
+    ($registry:expr, $label:expr) => {
+        $registry.span($label)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_shared_and_span_macro_records() {
+        let c = crate::global().counter("lib.test.counter");
+        c.add(2);
+        assert_eq!(crate::global().counter("lib.test.counter").get(), 2);
+
+        {
+            let _g = span!("lib.test.span");
+        }
+        let reg = crate::Registry::new();
+        {
+            let _g = span!(reg, "scoped");
+        }
+        assert_eq!(crate::global().snapshot().spans["lib.test.span"].count, 1);
+        assert_eq!(reg.snapshot().spans["scoped"].count, 1);
+    }
+}

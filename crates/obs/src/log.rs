@@ -1,0 +1,184 @@
+//! Leveled diagnostic logging to stderr with a global verbosity filter.
+//!
+//! The filter is a single atomic read on the hot path; the level comes from
+//! the `IBOX_LOG` environment variable (`error`, `warn`, `info`, `debug`,
+//! `trace`, or `off`) and can be overridden programmatically — the CLI maps
+//! `--quiet` to [`Level::Error`] and `--verbose` to [`Level::Debug`].
+//! Diagnostics go to **stderr** so user-facing command output on stdout
+//! stays machine-readable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level progress (default).
+    Info = 3,
+    /// Per-stage diagnostics (`--verbose`).
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// 0 = everything off; otherwise the numeric value of the max enabled level.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // sentinel: uninitialized
+static ENV_INIT: OnceLock<u8> = OnceLock::new();
+
+fn level_from_env() -> u8 {
+    match std::env::var("IBOX_LOG").ok().as_deref() {
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => 0,
+            "error" | "1" => Level::Error as u8,
+            "warn" | "warning" | "2" => Level::Warn as u8,
+            "info" | "3" => Level::Info as u8,
+            "debug" | "4" => Level::Debug as u8,
+            "trace" | "5" => Level::Trace as u8,
+            _ => Level::Info as u8,
+        },
+        None => Level::Info as u8,
+    }
+}
+
+fn current_max() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != u8::MAX {
+        return v;
+    }
+    let from_env = *ENV_INIT.get_or_init(level_from_env);
+    // Another thread may have called `set_max_level` meanwhile; only
+    // replace the sentinel.
+    let _ = MAX_LEVEL.compare_exchange(u8::MAX, from_env, Ordering::Relaxed, Ordering::Relaxed);
+    MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Override the verbosity filter (wins over `IBOX_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Disable all logging.
+pub fn set_off() {
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+}
+
+/// Map the CLI's `--quiet` / `--verbose` flags onto a filter level.
+/// `quiet` wins if both are set; with neither, `IBOX_LOG` (default `info`)
+/// stays in effect.
+pub fn set_level_from_flags(quiet: bool, verbose: bool) {
+    if quiet {
+        set_max_level(Level::Error);
+    } else if verbose {
+        set_max_level(Level::Debug);
+    }
+}
+
+/// Would a record at `level` currently be emitted?
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= current_max()
+}
+
+/// Write one record to stderr. Callers go through the level macros, which
+/// check [`enabled`] first so disabled levels cost one atomic load.
+pub fn emit(level: Level, target: &str, message: &std::fmt::Arguments<'_>) {
+    eprintln!("[{:<5} {target}] {message}", level.label());
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, module_path!(), &format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, module_path!(), &format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, module_path!(), &format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, module_path!(), &format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::emit($crate::log::Level::Trace, module_path!(), &format_args!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The filter is process-global, so a single test exercises every
+    // transition (parallel tests touching it would race each other).
+    #[test]
+    fn filter_levels_and_flags() {
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Trace));
+
+        set_max_level(Level::Trace);
+        assert!(enabled(Level::Trace));
+
+        set_off();
+        assert!(!enabled(Level::Error));
+
+        set_level_from_flags(false, true);
+        assert!(enabled(Level::Debug));
+        assert!(!enabled(Level::Trace));
+
+        set_level_from_flags(true, true); // quiet wins
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+
+        set_max_level(Level::Info);
+    }
+}

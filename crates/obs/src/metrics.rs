@@ -1,0 +1,582 @@
+//! Metrics registry: counters, gauges, fixed-bucket histograms, streaming
+//! quantiles, and RAII span timers, with a serializable snapshot.
+//!
+//! Hot-path cost is one relaxed atomic op per update: handles returned by
+//! the registry are `Arc`s onto shared atomics, so the registry lock is
+//! taken only at registration and snapshot time. A [`Registry`] is cheap
+//! to clone (it *is* an `Arc`); the simulator owns one per run so results
+//! stay attributable and deterministic under parallel tests, while the
+//! process-wide [`global()`](crate::global) registry backs the CLI and
+//! benches.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantile::StreamingQuantile;
+
+/// Monotone event count. Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point value (with a max-tracking helper for
+/// high-water marks). Cloning shares the underlying atomic.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Keep the maximum of the current value and `v` (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: atomic per-bucket counts over caller-supplied
+/// edges, plus exact count/sum/min/max. Quantiles are interpolated within
+/// the containing bucket, so their error is bounded by bucket width.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper (inclusive) edge of each bucket; the last bucket is a
+    /// catch-all for values above every edge.
+    edges: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in f64 bits, updated by CAS (relaxed; per-run single-writer in
+    /// the hot loop, contended only in rare multi-thread use).
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over explicit bucket edges (must be strictly increasing).
+    pub fn with_edges(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Default edges: powers of two from 1 up to 2^40 — covers counts,
+    /// bytes, and nanosecond durations with ≤ 2× relative bucket error.
+    pub fn log2_default() -> Self {
+        let edges: Vec<f64> = (0..=40).map(|e| (1u64 << e) as f64).collect();
+        Self::with_edges(&edges)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.edges.partition_point(|e| *e < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        update_min(&self.min_bits, v);
+        update_max(&self.max_bits, v);
+    }
+
+    /// Point-in-time summary with interpolated quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (idx, c) in counts.iter().enumerate() {
+                if seen + c >= target {
+                    // Interpolate inside this bucket, clamped to the
+                    // observed min/max so tails stay truthful.
+                    let lo = if idx == 0 { min } else { self.edges[idx - 1] };
+                    let hi = if idx < self.edges.len() { self.edges[idx] } else { max };
+                    let frac = (target - seen) as f64 / *c as f64;
+                    return (lo + (hi - lo) * frac).clamp(min, max);
+                }
+                seen += c;
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+fn update_min(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn update_max(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Serializable summary of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median estimate (bucket-interpolated).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// Aggregated wall-time for one span label.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Completed spans under this label.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// RAII timer from [`Registry::span`] (or the [`span!`](crate::span)
+/// macro): measures wall time from construction to drop and folds it into
+/// the registry under the span's label. Nested spans are independent
+/// guards, so each label aggregates its own wall time.
+#[must_use = "a span guard records time when dropped; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    registry: Registry,
+    label: String,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.registry.record_span_ns(&self.label, elapsed_ns);
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    quantiles: Mutex<BTreeMap<String, Arc<Mutex<StreamingQuantile>>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+/// A metrics registry. Clones share state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name` with default log2 buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::log2_default())).clone()
+    }
+
+    /// Get or create the histogram `name` with explicit bucket edges (the
+    /// edges apply only on first creation).
+    pub fn histogram_with_edges(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::with_edges(edges)))
+            .clone()
+    }
+
+    /// Get or create the P² streaming-quantile estimator `name` tracking
+    /// quantile `q` (0..1; `q` applies only on first creation).
+    pub fn streaming_quantile(&self, name: &str, q: f64) -> Arc<Mutex<StreamingQuantile>> {
+        let mut map = self.inner.quantiles.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(StreamingQuantile::new(q))))
+            .clone()
+    }
+
+    /// Start an RAII span timer; wall time is recorded under `label` when
+    /// the guard drops.
+    pub fn span(&self, label: &str) -> SpanGuard {
+        SpanGuard { registry: self.clone(), label: label.to_string(), started: Instant::now() }
+    }
+
+    /// Fold an explicit duration into the span stats for `label`.
+    pub fn record_span_ns(&self, label: &str, elapsed_ns: u64) {
+        let mut spans = self.inner.spans.lock().unwrap();
+        let stat = spans.entry(label.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+        stat.max_ns = stat.max_ns.max(elapsed_ns);
+    }
+
+    /// Fold a snapshot from another registry into this one: counters add,
+    /// gauges take the snapshot's value (last writer wins), span stats
+    /// accumulate. Histogram buckets and streaming-quantile marker state
+    /// cannot be reconstructed from their summaries, so those are skipped —
+    /// record into the target registry directly where live distributions
+    /// are needed. This is how per-run registries (e.g. the simulator's)
+    /// surface in the process-wide [`global`](crate::global) registry.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        let mut spans = self.inner.spans.lock().unwrap();
+        for (label, s) in &snap.spans {
+            let stat = spans.entry(label.clone()).or_default();
+            stat.count += s.count;
+            stat.total_ns += s.total_ns;
+            stat.max_ns = stat.max_ns.max(s.max_ns);
+        }
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            quantiles: self
+                .inner
+                .quantiles
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().unwrap().estimate()))
+                .collect(),
+            spans: self.inner.spans.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Serializable, mergeable copy of a [`Registry`]'s state at one instant.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Streaming-quantile estimates by name.
+    pub quantiles: BTreeMap<String, f64>,
+    /// Span wall-time aggregates by label.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl MetricsSnapshot {
+    /// Number of distinct metrics across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+            + self.gauges.len()
+            + self.histograms.len()
+            + self.quantiles.len()
+            + self.spans.len()
+    }
+
+    /// True when no metric of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge `other` into `self`: counters and span stats accumulate;
+    /// gauges, histograms, and quantiles from `other` win on name clashes
+    /// (they are point-in-time values, not sums).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &other.quantiles {
+            self.quantiles.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.spans {
+            let stat = self.spans.entry(k.clone()).or_default();
+            stat.count += v.count;
+            stat.total_ns += v.total_ns;
+            stat.max_ns = stat.max_ns.max(v.max_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = Registry::new();
+        let c = reg.counter("events");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        // Same name → same underlying counter.
+        reg.counter("events").inc();
+        assert_eq!(c.get(), 11);
+
+        let g = reg.gauge("depth");
+        g.set(3.5);
+        g.record_max(2.0); // lower: ignored
+        assert_eq!(g.get(), 3.5);
+        g.record_max(7.25);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper() {
+        let h = Histogram::with_edges(&[1.0, 2.0, 4.0]);
+        // Exactly on an edge lands in that edge's bucket (≤ edge).
+        h.record(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        h.record(100.0); // overflow bucket
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.sum, 107.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate() {
+        // Uniform 1..=1000 into fine buckets: quantile error is bounded by
+        // one bucket width (10).
+        let edges: Vec<f64> = (1..=100).map(|i| (i * 10) as f64).collect();
+        let h = Histogram::with_edges(&edges);
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot();
+        assert!((s.p50 - 500.0).abs() <= 10.0, "p50 = {}", s.p50);
+        assert!((s.p90 - 900.0).abs() <= 10.0, "p90 = {}", s.p90);
+        assert!((s.p99 - 990.0).abs() <= 10.0, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::log2_default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn span_timers_nest_and_aggregate() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            for _ in 0..3 {
+                let _inner = reg.span("inner");
+                std::hint::black_box((0..1000u64).sum::<u64>());
+            }
+        }
+        let snap = reg.snapshot();
+        let outer = snap.spans["outer"];
+        let inner = snap.spans["inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        // The outer span encloses all inner spans.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(inner.max_ns <= inner.total_ns);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = Registry::new();
+        reg.counter("a").add(7);
+        reg.gauge("b").set(2.5);
+        reg.histogram("c").record(42.0);
+        reg.streaming_quantile("d", 0.5).lock().unwrap().observe(1.0);
+        reg.record_span_ns("e", 123);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_spans() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("n".into(), 3);
+        a.spans.insert("s".into(), SpanStat { count: 1, total_ns: 10, max_ns: 10 });
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("n".into(), 4);
+        b.gauges.insert("g".into(), 1.5);
+        b.spans.insert("s".into(), SpanStat { count: 2, total_ns: 30, max_ns: 25 });
+        a.merge(&b);
+        assert_eq!(a.counters["n"], 7);
+        assert_eq!(a.gauges["g"], 1.5);
+        assert_eq!(a.spans["s"], SpanStat { count: 3, total_ns: 40, max_ns: 25 });
+    }
+
+    #[test]
+    fn absorb_folds_a_snapshot_into_a_live_registry() {
+        let per_run = Registry::new();
+        per_run.counter("n").add(5);
+        per_run.gauge("g").set(3.0);
+        per_run.record_span_ns("s", 100);
+
+        let target = Registry::new();
+        target.counter("n").add(2);
+        target.record_span_ns("s", 40);
+        target.absorb(&per_run.snapshot());
+        target.absorb(&per_run.snapshot());
+
+        let snap = target.snapshot();
+        assert_eq!(snap.counters["n"], 12);
+        assert_eq!(snap.gauges["g"], 3.0);
+        assert_eq!(snap.spans["s"], SpanStat { count: 3, total_ns: 240, max_ns: 100 });
+    }
+}

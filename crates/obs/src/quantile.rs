@@ -1,0 +1,193 @@
+//! Streaming quantile estimation via the P² algorithm (Jain & Chlamtac,
+//! CACM 1985): tracks one quantile of an unbounded stream in O(1) memory
+//! (five markers) without storing observations — the complement to the
+//! fixed-bucket [`Histogram`](crate::metrics::Histogram) when value ranges
+//! are unknown up front.
+
+/// P² estimator for a single quantile `q` of a stream of observations.
+#[derive(Debug, Clone)]
+pub struct StreamingQuantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile curve).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far (first five are buffered in `heights`).
+    count: usize,
+}
+
+impl StreamingQuantile {
+    /// Estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        StreamingQuantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x, extending extremes when needed.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (1..4).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let step_right = delta >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_left = delta <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0;
+            if !(step_right || step_left) {
+                continue;
+            }
+            let d = if step_right { 1.0 } else { -1.0 };
+            let parabolic = self.parabolic(i, d);
+            self.heights[i] = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
+            {
+                parabolic
+            } else {
+                self.linear(i, d)
+            };
+            self.positions[i] += d;
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (h, n) = (&self.heights, &self.positions);
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the tracked quantile (0 before any data; the
+    /// exact small-sample quantile below five observations).
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            n @ 1..=4 => {
+                let mut sorted = self.heights[..n].to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let rank = (self.q * (n - 1) as f64).round() as usize;
+                sorted[rank]
+            }
+            _ => self.heights[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (SplitMix64-style) in [0, 1).
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_median_of_uniform_stream() {
+        let mut est = StreamingQuantile::new(0.5);
+        for x in stream(1, 50_000) {
+            est.observe(x);
+        }
+        assert!((est.estimate() - 0.5).abs() < 0.02, "p50 = {}", est.estimate());
+    }
+
+    #[test]
+    fn tracks_tail_quantile() {
+        let mut est = StreamingQuantile::new(0.95);
+        for x in stream(2, 50_000) {
+            est.observe(x);
+        }
+        assert!((est.estimate() - 0.95).abs() < 0.02, "p95 = {}", est.estimate());
+    }
+
+    #[test]
+    fn tracks_shifted_scaled_distribution() {
+        let mut est = StreamingQuantile::new(0.9);
+        for x in stream(3, 50_000) {
+            est.observe(100.0 + 50.0 * x);
+        }
+        assert!((est.estimate() - 145.0).abs() < 2.0, "p90 = {}", est.estimate());
+    }
+
+    #[test]
+    fn small_samples_fall_back_to_exact() {
+        let mut est = StreamingQuantile::new(0.5);
+        assert_eq!(est.estimate(), 0.0);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), 10.0);
+        est.observe(2.0);
+        est.observe(6.0);
+        assert_eq!(est.estimate(), 6.0); // exact median of {2, 6, 10}
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn monotone_stream_stays_ordered() {
+        let mut est = StreamingQuantile::new(0.5);
+        for i in 0..10_000 {
+            est.observe(i as f64);
+        }
+        let e = est.estimate();
+        assert!((e - 5_000.0).abs() < 500.0, "p50 of 0..10000 = {e}");
+    }
+}

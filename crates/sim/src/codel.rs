@@ -74,8 +74,7 @@ impl Codel {
         if self.dropping {
             if now >= self.drop_next {
                 self.count += 1;
-                self.drop_next =
-                    self.drop_next + self.interval.mul_f64(1.0 / (self.count as f64).sqrt());
+                self.drop_next += self.interval.mul_f64(1.0 / (self.count as f64).sqrt());
                 return CodelVerdict::Drop;
             }
             return CodelVerdict::Deliver;
@@ -94,8 +93,7 @@ impl Codel {
                 // Restart close to the previous drop rate if we were
                 // dropping recently (standard CoDel heuristic).
                 self.count = if self.count > 2 { self.count - 2 } else { 1 };
-                self.drop_next =
-                    now + self.interval.mul_f64(1.0 / (self.count as f64).sqrt());
+                self.drop_next = now + self.interval.mul_f64(1.0 / (self.count as f64).sqrt());
                 CodelVerdict::Drop
             }
             Some(_) => CodelVerdict::Deliver,
@@ -120,11 +118,7 @@ mod tests {
     fn short_sojourns_always_deliver() {
         let mut c = codel();
         for ms in 0..500 {
-            let v = c.on_dequeue(
-                SimTime::from_millis(ms),
-                SimTime::from_millis(2),
-                false,
-            );
+            let v = c.on_dequeue(SimTime::from_millis(ms), SimTime::from_millis(2), false);
             assert_eq!(v, CodelVerdict::Deliver);
         }
         assert!(!c.is_dropping());
@@ -181,10 +175,7 @@ mod tests {
         assert!(drops.len() >= 3, "drops: {drops:?}");
         // Inter-drop gaps shrink (interval / sqrt(count)).
         let gaps: Vec<u64> = drops.windows(2).map(|w| w[1] - w[0]).collect();
-        assert!(
-            gaps.windows(2).all(|w| w[1] <= w[0] + 1),
-            "gaps must shrink: {gaps:?}"
-        );
+        assert!(gaps.windows(2).all(|w| w[1] <= w[0] + 1), "gaps must shrink: {gaps:?}");
     }
 
     #[test]

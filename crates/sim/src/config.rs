@@ -31,10 +31,7 @@ pub struct ReorderCfg {
 impl ReorderCfg {
     /// Validate invariants; call before running.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.probability),
-            "reorder probability out of range"
-        );
+        assert!((0.0..=1.0).contains(&self.probability), "reorder probability out of range");
         assert!(self.extra_max >= self.extra_min, "reorder delay range inverted");
     }
 }
@@ -84,10 +81,7 @@ impl PathConfig {
     /// Validate invariants; panics on configuration bugs.
     pub fn validate(&self) {
         assert!(self.buffer_bytes > 0, "buffer must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.random_loss),
-            "loss probability out of range"
-        );
+        assert!((0.0..=1.0).contains(&self.random_loss), "loss probability out of range");
         if let Some(r) = &self.reorder {
             r.validate();
         }
@@ -124,13 +118,7 @@ impl FlowConfig {
 
     /// Same, but starting at `start` and stopping at `stop`.
     pub fn scheduled(label: impl Into<String>, start: SimTime, stop: SimTime) -> Self {
-        Self {
-            label: label.into(),
-            start,
-            stop,
-            packet_size: DEFAULT_PACKET_SIZE,
-            record: true,
-        }
+        Self { label: label.into(), start, stop, packet_size: DEFAULT_PACKET_SIZE, record: true }
     }
 
     /// Mark this flow as unrecorded (e.g. adaptive cross traffic).
@@ -178,8 +166,8 @@ mod tests {
         let f = FlowConfig::bulk("main", SimTime::from_secs(30));
         assert!(f.record);
         assert_eq!(f.start, SimTime::ZERO);
-        let g = FlowConfig::scheduled("ct", SimTime::from_secs(5), SimTime::from_secs(15))
-            .unrecorded();
+        let g =
+            FlowConfig::scheduled("ct", SimTime::from_secs(5), SimTime::from_secs(15)).unrecorded();
         assert!(!g.record);
         assert_eq!(g.stop, SimTime::from_secs(15));
     }

@@ -173,8 +173,7 @@ impl CrossSource {
                 // start of the following on phase.
                 let phase = (next.saturating_sub(*start)).as_nanos() % period;
                 if phase >= on.as_nanos() {
-                    let into_period =
-                        (next.saturating_sub(*start)).as_nanos() / period;
+                    let into_period = (next.saturating_sub(*start)).as_nanos() / period;
                     next = *start + SimTime((into_period + 1) * period);
                 }
                 self.next_emit = if next < *stop { Some(next) } else { None };
@@ -182,8 +181,7 @@ impl CrossSource {
             }
             CrossTrafficCfg::Poisson { mean_rate_bps, pkt_size, stop, .. } => {
                 let mean_gap = f64::from(*pkt_size) * 8.0 / mean_rate_bps;
-                let next =
-                    now + SimTime::from_secs_f64(rng::exponential(&mut self.rng, mean_gap));
+                let next = now + SimTime::from_secs_f64(rng::exponential(&mut self.rng, mean_gap));
                 self.next_emit = if next < *stop { Some(next) } else { None };
                 *pkt_size
             }
@@ -222,11 +220,8 @@ fn build_replay_schedule(bins: &[(SimTime, f64)], pkt_size: u32) -> Vec<(SimTime
         let mut emitted = 0.0;
         for k in 0..n {
             let t = *start + SimTime((duration.as_nanos() * k) / n);
-            let size = if k + 1 == n {
-                (bytes - emitted).round().max(1.0) as u32
-            } else {
-                per.max(1)
-            };
+            let size =
+                if k + 1 == n { (bytes - emitted).round().max(1.0) as u32 } else { per.max(1) };
             emitted += f64::from(size);
             out.push((t, size));
         }
@@ -313,8 +308,9 @@ mod tests {
         }
         assert_eq!(bytes, 8500);
         // All emissions inside their bins.
-        assert!(times.iter().all(|t| *t < SimTime::from_millis(100)
-            || *t >= SimTime::from_millis(200)));
+        assert!(times
+            .iter()
+            .all(|t| *t < SimTime::from_millis(100) || *t >= SimTime::from_millis(200)));
         // Times nondecreasing.
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }

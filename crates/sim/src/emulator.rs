@@ -117,10 +117,7 @@ mod tests {
                     FlowConfig::bulk("a", SimTime::from_secs(4)),
                     Box::new(FixedWindow::new(16.0)) as Box<dyn CongestionControl>,
                 ),
-                (
-                    FlowConfig::bulk("b", SimTime::from_secs(4)),
-                    Box::new(FixedWindow::new(16.0)),
-                ),
+                (FlowConfig::bulk("b", SimTime::from_secs(4)), Box::new(FixedWindow::new(16.0))),
             ],
             2,
         );

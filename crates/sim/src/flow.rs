@@ -154,8 +154,7 @@ impl FlowState {
         debug_assert!(self.is_active(), "send on inactive flow");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scoreboard
-            .insert(seq, SentInfo { sent_at: now, size: self.cfg.packet_size, dup: 0 });
+        self.scoreboard.insert(seq, SentInfo { sent_at: now, size: self.cfg.packet_size, dup: 0 });
         if let Some(rate) = self.cc.pacing_rate_bps() {
             let gap = tx_time(self.cfg.packet_size, rate);
             let base = self.next_pacing_time.max(now);
@@ -194,7 +193,7 @@ impl FlowState {
             // losses occur beyond the previous episode's highest
             // outstanding sequence.
             let episode_over =
-                self.recovery_exit.map_or(true, |exit| newly_lost.iter().any(|s| *s > exit));
+                self.recovery_exit.is_none_or(|exit| newly_lost.iter().any(|s| *s > exit));
             if episode_over {
                 self.cc.on_congestion(now, CongestionSignal::Loss);
                 self.recovery_exit = Some(self.next_seq.saturating_sub(1));
@@ -202,13 +201,8 @@ impl FlowState {
             }
         }
 
-        let ack = AckEvent {
-            now,
-            seq,
-            rtt,
-            acked_bytes: info.size,
-            inflight: self.scoreboard.len(),
-        };
+        let ack =
+            AckEvent { now, seq, rtt, acked_bytes: info.size, inflight: self.scoreboard.len() };
         self.cc.on_ack(&ack);
         AckOutcome { newly_lost, signalled }
     }
@@ -231,11 +225,7 @@ impl FlowState {
 
     /// Deadline at which an RTO would fire: oldest outstanding send + RTO.
     pub fn rto_deadline(&self) -> Option<SimTime> {
-        self.scoreboard
-            .values()
-            .map(|e| e.sent_at)
-            .min()
-            .map(|oldest| oldest + self.rto)
+        self.scoreboard.values().map(|e| e.sent_at).min().map(|oldest| oldest + self.rto)
     }
 
     /// Fire the retransmission timer at `now`. If the oldest outstanding

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ibox_obs::MetricsSnapshot;
 use ibox_trace::FlowTrace;
 
 use crate::time::SimTime;
@@ -48,6 +49,10 @@ pub struct SimOutput {
     pub link_samples: Vec<LinkSample>,
     /// Total packets dropped at the bottleneck buffer.
     pub queue_drops: u64,
+    /// Engine metrics for this run: event counts by type, packet fates,
+    /// queue-depth distribution, events/sec. Counters are deterministic for
+    /// a given config and seed; gauges derived from wall time are not.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimOutput {

@@ -20,9 +20,10 @@ use crate::rng;
 use crate::time::SimTime;
 
 /// Which queueing discipline the bottleneck runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// One shared FIFO queue (iBoxNet's model, and the default).
+    #[default]
     Fifo,
     /// Per-stream queues served by a proportional-fair scheduler with
     /// per-stream Rayleigh-like fading. `fading` scales how strongly each
@@ -42,12 +43,6 @@ pub enum SchedulerKind {
         /// Control interval (classic value: 100 ms).
         interval: SimTime,
     },
-}
-
-impl Default for SchedulerKind {
-    fn default() -> Self {
-        SchedulerKind::Fifo
-    }
 }
 
 /// Outcome of an enqueue attempt.
@@ -162,8 +157,7 @@ impl BottleneckQueue {
         while let Some((packet, enq)) = self.fifo.pop_front() {
             self.occupied_bytes -= u64::from(packet.size);
             let sojourn = now.saturating_sub(enq);
-            let nearly_empty =
-                self.occupied_bytes <= u64::from(crate::config::DEFAULT_PACKET_SIZE);
+            let nearly_empty = self.occupied_bytes <= u64::from(crate::config::DEFAULT_PACKET_SIZE);
             match controller.on_dequeue(now, sojourn, nearly_empty) {
                 CodelVerdict::Deliver => {
                     return Some(ServiceGrant { packet, rate_multiplier: 1.0 })
@@ -208,7 +202,7 @@ impl BottleneckQueue {
                 continue;
             }
             let metric = self.pf_quality[i] / self.pf_avg_tput[i].max(1e-9);
-            if best.map_or(true, |(_, m)| metric > m) {
+            if best.is_none_or(|(_, m)| metric > m) {
                 best = Some((i, metric));
             }
         }
@@ -263,7 +257,10 @@ mod tests {
     fn fifo_preserves_order() {
         let mut q = BottleneckQueue::new(SchedulerKind::Fifo, 10_000, 0);
         for i in 0..5 {
-            assert_eq!(q.enqueue(pkt(StreamId::Flow(0), i, 1000), SimTime::ZERO), EnqueueResult::Queued);
+            assert_eq!(
+                q.enqueue(pkt(StreamId::Flow(0), i, 1000), SimTime::ZERO),
+                EnqueueResult::Queued
+            );
         }
         for i in 0..5 {
             assert_eq!(q.dequeue(SimTime::ZERO).unwrap().packet.seq, i);
@@ -274,10 +271,19 @@ mod tests {
     #[test]
     fn droptail_on_byte_overflow() {
         let mut q = BottleneckQueue::new(SchedulerKind::Fifo, 2500, 0);
-        assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 0, 1000), SimTime::ZERO), EnqueueResult::Queued);
-        assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 1, 1000), SimTime::ZERO), EnqueueResult::Queued);
+        assert_eq!(
+            q.enqueue(pkt(StreamId::Flow(0), 0, 1000), SimTime::ZERO),
+            EnqueueResult::Queued
+        );
+        assert_eq!(
+            q.enqueue(pkt(StreamId::Flow(0), 1, 1000), SimTime::ZERO),
+            EnqueueResult::Queued
+        );
         // 2000 + 1000 > 2500: dropped.
-        assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 2, 1000), SimTime::ZERO), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(StreamId::Flow(0), 2, 1000), SimTime::ZERO),
+            EnqueueResult::Dropped
+        );
         // But a smaller packet still fits.
         assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 3, 500), SimTime::ZERO), EnqueueResult::Queued);
         assert_eq!(q.occupied_bytes(), 2500);
@@ -292,16 +298,16 @@ mod tests {
         assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 1, 1), SimTime::ZERO), EnqueueResult::Dropped);
         q.dequeue(SimTime::ZERO).unwrap();
         assert!(q.is_empty());
-        assert_eq!(q.enqueue(pkt(StreamId::Flow(0), 2, 2000), SimTime::ZERO), EnqueueResult::Queued);
+        assert_eq!(
+            q.enqueue(pkt(StreamId::Flow(0), 2, 2000), SimTime::ZERO),
+            EnqueueResult::Queued
+        );
     }
 
     #[test]
     fn pf_serves_all_backlogged_streams() {
-        let mut q = BottleneckQueue::new(
-            SchedulerKind::ProportionalFair { fading: 0.3 },
-            1_000_000,
-            7,
-        );
+        let mut q =
+            BottleneckQueue::new(SchedulerKind::ProportionalFair { fading: 0.3 }, 1_000_000, 7);
         for seq in 0..100 {
             q.enqueue(pkt(StreamId::Flow(0), seq, 1000), SimTime::ZERO);
             q.enqueue(pkt(StreamId::Cross(0), seq, 1000), SimTime::ZERO);

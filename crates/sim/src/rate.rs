@@ -249,9 +249,8 @@ mod tests {
         // Lazy advancement never rewinds: queries must be nondecreasing in
         // practice (the link only moves forward); a later query after an
         // earlier one still returns the correct later rate.
-        let cfg = RateModelCfg::Trace {
-            steps: vec![(SimTime::ZERO, 1e6), (SimTime::from_secs(1), 2e6)],
-        };
+        let cfg =
+            RateModelCfg::Trace { steps: vec![(SimTime::ZERO, 1e6), (SimTime::from_secs(1), 2e6)] };
         let mut m = RateModel::new(&cfg, 0);
         assert_eq!(m.rate_at(SimTime::ZERO), 1e6);
         assert_eq!(m.rate_at(SimTime::from_secs(3)), 2e6);
@@ -274,10 +273,8 @@ mod tests {
 
     #[test]
     fn markov_is_deterministic_per_seed() {
-        let cfg = RateModelCfg::Markov {
-            states: vec![1e6, 2e6],
-            mean_dwell: SimTime::from_millis(50),
-        };
+        let cfg =
+            RateModelCfg::Markov { states: vec![1e6, 2e6], mean_dwell: SimTime::from_millis(50) };
         let mut a = RateModel::new(&cfg, 9);
         let mut b = RateModel::new(&cfg, 9);
         for ms in (0..5_000).step_by(7) {
@@ -297,10 +294,7 @@ mod tests {
         assert!(f2 <= SimTime::from_nanos(2));
         // Third must wait for tokens: 1500 B at 1 MB/s = 1.5 ms.
         let f3 = m.tx_finish(f2, 1500);
-        assert!(
-            (f3.as_millis_f64() - 1.5).abs() < 0.01,
-            "third packet finish = {f3}"
-        );
+        assert!((f3.as_millis_f64() - 1.5).abs() < 0.01, "third packet finish = {f3}");
     }
 
     #[test]
@@ -308,7 +302,7 @@ mod tests {
         let cfg = RateModelCfg::TokenBucket { fill_bps: 8e6, bucket_bytes: 2000 };
         let mut m = RateModel::new(&cfg, 0);
         let _ = m.tx_finish(SimTime::ZERO, 2000); // drain
-        // After 10 ms, refill = 10 KB but capped at 2000 B.
+                                                  // After 10 ms, refill = 10 KB but capped at 2000 B.
         let f = m.tx_finish(SimTime::from_millis(10), 1500);
         assert!(f <= SimTime::from_millis(10) + SimTime::from_nanos(1));
     }
@@ -316,10 +310,8 @@ mod tests {
     #[test]
     fn mean_rates() {
         assert_eq!(RateModelCfg::constant(5e6).mean_rate_bps(), 5e6);
-        let markov = RateModelCfg::Markov {
-            states: vec![1e6, 3e6],
-            mean_dwell: SimTime::from_millis(10),
-        };
+        let markov =
+            RateModelCfg::Markov { states: vec![1e6, 3e6], mean_dwell: SimTime::from_millis(10) };
         assert_eq!(markov.mean_rate_bps(), 2e6);
     }
 }

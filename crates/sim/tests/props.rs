@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use ibox_sim::crosstraffic::CrossSource;
 use ibox_sim::queue::{BottleneckQueue, EnqueueResult};
 use ibox_sim::rate::RateModel;
-use ibox_sim::{
-    CrossTrafficCfg, Packet, RateModelCfg, SchedulerKind, SimTime, StreamId,
-};
+use ibox_sim::{CrossTrafficCfg, Packet, RateModelCfg, SchedulerKind, SimTime, StreamId};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]

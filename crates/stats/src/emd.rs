@@ -20,10 +20,8 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
 
     // Merge the two quantile grids: break [0,1] at every i/n and j/m.
     let (n, m) = (xa.len(), xb.len());
-    let mut cuts: Vec<f64> = (0..=n)
-        .map(|i| i as f64 / n as f64)
-        .chain((0..=m).map(|j| j as f64 / m as f64))
-        .collect();
+    let mut cuts: Vec<f64> =
+        (0..=n).map(|i| i as f64 / n as f64).chain((0..=m).map(|j| j as f64 / m as f64)).collect();
     cuts.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
     cuts.dedup();
 

@@ -101,11 +101,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &c)| sq_dist(p, &centroids[c]))
-        .sum();
+    let inertia = points.iter().zip(&assignments).map(|(p, &c)| sq_dist(p, &centroids[c])).sum();
     KMeansResult { assignments, centroids, inertia, iterations }
 }
 
@@ -115,12 +111,7 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64
     while centroids.len() < k {
         let dists: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| sq_dist(p, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| sq_dist(p, c)).fold(f64::INFINITY, f64::min))
             .collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
@@ -157,10 +148,7 @@ pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
     for (&a, &b) in assignments.iter().zip(labels) {
         table[a][b] += 1;
     }
-    let correct: usize = table
-        .iter()
-        .map(|row| row.iter().copied().max().unwrap_or(0))
-        .sum();
+    let correct: usize = table.iter().map(|row| row.iter().copied().max().unwrap_or(0)).sum();
     correct as f64 / assignments.len() as f64
 }
 

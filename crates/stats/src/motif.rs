@@ -84,8 +84,7 @@ impl MotifCounts {
     /// Patterns sorted by descending frequency (ties lexicographic) — the
     /// "frequently occurring segments" of the motif-finding step.
     pub fn top(&self, n: usize) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, u64)> =
-            self.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v.into_iter()
             .take(n)

@@ -95,10 +95,7 @@ impl SaxEncoder {
 
     /// Encode into the letters `'a'..` used in the paper's tables.
     pub fn encode_letters(&self, series: &[f64]) -> String {
-        self.encode(series)
-            .into_iter()
-            .map(|s| (b'a' + s) as char)
-            .collect()
+        self.encode(series).into_iter().map(|s| (b'a' + s) as char).collect()
     }
 
     /// Map one (already-normalized, if applicable) value to its symbol.
@@ -121,10 +118,7 @@ impl SaxEncoder {
         if f == 1 {
             return series.to_vec();
         }
-        series
-            .chunks(f)
-            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-            .collect()
+        series.chunks(f).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
     }
 
     /// The fitted cut points.
@@ -141,6 +135,7 @@ fn gaussian_breakpoints(a: usize) -> Vec<f64> {
 
 /// Acklam's rational approximation of the standard normal quantile
 /// function (max abs error ~1.15e-9).
+#[allow(clippy::excessive_precision)] // published coefficients, kept verbatim
 fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "quantile argument out of (0,1)");
     const A: [f64; 6] = [
@@ -239,7 +234,7 @@ mod tests {
         assert_eq!(chars[1], 'a');
         assert_ne!(chars[2], 'a'); // zero is not a reordering
         assert_eq!(chars[5], 'f'); // beyond all cuts -> last symbol
-        // Monotone: larger values never map to smaller symbols.
+                                   // Monotone: larger values never map to smaller symbols.
         assert!(chars.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -13,9 +13,7 @@
 //! input-output trace alone.
 
 use ibox_cc::{by_name, Cubic};
-use ibox_sim::{
-    CongestionControl, FlowConfig, PathConfig, PathEmulator, SimTime,
-};
+use ibox_sim::{CongestionControl, FlowConfig, PathConfig, PathEmulator, SimTime};
 use ibox_trace::FlowTrace;
 
 /// The three cross-traffic timings: `(start, stop)` of the 10 s Cubic

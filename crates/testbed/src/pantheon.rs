@@ -66,10 +66,8 @@ pub fn generate_paired_datasets(
     duration: SimTime,
     base_seed: u64,
 ) -> Vec<TraceDataset> {
-    let mut out: Vec<TraceDataset> = protocols
-        .iter()
-        .map(|p| TraceDataset::new(format!("{}/{}", profile.name(), p)))
-        .collect();
+    let mut out: Vec<TraceDataset> =
+        protocols.iter().map(|p| TraceDataset::new(format!("{}/{}", profile.name(), p))).collect();
     for i in 0..n {
         let seed = base_seed + i as u64;
         let inst = profile.sample(seed, duration);
@@ -110,13 +108,8 @@ mod tests {
 
     #[test]
     fn paired_datasets_share_instances() {
-        let ds = generate_paired_datasets(
-            Profile::IndiaCellular,
-            &["cubic", "vegas"],
-            2,
-            SHORT,
-            20,
-        );
+        let ds =
+            generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], 2, SHORT, 20);
         assert_eq!(ds.len(), 2);
         assert_eq!(ds[0].traces[0].meta.path, ds[1].traces[0].meta.path);
         assert_eq!(ds[0].traces[0].meta.protocol, "cubic");
@@ -140,10 +133,8 @@ mod tests {
     #[test]
     fn cellular_traces_exhibit_reordering() {
         let d = generate_dataset(Profile::IndiaCellular, "cubic", 2, SHORT, 33);
-        let any_reordering = d
-            .traces
-            .iter()
-            .any(|t| ibox_trace::metrics::overall_reordering_rate(t) > 0.0);
+        let any_reordering =
+            d.traces.iter().any(|t| ibox_trace::metrics::overall_reordering_rate(t) > 0.0);
         assert!(any_reordering, "cellular profile must reorder some packets");
     }
 }

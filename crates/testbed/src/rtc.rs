@@ -3,9 +3,7 @@
 
 use ibox_cc::RtcController;
 use ibox_sim::rng::{self, uniform};
-use ibox_sim::{
-    CrossTrafficCfg, FixedRate, PathConfig, PathEmulator, RateModelCfg, SimTime,
-};
+use ibox_sim::{CrossTrafficCfg, FixedRate, PathConfig, PathEmulator, RateModelCfg, SimTime};
 use ibox_trace::{FlowTrace, TraceDataset};
 
 /// Length of one synthetic conference call.
@@ -108,8 +106,7 @@ fn run_bias(ct_fraction: f64, duration: SimTime, seed: u64, sender: BiasSender) 
     assert!((0.0..2.0).contains(&ct_fraction), "cross fraction out of range");
     let path = bias_topology();
     let link = path.rate.mean_rate_bps();
-    let mut emu =
-        PathEmulator::new(path, duration).with_name(format!("bias-ct{ct_fraction:.2}"));
+    let mut emu = PathEmulator::new(path, duration).with_name(format!("bias-ct{ct_fraction:.2}"));
     if ct_fraction > 0.0 {
         emu = emu.with_cross_traffic(CrossTrafficCfg::OnOff {
             rate_bps: ct_fraction * link,
@@ -164,10 +161,7 @@ mod tests {
         // The RTC loop avoids queueing; 8 Mbps CBR into a 6 Mbps link
         // pins the buffer: "the ground truth, as expected, exhibits high
         // delay frequently".
-        assert!(
-            d_cbr > 2.0 * d_rtc,
-            "CBR p95 {d_cbr} ms must dwarf RTC {d_rtc} ms"
-        );
+        assert!(d_cbr > 2.0 * d_rtc, "CBR p95 {d_cbr} ms must dwarf RTC {d_rtc} ms");
     }
 
     #[test]

@@ -83,9 +83,7 @@ pub fn from_csv(text: &str, meta: FlowMeta) -> Result<FlowTrace, CsvError> {
             return Err(CsvError::BadRow(line_no, format!("{} columns", cols.len())));
         }
         let parse_u64 = |s: &str, what: &str| {
-            s.trim()
-                .parse::<u64>()
-                .map_err(|e| CsvError::BadRow(line_no, format!("{what}: {e}")))
+            s.trim().parse::<u64>().map_err(|e| CsvError::BadRow(line_no, format!("{what}: {e}")))
         };
         let seq = parse_u64(cols[0], "seq")?;
         let send_ns = parse_u64(cols[1], "send_ns")?;
@@ -173,9 +171,6 @@ mod tests {
     #[test]
     fn wrong_column_count_is_rejected() {
         let text = "seq,send_ns,size,recv_ns\n0,0,100\n";
-        assert!(matches!(
-            from_csv(text, FlowMeta::default()),
-            Err(CsvError::BadRow(2, _))
-        ));
+        assert!(matches!(from_csv(text, FlowMeta::default()), Err(CsvError::BadRow(2, _))));
     }
 }

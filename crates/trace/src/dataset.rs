@@ -50,10 +50,7 @@ impl TraceDataset {
         let k = (self.traces.len() as f64 * train_frac).ceil() as usize;
         let k = k.min(self.traces.len());
         (
-            TraceDataset::from_traces(
-                format!("{}/train", self.name),
-                self.traces[..k].to_vec(),
-            ),
+            TraceDataset::from_traces(format!("{}/train", self.name), self.traces[..k].to_vec()),
             TraceDataset::from_traces(format!("{}/test", self.name), self.traces[k..].to_vec()),
         )
     }

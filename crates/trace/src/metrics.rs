@@ -81,9 +81,9 @@ pub fn reordering_rates(trace: &FlowTrace, window_secs: f64) -> Vec<f64> {
     }
     let window_ns = secs_to_ns(window_secs).max(1);
     let t0 = arrivals[0].recv_ns.expect("delivered");
-    let n_windows =
-        ((arrivals.last().expect("nonempty").recv_ns.expect("delivered") - t0) / window_ns + 1)
-            as usize;
+    let n_windows = ((arrivals.last().expect("nonempty").recv_ns.expect("delivered") - t0)
+        / window_ns
+        + 1) as usize;
     let mut total = vec![0usize; n_windows];
     let mut reordered = vec![0usize; n_windows];
     let mut max_seq_seen: Option<u64> = None;
@@ -148,9 +148,8 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         // Delays 10..=100 ms in 10 ms steps.
-        let recs: Vec<_> = (0..10u64)
-            .map(|i| PacketRecord::delivered(i, 0, 100, (i + 1) * 10 * MILLIS))
-            .collect();
+        let recs: Vec<_> =
+            (0..10u64).map(|i| PacketRecord::delivered(i, 0, 100, (i + 1) * 10 * MILLIS)).collect();
         let t = mk(recs);
         assert_eq!(delay_percentile_ms(&t, 0.95), Some(100.0));
         assert_eq!(delay_percentile_ms(&t, 0.50), Some(50.0));

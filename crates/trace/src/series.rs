@@ -27,10 +27,7 @@ impl TimeSeries {
     /// timestamps are not strictly increasing (programming error).
     pub fn new(t: Vec<f64>, v: Vec<f64>) -> Self {
         assert_eq!(t.len(), v.len(), "timestamp/value length mismatch");
-        debug_assert!(
-            t.windows(2).all(|w| w[0] < w[1]),
-            "timestamps must be strictly increasing"
-        );
+        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "timestamps must be strictly increasing");
         Self { t, v }
     }
 
@@ -63,7 +60,7 @@ impl TimeSeries {
     /// zero-order hold and `fill` before the first sample.
     pub fn resample(&self, start: f64, end: f64, dt: f64, fill: f64) -> TimeSeries {
         assert!(dt > 0.0, "resample step must be positive");
-        let n = (((end - start) / dt).ceil() as usize).max(0);
+        let n = ((end - start) / dt).ceil().max(0.0) as usize;
         let mut t = Vec::with_capacity(n);
         let mut v = Vec::with_capacity(n);
         for i in 0..n {
@@ -108,19 +105,14 @@ pub fn delay_series(trace: &FlowTrace) -> TimeSeries {
 ///
 /// Windows are aligned to the first send. Empty windows report zero.
 pub fn send_rate_series(trace: &FlowTrace, window_secs: f64) -> TimeSeries {
-    rate_series(
-        trace.records().iter().map(|r| (r.send_ns, u64::from(r.size))),
-        window_secs,
-    )
+    rate_series(trace.records().iter().map(|r| (r.send_ns, u64::from(r.size))), window_secs)
 }
 
 /// The receiving-rate series: bytes *received* per fixed window, bits per
 /// second, windows aligned to the first arrival.
 pub fn recv_rate_series(trace: &FlowTrace, window_secs: f64) -> TimeSeries {
-    let mut arrivals: Vec<(u64, u64)> = trace
-        .delivered()
-        .map(|r| (r.recv_ns.expect("delivered"), u64::from(r.size)))
-        .collect();
+    let mut arrivals: Vec<(u64, u64)> =
+        trace.delivered().map(|r| (r.recv_ns.expect("delivered"), u64::from(r.size))).collect();
     arrivals.sort_unstable();
     rate_series(arrivals.into_iter(), window_secs)
 }
@@ -155,10 +147,8 @@ fn rate_series(events: impl Iterator<Item = (u64, u64)>, window_secs: f64) -> Ti
 /// window ending at each arrival.
 pub fn peak_recv_rate_bps(trace: &FlowTrace, window_secs: f64) -> f64 {
     assert!(window_secs > 0.0, "window must be positive");
-    let mut arrivals: Vec<(u64, u64)> = trace
-        .delivered()
-        .map(|r| (r.recv_ns.expect("delivered"), u64::from(r.size)))
-        .collect();
+    let mut arrivals: Vec<(u64, u64)> =
+        trace.delivered().map(|r| (r.recv_ns.expect("delivered"), u64::from(r.size))).collect();
     if arrivals.is_empty() {
         return 0.0;
     }
@@ -191,8 +181,7 @@ pub fn inter_arrival_diffs(trace: &FlowTrace) -> TimeSeries {
     let mut last_t = f64::NEG_INFINITY;
     for w in delivered.windows(2) {
         let (a, b) = (w[0], w[1]);
-        let diff =
-            b.recv_ns.expect("delivered") as f64 - a.recv_ns.expect("delivered") as f64;
+        let diff = b.recv_ns.expect("delivered") as f64 - a.recv_ns.expect("delivered") as f64;
         let mut ts = ns_to_secs(b.send_ns);
         if ts <= last_t {
             ts = last_t + 1e-9;

@@ -10,9 +10,9 @@ use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
 fn arb_trace() -> impl Strategy<Value = FlowTrace> {
     prop::collection::vec(
         (
-            0u64..30_000,        // send offset, ms
-            100u32..1500,        // size
-            1u64..500,           // delay, ms
+            0u64..30_000,              // send offset, ms
+            100u32..1500,              // size
+            1u64..500,                 // delay, ms
             prop::bool::weighted(0.9), // delivered?
         ),
         1..200,

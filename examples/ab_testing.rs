@@ -20,7 +20,8 @@ fn main() {
     let duration = SimTime::from_secs(15);
 
     println!("generating {n} paired cubic/vegas measurement runs (india-cellular profile)…");
-    let ds = generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 777);
+    let ds =
+        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 777);
 
     println!("fitting one iBoxNet per cubic run; replaying cubic and vegas through each…\n");
     let report = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 3);

@@ -61,11 +61,7 @@ fn main() {
     let after = discover(&gt.traces, &augmented);
     println!(
         "\nafter augmentation, 'a' is {} from the diff of missing behaviours",
-        if after.missing_unigrams.iter().any(|(p, _)| p == "a") {
-            "STILL MISSING"
-        } else {
-            "gone"
-        }
+        if after.missing_unigrams.iter().any(|(p, _)| p == "a") { "STILL MISSING" } else { "gone" }
     );
 }
 

@@ -34,7 +34,10 @@ fn main() {
     println!("\nrunning the full instance test (4 GT + 4 simulated vegas runs per pattern)…");
     let report = instance_test(4, "vegas", 11);
 
-    println!("k-means (k=3) purity: {:.3}  (1.000 = 'no mistakes', as in the paper)", report.purity);
+    println!(
+        "k-means (k=3) purity: {:.3}  (1.000 = 'no mistakes', as in the paper)",
+        report.purity
+    );
     println!("\nper-run cluster assignments:");
     for (tag, a) in report.tags.iter().zip(&report.assignments) {
         println!(

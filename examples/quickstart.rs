@@ -20,16 +20,14 @@ fn main() {
     // --- 1. The "real" network: 8 Mbps, 30 ms, 120 KB buffer, plus a
     // 2 Mbps cross-traffic burst in the middle that iBox must discover.
     let duration = SimTime::from_secs(20);
-    let real_network = PathEmulator::new(
-        PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
-        duration,
-    )
-    .with_name("real-path")
-    .with_cross_traffic(CrossTrafficCfg::cbr(
-        2e6,
-        SimTime::from_secs(5),
-        SimTime::from_secs(15),
-    ));
+    let real_network =
+        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
+            .with_name("real-path")
+            .with_cross_traffic(CrossTrafficCfg::cbr(
+                2e6,
+                SimTime::from_secs(5),
+                SimTime::from_secs(15),
+            ));
 
     println!("measuring cubic on the real network…");
     let out = real_network.run_sender(Box::new(Cubic::new()), "measure", 1);
@@ -59,11 +57,8 @@ fn main() {
     // --- 3. Counterfactual: Vegas over the fitted model vs. reality.
     println!("\ncounterfactual: vegas over the fitted model vs the real network");
     let vegas_sim = model.simulate("vegas", duration, 42);
-    let vegas_real = real_network
-        .run_sender(Box::new(Vegas::new()), "v", 1)
-        .trace("v")
-        .unwrap()
-        .normalized();
+    let vegas_real =
+        real_network.run_sender(Box::new(Vegas::new()), "v", 1).trace("v").unwrap().normalized();
     let (m_sim, m_real) = (TraceMetrics::of(&vegas_sim), TraceMetrics::of(&vegas_real));
     println!("  metric          real       iBoxNet");
     println!("  rate (Mbps)     {:<10.2} {:.2}", m_real.avg_rate_mbps, m_sim.avg_rate_mbps);

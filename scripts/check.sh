@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local gate: everything CI would run, offline.
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+run cargo clippy --workspace --offline -- -D warnings
+run cargo fmt --check
+
+echo "all checks passed"

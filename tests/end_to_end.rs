@@ -14,21 +14,15 @@ use ibox_trace::metrics::{avg_rate_mbps, delay_percentile_ms};
 #[test]
 fn estimation_pipeline_recovers_known_path() {
     let duration = SimTime::from_secs(20);
-    let emu = PathEmulator::new(
-        PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
-        duration,
-    )
-    .with_name("known")
-    .with_cross_traffic(CrossTrafficCfg::cbr(
-        2e6,
-        SimTime::from_secs(5),
-        SimTime::from_secs(15),
-    ));
-    let gt = emu
-        .run_sender(Box::new(Cubic::new()), "m", 1)
-        .trace("m")
-        .unwrap()
-        .normalized();
+    let emu =
+        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
+            .with_name("known")
+            .with_cross_traffic(CrossTrafficCfg::cbr(
+                2e6,
+                SimTime::from_secs(5),
+                SimTime::from_secs(15),
+            ));
+    let gt = emu.run_sender(Box::new(Cubic::new()), "m", 1).trace("m").unwrap().normalized();
     let model = IBoxNet::fit(&gt);
 
     assert!(
@@ -48,10 +42,7 @@ fn estimation_pipeline_recovers_known_path() {
     );
     // Cross traffic: 2.5 MB true; conservative lower bound within reach.
     let est = model.cross.total_bytes();
-    assert!(
-        (1_200_000.0..=3_200_000.0).contains(&est),
-        "cross-traffic estimate {est}"
-    );
+    assert!((1_200_000.0..=3_200_000.0).contains(&est), "cross-traffic estimate {est}");
     // And localized in the right window.
     let inside = model.cross.bytes_between(4.0, 16.0);
     assert!(inside > 0.8 * est, "CT should sit in [5,15]s: {inside} of {est}");
@@ -62,25 +53,16 @@ fn estimation_pipeline_recovers_known_path() {
 #[test]
 fn counterfactual_vegas_matches_reality() {
     let duration = SimTime::from_secs(20);
-    let emu = PathEmulator::new(
-        PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
-        duration,
-    )
-    .with_cross_traffic(CrossTrafficCfg::cbr(
-        2e6,
-        SimTime::from_secs(5),
-        SimTime::from_secs(15),
-    ));
-    let cubic_gt = emu
-        .run_sender(Box::new(Cubic::new()), "m", 1)
-        .trace("m")
-        .unwrap()
-        .normalized();
-    let vegas_gt = emu
-        .run_sender(ibox_cc::by_name("vegas").unwrap(), "m", 1)
-        .trace("m")
-        .unwrap()
-        .normalized();
+    let emu =
+        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
+            .with_cross_traffic(CrossTrafficCfg::cbr(
+                2e6,
+                SimTime::from_secs(5),
+                SimTime::from_secs(15),
+            ));
+    let cubic_gt = emu.run_sender(Box::new(Cubic::new()), "m", 1).trace("m").unwrap().normalized();
+    let vegas_gt =
+        emu.run_sender(ibox_cc::by_name("vegas").unwrap(), "m", 1).trace("m").unwrap().normalized();
 
     let model = IBoxNet::fit(&cubic_gt);
     let vegas_sim = model.simulate("vegas", duration, 9);
@@ -89,31 +71,19 @@ fn counterfactual_vegas_matches_reality() {
     assert!((r_gt - r_sim).abs() / r_gt < 0.2, "rates {r_gt} vs {r_sim}");
     let d_gt = delay_percentile_ms(&vegas_gt, 0.95).unwrap();
     let d_sim = delay_percentile_ms(&vegas_sim, 0.95).unwrap();
-    assert!(
-        (d_gt - d_sim).abs() / d_gt < 0.3,
-        "p95 delays {d_gt} vs {d_sim}"
-    );
+    assert!((d_gt - d_sim).abs() / d_gt < 0.3, "p95 delays {d_gt} vs {d_sim}");
 }
 
 /// Profiles are portable artifacts: JSON roundtrip preserves behaviour.
 #[test]
 fn profile_roundtrip_preserves_simulation() {
     let duration = SimTime::from_secs(10);
-    let emu = PathEmulator::new(
-        PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
-        duration,
-    );
-    let gt = emu
-        .run_sender(Box::new(Cubic::new()), "m", 2)
-        .trace("m")
-        .unwrap()
-        .normalized();
+    let emu =
+        PathEmulator::new(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000), duration);
+    let gt = emu.run_sender(Box::new(Cubic::new()), "m", 2).trace("m").unwrap().normalized();
     let model = IBoxNet::fit(&gt);
     let restored = IBoxNet::from_json(&model.to_json()).unwrap();
-    assert_eq!(
-        model.simulate("reno", duration, 5),
-        restored.simulate("reno", duration, 5)
-    );
+    assert_eq!(model.simulate("reno", duration, 5), restored.simulate("reno", duration, 5));
 }
 
 /// The Fig. 3 ordering at miniature scale: full iBoxNet matches the
@@ -122,7 +92,8 @@ fn profile_roundtrip_preserves_simulation() {
 #[test]
 fn iboxnet_beats_statistical_loss_baseline_on_delay() {
     let duration = SimTime::from_secs(10);
-    let ds = generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], 6, duration, 400);
+    let ds =
+        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], 6, duration, 400);
     let full = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 2);
     let stat = ensemble_test(&ds[0], &ds[1], ModelKind::StatisticalLoss, duration, 2);
     assert!(
@@ -140,11 +111,7 @@ fn statistical_baseline_is_loss_calibrated() {
     let mut path = PathConfig::simple(6e6, SimTime::from_millis(25), 80_000);
     path.random_loss = 0.02;
     let emu = PathEmulator::new(path, duration);
-    let gt = emu
-        .run_sender(Box::new(Cubic::new()), "m", 3)
-        .trace("m")
-        .unwrap()
-        .normalized();
+    let gt = emu.run_sender(Box::new(Cubic::new()), "m", 3).trace("m").unwrap().normalized();
     let model = StatisticalLossModel::fit(&gt);
     assert!((model.loss_rate - gt.loss_rate()).abs() < 1e-9);
     let sim = model.simulate("cubic", duration, 4);

@@ -58,10 +58,7 @@ fn iboxml_transfers_to_held_out_traces() {
     let pred = model.predict_trace(&traces[3]);
     let p50_gt = delay_percentile_ms(&traces[3], 0.5).unwrap();
     let p50_ml = delay_percentile_ms(&pred, 0.5).unwrap();
-    assert!(
-        p50_ml > 0.4 * p50_gt && p50_ml < 2.5 * p50_gt,
-        "medians: gt {p50_gt} vs ml {p50_ml}"
-    );
+    assert!(p50_ml > 0.4 * p50_gt && p50_ml < 2.5 * p50_gt, "medians: gt {p50_gt} vs ml {p50_ml}");
     // The send pattern is replayed exactly.
     assert_eq!(pred.len(), traces[3].len());
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use ibox_sim::{
-    CrossTrafficCfg, FixedRate, FixedWindow, PathConfig, PathEmulator, SimTime,
-};
+use ibox_sim::{CrossTrafficCfg, FixedRate, FixedWindow, PathConfig, PathEmulator, SimTime};
 use ibox_stats::{ks_two_sample, Cdf, SaxConfig, SaxEncoder};
 use ibox_trace::metrics::overall_reordering_rate;
 

@@ -1,0 +1,468 @@
+//! In-tree stand-in for `proptest`.
+//!
+//! The build environment cannot reach a crates registry, so this implements
+//! the slice of proptest this workspace's property tests use: the
+//! [`proptest!`] macro family, range/tuple/`vec`/`prop_map` strategies,
+//! `prop::bool::weighted`, `any::<T>()`, `prop_assert*` / `prop_assume!`,
+//! and [`ProptestConfig`] with a `cases` knob.
+//!
+//! Differences from upstream, deliberate for a shim:
+//! * **No shrinking** — a failing case reports its inputs' seed, not a
+//!   minimized counterexample.
+//! * **Deterministic** — case seeds derive from the test name and case
+//!   index, so failures reproduce exactly across runs.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies; deterministic per test-name + case index.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the inputs don't apply; try others.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Assertion-failure constructor.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Assumption-rejection constructor.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ----------------------------------------------------------- strategies
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — unlike upstream this never yields NaN/inf.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection strategy");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`weighted`].
+    pub struct Weighted {
+        p: f64,
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(self.p)
+        }
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: generate cases until `config.cases` pass, panic on
+/// the first failure. Called by the code `proptest!` expands to.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt.wrapping_add(1));
+        let mut rng = TestRng::seed_from_u64(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejects}; last assumption: {why})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s) \
+                     (deterministic case seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand each test fn in turn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                (move || -> $crate::TestCaseResult {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure reports the
+/// formatted message and fails the whole test (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                            __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)+),
+                            __l,
+                            __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (does not count toward `cases`) when its
+/// generated inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_honours_size(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 10);
+            }
+        }
+
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(0.0f32..1.0, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u64..100, prop::bool::weighted(0.5)).prop_map(|(n, b)| (n * 2, b)),
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(pair.0 < 200);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let cfg = ProptestConfig { cases: 8, ..ProptestConfig::default() };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::run_cases(&cfg, "runner_is_deterministic", |rng| {
+                out.push(crate::Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn reject_cap_panics() {
+        let cfg = ProptestConfig { cases: 1, max_global_rejects: 10 };
+        crate::run_cases(&cfg, "reject_cap_panics", |_rng| Err(TestCaseError::reject("always")));
+    }
+}

@@ -1,0 +1,489 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! With no registry access there is no `syn`/`quote`, so the item is parsed
+//! directly from its `TokenStream`: attributes and visibility are skipped,
+//! field/variant names are collected (types are never needed — the generated
+//! code lets inference pick the right `Deserialize` impl), and the output
+//! `impl` is assembled as a string and re-parsed.
+//!
+//! Supported shapes, matching what this workspace derives on:
+//! named / newtype / tuple / unit structs, and enums with unit, newtype,
+//! tuple, and struct variants (externally tagged, like upstream serde).
+//! `#[serde(skip)]` on fields is honoured (omitted on write, filled with
+//! `Default::default()` on read). Generics are not supported.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// `#[derive(Serialize)]` for the vendored serde shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]` for the vendored serde shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if is_serde_skip(g) {
+                        skip = true;
+                    }
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+fn is_serde_skip(bracket: &Group) -> bool {
+    let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    if let [TokenTree::Ident(path), TokenTree::Group(args)] = &inner[..] {
+        if path.to_string() == "serde" {
+            return args
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"));
+        }
+    }
+    false
+}
+
+/// Consume `pub` / `pub(...)` if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize, what: &str) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Count comma-separated chunks at angle-bracket depth zero.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Parse `name: Type, ...` out of a brace group's stream, honouring
+/// attributes and visibility; types are skipped, not interpreted.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i, "a field name");
+        i += 1;
+        // Skip the `:` and the type, up to the next top-level comma.
+        debug_assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i, "a variant name");
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                i += 1;
+                if arity == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to (and over) the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i, "the item name");
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+// ------------------------------------------------------------- codegen
+
+fn push_named_fields_to_object(
+    out: &mut String,
+    fields: &[Field],
+    accessor: impl Fn(&str) -> String,
+) {
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            push_named_fields_to_object(&mut body, fields, |f| format!("&self.{f}"));
+            body.push_str("::serde::Value::Object(__fields)\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        ItemKind::TupleStruct(arity) => {
+            body.push_str(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "__items.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Array(__items)\n");
+        }
+        ItemKind::UnitStruct => {
+            body.push_str("::serde::Value::Null\n");
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Newtype => body.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__f0))])),\n"
+                    )),
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __items: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n",
+                            binds = binders.join(", "),
+                        ));
+                        for b in &binders {
+                            body.push_str(&format!(
+                                "__items.push(::serde::Serialize::to_value({b}));\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "::serde::Value::Object(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(__items))]))\n}}\n"
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n",
+                            binds = binds.join(", "),
+                        ));
+                        push_named_fields_to_object(&mut body, fields, |f| f.to_string());
+                        body.push_str(&format!(
+                            "::serde::Value::Object(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__fields))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Generate the field initializers of a named-field constructor, reading
+/// each field out of the object expression `src`.
+fn push_named_fields_from_object(out: &mut String, ty_label: &str, src: &str, fields: &[Field]) {
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{\n\
+                 ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                 ::std::option::Option::None => \
+                 ::serde::missing_field(\"{ty_label}\", \"{n}\")?,\n}},\n",
+                n = f.name,
+            ));
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "if __v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"an object for `{name}`\", __v));\n}}\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            push_named_fields_from_object(&mut body, name, "__v", fields);
+            body.push_str("})\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+            ));
+        }
+        ItemKind::TupleStruct(arity) => {
+            body.push_str(&format!(
+                "let __items = match __v.as_array() {{\n\
+                 ::std::option::Option::Some(__items) if __items.len() == {arity} => __items,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                 \"a {arity}-element array for `{name}`\", __v)),\n}};\n\
+                 ::std::result::Result::Ok({name}(\n"
+            ));
+            for idx in 0..*arity {
+                body.push_str(&format!("::serde::Deserialize::from_value(&__items[{idx}])?,\n"));
+            }
+            body.push_str("))\n");
+        }
+        ItemKind::UnitStruct => {
+            body.push_str(&format!("::std::result::Result::Ok({name})\n"));
+        }
+        ItemKind::Enum(variants) => {
+            // Externally tagged: a unit variant is its name as a string, any
+            // payload-carrying variant is a single-key `{ "Name": payload }`.
+            body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown unit variant `{{__other}}` for enum `{name}`\"))),\n}},\n\
+                 ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__tagged[0];\n\
+                 match __tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Newtype => body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(arity) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __inner.as_array() {{\n\
+                             ::std::option::Option::Some(__items) if __items.len() == {arity} \
+                             => __items,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                             \"a {arity}-element array for `{name}::{vn}`\", __inner)),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        ));
+                        for idx in 0..*arity {
+                            body.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{idx}])?,\n"
+                            ));
+                        }
+                        body.push_str("))\n}\n");
+                    }
+                    Shape::Struct(fields) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        push_named_fields_from_object(
+                            &mut body,
+                            &format!("{name}::{vn}"),
+                            "__inner",
+                            fields,
+                        );
+                        body.push_str("}),\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown variant `{{__other}}` for enum `{name}`\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"a string or single-key object for enum `{name}`\", __other)),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
