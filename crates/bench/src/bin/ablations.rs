@@ -40,8 +40,9 @@ fn gt_trace(seed: u64) -> FlowTrace {
 fn main() {
     let bench = ibox_bench::BenchRun::start("ablations");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n = scale.pick(2, 6);
-    let traces: Vec<FlowTrace> = (0..n as u64).map(gt_trace).collect();
+    let traces: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| gt_trace(i as u64));
     const TRUE_CT_BYTES: f64 = 2e6 / 8.0 * 10.0; // 2.5 MB
 
     // 1. CT bin width sweep.

@@ -13,7 +13,7 @@
 //! Run: `cargo run -p ibox-bench --release --bin extensions [--quick]`
 
 use ibox::adaptive::AdaptiveCross;
-use ibox::realism::realism_test;
+use ibox::realism::realism_test_jobs;
 use ibox::validity::ValidityRegion;
 use ibox::IBoxNet;
 use ibox_bench::{cell, render_table, Scale};
@@ -27,12 +27,14 @@ use ibox_trace::FlowTrace;
 fn main() {
     let bench = ibox_bench::BenchRun::start("extensions");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
 
     // --- 1. Validity regions.
     ibox_obs::info!("extensions: validity region…");
     let dur = SimTime::from_secs(scale.pick(8, 20) as u64);
-    let train: Vec<FlowTrace> = (0..3).map(|i| bias_training_trace(0.3, dur, i)).collect();
-    let region = ValidityRegion::fit(&train);
+    let train: Vec<FlowTrace> =
+        ibox_runner::run_scoped(3, jobs, |i| bias_training_trace(0.3, dur, i as u64));
+    let region = ValidityRegion::fit_jobs(&train, jobs);
     let fresh_rtc = bias_training_trace(0.3, dur, 99);
     let cbr = bias_test_trace(0.3, dur, 99);
     let rows = vec![
@@ -59,35 +61,29 @@ fn main() {
     // --- 2. Realism discriminator.
     ibox_obs::info!("extensions: realism discriminator…");
     let n = scale.pick(3, 8);
-    let gt: Vec<FlowTrace> = (0..n as u64)
-        .map(|i| {
-            PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
-                .run_sender(Box::new(Cubic::new()), "m", i)
-                .traces
-                .into_iter()
-                .next()
-                .expect("one recorded flow")
-                .normalized()
-        })
-        .collect();
-    let iboxnet_sims: Vec<FlowTrace> = gt
-        .iter()
-        .enumerate()
-        .map(|(i, t)| IBoxNet::fit(t).simulate("cubic", dur, 40 + i as u64))
-        .collect();
-    let crude: Vec<FlowTrace> = (0..n as u64)
-        .map(|i| {
-            PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
-                .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i)
-                .traces
-                .into_iter()
-                .next()
-                .expect("one recorded flow")
-                .normalized()
-        })
-        .collect();
-    let r_net = realism_test(&gt, &iboxnet_sims);
-    let r_crude = realism_test(&gt, &crude);
+    let gt: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| {
+        PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
+            .run_sender(Box::new(Cubic::new()), "m", i as u64)
+            .traces
+            .into_iter()
+            .next()
+            .expect("one recorded flow")
+            .normalized()
+    });
+    let iboxnet_sims: Vec<FlowTrace> = ibox_runner::run_scoped(gt.len(), jobs, |i| {
+        IBoxNet::fit(&gt[i]).simulate("cubic", dur, 40 + i as u64)
+    });
+    let crude: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| {
+        PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
+            .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i as u64)
+            .traces
+            .into_iter()
+            .next()
+            .expect("one recorded flow")
+            .normalized()
+    });
+    let r_net = realism_test_jobs(&gt, &iboxnet_sims, jobs);
+    let r_crude = realism_test_jobs(&gt, &crude, jobs);
     let rows = vec![
         vec![
             "iBoxNet replay".to_string(),

@@ -9,25 +9,32 @@
 //! each metric for all four populations, the per-run scatter points, and
 //! the KS statistics/p-values.
 
-use ibox::abtest::{ensemble_test, ModelKind};
+use ibox::abtest::{ensemble_test_jobs, ModelKind};
 use ibox_bench::{cell, dist_cells, render_table, Scale};
 use ibox_sim::SimTime;
-use ibox_testbed::pantheon::{generate_paired_datasets, PANTHEON_DURATION};
+use ibox_testbed::pantheon::{generate_paired_datasets_jobs, PANTHEON_DURATION};
 use ibox_testbed::Profile;
 
 fn main() {
     let bench = ibox_bench::BenchRun::start("fig2");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n = scale.pick(6, 30);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => PANTHEON_DURATION,
     };
     ibox_obs::info!("fig2: generating {n} paired cubic/vegas runs on india-cellular…");
-    let ds =
-        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
+    let ds = generate_paired_datasets_jobs(
+        Profile::IndiaCellular,
+        &["cubic", "vegas"],
+        n,
+        duration,
+        2_000,
+        jobs,
+    );
     ibox_obs::info!("fig2: fitting iBoxNet per trace and replaying both protocols…");
-    let report = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 7);
+    let report = ensemble_test_jobs(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 7, jobs);
 
     // Distribution summary (the shape Fig. 2's markers encode).
     let mut rows = Vec::new();

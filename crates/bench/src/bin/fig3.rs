@@ -10,23 +10,30 @@
 //! model kinds and prints the KS statistics side by side — the "worse
 //! match" shows up as a larger KS D (smaller p).
 
-use ibox::abtest::{ensemble_test, EnsembleReport, ModelKind};
+use ibox::abtest::{ensemble_test_jobs, EnsembleReport, ModelKind};
 use ibox_bench::{cell, render_table, Scale};
 use ibox_sim::SimTime;
-use ibox_testbed::pantheon::{generate_paired_datasets, PANTHEON_DURATION};
+use ibox_testbed::pantheon::{generate_paired_datasets_jobs, PANTHEON_DURATION};
 use ibox_testbed::Profile;
 
 fn main() {
     let bench = ibox_bench::BenchRun::start("fig3");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n = scale.pick(6, 30);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(10),
         Scale::Full => PANTHEON_DURATION,
     };
     ibox_obs::info!("fig3: generating {n} paired cubic/vegas runs…");
-    let ds =
-        generate_paired_datasets(Profile::IndiaCellular, &["cubic", "vegas"], n, duration, 2_000);
+    let ds = generate_paired_datasets_jobs(
+        Profile::IndiaCellular,
+        &["cubic", "vegas"],
+        n,
+        duration,
+        2_000,
+        jobs,
+    );
 
     let kinds = [
         ModelKind::IBoxNet,
@@ -41,7 +48,7 @@ fn main() {
         .iter()
         .map(|k| {
             ibox_obs::info!("fig3: evaluating {}…", k.name());
-            ensemble_test(&ds[0], &ds[1], *k, duration, 7)
+            ensemble_test_jobs(&ds[0], &ds[1], *k, duration, 7, jobs)
         })
         .collect();
 

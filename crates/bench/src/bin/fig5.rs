@@ -20,7 +20,7 @@ use ibox_bench::{cell, render_table, Scale};
 use ibox_ml::TrainConfig;
 use ibox_sim::SimTime;
 use ibox_stats::Cdf;
-use ibox_testbed::pantheon::generate_paired_datasets;
+use ibox_testbed::pantheon::generate_paired_datasets_jobs;
 use ibox_testbed::Profile;
 use ibox_trace::metrics::reordering_rates;
 use ibox_trace::FlowTrace;
@@ -32,6 +32,7 @@ fn pooled_rates(traces: &[FlowTrace]) -> Vec<f64> {
 fn main() {
     let bench = ibox_bench::BenchRun::start("fig5");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n_train = scale.pick(4, 24);
     let n_test = scale.pick(3, 16);
     let duration = match scale {
@@ -39,23 +40,23 @@ fn main() {
         Scale::Full => SimTime::from_secs(30),
     };
     ibox_obs::info!("fig5: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
-    let ds = generate_paired_datasets(
+    let ds = generate_paired_datasets_jobs(
         Profile::IndiaCellular,
         &["cubic", "vegas"],
         n_train + n_test,
         duration,
         9_000,
+        jobs,
     );
     let (cubic_train, _cubic_test) = ds[0].split(n_train as f64 / (n_train + n_test) as f64);
     let (vegas_train, vegas_test) = ds[1].split(n_train as f64 / (n_train + n_test) as f64);
 
     // iBoxML trained on the Vegas training split (§4.1's setup).
     ibox_obs::info!("fig5: training iBoxML on {} vegas traces…", vegas_train.len());
-    let ml_cfg = IBoxMlConfig {
-        hidden_sizes: vec![24, 24],
-        with_cross_traffic: false,
-        known_params: None,
-        train: TrainConfig {
+    let ml_cfg = IBoxMlConfig::builder()
+        .hidden_sizes([24, 24])
+        .with_cross_traffic(false)
+        .train(TrainConfig {
             epochs: scale.pick(4, 10),
             lr: 3e-3,
             tbptt: 64,
@@ -63,9 +64,9 @@ fn main() {
             loss_weight: 0.2,
             delay_weight: 1.0,
             ..Default::default()
-        },
-        seed: 17,
-    };
+        })
+        .seed(17)
+        .build();
     let iboxml = IBoxMl::fit(&vegas_train.traces, ml_cfg);
 
     // Reordering predictors trained on the Cubic training split (§5.1).
@@ -73,25 +74,32 @@ fn main() {
     let lstm = ReorderLstm::fit(&cubic_train.traces, 16, scale.pick(3, 8), 3);
     let linear = ReorderLinear::fit(&cubic_train.traces);
 
-    // Evaluate on the Vegas test split.
+    // Evaluate on the Vegas test split — each test trace is independent,
+    // so the per-trace fit/replay/augment pipeline runs on the pool.
     ibox_obs::info!("fig5: evaluating on {} vegas test traces…", vegas_test.len());
-    let mut gt_traces = Vec::new();
-    let mut ml_traces = Vec::new();
-    let mut net_traces = Vec::new();
-    let mut net_lstm_traces = Vec::new();
-    let mut net_linear_traces = Vec::new();
-    for (i, t) in vegas_test.traces.iter().enumerate() {
-        gt_traces.push(t.clone());
-        ml_traces.push(iboxml.predict_trace(t));
+    let evaluated = ibox_runner::run_scoped(vegas_test.traces.len(), jobs, |i| {
+        let t = &vegas_test.traces[i];
         // iBoxNet fitted on this instance's Cubic run would be the fig2
         // flow; for the reordering figure the paper replays the test set
         // through models fitted on training traces — fitting on the test
         // trace itself is equivalent for reordering (iBoxNet can never
         // reorder regardless of fit).
         let net = IBoxNet::fit(t).simulate("vegas", duration, 1_000 + i as u64);
-        net_lstm_traces.push(augment_with_reordering(&net, &lstm, 50 + i as u64));
-        net_linear_traces.push(augment_with_reordering(&net, &linear, 90 + i as u64));
+        let net_lstm = augment_with_reordering(&net, &lstm, 50 + i as u64);
+        let net_linear = augment_with_reordering(&net, &linear, 90 + i as u64);
+        (t.clone(), iboxml.predict_trace(t), net, net_lstm, net_linear)
+    });
+    let mut gt_traces = Vec::new();
+    let mut ml_traces = Vec::new();
+    let mut net_traces = Vec::new();
+    let mut net_lstm_traces = Vec::new();
+    let mut net_linear_traces = Vec::new();
+    for (gt, ml, net, net_lstm, net_linear) in evaluated {
+        gt_traces.push(gt);
+        ml_traces.push(ml);
         net_traces.push(net);
+        net_lstm_traces.push(net_lstm);
+        net_linear_traces.push(net_linear);
     }
 
     let series: Vec<(&str, Vec<f64>)> = vec![

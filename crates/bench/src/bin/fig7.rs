@@ -22,6 +22,7 @@ use ibox_trace::FlowTrace;
 fn main() {
     let bench = ibox_bench::BenchRun::start("fig7");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let seeds_per_level = scale.pick(1, 3);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(12),
@@ -34,19 +35,17 @@ fn main() {
     // (the bias), correlated enough with the cross-traffic estimate that
     // the §5.2 melding can learn from them.
     ibox_obs::info!("fig7: generating RTC training traces…");
-    let mut train: Vec<FlowTrace> = Vec::new();
-    for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
-        for s in 0..seeds_per_level {
-            train.push(bias_training_trace(*level, duration, (li * 20 + s) as u64));
-        }
-    }
+    let train: Vec<FlowTrace> =
+        ibox_runner::run_scoped(BIAS_CT_LEVELS.len() * seeds_per_level, jobs, |i| {
+            let (li, s) = (i / seeds_per_level, i % seeds_per_level);
+            bias_training_trace(BIAS_CT_LEVELS[li], duration, (li * 20 + s) as u64)
+        });
 
     // Test corpus: high-rate CBR at the same cross-traffic levels.
     ibox_obs::info!("fig7: generating CBR test traces…");
-    let mut test: Vec<FlowTrace> = Vec::new();
-    for (li, level) in BIAS_CT_LEVELS.iter().enumerate() {
-        test.push(bias_test_trace(*level, duration, (900 + li) as u64));
-    }
+    let test: Vec<FlowTrace> = ibox_runner::run_scoped(BIAS_CT_LEVELS.len(), jobs, |li| {
+        bias_test_trace(BIAS_CT_LEVELS[li], duration, (900 + li) as u64)
+    });
 
     // Fig. 7 is a *controlled* ns-like topology: the configuration is
     // known, so the cross-traffic estimator gets the true (b, d, B)
@@ -70,24 +69,23 @@ fn main() {
     ibox_obs::info!("fig7: training iBoxML without cross-traffic input…");
     let without = IBoxMl::fit(
         &train,
-        IBoxMlConfig {
-            hidden_sizes: vec![24, 24],
-            with_cross_traffic: false,
-            known_params: None,
-            train: train_cfg,
-            seed: 21,
-        },
+        IBoxMlConfig::builder()
+            .hidden_sizes([24, 24])
+            .with_cross_traffic(false)
+            .train(train_cfg)
+            .seed(21)
+            .build(),
     );
     ibox_obs::info!("fig7: training iBoxML with cross-traffic input…");
     let with = IBoxMl::fit(
         &train,
-        IBoxMlConfig {
-            hidden_sizes: vec![24, 24],
-            with_cross_traffic: true,
-            known_params: Some(known),
-            train: train_cfg,
-            seed: 21,
-        },
+        IBoxMlConfig::builder()
+            .hidden_sizes([24, 24])
+            .with_cross_traffic(true)
+            .known_params(known)
+            .train(train_cfg)
+            .seed(21)
+            .build(),
     );
 
     // Pool delays across the CBR test traces.

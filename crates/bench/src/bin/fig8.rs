@@ -11,12 +11,13 @@ use ibox::meld::reorder::{augment_with_reordering, ReorderLstm};
 use ibox::IBoxNet;
 use ibox_bench::{cell, render_table, Scale};
 use ibox_sim::SimTime;
-use ibox_testbed::pantheon::generate_paired_datasets;
+use ibox_testbed::pantheon::generate_paired_datasets_jobs;
 use ibox_testbed::Profile;
 
 fn main() {
     let bench = ibox_bench::BenchRun::start("fig8");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n_train = scale.pick(3, 16);
     let n_test = scale.pick(3, 12);
     let duration = match scale {
@@ -24,24 +25,22 @@ fn main() {
         Scale::Full => SimTime::from_secs(30),
     };
     ibox_obs::info!("fig8: generating {} paired cubic/vegas cellular runs…", n_train + n_test);
-    let ds = generate_paired_datasets(
+    let ds = generate_paired_datasets_jobs(
         Profile::IndiaCellular,
         &["cubic", "vegas"],
         n_train + n_test,
         duration,
         13_000,
+        jobs,
     );
     let (cubic_train, _) = ds[0].split(n_train as f64 / (n_train + n_test) as f64);
     let (_, vegas_test) = ds[1].split(n_train as f64 / (n_train + n_test) as f64);
 
     // iBoxNet simulations of the test set (reordering-free by construction).
     ibox_obs::info!("fig8: simulating iBoxNet traces…");
-    let net_traces: Vec<_> = vegas_test
-        .traces
-        .iter()
-        .enumerate()
-        .map(|(i, t)| IBoxNet::fit(t).simulate("vegas", duration, 400 + i as u64))
-        .collect();
+    let net_traces: Vec<_> = ibox_runner::run_scoped(vegas_test.traces.len(), jobs, |i| {
+        IBoxNet::fit(&vegas_test.traces[i]).simulate("vegas", duration, 400 + i as u64)
+    });
 
     // (a) The diff: patterns in GT absent from iBoxNet.
     let report = discover(&vegas_test.traces, &net_traces);
@@ -60,11 +59,9 @@ fn main() {
     // (b) Augment with the learned LSTM reorder model and re-compare.
     ibox_obs::info!("fig8: training the LSTM reorder model and augmenting…");
     let lstm = ReorderLstm::fit(&cubic_train.traces, 16, scale.pick(3, 8), 3);
-    let augmented: Vec<_> = net_traces
-        .iter()
-        .enumerate()
-        .map(|(i, t)| augment_with_reordering(t, &lstm, 700 + i as u64))
-        .collect();
+    let augmented: Vec<_> = ibox_runner::run_scoped(net_traces.len(), jobs, |i| {
+        augment_with_reordering(&net_traces[i], &lstm, 700 + i as u64)
+    });
     let report_aug = discover(&vegas_test.traces, &augmented);
 
     let mut rows = Vec::new();

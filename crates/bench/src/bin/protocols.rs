@@ -10,16 +10,17 @@
 //!
 //! Run: `cargo run -p ibox-bench --release --bin protocols [--quick]`
 
-use ibox::abtest::{ensemble_test, ModelKind};
+use ibox::abtest::{ensemble_test_jobs, ModelKind};
 use ibox_bench::{cell, render_table, Scale};
 use ibox_sim::SimTime;
 use ibox_stats::wasserstein_1d;
-use ibox_testbed::pantheon::generate_paired_datasets;
+use ibox_testbed::pantheon::generate_paired_datasets_jobs;
 use ibox_testbed::Profile;
 
 fn main() {
     let bench = ibox_bench::BenchRun::start("protocols");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n = scale.pick(4, 15);
     let duration = match scale {
         Scale::Quick => SimTime::from_secs(8),
@@ -30,9 +31,15 @@ fn main() {
     let mut rows = Vec::new();
     for b in treatments {
         ibox_obs::info!("protocols: cubic -> {b} ({n} paired runs)…");
-        let ds =
-            generate_paired_datasets(Profile::IndiaCellular, &["cubic", b], n, duration, 21_000);
-        let r = ensemble_test(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 5);
+        let ds = generate_paired_datasets_jobs(
+            Profile::IndiaCellular,
+            &["cubic", b],
+            n,
+            duration,
+            21_000,
+            jobs,
+        );
+        let r = ensemble_test_jobs(&ds[0], &ds[1], ModelKind::IBoxNet, duration, 5, jobs);
         // KS on p95 delay + the interpretable W1 distances.
         let gt_d: Vec<f64> = r.gt_b.iter().map(|m| m.p95_delay_ms).collect();
         let sim_d: Vec<f64> = r.sim_b.iter().map(|m| m.p95_delay_ms).collect();

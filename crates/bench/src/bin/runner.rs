@@ -1,0 +1,128 @@
+//! Batch-runner scaling check — determinism and wall-time speedup.
+//!
+//! Builds the fig2-shaped ensemble workload as a typed [`BatchSpec`]
+//! (fit + replay per run, every model kind represented), executes it
+//! twice — `--jobs 1` (serial) and `--jobs 4` — and
+//!
+//! 1. asserts the two result JSONs are **byte-identical** (the runner's
+//!    determinism contract), and
+//! 2. reports the wall-time speedup, recorded as gauges in
+//!    `BENCH_runner.json`.
+//!
+//! Run: `cargo run -p ibox-bench --release --bin runner [--quick]`
+
+use ibox::{run_batch_jobs, BatchSpec, ModelKind, RunSpec};
+use ibox_bench::{cell, render_table, Scale};
+use ibox_testbed::Profile;
+
+fn main() {
+    let bench = ibox_bench::BenchRun::start("runner");
+    let scale = Scale::from_args();
+    let per_profile = scale.pick(1, 4);
+    let duration = scale.pick(6, 20) as f64;
+
+    // The ensemble workload: every profile × every model kind, fitting on
+    // a synthetic Cubic run and replaying Vegas — the fig2/fig3 pipeline
+    // expressed as data.
+    let mut runs = Vec::new();
+    for profile in Profile::all() {
+        for model in ModelKind::all() {
+            for r in 0..per_profile {
+                runs.push(
+                    RunSpec::builder()
+                        .id(format!("{}/{}/{r}", profile.name(), model.name()))
+                        .synth(profile.name(), "cubic", 3_000 + r as u64)
+                        .protocol("vegas")
+                        .duration_s(duration)
+                        .seed(19 + r as u64)
+                        .model(model)
+                        .build()
+                        .expect("spec is valid"),
+                );
+            }
+        }
+    }
+    let batch = BatchSpec::builder().runs(runs).build().expect("batch is non-empty");
+    ibox_obs::info!("runner: {} specs, {duration}s replays", batch.runs.len());
+
+    let timed = |jobs: usize| {
+        let t0 = std::time::Instant::now();
+        let result = run_batch_jobs(&batch, jobs).expect("batch executes");
+        (result.to_json(), t0.elapsed().as_secs_f64())
+    };
+
+    ibox_obs::info!("runner: executing at --jobs 1 (serial baseline)…");
+    let (serial_json, serial_s) = timed(1);
+    ibox_obs::info!("runner: executing at --jobs 4…");
+    let (parallel_json, parallel_s) = timed(4);
+
+    assert_eq!(
+        serial_json, parallel_json,
+        "runner determinism contract violated: --jobs 4 diverged from --jobs 1"
+    );
+    let speedup = serial_s / parallel_s.max(1e-9);
+
+    let registry = ibox_obs::global();
+    registry.gauge("runner.wall_s_jobs1").set(serial_s);
+    registry.gauge("runner.wall_s_jobs4").set(parallel_s);
+    registry.gauge("runner.speedup_x").set(speedup);
+
+    let cores = ibox::suggested_jobs();
+    if cores < 2 {
+        ibox_obs::warn!(
+            "runner: only {cores} core available — the CPU-bound speedup above cannot exceed 1×"
+        );
+    }
+
+    // Scheduling check, independent of the host's core count: sleep-bound
+    // jobs overlap even on one core, so anything below ~2× here means the
+    // pool is serializing work behind a lock.
+    let sched = |jobs: usize| {
+        let t0 = std::time::Instant::now();
+        ibox_runner::run_indexed(8, jobs, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+        t0.elapsed().as_secs_f64()
+    };
+    let sched_1 = sched(1);
+    let sched_4 = sched(4);
+    let sched_speedup = sched_1 / sched_4.max(1e-9);
+    registry.gauge("runner.sched_speedup_x").set(sched_speedup);
+    assert!(
+        sched_speedup >= 2.0,
+        "pool failed to overlap sleep-bound jobs ({sched_speedup:.2}x) — workers are serialized"
+    );
+
+    print!(
+        "{}",
+        render_table(
+            &format!("Batch runner — identical results, scaled wall time ({cores} cores)"),
+            &["workload", "jobs", "wall_s", "speedup", "identical"],
+            &[
+                vec!["ensemble".into(), "1".into(), cell(serial_s, 2), cell(1.0, 2), "—".into()],
+                vec![
+                    "ensemble".into(),
+                    "4".into(),
+                    cell(parallel_s, 2),
+                    cell(speedup, 2),
+                    "yes".into(),
+                ],
+                vec![
+                    "sleep 8x100ms".into(),
+                    "1".into(),
+                    cell(sched_1, 2),
+                    cell(1.0, 2),
+                    "—".into()
+                ],
+                vec![
+                    "sleep 8x100ms".into(),
+                    "4".into(),
+                    cell(sched_4, 2),
+                    cell(sched_speedup, 2),
+                    "—".into(),
+                ],
+            ],
+        )
+    );
+    bench.finish();
+}

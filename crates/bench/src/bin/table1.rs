@@ -21,6 +21,7 @@ use ibox_trace::metrics::delay_percentile_ms;
 fn main() {
     let bench = ibox_bench::BenchRun::start("table1");
     let scale = Scale::from_args();
+    let jobs = ibox_bench::jobs_from_args();
     let n_calls = scale.pick(24, 540);
     ibox_obs::info!("table1: generating {n_calls} synthetic RTC calls…");
     let calls = generate_calls(n_calls, 31_000);
@@ -52,25 +53,22 @@ fn main() {
         Scale::Full => &[29, 57, 91],
     };
     let fit = |with_ct: bool| -> Vec<IBoxMl> {
-        seeds
-            .iter()
-            .map(|seed| {
-                ibox_obs::info!(
-                    "table1: training iBoxML {} cross-traffic input (seed {seed})…",
-                    if with_ct { "with" } else { "without" }
-                );
-                IBoxMl::fit(
-                    &train.traces,
-                    IBoxMlConfig {
-                        hidden_sizes: vec![24, 24],
-                        with_cross_traffic: with_ct,
-                        known_params: None,
-                        train: train_cfg,
-                        seed: *seed,
-                    },
-                )
-            })
-            .collect()
+        ibox_runner::run_scoped(seeds.len(), jobs, |si| {
+            let seed = seeds[si];
+            ibox_obs::info!(
+                "table1: training iBoxML {} cross-traffic input (seed {seed})…",
+                if with_ct { "with" } else { "without" }
+            );
+            IBoxMl::fit(
+                &train.traces,
+                IBoxMlConfig::builder()
+                    .hidden_sizes([24, 24])
+                    .with_cross_traffic(with_ct)
+                    .train(train_cfg)
+                    .seed(seed)
+                    .build(),
+            )
+        })
     };
     let without = fit(false);
     let with = fit(true);
@@ -83,20 +81,17 @@ fn main() {
         // Generative use of the state-space model: sample delays from the
         // predicted distributions (the mean alone understates the tails
         // this table measures); per call, take the ensemble median.
-        let pred: Vec<f64> = test
-            .traces
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| {
-                let per_seed: Vec<f64> = ensemble
-                    .iter()
-                    .filter_map(|m| {
-                        delay_percentile_ms(&m.predict_trace_sampled(t, i as u64), 0.95)
-                    })
-                    .collect();
-                ibox_stats::percentile(&per_seed, 0.5)
-            })
-            .collect();
+        let pred: Vec<f64> = ibox_runner::run_scoped(test.traces.len(), jobs, |i| {
+            let t = &test.traces[i];
+            let per_seed: Vec<f64> = ensemble
+                .iter()
+                .filter_map(|m| delay_percentile_ms(&m.predict_trace_sampled(t, i as u64), 0.95))
+                .collect();
+            ibox_stats::percentile(&per_seed, 0.5)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let s = quantile_summary(&pred).expect("predictions exist");
         let fmt =
             |p: f64, g: f64| format!("{:.0} ({:.0}%)", (p - g).abs(), (p - g).abs() / g * 100.0);

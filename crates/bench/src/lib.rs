@@ -51,6 +51,22 @@ impl Scale {
     }
 }
 
+/// Parse `--jobs N` from the process args. `0` (the default) means all
+/// cores. Every figure binary routes its independent runs through the
+/// `ibox-runner` pool, so `--jobs` trades wall time only — results are
+/// bit-identical at any value.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    0
+}
+
 /// One figure/table binary's run record: times the run and, on
 /// [`finish`](BenchRun::finish), writes `BENCH_<name>.json` — a run
 /// manifest embedding the full global metrics snapshot (simulator

@@ -1,31 +1,88 @@
 //! Subcommand implementations.
+//!
+//! Each subcommand owns a declarative [`CmdSpec`] grammar; parsing, the
+//! usage text, and unknown-option errors all derive from those tables.
 
 use std::path::Path;
 
-use ibox::{IBoxNet, ValidityRegion};
+use ibox::{BatchSpec, IBoxNet, RunRecord, RunSpec, ValidityRegion};
 use ibox_obs::{RunManifest, RunManifestBuilder};
 use ibox_sim::SimTime;
 use ibox_testbed::pantheon::run_protocol;
 use ibox_testbed::Profile;
 use ibox_trace::metrics::TraceMetrics;
 
-use crate::args::parse;
+use crate::args::{parse, CmdSpec, OptSpec, PosSpec};
 use crate::io::{load_trace, save_text, save_trace};
 
-/// Usage text shown on errors.
-pub const USAGE: &str = "usage:
-  ibox fit <trace.{json,csv}> [-o profile.json] [--no-cross] [--with-reordering]
-  ibox simulate <profile.json> --protocol <cubic|reno|vegas|bbr|rtc>
-                [--duration S] [--seed N] [-o out.{json,csv}]
-  ibox metrics <trace.{json,csv}>
-  ibox synth --profile <india-cellular|india-cellular-pf|ethernet|token-bucket-wifi>
-             --protocol <name> [--duration S] [--seed N] [-o trace.{json,csv}]
-  ibox validity --train <trace>... --check <trace>
+const OUTPUT: OptSpec = OptSpec::value("--output", "path").with_short("-o");
+const DURATION: OptSpec = OptSpec::value("--duration", "S");
+const SEED: OptSpec = OptSpec::value("--seed", "N");
+const JOBS: OptSpec = OptSpec::value("--jobs", "N");
+const PROTOCOL: OptSpec = OptSpec::value("--protocol", "cubic|reno|vegas|bbr|rtc");
 
-global flags: --verbose (debug diagnostics on stderr), --quiet (errors only);
+const FIT: CmdSpec = CmdSpec {
+    name: "fit",
+    positionals: &[PosSpec { name: "trace.{json,csv}", required: true, variadic: false }],
+    opts: &[OUTPUT, OptSpec::flag("--no-cross"), OptSpec::flag("--with-reordering")],
+};
+
+const SIMULATE: CmdSpec = CmdSpec {
+    name: "simulate",
+    positionals: &[PosSpec { name: "profile.json", required: true, variadic: false }],
+    opts: &[PROTOCOL, DURATION, SEED, OptSpec::value("--runs", "N"), JOBS, OUTPUT],
+};
+
+const METRICS: CmdSpec = CmdSpec {
+    name: "metrics",
+    positionals: &[PosSpec { name: "trace.{json,csv}", required: true, variadic: false }],
+    opts: &[],
+};
+
+const SYNTH: CmdSpec = CmdSpec {
+    name: "synth",
+    positionals: &[],
+    opts: &[
+        OptSpec::value("--profile", "india-cellular|india-cellular-pf|ethernet|token-bucket-wifi"),
+        PROTOCOL,
+        DURATION,
+        SEED,
+        OUTPUT,
+    ],
+};
+
+const VALIDITY: CmdSpec = CmdSpec {
+    name: "validity",
+    positionals: &[PosSpec { name: "more-train-traces", required: false, variadic: true }],
+    opts: &[OptSpec::repeated("--train", "trace"), OptSpec::value("--check", "trace"), JOBS],
+};
+
+const BATCH: CmdSpec = CmdSpec {
+    name: "batch",
+    positionals: &[PosSpec { name: "batch.json", required: true, variadic: false }],
+    opts: &[JOBS, OUTPUT],
+};
+
+/// Every subcommand grammar, in help order.
+const COMMANDS: [&CmdSpec; 6] = [&FIT, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH];
+
+/// Usage text shown on errors — generated from the [`CmdSpec`] tables.
+pub fn usage() -> String {
+    let mut s = String::from("usage:\n");
+    for cmd in COMMANDS {
+        s.push_str(&cmd.usage_line());
+        s.push('\n');
+    }
+    s.push_str(
+        "\nglobal flags: --verbose (debug diagnostics on stderr), --quiet (errors only);
 the IBOX_LOG env var (off|error|warn|info|debug|trace) sets the default.
+--jobs N spreads independent runs over N worker threads (0 = all cores)
+without changing any result — batches are bit-identical at any value.
 Commands with an output file also write a <output>.manifest.<ext> run
-manifest (seed, config hash, git rev, metrics).";
+manifest (seed, config hash, git rev, metrics).",
+    );
+    s
+}
 
 /// Dispatch a full argv (starting at the subcommand).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -46,8 +103,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "metrics" => cmd_metrics(rest),
         "synth" => cmd_synth(rest),
         "validity" => cmd_validity(rest),
+        "batch" => cmd_batch(rest),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -67,7 +125,7 @@ fn write_manifest(builder: RunManifestBuilder, out: &str) -> Result<(), String> 
 }
 
 fn cmd_fit(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv)?;
+    let p = parse(argv, &FIT)?;
     let trace = load_trace(p.positional(0, "trace file")?)?;
     let model = if p.flag("--no-cross") {
         IBoxNet::fit_without_cross(&trace)
@@ -89,7 +147,7 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
             r.extra_max.as_millis_f64()
         );
     }
-    if let Some(out) = p.opt("-o") {
+    if let Some(out) = p.opt("--output") {
         save_text(&model.to_json(), out)?;
         ibox_obs::info!("profile written to {out}");
         write_manifest(RunManifestBuilder::new("fit").config(&model), out)?;
@@ -98,20 +156,55 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv)?;
+    let p = parse(argv, &SIMULATE)?;
     let builder = RunManifestBuilder::new("simulate");
-    let profile_text = std::fs::read_to_string(p.positional(0, "profile file")?)
-        .map_err(|e| format!("cannot read profile: {e}"))?;
-    let model = IBoxNet::from_json(&profile_text).map_err(|e| format!("bad profile: {e}"))?;
+    let profile_path = p.positional(0, "profile file")?;
     let protocol = p.required("--protocol")?;
     if ibox_cc::by_name(protocol).is_none() {
         return Err(format!("unknown protocol {protocol:?}"));
     }
-    let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
+    let duration_s = p.num("--duration", 30.0f64)?;
     let seed = p.num("--seed", 1u64)?;
+    let runs = p.num("--runs", 1usize)?;
+    let jobs = p.num("--jobs", 1usize)?;
+    if runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+
+    if runs > 1 {
+        // A replay ensemble: the same fitted profile under `runs`
+        // consecutive seeds, executed as a batch on the runner pool.
+        let mut b = BatchSpec::builder().jobs(jobs);
+        for i in 0..runs {
+            b = b.run(
+                RunSpec::builder()
+                    .profile_file(profile_path)
+                    .protocol(protocol)
+                    .duration_s(duration_s)
+                    .seed(seed + i as u64)
+                    .build()?,
+            );
+        }
+        let batch = b.build()?;
+        let wall = std::time::Instant::now();
+        let result = ibox::run_batch(&batch)?;
+        record_batch_timing(wall.elapsed().as_secs_f64(), batch.jobs, batch.runs.len());
+        print_records(&result.records);
+        if let Some(out) = p.opt("--output") {
+            save_text(&result.to_json(), out)?;
+            ibox_obs::info!("batch results written to {out}");
+            write_manifest(builder.seed(seed).config(&batch), out)?;
+        }
+        return Ok(());
+    }
+
+    let profile_text =
+        std::fs::read_to_string(profile_path).map_err(|e| format!("cannot read profile: {e}"))?;
+    let model = IBoxNet::from_json(&profile_text).map_err(|e| format!("bad profile: {e}"))?;
+    let duration = SimTime::from_secs_f64(duration_s);
     let trace = model.simulate(protocol, duration, seed);
     print_metrics(&trace);
-    if let Some(out) = p.opt("-o") {
+    if let Some(out) = p.opt("--output") {
         save_trace(&trace, out)?;
         ibox_obs::info!("counterfactual trace written to {out}");
         write_manifest(builder.seed(seed).config(&model), out)?;
@@ -120,32 +213,26 @@ fn cmd_simulate(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_metrics(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv)?;
+    let p = parse(argv, &METRICS)?;
     let trace = load_trace(p.positional(0, "trace file")?)?;
     print_metrics(&trace);
     Ok(())
 }
 
 fn cmd_synth(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv)?;
+    let p = parse(argv, &SYNTH)?;
     let builder = RunManifestBuilder::new("synth");
-    let profile = match p.required("--profile")? {
-        "india-cellular" => Profile::IndiaCellular,
-        "india-cellular-pf" => Profile::IndiaCellularPf,
-        "ethernet" => Profile::Ethernet,
-        "token-bucket-wifi" => Profile::TokenBucketWifi,
-        other => return Err(format!("unknown profile {other:?}")),
-    };
+    let profile = Profile::from_name(p.required("--profile")?)?;
     let protocol = p.required("--protocol")?;
     if ibox_cc::by_name(protocol).is_none() {
         return Err(format!("unknown protocol {protocol:?}"));
     }
     let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
     let seed = p.num("--seed", 1u64)?;
-    let inst = profile.sample(seed, duration);
+    let inst = profile.builder().seed(seed).duration(duration).sample();
     let trace = run_protocol(&inst, protocol, duration, seed);
     print_metrics(&trace);
-    if let Some(out) = p.opt("-o") {
+    if let Some(out) = p.opt("--output") {
         save_trace(&trace, out)?;
         ibox_obs::info!("trace written to {out}");
         write_manifest(builder.seed(seed).config(&inst.path), out)?;
@@ -154,22 +241,20 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_validity(argv: &[String]) -> Result<(), String> {
-    let p = parse(argv)?;
-    // `--train` takes one value in the generic parser; extra training
-    // traces come as positionals before --check's value.
-    let mut train_paths: Vec<&str> = Vec::new();
-    if let Some(t) = p.opt("--train") {
-        train_paths.push(t);
-    }
+    let p = parse(argv, &VALIDITY)?;
+    // `--train` repeats; bare positionals are accepted as extra training
+    // traces for back-compatibility with the single-value parser.
+    let mut train_paths: Vec<&str> = p.opt_all("--train");
     for extra in &p.positional {
         train_paths.push(extra);
     }
     if train_paths.is_empty() {
-        return Err("validity needs --train <trace> [more traces…]".into());
+        return Err("validity needs --train <trace> [--train <trace>…]".into());
     }
     let check_path = p.required("--check")?;
+    let jobs = p.num("--jobs", 1usize)?;
     let train: Result<Vec<_>, _> = train_paths.iter().map(|t| load_trace(t)).collect();
-    let region = ValidityRegion::fit(&train?);
+    let region = ValidityRegion::fit_jobs(&train?, jobs);
     let report = region.check(&load_trace(check_path)?);
     println!("coverage: {:.3}", report.coverage);
     for (feature, frac) in &report.out_of_range {
@@ -177,6 +262,68 @@ fn cmd_validity(argv: &[String]) -> Result<(), String> {
     }
     println!("valid at 0.95: {}", report.is_valid(0.95));
     Ok(())
+}
+
+fn cmd_batch(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &BATCH)?;
+    let builder = RunManifestBuilder::new("batch");
+    let spec_path = p.positional(0, "batch spec file")?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let mut batch = BatchSpec::from_json(&text)?;
+    if let Some(jobs) = p.opt("--jobs") {
+        batch.jobs = jobs.parse().map_err(|_| format!("invalid value for --jobs: {jobs:?}"))?;
+    }
+    let wall = std::time::Instant::now();
+    let result = ibox::run_batch(&batch)?;
+    record_batch_timing(wall.elapsed().as_secs_f64(), batch.jobs, batch.runs.len());
+    print_records(&result.records);
+    if let Some(out) = p.opt("--output") {
+        save_text(&result.to_json(), out)?;
+        ibox_obs::info!("batch results written to {out}");
+        write_manifest(builder.config(&batch), out)?;
+    }
+    Ok(())
+}
+
+/// Record batch wall time and the measured speedup over serial execution
+/// (sum of per-run `batch.run` spans ÷ wall time) as manifest gauges.
+/// Timing lives in the manifest, never in the results JSON — results stay
+/// byte-identical at any `--jobs`.
+fn record_batch_timing(wall_s: f64, jobs: usize, runs: usize) {
+    let registry = ibox_obs::global();
+    let effective = if jobs == 0 { ibox::suggested_jobs() } else { jobs }.min(runs).max(1);
+    registry.gauge("batch.wall_time_s").set(wall_s);
+    registry.gauge("batch.jobs").set(effective as f64);
+    let serial_s =
+        registry.snapshot().spans.get("batch.run").map(|s| s.total_ns as f64 / 1e9).unwrap_or(0.0);
+    if wall_s > 0.0 && serial_s > 0.0 {
+        let speedup = serial_s / wall_s;
+        registry.gauge("batch.speedup_x").set(speedup);
+        ibox_obs::info!(
+            "batch: {runs} runs in {wall_s:.2}s at {effective} worker(s) — {speedup:.2}x vs serial"
+        );
+    }
+}
+
+fn print_records(records: &[RunRecord]) {
+    println!(
+        "{:<10} {:<24} {:<8} {:>6} {:>11} {:>9} {:>7} {:>9}",
+        "id", "model", "proto", "seed", "rate(Mbps)", "p95(ms)", "loss%", "reorder"
+    );
+    for r in records {
+        println!(
+            "{:<10} {:<24} {:<8} {:>6} {:>11.3} {:>9.1} {:>7.2} {:>9.4}",
+            r.id,
+            r.model,
+            r.protocol,
+            r.seed,
+            r.metrics.avg_rate_mbps,
+            r.metrics.p95_delay_ms,
+            r.metrics.loss_pct,
+            r.metrics.mean_reorder_rate
+        );
+    }
 }
 
 fn print_metrics(trace: &ibox_trace::FlowTrace) {
@@ -205,6 +352,24 @@ mod tests {
     #[test]
     fn help_succeeds() {
         assert!(dispatch(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn usage_covers_every_command() {
+        let u = usage();
+        for cmd in ["fit", "simulate", "metrics", "synth", "validity", "batch"] {
+            assert!(u.contains(&format!("ibox {cmd}")), "usage must mention {cmd}:\n{u}");
+        }
+        assert!(u.contains("--jobs <N>"), "{u}");
+    }
+
+    #[test]
+    fn mistyped_flag_is_rejected_not_swallowed() {
+        // `--no-crossx trace.json` must error, not treat the trace path as
+        // the value of an invented option (the old parser's behaviour).
+        let err = dispatch(&argv(&["fit", "--no-crossx", "whatever.json"])).unwrap_err();
+        assert!(err.contains("unknown option --no-crossx"), "{err}");
+        assert!(err.contains("did you mean `--no-cross`?"), "{err}");
     }
 
     #[test]
@@ -265,6 +430,98 @@ mod tests {
 
         let fit_manifest = RunManifest::path_for_output(Path::new(&profile_path));
         assert!(fit_manifest.exists());
+
+        for p in [&trace_path, &profile_path, &out_path] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
+    }
+
+    #[test]
+    fn batch_command_is_deterministic_across_jobs() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("ibox_cli_batch_spec.json").to_string_lossy().into_owned();
+        let out1 = dir.join("ibox_cli_batch_j1.json").to_string_lossy().into_owned();
+        let out4 = dir.join("ibox_cli_batch_j4.json").to_string_lossy().into_owned();
+
+        let mut b = BatchSpec::builder().jobs(1);
+        for i in 0..4u64 {
+            b = b.run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 50 + i)
+                    .protocol(if i % 2 == 0 { "vegas" } else { "reno" })
+                    .duration_s(3.0)
+                    .seed(i)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        std::fs::write(&spec_path, b.build().unwrap().to_json()).unwrap();
+
+        dispatch(&argv(&["batch", &spec_path, "--jobs", "1", "-o", &out1])).unwrap();
+        dispatch(&argv(&["batch", &spec_path, "--jobs", "4", "-o", &out4])).unwrap();
+
+        let r1 = std::fs::read_to_string(&out1).unwrap();
+        let r4 = std::fs::read_to_string(&out4).unwrap();
+        assert_eq!(r1, r4, "batch results must be byte-identical at any --jobs");
+        assert!(ibox::BatchResult::from_json(&r1).unwrap().records.len() == 4);
+
+        // The manifest records wall time and the measured speedup.
+        let manifest_path = RunManifest::path_for_output(Path::new(&out4));
+        let manifest: RunManifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(manifest.command, "batch");
+        assert!(manifest.metrics.gauges["batch.wall_time_s"] > 0.0);
+        assert!(manifest.metrics.gauges["batch.speedup_x"] > 0.0);
+
+        for p in [&spec_path, &out1, &out4] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
+    }
+
+    #[test]
+    fn simulate_runs_flag_produces_a_replay_ensemble() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ibox_cli_runs_trace.json").to_string_lossy().into_owned();
+        let profile_path = dir.join("ibox_cli_runs_profile.json").to_string_lossy().into_owned();
+        let out_path = dir.join("ibox_cli_runs_out.json").to_string_lossy().into_owned();
+
+        dispatch(&argv(&[
+            "synth",
+            "--profile",
+            "ethernet",
+            "--protocol",
+            "cubic",
+            "--duration",
+            "3",
+            "-o",
+            &trace_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["fit", &trace_path, "-o", &profile_path])).unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            &profile_path,
+            "--protocol",
+            "vegas",
+            "--duration",
+            "3",
+            "--runs",
+            "3",
+            "--jobs",
+            "2",
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+
+        let result =
+            ibox::BatchResult::from_json(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(result.records.len(), 3);
+        // Consecutive seeds from the base seed (default 1).
+        assert_eq!(result.records.iter().map(|r| r.seed).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(result.records.iter().all(|r| r.model == "profile replay"));
 
         for p in [&trace_path, &profile_path, &out_path] {
             let _ = std::fs::remove_file(p);

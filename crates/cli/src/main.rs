@@ -23,7 +23,7 @@ fn main() -> ExitCode {
         Err(e) => {
             ibox_obs::error!("{e}");
             eprintln!();
-            eprintln!("{}", commands::USAGE);
+            eprintln!("{}", commands::usage());
             ExitCode::FAILURE
         }
     }

@@ -27,35 +27,26 @@ use ibox_sim::SimTime;
 use crate::baseline::StatisticalLossModel;
 use crate::iboxnet::IBoxNet;
 
-/// Which model family to fit in an A/B test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ModelKind {
-    /// Full iBoxNet: `(b, d, B)` + estimated cross traffic.
-    IBoxNet,
-    /// Ablation: iBoxNet without the cross-traffic input (Fig. 3a).
-    IBoxNetNoCross,
-    /// Baseline: calibrated emulator with statistical loss (Fig. 3b).
-    StatisticalLoss,
-    /// Extension: iBoxNet plus an estimated reordering stage in the
-    /// emulated path ([`IBoxNet::fit_with_reordering`]) — melding the
-    /// §5.1 discovery back into the emulator itself.
-    IBoxNetReorder,
+pub use ibox_runner::ModelKind;
+
+/// Execution of a [`ModelKind`]: fit it on a trace, then replay a
+/// protocol through the fitted model. The data half of `ModelKind` lives
+/// in `ibox-runner` (so batch specs stay domain-light); this trait is the
+/// domain half.
+pub trait FitSimulate {
+    /// Fit the model on `train` and simulate `protocol` over it.
+    fn fit_simulate(
+        &self,
+        train: &FlowTrace,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+    ) -> FlowTrace;
 }
 
-impl ModelKind {
-    /// Display name used in experiment output.
-    pub fn name(self) -> &'static str {
-        match self {
-            ModelKind::IBoxNet => "iBoxNet",
-            ModelKind::IBoxNetNoCross => "iBoxNet w/o CT",
-            ModelKind::StatisticalLoss => "Statistical loss",
-            ModelKind::IBoxNetReorder => "iBoxNet + reorder (ext)",
-        }
-    }
-
-    /// Fit the model on a trace and simulate `protocol` over it.
-    pub fn fit_simulate(
-        self,
+impl FitSimulate for ModelKind {
+    fn fit_simulate(
+        &self,
         train: &FlowTrace,
         protocol: &str,
         duration: SimTime,
@@ -106,9 +97,9 @@ pub struct EnsembleReport {
     pub ks_rate: MetricKs,
 }
 
-/// Run the ensemble test: for every trace in `gt_a` (protocol A over some
-/// path instance), fit `kind` and replay both protocols; `gt_b` holds the
-/// paired ground-truth runs of protocol B over the same instances.
+/// Run the ensemble test serially. Identical to
+/// [`ensemble_test_jobs`] at `jobs = 1` — which is exactly what it calls;
+/// kept as the short-name entry point for small datasets and tests.
 pub fn ensemble_test(
     gt_a: &TraceDataset,
     gt_b: &TraceDataset,
@@ -116,21 +107,50 @@ pub fn ensemble_test(
     duration: SimTime,
     seed: u64,
 ) -> EnsembleReport {
+    ensemble_test_jobs(gt_a, gt_b, kind, duration, seed, 1)
+}
+
+/// Run the ensemble test: for every trace in `gt_a` (protocol A over some
+/// path instance), fit `kind` and replay both protocols; `gt_b` holds the
+/// paired ground-truth runs of protocol B over the same instances.
+///
+/// The per-trace fit/replay jobs — the embarrassingly parallel unit of
+/// the paper's evaluation — run on the `ibox-runner` pool across `jobs`
+/// workers (`0` = all cores). Each job's RNG derives only from `seed` and
+/// the trace index, and per-job metrics fold into the registry in trace
+/// order, so the report is **bit-identical at any `jobs` value**.
+pub fn ensemble_test_jobs(
+    gt_a: &TraceDataset,
+    gt_b: &TraceDataset,
+    kind: ModelKind,
+    duration: SimTime,
+    seed: u64,
+    jobs: usize,
+) -> EnsembleReport {
     assert_eq!(gt_a.len(), gt_b.len(), "A and B datasets must be paired");
     assert!(!gt_a.is_empty(), "ensemble test needs at least one trace");
     let proto_a = gt_a.traces[0].meta.protocol.clone();
     let proto_b = gt_b.traces[0].meta.protocol.clone();
 
+    let per_trace = ibox_runner::run_scoped(gt_a.len(), jobs, |i| {
+        let (ta, tb) = (&gt_a.traces[i], &gt_b.traces[i]);
+        let s = seed + i as u64;
+        (
+            TraceMetrics::of(ta),
+            TraceMetrics::of(tb),
+            TraceMetrics::of(&kind.fit_simulate(ta, &proto_a, duration, s)),
+            TraceMetrics::of(&kind.fit_simulate(ta, &proto_b, duration, s + 10_000)),
+        )
+    });
     let mut gt_a_m = Vec::new();
     let mut gt_b_m = Vec::new();
     let mut sim_a_m = Vec::new();
     let mut sim_b_m = Vec::new();
-    for (i, (ta, tb)) in gt_a.traces.iter().zip(&gt_b.traces).enumerate() {
-        gt_a_m.push(TraceMetrics::of(ta));
-        gt_b_m.push(TraceMetrics::of(tb));
-        let s = seed + i as u64;
-        sim_a_m.push(TraceMetrics::of(&kind.fit_simulate(ta, &proto_a, duration, s)));
-        sim_b_m.push(TraceMetrics::of(&kind.fit_simulate(ta, &proto_b, duration, s + 10_000)));
+    for (ga, gb, sa, sb) in per_trace {
+        gt_a_m.push(ga);
+        gt_b_m.push(gb);
+        sim_a_m.push(sa);
+        sim_b_m.push(sb);
     }
 
     let pick =
@@ -190,17 +210,32 @@ fn grid_series(trace: &FlowTrace) -> (Vec<f64>, Vec<f64>) {
     (rate.v, delay.v)
 }
 
+/// Run the full instance test serially — [`instance_test_jobs`] at
+/// `jobs = 1`, which is what it calls.
+pub fn instance_test(runs_per_pattern: usize, treatment: &str, seed: u64) -> InstanceReport {
+    instance_test_jobs(runs_per_pattern, treatment, seed, 1)
+}
+
 /// Run the full instance test with `runs_per_pattern` ground-truth and
 /// simulated treatment runs per cross-traffic pattern.
-pub fn instance_test(runs_per_pattern: usize, treatment: &str, seed: u64) -> InstanceReport {
+///
+/// All three independent stages — per-pattern fits, reference-series
+/// generation, and the (pattern × run) feature runs — execute on the
+/// `ibox-runner` pool across `jobs` workers (`0` = all cores), with
+/// results collected in pattern/run order so the report is identical at
+/// any `jobs` value.
+pub fn instance_test_jobs(
+    runs_per_pattern: usize,
+    treatment: &str,
+    seed: u64,
+    jobs: usize,
+) -> InstanceReport {
     assert!(runs_per_pattern >= 1, "need at least one run per pattern");
-    let patterns = 0..ibox_testbed::INSTANCE_PATTERNS.len();
+    let n_patterns = ibox_testbed::INSTANCE_PATTERNS.len();
 
     // Fit one iBoxNet per pattern from a single Cubic run (§3.1.2: "We
     // learn an iBoxNet model for each instance, based on a single run").
-    let mut models = Vec::new();
-    let mut control_rate_alignment = Vec::new();
-    for p in patterns.clone() {
+    let fitted = ibox_runner::run_scoped(n_patterns, jobs, |p| {
         let scenario = InstanceScenario::new(p);
         let fit_trace = run_instance(&scenario, "cubic", seed + p as u64);
         let model = IBoxNet::fit(&fit_trace);
@@ -208,14 +243,13 @@ pub fn instance_test(runs_per_pattern: usize, treatment: &str, seed: u64) -> Ins
         let sim_cubic = model.simulate("cubic", INSTANCE_DURATION, seed + 77 + p as u64);
         let (gt_rate, _) = grid_series(&fit_trace);
         let (sim_rate, _) = grid_series(&sim_cubic);
-        control_rate_alignment.push(xcorr_feature(&gt_rate, &sim_rate, 4));
-        models.push(model);
-    }
+        (model, xcorr_feature(&gt_rate, &sim_rate, 4))
+    });
+    let (models, control_rate_alignment): (Vec<_>, Vec<_>) = fitted.into_iter().unzip();
 
     // Reference series per pattern: the mean over ground-truth treatment
     // runs (fresh seeds, distinct from the feature runs below).
-    let mut refs: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
-    for p in patterns.clone() {
+    let refs: Vec<(Vec<f64>, Vec<f64>)> = ibox_runner::run_scoped(n_patterns, jobs, |p| {
         let scenario = InstanceScenario::new(p);
         let mut rate_acc: Option<Vec<f64>> = None;
         let mut delay_acc: Option<Vec<f64>> = None;
@@ -227,27 +261,32 @@ pub fn instance_test(runs_per_pattern: usize, treatment: &str, seed: u64) -> Ins
             accumulate(&mut delay_acc, &delay);
         }
         let scale = 1.0 / n_ref as f64;
-        refs.push((
+        (
             rate_acc.expect("n_ref >= 1").iter().map(|v| v * scale).collect(),
             delay_acc.expect("n_ref >= 1").iter().map(|v| v * scale).collect(),
-        ));
-    }
+        )
+    });
 
-    // Feature runs: ground truth and model runs of the treatment.
+    // Feature runs: ground truth and model runs of the treatment, one
+    // pool job per (pattern, run) pair, flattened in pattern/run order.
+    let pairs = ibox_runner::run_scoped(n_patterns * runs_per_pattern, jobs, |job| {
+        let (p, r) = (job / runs_per_pattern, job % runs_per_pattern);
+        let scenario = InstanceScenario::new(p);
+        let run_seed = seed + 5_000 + (p * 131 + r) as u64;
+        let gt = run_instance(&scenario, treatment, run_seed);
+        let sim = models[p].simulate(treatment, INSTANCE_DURATION, run_seed + 500);
+        (
+            (RunTag { pattern: p, simulated: false }, feature_vector(&gt, &refs)),
+            (RunTag { pattern: p, simulated: true }, feature_vector(&sim, &refs)),
+        )
+    });
     let mut tags = Vec::new();
     let mut features = Vec::new();
-    for p in patterns.clone() {
-        let scenario = InstanceScenario::new(p);
-        for r in 0..runs_per_pattern {
-            let run_seed = seed + 5_000 + (p * 131 + r) as u64;
-            let gt = run_instance(&scenario, treatment, run_seed);
-            tags.push(RunTag { pattern: p, simulated: false });
-            features.push(feature_vector(&gt, &refs));
-
-            let sim = models[p].simulate(treatment, INSTANCE_DURATION, run_seed + 500);
-            tags.push(RunTag { pattern: p, simulated: true });
-            features.push(feature_vector(&sim, &refs));
-        }
+    for ((gt_tag, gt_feat), (sim_tag, sim_feat)) in pairs {
+        tags.push(gt_tag);
+        features.push(gt_feat);
+        tags.push(sim_tag);
+        features.push(sim_feat);
     }
 
     let km = kmeans(&features, 3, seed);

@@ -1,0 +1,270 @@
+//! Batch execution: typed [`RunSpec`]s from `ibox-runner`, executed here.
+//!
+//! The spec types live in the domain-light `ibox-runner` crate so every
+//! layer can name them without cycles; this module supplies the execution
+//! half — mapping a [`RunSource`] onto the testbed/trace/profile loaders
+//! and a [`ModelKind`] onto the concrete fit+replay via
+//! [`FitSimulate`](crate::abtest::FitSimulate).
+//!
+//! Determinism contract: a batch's results depend only on the specs, never
+//! on `jobs`. Runs execute on the runner pool with per-run scoped metric
+//! registries folded back in spec order, and [`BatchResult::to_json`] is
+//! byte-identical at any parallelism.
+
+use serde::{Deserialize, Serialize};
+
+use ibox_runner::{BatchSpec, RunSource, RunSpec};
+use ibox_sim::SimTime;
+use ibox_testbed::{run_protocol, Profile};
+use ibox_trace::metrics::TraceMetrics;
+use ibox_trace::{from_csv, FlowMeta, FlowTrace};
+
+use crate::abtest::FitSimulate;
+use crate::IBoxNet;
+
+/// Outcome of one [`RunSpec`]: identity plus the replay's summary metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The spec's `id`, or `run<index>` if the spec left it empty.
+    pub id: String,
+    /// Model display name ([`ModelKind::name`](ibox_runner::ModelKind::name)),
+    /// or `"profile replay"` for [`RunSource::ProfileFile`] runs.
+    pub model: String,
+    /// Protocol replayed through the model.
+    pub protocol: String,
+    /// Replay duration, seconds.
+    pub duration_s: f64,
+    /// Replay seed.
+    pub seed: u64,
+    /// Summary metrics of the simulated trace.
+    pub metrics: TraceMetrics,
+}
+
+/// All records of a batch, in spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// One record per run, in the order the specs were given.
+    pub records: Vec<RunRecord>,
+}
+
+impl BatchResult {
+    /// Serialize to pretty JSON. Contains no wall-clock or parallelism
+    /// information, so the bytes are identical at any `jobs` value.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("BatchResult serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad batch result: {e}"))
+    }
+}
+
+/// Load a single-flow trace from `.json` or `.csv` (by extension).
+fn load_trace(path: &str) -> Result<FlowTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ext = std::path::Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "json" => serde_json::from_str(&text).map_err(|e| format!("bad JSON in {path}: {e}")),
+        "csv" => {
+            let meta = FlowMeta::new(path, "unknown", "imported");
+            from_csv(&text, meta).map_err(|e| format!("bad CSV in {path}: {e}"))
+        }
+        other => Err(format!("unsupported trace extension {other:?} (use .json or .csv)")),
+    }
+}
+
+/// Execute one spec: resolve the source, fit the model (unless the source
+/// is an already-fitted profile), replay the spec's protocol, and summarize.
+///
+/// Returns the record *and* the simulated trace so callers that need the
+/// full trace (e.g. `ibox simulate -o`) don't replay twice; batch callers
+/// drop the trace in the worker.
+pub fn execute_run(spec: &RunSpec) -> Result<(RunRecord, FlowTrace), String> {
+    if !spec.duration_s.is_finite() || spec.duration_s <= 0.0 {
+        return Err(format!("duration must be positive, got {}", spec.duration_s));
+    }
+    if ibox_cc::by_name(&spec.protocol).is_none() {
+        return Err(format!("unknown protocol {:?}", spec.protocol));
+    }
+    let duration = SimTime::from_secs_f64(spec.duration_s);
+    let (model_name, sim) = match &spec.source {
+        RunSource::Synth { profile, protocol, seed } => {
+            if ibox_cc::by_name(protocol).is_none() {
+                return Err(format!("unknown training protocol {protocol:?}"));
+            }
+            let inst =
+                Profile::from_name(profile)?.builder().seed(*seed).duration(duration).sample();
+            let train = run_protocol(&inst, protocol, duration, *seed);
+            (
+                spec.model.name(),
+                spec.model.fit_simulate(&train, &spec.protocol, duration, spec.seed),
+            )
+        }
+        RunSource::TraceFile { path } => {
+            let train = load_trace(path)?;
+            (
+                spec.model.name(),
+                spec.model.fit_simulate(&train, &spec.protocol, duration, spec.seed),
+            )
+        }
+        RunSource::ProfileFile { path } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let net = IBoxNet::from_json(&text).map_err(|e| format!("bad profile {path}: {e}"))?;
+            ("profile replay", net.simulate(&spec.protocol, duration, spec.seed))
+        }
+    };
+    let record = RunRecord {
+        id: spec.id.clone(),
+        model: model_name.to_string(),
+        protocol: spec.protocol.clone(),
+        duration_s: spec.duration_s,
+        seed: spec.seed,
+        metrics: TraceMetrics::of(&sim),
+    };
+    Ok((record, sim))
+}
+
+/// Run every spec in the batch on the runner pool at the batch's own
+/// `jobs` setting. Fails on the first erroring run (reported with its
+/// index); otherwise returns records in spec order.
+pub fn run_batch(batch: &BatchSpec) -> Result<BatchResult, String> {
+    run_batch_jobs(batch, batch.jobs)
+}
+
+/// [`run_batch`] with the parallelism overridden (`0` = all cores) — the
+/// `--jobs` flag. Results are identical at any value.
+pub fn run_batch_jobs(batch: &BatchSpec, jobs: usize) -> Result<BatchResult, String> {
+    let outcomes = ibox_runner::run_scoped(batch.runs.len(), jobs, |i| {
+        // The per-run span totals add up to the batch's serial wall time,
+        // which is what the CLI divides by to report the actual speedup.
+        let _span = ibox_obs::span!("batch.run");
+        execute_run(&batch.runs[i]).map(|(record, _trace)| record)
+    });
+    let mut records = Vec::with_capacity(outcomes.len());
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let mut record = outcome.map_err(|e| format!("run {i}: {e}"))?;
+        if record.id.is_empty() {
+            record.id = format!("run{i}");
+        }
+        records.push(record);
+    }
+    Ok(BatchResult { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_runner::ModelKind;
+
+    fn small_batch() -> BatchSpec {
+        let mut b = BatchSpec::builder().jobs(1);
+        for (i, model) in [
+            ModelKind::IBoxNet,
+            ModelKind::StatisticalLoss,
+            ModelKind::IBoxNetNoCross,
+            ModelKind::IBoxNet,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            b = b.run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 100 + i as u64)
+                    .protocol(if i % 2 == 0 { "vegas" } else { "cubic" })
+                    .duration_s(3.0)
+                    .seed(7 + i as u64)
+                    .model(model)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    /// The acceptance property: same batch, jobs 1 vs 4 ⇒ byte-identical
+    /// results JSON and identical metric counters.
+    #[test]
+    fn results_and_counters_identical_at_any_jobs() {
+        let batch = small_batch();
+
+        let scope1 = ibox_obs::scoped();
+        let r1 = run_batch_jobs(&batch, 1).unwrap();
+        let m1 = scope1.finish().snapshot();
+
+        let scope4 = ibox_obs::scoped();
+        let r4 = run_batch_jobs(&batch, 4).unwrap();
+        let m4 = scope4.finish().snapshot();
+
+        assert_eq!(r1.to_json(), r4.to_json(), "results must not depend on jobs");
+        assert_eq!(m1.counters, m4.counters, "folded metric counters must not depend on jobs");
+        assert_eq!(m1.histograms, m4.histograms, "folded histograms must not depend on jobs");
+    }
+
+    #[test]
+    fn records_are_labelled_in_spec_order() {
+        let batch = small_batch();
+        let result = run_batch(&batch).unwrap();
+        assert_eq!(result.records.len(), 4);
+        assert_eq!(result.records[0].id, "run0");
+        assert_eq!(result.records[0].model, "iBoxNet");
+        assert_eq!(result.records[1].model, "Statistical loss");
+        assert!(result.records.iter().all(|r| r.metrics.avg_rate_mbps > 0.0));
+        // And the result itself round-trips through JSON.
+        let back = BatchResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn bad_specs_are_reported_with_their_index() {
+        let batch = BatchSpec::builder()
+            .run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 1)
+                    .protocol("nope")
+                    .duration_s(2.0)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let err = run_batch(&batch).unwrap_err();
+        assert!(err.contains("run 0"), "{err}");
+        assert!(err.contains("nope"), "{err}");
+
+        let bad_profile = BatchSpec::builder()
+            .run(
+                RunSpec::builder()
+                    .synth("dsl", "cubic", 1)
+                    .protocol("cubic")
+                    .duration_s(2.0)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        assert!(run_batch(&bad_profile).unwrap_err().contains("unknown profile"));
+    }
+
+    #[test]
+    fn profile_file_source_replays_without_fitting() {
+        let inst = Profile::Ethernet.builder().seed(3).duration(SimTime::from_secs(3)).sample();
+        let train = run_protocol(&inst, "cubic", SimTime::from_secs(3), 3);
+        let net = IBoxNet::fit(&train);
+        let path = std::env::temp_dir().join("ibox_batch_test_profile.json");
+        std::fs::write(&path, net.to_json()).unwrap();
+
+        let spec = RunSpec::builder()
+            .profile_file(path.to_string_lossy())
+            .protocol("cubic")
+            .duration_s(3.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let (record, trace) = execute_run(&spec).unwrap();
+        assert_eq!(record.model, "profile replay");
+        assert!(trace.len() > 100);
+        let _ = std::fs::remove_file(&path);
+    }
+}

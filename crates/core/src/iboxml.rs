@@ -58,6 +58,58 @@ impl Default for IBoxMlConfig {
     }
 }
 
+impl IBoxMlConfig {
+    /// Start building a config from the defaults. Prefer this over
+    /// struct-literal construction with `..Default::default()`: the builder
+    /// reads as a sentence and keeps call sites stable when fields grow.
+    pub fn builder() -> IBoxMlConfigBuilder {
+        IBoxMlConfigBuilder { cfg: Self::default() }
+    }
+}
+
+/// Builder for [`IBoxMlConfig`]; every field starts at its default.
+#[derive(Debug, Clone)]
+pub struct IBoxMlConfigBuilder {
+    cfg: IBoxMlConfig,
+}
+
+impl IBoxMlConfigBuilder {
+    /// LSTM hidden widths.
+    pub fn hidden_sizes(mut self, sizes: impl Into<Vec<usize>>) -> Self {
+        self.cfg.hidden_sizes = sizes.into();
+        self
+    }
+
+    /// Include the cross-traffic estimate as an input feature (§5.2).
+    pub fn with_cross_traffic(mut self, on: bool) -> Self {
+        self.cfg.with_cross_traffic = on;
+        self
+    }
+
+    /// Use known static path parameters instead of per-trace estimation.
+    pub fn known_params(mut self, params: crate::estimator::StaticParams) -> Self {
+        self.cfg.known_params = Some(params);
+        self
+    }
+
+    /// Training hyperparameters.
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    /// Weight-init seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finish: the config is always valid, so no `Result` here.
+    pub fn build(self) -> IBoxMlConfig {
+        self.cfg
+    }
+}
+
 /// A trained iBoxML model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IBoxMl {

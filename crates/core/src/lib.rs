@@ -51,6 +51,14 @@
 //!   the fair-share relation, so it reacts to the protocol under test.
 //! * [`iboxnet::IBoxNet::fit_with_reordering`] — meld the discovered
 //!   reordering behaviour into the *emulator*, not just the output trace.
+//!
+//! ## Batch execution
+//!
+//! * [`batch`] — executes typed [`RunSpec`]/[`BatchSpec`] job definitions
+//!   (from `ibox-runner`, re-exported here) on a zero-dep thread pool.
+//!   Results and folded metrics are bit-identical at any `jobs` value; the
+//!   evaluation harnesses above all expose `_jobs` variants built on the
+//!   same pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +66,7 @@
 pub mod abtest;
 pub mod adaptive;
 pub mod baseline;
+pub mod batch;
 pub mod estimator;
 pub mod features;
 pub mod iboxml;
@@ -66,11 +75,20 @@ pub mod meld;
 pub mod realism;
 pub mod validity;
 
-pub use abtest::{ensemble_test, instance_test, EnsembleReport, InstanceReport, ModelKind};
+pub use abtest::{
+    ensemble_test, ensemble_test_jobs, instance_test, instance_test_jobs, EnsembleReport,
+    FitSimulate, InstanceReport, ModelKind,
+};
 pub use adaptive::AdaptiveCross;
 pub use baseline::StatisticalLossModel;
+pub use batch::{execute_run, run_batch, run_batch_jobs, BatchResult, RunRecord};
 pub use estimator::{CrossTrafficEstimate, StaticParams};
-pub use iboxml::{IBoxMl, IBoxMlConfig};
+pub use iboxml::{IBoxMl, IBoxMlConfig, IBoxMlConfigBuilder};
 pub use iboxnet::IBoxNet;
-pub use realism::{realism_test, RealismReport};
+pub use realism::{realism_test, realism_test_jobs, RealismReport};
 pub use validity::{ValidityRegion, ValidityReport};
+
+// The typed batch API, re-exported so downstream users need only `ibox`.
+pub use ibox_runner::{
+    suggested_jobs, BatchSpec, BatchSpecBuilder, RunSource, RunSpec, RunSpecBuilder,
+};

@@ -82,19 +82,33 @@ fn window_features(trace: &FlowTrace) -> Vec<Vec<f64>> {
 /// the held-out ones. `real` and `simulated` should describe the same
 /// workload (e.g. paired GT and model traces).
 pub fn realism_test(real: &[FlowTrace], simulated: &[FlowTrace]) -> RealismReport {
+    realism_test_jobs(real, simulated, 1)
+}
+
+/// [`realism_test`] with per-trace feature extraction spread over `jobs`
+/// worker threads (`0` = all cores). Features are flattened back in trace
+/// order, so the report is identical at any `jobs` value.
+pub fn realism_test_jobs(
+    real: &[FlowTrace],
+    simulated: &[FlowTrace],
+    jobs: usize,
+) -> RealismReport {
     assert!(!real.is_empty() && !simulated.is_empty(), "both trace sets required");
+    let n_real = real.len();
+    let per_trace = ibox_runner::run_scoped(n_real + simulated.len(), jobs, |i| {
+        if i < n_real {
+            window_features(&real[i])
+        } else {
+            window_features(&simulated[i - n_real])
+        }
+    });
     let mut rows = Vec::new();
     let mut labels = Vec::new();
-    for t in real {
-        for f in window_features(t) {
+    for (i, feats) in per_trace.into_iter().enumerate() {
+        let label = if i < n_real { 0.0 } else { 1.0 };
+        for f in feats {
             rows.push(f);
-            labels.push(0.0);
-        }
-    }
-    for t in simulated {
-        for f in window_features(t) {
-            rows.push(f);
-            labels.push(1.0);
+            labels.push(label);
         }
     }
     assert!(rows.len() >= 8, "not enough windows for the discriminator test");

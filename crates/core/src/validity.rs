@@ -56,11 +56,20 @@ impl ValidityRegion {
     /// iBoxML uses, without the cross-traffic column — validity is about
     /// the *sender's* behaviour).
     pub fn fit(traces: &[FlowTrace]) -> Self {
+        Self::fit_jobs(traces, 1)
+    }
+
+    /// [`ValidityRegion::fit`] with per-trace feature extraction spread
+    /// over `jobs` worker threads (`0` = all cores). Rows fold back into
+    /// columns in trace order, so the envelope is identical at any `jobs`.
+    pub fn fit_jobs(traces: &[FlowTrace], jobs: usize) -> Self {
         assert!(!traces.is_empty(), "cannot fit a validity region on no traces");
         let cfg = FeatureConfig { with_cross_traffic: false };
+        let per_trace =
+            ibox_runner::run_scoped(traces.len(), jobs, |i| extract(&traces[i], &cfg, None).rows);
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); cfg.width()];
-        for t in traces {
-            for row in extract(t, &cfg, None).rows {
+        for rows in per_trace {
+            for row in rows {
                 for (c, v) in columns.iter_mut().zip(&row) {
                     c.push(*v);
                 }

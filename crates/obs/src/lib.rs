@@ -27,13 +27,68 @@ pub use metrics::{
 };
 pub use quantile::StreamingQuantile;
 
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
-/// The process-wide registry: backs the CLI, benches, and anything not
-/// running against its own per-run [`Registry`].
-pub fn global() -> &'static Registry {
+fn process_global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+thread_local! {
+    /// Stack of scoped registries installed on this thread; the top one
+    /// shadows the process-wide registry for the duration of its guard.
+    static SCOPED: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The effective registry for this thread: the innermost [`scoped`]
+/// registry if one is installed, else the process-wide one. Cloning a
+/// [`Registry`] shares state, so the returned handle is cheap.
+///
+/// Scoping is what lets `ibox-runner` capture the metrics of many
+/// concurrent runs separately and fold them into the process registry in
+/// deterministic spec-index order.
+pub fn global() -> Registry {
+    SCOPED.with(|s| s.borrow().last().cloned()).unwrap_or_else(|| process_global().clone())
+}
+
+/// Guard returned by [`scoped`]: while alive, [`global()`] on this thread
+/// resolves to the guard's registry. Dropping the guard uninstalls it
+/// *without* folding anything anywhere — call
+/// [`finish`](ScopedRegistry::finish) (or keep the registry handle) to
+/// collect what was recorded.
+#[must_use = "dropping the guard immediately ends the scope"]
+pub struct ScopedRegistry {
+    registry: Registry,
+}
+
+impl ScopedRegistry {
+    /// The registry capturing this scope.
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// End the scope and return the captured registry.
+    pub fn finish(self) -> Registry {
+        self.registry()
+        // Drop pops the stack.
+    }
+}
+
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Install a fresh registry as this thread's [`global()`] until the
+/// returned guard is dropped. Scopes nest (innermost wins).
+pub fn scoped() -> ScopedRegistry {
+    let registry = Registry::new();
+    SCOPED.with(|s| s.borrow_mut().push(registry.clone()));
+    ScopedRegistry { registry }
 }
 
 /// Time a scope into a registry: `span!("label")` uses the global
@@ -55,6 +110,22 @@ mod tests {
     fn global_registry_is_shared_and_span_macro_records() {
         let c = crate::global().counter("lib.test.counter");
         c.add(2);
+        assert_eq!(crate::global().counter("lib.test.counter").get(), 2);
+
+        // A scoped registry shadows the process one on this thread…
+        {
+            let scope = crate::scoped();
+            crate::global().counter("lib.test.counter").add(100);
+            assert_eq!(scope.registry().counter("lib.test.counter").get(), 100);
+            // …and nested scopes shadow outer ones.
+            {
+                let inner = crate::scoped();
+                crate::global().counter("lib.test.counter").inc();
+                assert_eq!(inner.finish().counter("lib.test.counter").get(), 1);
+            }
+            assert_eq!(scope.registry().counter("lib.test.counter").get(), 100);
+        }
+        // …without touching the process-wide value.
         assert_eq!(crate::global().counter("lib.test.counter").get(), 2);
 
         {

@@ -146,6 +146,41 @@ impl Histogram {
         update_max(&self.max_bits, v);
     }
 
+    /// Bucket edges this histogram was created with.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Fold this histogram's contents into `dst`, which must have the same
+    /// edges: bucket counts, count, and sum add; min/max combine.
+    fn fold_into(&self, dst: &Histogram) {
+        debug_assert_eq!(self.edges, dst.edges, "fold_into requires identical edges");
+        for (src, out) in self.buckets.iter().zip(&dst.buckets) {
+            out.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        dst.count.fetch_add(count, Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let mut cur = dst.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + sum).to_bits();
+            match dst.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        update_min(&dst.min_bits, f64::from_bits(self.min_bits.load(Ordering::Relaxed)));
+        update_max(&dst.max_bits, f64::from_bits(self.max_bits.load(Ordering::Relaxed)));
+    }
+
     /// Point-in-time summary with interpolated quantiles.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
@@ -349,6 +384,30 @@ impl Registry {
             stat.count += s.count;
             stat.total_ns += s.total_ns;
             stat.max_ns = stat.max_ns.max(s.max_ns);
+        }
+    }
+
+    /// Fold another *live* registry into this one with full fidelity:
+    /// everything [`absorb`](Registry::absorb) covers, **plus** histogram
+    /// buckets (which snapshots cannot carry). Streaming-quantile marker
+    /// state still cannot be merged and is skipped. This is how
+    /// `ibox-runner` folds each scoped per-run registry into the process
+    /// registry in deterministic spec-index order.
+    pub fn absorb_registry(&self, other: &Registry) {
+        self.absorb(&other.snapshot());
+        let histograms: Vec<(String, Arc<Histogram>)> = other
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, h) in histograms {
+            let dst = self.histogram_with_edges(&name, h.edges());
+            if dst.edges() == h.edges() {
+                h.fold_into(&dst);
+            }
         }
     }
 
@@ -559,6 +618,28 @@ mod tests {
         assert_eq!(a.counters["n"], 7);
         assert_eq!(a.gauges["g"], 1.5);
         assert_eq!(a.spans["s"], SpanStat { count: 3, total_ns: 40, max_ns: 25 });
+    }
+
+    #[test]
+    fn absorb_registry_carries_histogram_buckets() {
+        let per_run = Registry::new();
+        per_run.counter("n").add(3);
+        let h = per_run.histogram_with_edges("depth", &[1.0, 2.0, 4.0]);
+        h.record(1.5);
+        h.record(3.0);
+        h.record(9.0);
+
+        let target = Registry::new();
+        target.histogram_with_edges("depth", &[1.0, 2.0, 4.0]).record(0.5);
+        target.absorb_registry(&per_run);
+
+        let snap = target.snapshot();
+        assert_eq!(snap.counters["n"], 3);
+        let d = &snap.histograms["depth"];
+        assert_eq!(d.count, 4);
+        assert_eq!(d.sum, 14.0);
+        assert_eq!(d.min, 0.5);
+        assert_eq!(d.max, 9.0);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! # ibox-runner
+//!
+//! The iBox evaluation is embarrassingly parallel: the ensemble test
+//! (paper §2, Figs. 2–3) fits an independent model per trace and replays
+//! two protocols through each, Pantheon-style dataset generation runs one
+//! scenario per `(path, protocol, seed)` triple, and the figure binaries
+//! repeat both across model kinds. This crate turns that workload shape
+//! into a first-class, typed API:
+//!
+//! * [`spec`] — [`RunSpec`] (one scenario: trace source, protocol,
+//!   duration, seed, model kind) and [`BatchSpec`] (a set of runs plus a
+//!   `jobs` parallelism knob), builder-constructed and serde
+//!   round-trippable so batches live in JSON files.
+//! * [`pool`] — a zero-dependency, std-only thread pool over scoped
+//!   threads and a chunked atomic work queue. Results always come back in
+//!   submission (spec-index) order, and each job runs under its own
+//!   scoped `ibox-obs` registry which is folded into the process registry
+//!   in spec-index order — so a batch is **bit-identical to the serial
+//!   path at any `jobs` value**, metrics included.
+//!
+//! The crate is deliberately domain-light (it knows model *names*, not
+//! models): `ibox::batch` executes [`RunSpec`]s against real models, the
+//! CLI's `ibox batch` subcommand fronts it, and `ibox-testbed`/`ibox`
+//! route their fit/replay loops through [`pool`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod spec;
+
+pub use pool::{run_indexed, run_scoped, suggested_jobs};
+pub use spec::{BatchSpec, BatchSpecBuilder, ModelKind, RunSource, RunSpec, RunSpecBuilder};

@@ -1,0 +1,165 @@
+//! A std-only parallel batch pool with deterministic results and metrics.
+//!
+//! The unit of work is coarse — one [`RunSpec`](crate::RunSpec)-shaped
+//! job is a whole fit/replay taking milliseconds to seconds — so the
+//! scheduler can be simple without leaving speedup on the table: workers
+//! self-schedule off one shared atomic cursor (a chunked work queue with
+//! chunk size 1, the degenerate-but-optimal case for jobs this coarse).
+//! No deques, no channels, no unsafe, no dependencies beyond `std`.
+//!
+//! Determinism contract:
+//!
+//! 1. Results are returned in submission (index) order, never completion
+//!    order.
+//! 2. [`run_scoped`] gives every job its own scoped `ibox-obs` registry
+//!    (so concurrent jobs never interleave writes into shared metrics)
+//!    and folds the per-job registries into the caller's effective
+//!    registry in index order after all jobs finish.
+//!
+//! Together these make a batch's observable output — values *and*
+//! metrics — identical at any `jobs` value, including `jobs = 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sensible default parallelism: the machine's available cores.
+pub fn suggested_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolve a user-facing `jobs` knob: `0` means "auto" (all cores).
+fn effective_jobs(jobs: usize, n: usize) -> usize {
+    let jobs = if jobs == 0 { suggested_jobs() } else { jobs };
+    jobs.min(n).max(1)
+}
+
+/// Run `f(0..n)` across up to `jobs` worker threads (`0` = auto) and
+/// return the results in index order. With `jobs <= 1` (or `n <= 1`) the
+/// closure runs inline on the caller's thread — the serial path is the
+/// same code minus the threads, not a separate implementation.
+///
+/// `f` must be deterministic per index for the batch to be reproducible;
+/// derive any RNG from the job's spec, never from shared mutable state.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = effective_jobs(jobs, n);
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                results.lock().unwrap()[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|v| v.expect("every index executed exactly once"))
+        .collect()
+}
+
+/// [`run_indexed`], with per-job metric isolation: each job records into
+/// its own scoped [`ibox_obs::Registry`], and the registries are folded
+/// into the caller's effective registry in index order once every job has
+/// finished. Counters, spans, and histogram buckets all survive the fold;
+/// gauges resolve last-index-wins — exactly what the serial loop did.
+pub fn run_scoped<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let pairs = run_indexed(n, jobs, |i| {
+        let scope = ibox_obs::scoped();
+        let value = f(i);
+        (value, scope.finish())
+    });
+    let target = ibox_obs::global();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (value, registry) in pairs {
+        target.absorb_registry(&registry);
+        out.push(value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Make late indices finish first: the pool must still reorder.
+        let out = run_indexed(32, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - i as u64) * 50));
+            i * i
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        assert_eq!(run_indexed(100, 1, f), run_indexed(100, 7, f));
+        assert_eq!(run_indexed(0, 4, f), Vec::<u64>::new());
+        assert_eq!(run_indexed(1, 4, f), vec![f(0)]);
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        assert_eq!(effective_jobs(0, 100), suggested_jobs().min(100));
+        assert_eq!(effective_jobs(3, 2), 2);
+        assert_eq!(effective_jobs(4, 0), 1);
+    }
+
+    #[test]
+    fn workers_run_concurrently_not_serialized() {
+        // Sleep-bound jobs overlap even on a single-core host, so this
+        // catches any accidental lock serializing the pool: 4 sleeps of
+        // 100 ms at jobs=4 must take ~100 ms, not ~400 ms.
+        let t0 = std::time::Instant::now();
+        run_indexed(4, 4, |_| std::thread::sleep(std::time::Duration::from_millis(100)));
+        let wall = t0.elapsed();
+        assert!(
+            wall < std::time::Duration::from_millis(250),
+            "4 overlapping 100 ms sleeps took {wall:?} — the pool is serialized"
+        );
+    }
+
+    #[test]
+    fn scoped_metrics_fold_identically_at_any_jobs() {
+        let run = |jobs: usize| {
+            let scope = ibox_obs::scoped();
+            let out = run_scoped(12, jobs, |i| {
+                let reg = ibox_obs::global();
+                reg.counter("pool.test.jobs_done").inc();
+                reg.counter("pool.test.weight").add(i as u64);
+                reg.gauge("pool.test.last_index").set(i as f64);
+                reg.histogram_with_edges("pool.test.h", &[4.0, 8.0]).record(i as f64);
+                i
+            });
+            (out, scope.finish().snapshot())
+        };
+        let (v1, m1) = run(1);
+        let (v4, m4) = run(4);
+        assert_eq!(v1, v4);
+        assert_eq!(m1, m4, "metrics must not depend on the jobs value");
+        assert_eq!(m1.counters["pool.test.jobs_done"], 12);
+        assert_eq!(m1.counters["pool.test.weight"], 66);
+        assert_eq!(m1.gauges["pool.test.last_index"], 11.0);
+        assert_eq!(m1.histograms["pool.test.h"].count, 12);
+    }
+}

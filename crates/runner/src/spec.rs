@@ -1,0 +1,330 @@
+//! Typed job specifications: what to run, decoupled from how it runs.
+//!
+//! A [`RunSpec`] names one scenario — where the training/ground-truth
+//! data comes from ([`RunSource`]), which protocol to replay, for how
+//! long, under which seed, and which model family ([`ModelKind`]) to fit.
+//! A [`BatchSpec`] is a list of runs plus a `jobs` parallelism knob.
+//! Both are plain serde data: a batch round-trips through JSON, so
+//! experiment definitions live in files (`ibox batch experiments.json`)
+//! instead of positional-argument call sites.
+//!
+//! Execution lives elsewhere (`ibox::batch`): this crate stays
+//! domain-light so every layer — testbed, core, bench, CLI — can depend
+//! on it without cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// Which model family to fit in a run (paper Figs. 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Full iBoxNet: `(b, d, B)` + estimated cross traffic.
+    IBoxNet,
+    /// Ablation: iBoxNet without the cross-traffic input (Fig. 3a).
+    IBoxNetNoCross,
+    /// Baseline: calibrated emulator with statistical loss (Fig. 3b).
+    StatisticalLoss,
+    /// Extension: iBoxNet plus an estimated reordering stage in the
+    /// emulated path — melding the §5.1 discovery back into the emulator.
+    IBoxNetReorder,
+}
+
+impl ModelKind {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::IBoxNet => "iBoxNet",
+            ModelKind::IBoxNetNoCross => "iBoxNet w/o CT",
+            ModelKind::StatisticalLoss => "Statistical loss",
+            ModelKind::IBoxNetReorder => "iBoxNet + reorder (ext)",
+        }
+    }
+
+    /// Every model kind, in evaluation order.
+    pub fn all() -> [ModelKind; 4] {
+        [
+            ModelKind::IBoxNet,
+            ModelKind::IBoxNetNoCross,
+            ModelKind::StatisticalLoss,
+            ModelKind::IBoxNetReorder,
+        ]
+    }
+}
+
+/// Where a run's training/ground-truth data comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunSource {
+    /// Synthesize a ground-truth trace from a testbed profile: run
+    /// `protocol` over `profile` sampled at `seed`, then fit the spec's
+    /// model on it.
+    Synth {
+        /// Testbed profile name (e.g. `india-cellular`, `ethernet`).
+        profile: String,
+        /// Protocol that generates the training trace.
+        protocol: String,
+        /// Seed for sampling the path instance and the training run.
+        seed: u64,
+    },
+    /// Load a training trace from a `.json`/`.csv` file and fit the
+    /// spec's model on it.
+    TraceFile {
+        /// Path to the trace file.
+        path: String,
+    },
+    /// Load an already-fitted iBoxNet profile (the output of `ibox fit`)
+    /// and only replay — no fitting. The spec's `model` is ignored.
+    ProfileFile {
+        /// Path to the fitted-profile JSON.
+        path: String,
+    },
+}
+
+/// One scenario: source, protocol to replay, duration, seed, model kind.
+///
+/// Construct with [`RunSpec::builder`]. All randomness in a run derives
+/// from the spec itself (`seed`, and `source` seeds), which is what makes
+/// batches reproducible at any parallelism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Optional human-readable label echoed into results (empty = none).
+    pub id: String,
+    /// Where the training/ground-truth data comes from.
+    pub source: RunSource,
+    /// Protocol replayed through the fitted model.
+    pub protocol: String,
+    /// Replay duration, seconds.
+    pub duration_s: f64,
+    /// Seed for the replay simulation.
+    pub seed: u64,
+    /// Model family to fit (ignored for [`RunSource::ProfileFile`]).
+    pub model: ModelKind,
+}
+
+impl RunSpec {
+    /// Start building a spec (defaults: 30 s, seed 1, [`ModelKind::IBoxNet`]).
+    pub fn builder() -> RunSpecBuilder {
+        RunSpecBuilder::default()
+    }
+
+    /// A worker-local seed derived from this spec and a caller salt
+    /// (SplitMix64 over `seed ^ salt`): stable across `jobs` values,
+    /// decorrelated across salts.
+    pub fn derive_seed(&self, salt: u64) -> u64 {
+        let mut z = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Builder for [`RunSpec`]. `source` and `protocol` are mandatory.
+#[derive(Debug, Clone, Default)]
+pub struct RunSpecBuilder {
+    id: String,
+    source: Option<RunSource>,
+    protocol: Option<String>,
+    duration_s: Option<f64>,
+    seed: Option<u64>,
+    model: Option<ModelKind>,
+}
+
+impl RunSpecBuilder {
+    /// Human-readable label echoed into results.
+    pub fn id(mut self, id: impl Into<String>) -> Self {
+        self.id = id.into();
+        self
+    }
+
+    /// Source: synthesize the training trace from a testbed profile.
+    pub fn synth(
+        mut self,
+        profile: impl Into<String>,
+        protocol: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        self.source =
+            Some(RunSource::Synth { profile: profile.into(), protocol: protocol.into(), seed });
+        self
+    }
+
+    /// Source: fit on a trace file.
+    pub fn trace_file(mut self, path: impl Into<String>) -> Self {
+        self.source = Some(RunSource::TraceFile { path: path.into() });
+        self
+    }
+
+    /// Source: replay an already-fitted profile file.
+    pub fn profile_file(mut self, path: impl Into<String>) -> Self {
+        self.source = Some(RunSource::ProfileFile { path: path.into() });
+        self
+    }
+
+    /// Protocol replayed through the model.
+    pub fn protocol(mut self, protocol: impl Into<String>) -> Self {
+        self.protocol = Some(protocol.into());
+        self
+    }
+
+    /// Replay duration in seconds (default 30).
+    pub fn duration_s(mut self, secs: f64) -> Self {
+        self.duration_s = Some(secs);
+        self
+    }
+
+    /// Replay seed (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Model family to fit (default [`ModelKind::IBoxNet`]).
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<RunSpec, String> {
+        let source = self.source.ok_or("RunSpec needs a source (synth/trace_file/profile_file)")?;
+        let protocol = self.protocol.ok_or("RunSpec needs a protocol")?;
+        if protocol.is_empty() {
+            return Err("RunSpec protocol must be non-empty".into());
+        }
+        let duration_s = self.duration_s.unwrap_or(30.0);
+        if !duration_s.is_finite() || duration_s <= 0.0 {
+            return Err(format!("RunSpec duration must be positive, got {duration_s}"));
+        }
+        Ok(RunSpec {
+            id: self.id,
+            source,
+            protocol,
+            duration_s,
+            seed: self.seed.unwrap_or(1),
+            model: self.model.unwrap_or(ModelKind::IBoxNet),
+        })
+    }
+}
+
+/// A set of [`RunSpec`]s plus a parallelism knob. Round-trips through
+/// JSON (`ibox batch <file.json>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Worker threads: `0` = auto (all cores). Affects wall time only,
+    /// never results — see the determinism contract in [`crate::pool`].
+    pub jobs: usize,
+    /// The scenarios to run.
+    pub runs: Vec<RunSpec>,
+}
+
+impl BatchSpec {
+    /// Start building a batch.
+    pub fn builder() -> BatchSpecBuilder {
+        BatchSpecBuilder::default()
+    }
+
+    /// Serialize to pretty JSON (stable field order — byte-reproducible).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("BatchSpec serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad batch spec: {e}"))
+    }
+}
+
+/// Builder for [`BatchSpec`]; needs at least one run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSpecBuilder {
+    jobs: usize,
+    runs: Vec<RunSpec>,
+}
+
+impl BatchSpecBuilder {
+    /// Worker threads (`0` = auto).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Append one run.
+    pub fn run(mut self, spec: RunSpec) -> Self {
+        self.runs.push(spec);
+        self
+    }
+
+    /// Append many runs.
+    pub fn runs(mut self, specs: impl IntoIterator<Item = RunSpec>) -> Self {
+        self.runs.extend(specs);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<BatchSpec, String> {
+        if self.runs.is_empty() {
+            return Err("BatchSpec needs at least one run".into());
+        }
+        Ok(BatchSpec { jobs: self.jobs, runs: self.runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> RunSpec {
+        RunSpec::builder()
+            .id("r0")
+            .synth("india-cellular", "cubic", 2_000)
+            .protocol("vegas")
+            .duration_s(10.0)
+            .seed(7)
+            .model(ModelKind::IBoxNetNoCross)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_fills_defaults_and_validates() {
+        let spec = RunSpec::builder().trace_file("t.json").protocol("cubic").build().unwrap();
+        assert_eq!(spec.duration_s, 30.0);
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.model, ModelKind::IBoxNet);
+        assert!(spec.id.is_empty());
+
+        assert!(RunSpec::builder().protocol("cubic").build().is_err(), "source required");
+        assert!(RunSpec::builder().trace_file("t.json").build().is_err(), "protocol required");
+        assert!(RunSpec::builder()
+            .trace_file("t.json")
+            .protocol("cubic")
+            .duration_s(-1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn batch_roundtrips_through_json() {
+        let batch = BatchSpec::builder().jobs(4).run(sample_spec()).build().unwrap();
+        let back = BatchSpec::from_json(&batch.to_json()).unwrap();
+        assert_eq!(back, batch);
+        // And the serialized form is byte-stable.
+        assert_eq!(back.to_json(), batch.to_json());
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(BatchSpec::builder().jobs(2).build().is_err());
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_decorrelated() {
+        let spec = sample_spec();
+        assert_eq!(spec.derive_seed(1), spec.derive_seed(1));
+        assert_ne!(spec.derive_seed(1), spec.derive_seed(2));
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::IBoxNet.name(), "iBoxNet");
+        assert_eq!(ModelKind::all().len(), 4);
+    }
+}

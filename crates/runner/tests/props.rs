@@ -1,0 +1,78 @@
+//! Property tests for the typed batch API: `BatchSpec` JSON round-trips
+//! exactly for any spec the builders can produce.
+
+use proptest::prelude::*;
+
+use ibox_runner::{BatchSpec, ModelKind, RunSource, RunSpec};
+
+/// Deterministically expand a `u64` into a short printable token, so
+/// names/paths exercise serialization without a string strategy.
+fn token(seed: u64, prefix: &str) -> String {
+    format!("{prefix}-{seed:x}")
+}
+
+fn model_from(idx: u64) -> ModelKind {
+    let all = ModelKind::all();
+    all[(idx % all.len() as u64) as usize]
+}
+
+fn source_from(kind: u64, a: u64, b: u64) -> RunSource {
+    match kind % 3 {
+        0 => RunSource::Synth {
+            profile: token(a, "profile"),
+            protocol: token(b, "proto"),
+            seed: a ^ b,
+        },
+        1 => RunSource::TraceFile { path: format!("traces/{}.json", token(a, "t")) },
+        _ => RunSource::ProfileFile { path: format!("profiles/{}.json", token(a, "p")) },
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = RunSpec> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), 0.001f64..3_600.0, any::<u64>()).prop_map(
+        |(kind, a, b, duration_s, seed)| RunSpec {
+            id: if kind % 2 == 0 { String::new() } else { token(kind, "run") },
+            source: source_from(kind, a, b),
+            protocol: token(b, "proto"),
+            duration_s,
+            seed,
+            model: model_from(a),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Any batch spec survives JSON serialization bit-exactly (fields,
+    /// enum variants, f64 durations — the vendored serde_json is built
+    /// with float_roundtrip).
+    #[test]
+    fn batch_spec_json_roundtrips(
+        jobs in 0usize..64,
+        runs in prop::collection::vec(arb_spec(), 1..12),
+    ) {
+        let batch = BatchSpec { jobs, runs };
+        let json = batch.to_json();
+        let back = BatchSpec::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &batch);
+        // Serialization itself is stable: same spec, same bytes.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// The builder path and the literal path agree.
+    #[test]
+    fn builder_roundtrips_through_json(seed in any::<u64>(), dur in 0.5f64..120.0) {
+        let spec = RunSpec::builder()
+            .id("prop")
+            .synth("india-cellular", "cubic", seed)
+            .protocol("vegas")
+            .duration_s(dur)
+            .seed(seed)
+            .model(ModelKind::StatisticalLoss)
+            .build()
+            .unwrap();
+        let batch = BatchSpec::builder().jobs(3).run(spec).build().unwrap();
+        prop_assert_eq!(BatchSpec::from_json(&batch.to_json()).unwrap(), batch);
+    }
+}

@@ -39,6 +39,9 @@ pub fn run_protocol(
 
 /// Generate a dataset of `n` runs of `protocol` over `profile`, one fresh
 /// path instance per run (instance seed = `base_seed + i`).
+///
+/// Serial — [`generate_dataset_jobs`] at `jobs = 1`, which is what it
+/// calls. Prefer the `_jobs` variant for more than a couple of runs.
 pub fn generate_dataset(
     profile: Profile,
     protocol: &str,
@@ -46,19 +49,35 @@ pub fn generate_dataset(
     duration: SimTime,
     base_seed: u64,
 ) -> TraceDataset {
-    let traces = (0..n)
-        .map(|i| {
-            let seed = base_seed + i as u64;
-            let inst = profile.sample(seed, duration);
-            run_protocol(&inst, protocol, duration, seed)
-        })
-        .collect();
+    generate_dataset_jobs(profile, protocol, n, duration, base_seed, 1)
+}
+
+/// [`generate_dataset`] with runs spread over `jobs` worker threads
+/// (`0` = all cores). Every run is seeded from the spec alone (instance
+/// seed = `base_seed + i`), so the dataset is identical at any `jobs`.
+pub fn generate_dataset_jobs(
+    profile: Profile,
+    protocol: &str,
+    n: usize,
+    duration: SimTime,
+    base_seed: u64,
+    jobs: usize,
+) -> TraceDataset {
+    let traces = ibox_runner::run_scoped(n, jobs, |i| {
+        let seed = base_seed + i as u64;
+        let inst = profile.sample(seed, duration);
+        run_protocol(&inst, protocol, duration, seed)
+    });
     TraceDataset::from_traces(format!("{}/{}", profile.name(), protocol), traces)
 }
 
 /// Generate paired datasets: for each of `n` path instances, run *every*
 /// protocol over the identical instance (identical hidden network state).
 /// Returns one dataset per protocol, in the order given.
+///
+/// Serial — [`generate_paired_datasets_jobs`] at `jobs = 1`, which is
+/// what it calls. Prefer the `_jobs` variant for more than a couple of
+/// instances.
 pub fn generate_paired_datasets(
     profile: Profile,
     protocols: &[&str],
@@ -66,13 +85,31 @@ pub fn generate_paired_datasets(
     duration: SimTime,
     base_seed: u64,
 ) -> Vec<TraceDataset> {
-    let mut out: Vec<TraceDataset> =
-        protocols.iter().map(|p| TraceDataset::new(format!("{}/{}", profile.name(), p))).collect();
-    for i in 0..n {
+    generate_paired_datasets_jobs(profile, protocols, n, duration, base_seed, 1)
+}
+
+/// [`generate_paired_datasets`] with instances spread over `jobs` worker
+/// threads (`0` = all cores). Each pool job runs every protocol over one
+/// instance; traces fold back in instance order, so the datasets are
+/// identical at any `jobs`.
+pub fn generate_paired_datasets_jobs(
+    profile: Profile,
+    protocols: &[&str],
+    n: usize,
+    duration: SimTime,
+    base_seed: u64,
+    jobs: usize,
+) -> Vec<TraceDataset> {
+    let per_instance = ibox_runner::run_scoped(n, jobs, |i| {
         let seed = base_seed + i as u64;
         let inst = profile.sample(seed, duration);
-        for (k, proto) in protocols.iter().enumerate() {
-            out[k].traces.push(run_protocol(&inst, proto, duration, seed));
+        protocols.iter().map(|proto| run_protocol(&inst, proto, duration, seed)).collect::<Vec<_>>()
+    });
+    let mut out: Vec<TraceDataset> =
+        protocols.iter().map(|p| TraceDataset::new(format!("{}/{}", profile.name(), p))).collect();
+    for runs in per_instance {
+        for (k, trace) in runs.into_iter().enumerate() {
+            out[k].traces.push(trace);
         }
     }
     out
@@ -121,6 +158,19 @@ mod tests {
         let a = generate_dataset(Profile::Ethernet, "reno", 2, SimTime::from_secs(3), 5);
         let b = generate_dataset(Profile::Ethernet, "reno", 2, SimTime::from_secs(3), 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let serial = generate_dataset(Profile::Ethernet, "reno", 4, SimTime::from_secs(3), 5);
+        let parallel =
+            generate_dataset_jobs(Profile::Ethernet, "reno", 4, SimTime::from_secs(3), 5, 4);
+        assert_eq!(serial, parallel);
+
+        let ps = generate_paired_datasets(Profile::Ethernet, &["cubic", "vegas"], 3, SHORT, 20);
+        let pp =
+            generate_paired_datasets_jobs(Profile::Ethernet, &["cubic", "vegas"], 3, SHORT, 20, 3);
+        assert_eq!(ps, pp);
     }
 
     #[test]

@@ -50,6 +50,33 @@ impl Profile {
         }
     }
 
+    /// Every profile, in presentation order.
+    pub fn all() -> [Profile; 4] {
+        [
+            Profile::IndiaCellular,
+            Profile::IndiaCellularPf,
+            Profile::Ethernet,
+            Profile::TokenBucketWifi,
+        ]
+    }
+
+    /// Look a profile up by its [`Profile::name`] — the inverse used by
+    /// batch specs and the CLI. The error lists the valid names.
+    pub fn from_name(name: &str) -> Result<Profile, String> {
+        Profile::all().into_iter().find(|p| p.name() == name).ok_or_else(|| {
+            let valid: Vec<&str> = Profile::all().iter().map(|p| p.name()).collect();
+            format!("unknown profile {name:?} (valid: {})", valid.join(", "))
+        })
+    }
+
+    /// Start building a concrete [`PathInstance`] from this profile
+    /// (defaults: seed 1, 30 s cross-traffic horizon). Reads as a
+    /// sentence at call sites that previously threaded positional
+    /// `(seed, duration)` pairs around.
+    pub fn builder(self) -> ProfileBuilder {
+        ProfileBuilder { profile: self, seed: 1, duration: crate::pantheon::PANTHEON_DURATION }
+    }
+
     /// Draw one concrete path instance. Deterministic per `(self, seed)`.
     ///
     /// `duration` bounds the cross-traffic schedules.
@@ -184,11 +211,57 @@ impl Profile {
     }
 }
 
+/// Builder for sampling a [`PathInstance`] — [`Profile::builder`].
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    profile: Profile,
+    seed: u64,
+    duration: SimTime,
+}
+
+impl ProfileBuilder {
+    /// Instance seed (default 1). Same seed ⇒ same path.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bound for the cross-traffic schedules (default 30 s).
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Draw the instance — exactly [`Profile::sample`] with this builder's
+    /// seed and duration.
+    pub fn sample(self) -> PathInstance {
+        self.profile.sample(self.seed, self.duration)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const DUR: SimTime = SimTime(30_000_000_000);
+
+    #[test]
+    fn from_name_inverts_name() {
+        for p in Profile::all() {
+            assert_eq!(Profile::from_name(p.name()).unwrap(), p);
+        }
+        let err = Profile::from_name("dsl").unwrap_err();
+        assert!(err.contains("india-cellular"), "error lists valid names: {err}");
+    }
+
+    #[test]
+    fn builder_matches_positional_sample() {
+        let a = Profile::TokenBucketWifi.builder().seed(9).duration(DUR).sample();
+        let b = Profile::TokenBucketWifi.sample(9, DUR);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.cross, b.cross);
+        assert_eq!(a.name, b.name);
+    }
 
     #[test]
     fn sampling_is_deterministic() {

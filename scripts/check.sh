@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Local gate: everything CI would run, offline.
-#   scripts/check.sh
+#   scripts/check.sh [--quick]
+#
+# --quick additionally smoke-tests the batch runner end to end: a 4-spec
+# batch file executed through the release `ibox batch --jobs 2`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,9 +12,44 @@ run() {
     "$@"
 }
 
+# Gate: the typed OptSpec/RunSpec APIs replaced these entry points — fail
+# fast if an untyped variant creeps back in.
+gate() {
+    local pattern="$1" where="$2" why="$3"
+    if grep -rn --include='*.rs' -E "$pattern" "$where" > /dev/null 2>&1; then
+        echo "FAIL: $why" >&2
+        grep -rn --include='*.rs' -E "$pattern" "$where" >&2
+        exit 1
+    fi
+}
+gate 'const FLAGS' crates/cli \
+    "ad-hoc FLAGS table reintroduced in the CLI — declare options in the OptSpec tables (crates/cli/src/commands.rs)"
+gate '[^_a-z](ensemble_test|instance_test|realism_test|generate_paired_datasets|generate_dataset)\(' crates/bench \
+    "serial entry point in a bench binary — use the _jobs variant routed through ibox-runner"
+
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
 run cargo clippy --workspace --offline -- -D warnings
 run cargo fmt --check
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "==> batch smoke: 4 specs at --jobs 2"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cat > "$tmp/batch.json" << 'EOF'
+{
+  "jobs": 1,
+  "runs": [
+    {"id": "smoke/iboxnet", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 70}}, "protocol": "cubic", "duration_s": 4.0, "seed": 1, "model": "IBoxNet"},
+    {"id": "smoke/nocross", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 71}}, "protocol": "cubic", "duration_s": 4.0, "seed": 2, "model": "IBoxNetNoCross"},
+    {"id": "smoke/statloss", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 72}}, "protocol": "cubic", "duration_s": 4.0, "seed": 3, "model": "StatisticalLoss"},
+    {"id": "smoke/reorder", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 73}}, "protocol": "cubic", "duration_s": 4.0, "seed": 4, "model": "IBoxNetReorder"}
+  ]
+}
+EOF
+    run ./target/release/ibox batch "$tmp/batch.json" --jobs 2 -o "$tmp/results.json"
+    test -s "$tmp/results.json" || { echo "FAIL: batch smoke wrote no results" >&2; exit 1; }
+    echo "batch smoke passed"
+fi
 
 echo "all checks passed"
