@@ -14,9 +14,10 @@ pub struct Dense {
     pub w: Mat,
     /// Bias, `out`.
     pub b: Vec<f32>,
-    /// Weight gradient.
+    /// Weight gradient, allocated at construction and zeroed by
+    /// [`Dense::zero_grad`] (empty only right after deserialization).
     #[serde(skip)]
-    pub gw: Option<Mat>,
+    pub gw: Mat,
     /// Bias gradient.
     #[serde(skip)]
     pub gb: Vec<f32>,
@@ -25,21 +26,34 @@ pub struct Dense {
 impl Dense {
     /// A new layer with Xavier weights and zero bias.
     pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
-        Self { w: xavier(output, input, rng), b: vec![0.0; output], gw: None, gb: Vec::new() }
+        Self {
+            w: xavier(output, input, rng),
+            b: vec![0.0; output],
+            gw: Mat::zeros(output, input),
+            gb: vec![0.0; output],
+        }
     }
 
-    /// Forward pass.
+    /// Forward pass — allocating shim over [`Dense::forward_into`].
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = self.w.matvec(x);
-        add_assign(&mut y, &self.b);
+        let mut y = vec![0.0f32; self.w.rows()];
+        self.forward_into(x, &mut y);
         y
     }
 
-    /// Zero/allocate gradient buffers.
+    /// Forward pass into a caller-owned buffer (no allocation).
+    pub fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        self.w.matvec_into(x, y);
+        add_assign(y, &self.b);
+    }
+
+    /// Zero the gradient buffers (re-shaping them first if the layer was
+    /// just deserialized, since `#[serde(skip)]` leaves them empty).
     pub fn zero_grad(&mut self) {
-        match &mut self.gw {
-            Some(m) => m.fill_zero(),
-            None => self.gw = Some(Mat::zeros(self.w.rows(), self.w.cols())),
+        if self.gw.len() != self.w.len() {
+            self.gw = Mat::zeros(self.w.rows(), self.w.cols());
+        } else {
+            self.gw.fill_zero();
         }
         if self.gb.len() != self.b.len() {
             self.gb = vec![0.0; self.b.len()];
@@ -48,13 +62,20 @@ impl Dense {
         }
     }
 
-    /// Backward: given `dy` and the cached input `x`, accumulate gradients
-    /// and return `dx`.
+    /// Backward — allocating shim over [`Dense::backward_into`].
     pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
-        debug_assert!(self.gw.is_some(), "call zero_grad before backward");
-        self.gw.as_mut().expect("zero_grad called").add_outer(dy, x, 1.0);
+        let mut dx = vec![0.0f32; self.w.cols()];
+        self.backward_into(x, dy, &mut dx);
+        dx
+    }
+
+    /// Backward: given `dy` and the cached input `x`, accumulate gradients
+    /// and write `dx` into a caller-owned buffer (no allocation).
+    pub fn backward_into(&mut self, x: &[f32], dy: &[f32], dx: &mut [f32]) {
+        debug_assert_eq!(self.gw.len(), self.w.len(), "call zero_grad before backward");
+        self.gw.add_outer(dy, x, 1.0);
         add_assign(&mut self.gb, dy);
-        self.w.matvec_t(dy)
+        self.w.matvec_t_into(dy, dx);
     }
 
     /// Number of trainable parameters.
@@ -94,7 +115,7 @@ mod tests {
         let eps = 1e-3f32;
         // Weight gradient check.
         for (r, c) in [(0, 0), (1, 2)] {
-            let analytic = f64::from(d.gw.as_ref().unwrap().get(r, c));
+            let analytic = f64::from(d.gw.get(r, c));
             let mut dp = d.clone();
             dp.w.set(r, c, dp.w.get(r, c) + eps);
             let lp = loss(&dp);

@@ -14,13 +14,16 @@
 //! ```
 //!
 //! Gradients are exact analytic BPTT, verified numerically in the tests
-//! (the same discipline as [`crate::lstm`]).
+//! (the same discipline as [`crate::lstm`]). Like the LSTM, the hot paths
+//! are the allocation-free [`Gru::step_into`] /
+//! [`Gru::step_backward_into`] working through a [`GruWorkspace`]; the
+//! allocating `step`/`step_backward` are thin shims over them.
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use crate::init::xavier;
-use crate::matrix::vecops::{add_assign, sigmoid};
+use crate::matrix::vecops::{add_assign, copy_into, reset, sigmoid};
 use crate::matrix::Mat;
 
 /// One GRU layer: gates `[z; r; h]` stacked in a `3H` block.
@@ -34,19 +37,20 @@ pub struct Gru {
     pub wh: Mat,
     /// Bias, `3H`.
     pub b: Vec<f32>,
-    /// Input-weight gradient.
+    /// Input-weight gradient, allocated at construction and zeroed by
+    /// [`Gru::zero_grad`] (empty only right after deserialization).
     #[serde(skip)]
-    pub gwx: Option<Mat>,
+    pub gwx: Mat,
     /// Recurrent-weight gradient.
     #[serde(skip)]
-    pub gwh: Option<Mat>,
+    pub gwh: Mat,
     /// Bias gradient.
     #[serde(skip)]
     pub gb: Vec<f32>,
 }
 
-/// Cached activations of one step.
-#[derive(Debug, Clone)]
+/// Cached activations of one step (reusable across steps in place).
+#[derive(Debug, Clone, Default)]
 pub struct GruCache {
     x: Vec<f32>,
     h_prev: Vec<f32>,
@@ -57,6 +61,51 @@ pub struct GruCache {
     rh: Vec<f32>,
 }
 
+impl GruCache {
+    /// A cache pre-sized for `layer`.
+    pub fn for_layer(layer: &Gru) -> Self {
+        let (i, h) = (layer.input_size, layer.hidden_size);
+        Self {
+            x: vec![0.0; i],
+            h_prev: vec![0.0; h],
+            z: vec![0.0; h],
+            r: vec![0.0; h],
+            hhat: vec![0.0; h],
+            rh: vec![0.0; h],
+        }
+    }
+}
+
+/// Scratch buffers for one layer's forward/backward step: the fused `3H`
+/// gate pre-activations and gradients. Allocated once, reused every step.
+#[derive(Debug, Clone)]
+pub struct GruWorkspace {
+    /// `Wx · x`, length `3H`.
+    zx: Vec<f32>,
+    /// `U · h⁻` for the z/r blocks only, length `2H`.
+    zh: Vec<f32>,
+    /// `Uh · (r ∘ h⁻)` (candidate recurrent part), length `H`.
+    hh: Vec<f32>,
+    /// Pre-activation gradients `[z; r; ĥ]`, length `3H`.
+    dpre: Vec<f32>,
+    /// `d(r ∘ h⁻)`, length `H`.
+    drh: Vec<f32>,
+}
+
+impl GruWorkspace {
+    /// A workspace sized for `layer`.
+    pub fn for_layer(layer: &Gru) -> Self {
+        let h = layer.hidden_size;
+        Self {
+            zx: vec![0.0; 3 * h],
+            zh: vec![0.0; 2 * h],
+            hh: vec![0.0; h],
+            dpre: vec![0.0; 3 * h],
+            drh: vec![0.0; h],
+        }
+    }
+}
+
 impl Gru {
     /// A new layer with Xavier weights.
     pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
@@ -65,9 +114,9 @@ impl Gru {
             wx: xavier(3 * hidden_size, input_size, rng),
             wh: xavier(3 * hidden_size, hidden_size, rng),
             b: vec![0.0; 3 * hidden_size],
-            gwx: None,
-            gwh: None,
-            gb: Vec::new(),
+            gwx: Mat::zeros(3 * hidden_size, input_size),
+            gwh: Mat::zeros(3 * hidden_size, hidden_size),
+            gb: vec![0.0; 3 * hidden_size],
             input_size,
             hidden_size,
         }
@@ -83,46 +132,66 @@ impl Gru {
         self.wx.len() + self.wh.len() + self.b.len()
     }
 
-    /// One forward step.
+    /// One forward step — allocating shim over [`Gru::step_into`].
     pub fn step(&self, x: &[f32], h_prev: &[f32]) -> (Vec<f32>, GruCache) {
-        assert_eq!(x.len(), self.input_size, "input width mismatch");
-        assert_eq!(h_prev.len(), self.hidden_size, "state width mismatch");
-        let hsz = self.hidden_size;
-
-        // Gate pre-activations: zx/rx from x and h_prev; candidate uses
-        // r ∘ h_prev, so compute its recurrent part separately.
-        let zx = self.wx.matvec(x);
-        let zh = self.wh.matvec(h_prev);
-        let mut z = vec![0.0f32; hsz];
-        let mut r = vec![0.0f32; hsz];
-        for k in 0..hsz {
-            z[k] = sigmoid(zx[k] + zh[k] + self.b[k]);
-            r[k] = sigmoid(zx[hsz + k] + zh[hsz + k] + self.b[hsz + k]);
-        }
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(a, b)| a * b).collect();
-        // Candidate: Wh's third block times rh (recompute that block only).
-        let mut hhat = vec![0.0f32; hsz];
-        for k in 0..hsz {
-            let mut acc = zx[2 * hsz + k] + self.b[2 * hsz + k];
-            for (j, rhj) in rh.iter().enumerate() {
-                acc += self.wh.get(2 * hsz + k, j) * rhj;
-            }
-            hhat[k] = acc.tanh();
-        }
-        let h: Vec<f32> = (0..hsz).map(|k| (1.0 - z[k]) * h_prev[k] + z[k] * hhat[k]).collect();
-        let cache = GruCache { x: x.to_vec(), h_prev: h_prev.to_vec(), z, r, hhat, rh };
+        let mut h = h_prev.to_vec();
+        let mut ws = GruWorkspace::for_layer(self);
+        let mut cache = GruCache::for_layer(self);
+        self.step_into(x, &mut h, &mut ws, &mut cache);
         (h, cache)
     }
 
-    /// Zero/allocate gradient buffers.
-    pub fn zero_grad(&mut self) {
-        match &mut self.gwx {
-            Some(m) => m.fill_zero(),
-            None => self.gwx = Some(Mat::zeros(self.wx.rows(), self.wx.cols())),
+    /// One forward step, updating `h` in place (enters as `h⁻`, leaves as
+    /// `h`) and refilling `cache`; allocation-free once buffers are warm.
+    pub fn step_into(&self, x: &[f32], h: &mut [f32], ws: &mut GruWorkspace, cache: &mut GruCache) {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        assert_eq!(h.len(), self.hidden_size, "state width mismatch");
+        let hsz = self.hidden_size;
+
+        copy_into(&mut cache.x, x);
+        copy_into(&mut cache.h_prev, h);
+
+        // Gate pre-activations: zx/rx from x and h_prev; candidate uses
+        // r ∘ h_prev, so its recurrent block is applied separately (the
+        // z/r blocks are the only ones that need U · h⁻).
+        reset(&mut ws.zx, 3 * hsz);
+        self.wx.matvec_into(x, &mut ws.zx);
+        reset(&mut ws.zh, 2 * hsz);
+        self.wh.matvec_rows_into(0..2 * hsz, &cache.h_prev, &mut ws.zh);
+
+        reset(&mut cache.z, hsz);
+        reset(&mut cache.r, hsz);
+        for k in 0..hsz {
+            cache.z[k] = sigmoid(ws.zx[k] + ws.zh[k] + self.b[k]);
+            cache.r[k] = sigmoid(ws.zx[hsz + k] + ws.zh[hsz + k] + self.b[hsz + k]);
         }
-        match &mut self.gwh {
-            Some(m) => m.fill_zero(),
-            None => self.gwh = Some(Mat::zeros(self.wh.rows(), self.wh.cols())),
+        reset(&mut cache.rh, hsz);
+        for k in 0..hsz {
+            cache.rh[k] = cache.r[k] * cache.h_prev[k];
+        }
+        reset(&mut ws.hh, hsz);
+        self.wh.matvec_rows_into(2 * hsz..3 * hsz, &cache.rh, &mut ws.hh);
+        reset(&mut cache.hhat, hsz);
+        for k in 0..hsz {
+            cache.hhat[k] = (ws.zx[2 * hsz + k] + self.b[2 * hsz + k] + ws.hh[k]).tanh();
+        }
+        for (k, hk) in h.iter_mut().enumerate() {
+            *hk = (1.0 - cache.z[k]) * cache.h_prev[k] + cache.z[k] * cache.hhat[k];
+        }
+    }
+
+    /// Zero the gradient buffers (re-shaping them first if the layer was
+    /// just deserialized, since `#[serde(skip)]` leaves them empty).
+    pub fn zero_grad(&mut self) {
+        if self.gwx.len() != self.wx.len() {
+            self.gwx = Mat::zeros(self.wx.rows(), self.wx.cols());
+        } else {
+            self.gwx.fill_zero();
+        }
+        if self.gwh.len() != self.wh.len() {
+            self.gwh = Mat::zeros(self.wh.rows(), self.wh.cols());
+        } else {
+            self.gwh.fill_zero();
         }
         if self.gb.len() != self.b.len() {
             self.gb = vec![0.0; self.b.len()];
@@ -131,72 +200,60 @@ impl Gru {
         }
     }
 
-    /// One backward step: `dh` is the gradient flowing into this step's
-    /// output (loss + future timestep). Returns `(dx, dh_prev)`.
+    /// One backward step — allocating shim over
+    /// [`Gru::step_backward_into`]. `dh` is the gradient flowing into this
+    /// step's output (loss + future timestep). Returns `(dx, dh_prev)`.
     pub fn step_backward(&mut self, cache: &GruCache, dh: &[f32]) -> (Vec<f32>, Vec<f32>) {
-        let hsz = self.hidden_size;
-        debug_assert!(self.gwx.is_some(), "call zero_grad before backward");
+        let mut ws = GruWorkspace::for_layer(self);
+        let mut dx = vec![0.0f32; self.input_size];
+        let mut dh_prev = vec![0.0f32; self.hidden_size];
+        self.step_backward_into(cache, dh, &mut ws, &mut dx, &mut dh_prev);
+        (dx, dh_prev)
+    }
 
-        // h = (1−z)h⁻ + z ĥ
-        let mut dz = vec![0.0f32; hsz];
-        let mut dhhat = vec![0.0f32; hsz];
-        let mut dh_prev: Vec<f32> = vec![0.0f32; hsz];
+    /// One backward step writing `(dx, dh_prev)` into caller-owned buffers
+    /// and accumulating weight gradients; allocation-free.
+    pub fn step_backward_into(
+        &mut self,
+        cache: &GruCache,
+        dh: &[f32],
+        ws: &mut GruWorkspace,
+        dx: &mut [f32],
+        dh_prev: &mut [f32],
+    ) {
+        let hsz = self.hidden_size;
+        debug_assert_eq!(self.gwx.len(), self.wx.len(), "call zero_grad before backward");
+        debug_assert_eq!(dx.len(), self.input_size);
+        debug_assert_eq!(dh_prev.len(), hsz);
+
+        // h = (1−z)h⁻ + z ĥ — pre-activation gradients [z; r; ĥ].
+        reset(&mut ws.dpre, 3 * hsz);
         for k in 0..hsz {
-            dz[k] = dh[k] * (cache.hhat[k] - cache.h_prev[k]);
-            dhhat[k] = dh[k] * cache.z[k];
+            let dz = dh[k] * (cache.hhat[k] - cache.h_prev[k]);
+            let dhhat = dh[k] * cache.z[k];
+            ws.dpre[k] = dz * cache.z[k] * (1.0 - cache.z[k]);
+            ws.dpre[2 * hsz + k] = dhhat * (1.0 - cache.hhat[k] * cache.hhat[k]);
             dh_prev[k] = dh[k] * (1.0 - cache.z[k]);
         }
-        // Pre-activations.
-        let mut dpre = vec![0.0f32; 3 * hsz]; // [z; r; hhat]
-        for k in 0..hsz {
-            dpre[k] = dz[k] * cache.z[k] * (1.0 - cache.z[k]);
-            dpre[2 * hsz + k] = dhhat[k] * (1.0 - cache.hhat[k] * cache.hhat[k]);
-        }
         // Candidate's recurrent path: d(rh) = Uhᵀ dpre_h.
-        let mut drh = vec![0.0f32; hsz];
-        for (k, dpre_h) in dpre[2 * hsz..3 * hsz].iter().enumerate() {
-            if *dpre_h == 0.0 {
-                continue;
-            }
-            for (j, drhj) in drh.iter_mut().enumerate() {
-                *drhj += self.wh.get(2 * hsz + k, j) * dpre_h;
-            }
-        }
-        let mut dr = vec![0.0f32; hsz];
-        for k in 0..hsz {
-            dr[k] = drh[k] * cache.h_prev[k];
-            dh_prev[k] += drh[k] * cache.r[k];
-            dpre[hsz + k] = dr[k] * cache.r[k] * (1.0 - cache.r[k]);
+        reset(&mut ws.drh, hsz);
+        self.wh.matvec_t_rows_acc(2 * hsz..3 * hsz, &ws.dpre[2 * hsz..], &mut ws.drh);
+        for (k, dhp) in dh_prev.iter_mut().enumerate() {
+            let dr = ws.drh[k] * cache.h_prev[k];
+            *dhp += ws.drh[k] * cache.r[k];
+            ws.dpre[hsz + k] = dr * cache.r[k] * (1.0 - cache.r[k]);
         }
 
         // Weight gradients. Wx gets dpre ⊗ x for all three blocks; Wh gets
         // the z/r blocks against h_prev and the candidate block against rh.
-        self.gwx.as_mut().expect("zero_grad called").add_outer(&dpre, &cache.x, 1.0);
-        {
-            let gwh = self.gwh.as_mut().expect("zero_grad called");
-            let zero = vec![0.0f32; hsz];
-            let dpre_zr: Vec<f32> =
-                dpre[..2 * hsz].iter().copied().chain(zero.iter().copied()).collect();
-            gwh.add_outer(&dpre_zr, &cache.h_prev, 1.0);
-            let dpre_h: Vec<f32> = zero
-                .iter()
-                .copied()
-                .chain(zero.iter().copied())
-                .chain(dpre[2 * hsz..].iter().copied())
-                .collect();
-            gwh.add_outer(&dpre_h, &cache.rh, 1.0);
-        }
-        add_assign(&mut self.gb, &dpre);
+        self.gwx.add_outer(&ws.dpre, &cache.x, 1.0);
+        self.gwh.add_outer_rows(0..2 * hsz, &ws.dpre[..2 * hsz], &cache.h_prev, 1.0);
+        self.gwh.add_outer_rows(2 * hsz..3 * hsz, &ws.dpre[2 * hsz..], &cache.rh, 1.0);
+        add_assign(&mut self.gb, &ws.dpre);
 
         // Input gradient and the z/r recurrent paths.
-        let dx = self.wx.matvec_t(&dpre);
-        let dpre_zr_only: Vec<f32> =
-            dpre[..2 * hsz].iter().copied().chain(std::iter::repeat_n(0.0, hsz)).collect();
-        let dh_prev_zr = self.wh.matvec_t(&dpre_zr_only);
-        for (a, b) in dh_prev.iter_mut().zip(&dh_prev_zr) {
-            *a += b;
-        }
-        (dx, dh_prev)
+        self.wx.matvec_t_into(&ws.dpre, dx);
+        self.wh.matvec_t_rows_acc(0..2 * hsz, &ws.dpre[..2 * hsz], dh_prev);
     }
 }
 
@@ -216,6 +273,25 @@ mod tests {
         let (h1b, _) = g.step(&[0.1, -0.2, 0.3], &h0);
         assert_eq!(h1, h1b);
         assert!(h1.iter().all(|v| v.abs() < 1.0));
+    }
+
+    /// Reusing one workspace+cache across steps must match the allocating
+    /// shim bit-for-bit.
+    #[test]
+    fn workspace_step_matches_shim_across_steps() {
+        let mut rng = seeded(12);
+        let g = Gru::new(2, 4, &mut rng);
+        let mut ws = GruWorkspace::for_layer(&g);
+        let mut cache = GruCache::for_layer(&g);
+        let mut h = vec![0.0f32; 4];
+        let mut h_shim = vec![0.0f32; 4];
+        for t in 0..7 {
+            let x = [0.3 * t as f32 - 0.5, (t as f32).cos()];
+            g.step_into(&x, &mut h, &mut ws, &mut cache);
+            let (nh, _) = g.step(&x, &h_shim);
+            h_shim = nh;
+            assert_eq!(h, h_shim, "diverged at step {t}");
+        }
     }
 
     /// The canonical BPTT correctness check: analytic vs numerical
@@ -268,8 +344,8 @@ mod tests {
         ];
         for (rr, cc, kind) in checks {
             let analytic = match kind {
-                'x' => f64::from(layer.gwx.as_ref().unwrap().get(rr, cc)),
-                'h' => f64::from(layer.gwh.as_ref().unwrap().get(rr, cc)),
+                'x' => f64::from(layer.gwx.get(rr, cc)),
+                'h' => f64::from(layer.gwh.get(rr, cc)),
                 _ => f64::from(layer.gb[rr]),
             };
             let mut p = layer.clone();
@@ -352,23 +428,18 @@ mod tests {
                 let (_, dh_prev) = layer.step_backward(&caches[t], &dh);
                 dh_next = dh_prev;
             }
-            // SGD step.
+            // SGD step (split borrows: weights vs their gradient fields).
             let n = seq.len() as f32;
-            let gwx = layer.gwx.take().unwrap();
-            for (w, g) in layer.wx.data_mut().iter_mut().zip(gwx.data()) {
+            let Gru { wx, wh, b, gwx, gwh, gb, .. } = &mut layer;
+            for (w, g) in wx.data_mut().iter_mut().zip(gwx.data()) {
                 *w -= lr * g / n;
             }
-            layer.gwx = Some(gwx);
-            let gwh = layer.gwh.take().unwrap();
-            for (w, g) in layer.wh.data_mut().iter_mut().zip(gwh.data()) {
+            for (w, g) in wh.data_mut().iter_mut().zip(gwh.data()) {
                 *w -= lr * g / n;
             }
-            layer.gwh = Some(gwh);
-            let gb = std::mem::take(&mut layer.gb);
-            for (w, g) in layer.b.iter_mut().zip(&gb) {
+            for (w, g) in b.iter_mut().zip(gb.iter()) {
                 *w -= lr * g / n;
             }
-            layer.gb = gb;
             for (w, g) in w_out.iter_mut().zip(&gw_out) {
                 *w -= lr * g / n;
             }

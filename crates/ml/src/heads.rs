@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use crate::dense::Dense;
-use crate::matrix::vecops::{add_assign, sigmoid, softplus};
+use crate::matrix::vecops::{add_assign, reset, sigmoid, softplus};
 
 /// Variance floor, keeps the NLL bounded.
 const VAR_FLOOR: f32 = 1e-4;
@@ -39,11 +39,14 @@ impl GaussianHead {
         Self { mu: Dense::new(hidden, 1, rng), raw_var: Dense::new(hidden, 1, rng) }
     }
 
-    /// Predict `(μ, σ²)` from the hidden state.
+    /// Predict `(μ, σ²)` from the hidden state. The 1-wide dense outputs
+    /// land in stack buffers, so this never heap-allocates.
     pub fn forward(&self, h: &[f32]) -> GaussianOut {
-        let mu = self.mu.forward(h)[0];
-        let raw = self.raw_var.forward(h)[0];
-        GaussianOut { mu, var: softplus(raw) + VAR_FLOOR, raw }
+        let mut mu = [0.0f32; 1];
+        let mut raw = [0.0f32; 1];
+        self.mu.forward_into(h, &mut mu);
+        self.raw_var.forward_into(h, &mut raw);
+        GaussianOut { mu: mu[0], var: softplus(raw[0]) + VAR_FLOOR, raw: raw[0] }
     }
 
     /// Gaussian negative log-likelihood of target `y`.
@@ -58,17 +61,37 @@ impl GaussianHead {
         self.raw_var.zero_grad();
     }
 
-    /// Backward for one step: accumulate head gradients and return `dh`.
+    /// Backward for one step — allocating shim over
+    /// [`GaussianHead::backward_into`].
     pub fn backward(&mut self, h: &[f32], out: &GaussianOut, y: f32) -> Vec<f32> {
+        let mut dh = Vec::new();
+        let mut tmp = Vec::new();
+        self.backward_into(h, out, y, &mut dh, &mut tmp);
+        dh
+    }
+
+    /// Backward for one step into caller-owned buffers: accumulates head
+    /// gradients and leaves `dh` holding the hidden-state gradient (`tmp`
+    /// is scratch of the same width). Allocation-free once warm.
+    pub fn backward_into(
+        &mut self,
+        h: &[f32],
+        out: &GaussianOut,
+        y: f32,
+        dh: &mut Vec<f32>,
+        tmp: &mut Vec<f32>,
+    ) {
         let var = out.var;
         // dNLL/dμ = (μ − y)/σ².
         let dmu = (out.mu - y) / var;
         // dNLL/dσ² = 1/(2σ²) − (y−μ)²/(2σ⁴); dσ²/draw = sigmoid(raw).
         let dvar = 0.5 / var - (y - out.mu).powi(2) / (2.0 * var * var);
         let draw = dvar * sigmoid(out.raw);
-        let mut dh = self.mu.backward(h, &[dmu]);
-        add_assign(&mut dh, &self.raw_var.backward(h, &[draw]));
-        dh
+        reset(dh, h.len());
+        reset(tmp, h.len());
+        self.mu.backward_into(h, &[dmu], dh);
+        self.raw_var.backward_into(h, &[draw], tmp);
+        add_assign(dh, tmp);
     }
 
     /// Trainable parameter count.
@@ -94,9 +117,11 @@ impl BernoulliHead {
         Self { logit: Dense::new(hidden, 1, rng) }
     }
 
-    /// Predicted probability.
+    /// Predicted probability (stack buffer — no heap allocation).
     pub fn forward(&self, h: &[f32]) -> f32 {
-        sigmoid(self.logit.forward(h)[0])
+        let mut logit = [0.0f32; 1];
+        self.logit.forward_into(h, &mut logit);
+        sigmoid(logit[0])
     }
 
     /// Binary cross-entropy of prediction `p` against label `y ∈ {0, 1}`.
@@ -113,7 +138,15 @@ impl BernoulliHead {
     /// Backward: accumulate gradients, return `dh`.
     /// (`dBCE/dlogit = p − y` — the classic simplification.)
     pub fn backward(&mut self, h: &[f32], p: f32, y: f32) -> Vec<f32> {
-        self.logit.backward(h, &[p - y])
+        let mut dh = Vec::new();
+        self.backward_into(h, p, y, &mut dh);
+        dh
+    }
+
+    /// Backward into a caller-owned buffer; allocation-free once warm.
+    pub fn backward_into(&mut self, h: &[f32], p: f32, y: f32, dh: &mut Vec<f32>) {
+        reset(dh, h.len());
+        self.logit.backward_into(h, &[p - y], dh);
     }
 
     /// Trainable parameter count.

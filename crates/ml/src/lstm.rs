@@ -5,12 +5,19 @@
 //! features `x_t` and the previous delay. This module implements the cell
 //! and stacked layers from scratch with exact analytic gradients
 //! (verified against numerical differentiation in the tests).
+//!
+//! Hot paths are allocation-free: [`Lstm::step_into`] /
+//! [`Lstm::step_backward_into`] write into caller-owned state, a reusable
+//! [`StepCache`], and a per-layer [`LstmWorkspace`] holding the fused `4H`
+//! gate buffers. The allocating [`Lstm::step`] / [`Lstm::step_backward`]
+//! remain as thin shims over the same kernels (bit-identical results).
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::mem;
 
 use crate::init::xavier;
-use crate::matrix::vecops::{add_assign, sigmoid};
+use crate::matrix::vecops::{add_assign, copy_into, reset, sigmoid};
 use crate::matrix::Mat;
 
 /// One LSTM layer: gates `[i; f; g; o]` stacked in a `4H` block.
@@ -25,19 +32,23 @@ pub struct Lstm {
     /// Bias, `4H` (forget-gate slice initialized to 1 — the classic trick
     /// to keep memory open early in training).
     pub b: Vec<f32>,
-    /// Gradients (zeroed by [`Lstm::zero_grad`]).
+    /// Input-weight gradient, allocated at construction and zeroed by
+    /// [`Lstm::zero_grad`] (empty only right after deserialization).
     #[serde(skip)]
-    pub gwx: Option<Mat>,
+    pub gwx: Mat,
     #[serde(skip)]
     /// Recurrent-weight gradient.
-    pub gwh: Option<Mat>,
+    pub gwh: Mat,
     #[serde(skip)]
     /// Bias gradient.
     pub gb: Vec<f32>,
 }
 
 /// Cached activations for one timestep (needed by the backward pass).
-#[derive(Debug, Clone)]
+///
+/// Reused across steps via the cache ring owned by the training loop —
+/// [`Lstm::step_into`] refills it in place without allocating.
+#[derive(Debug, Clone, Default)]
 pub struct StepCache {
     x: Vec<f32>,
     h_prev: Vec<f32>,
@@ -47,6 +58,48 @@ pub struct StepCache {
     g: Vec<f32>,
     o: Vec<f32>,
     tanh_c: Vec<f32>,
+}
+
+impl StepCache {
+    /// A cache pre-sized for `layer` (so refills never reallocate).
+    pub fn for_layer(layer: &Lstm) -> Self {
+        let (i, h) = (layer.input_size, layer.hidden_size);
+        Self {
+            x: vec![0.0; i],
+            h_prev: vec![0.0; h],
+            c_prev: vec![0.0; h],
+            i: vec![0.0; h],
+            f: vec![0.0; h],
+            g: vec![0.0; h],
+            o: vec![0.0; h],
+            tanh_c: vec![0.0; h],
+        }
+    }
+
+    /// `tanh(c_t)` from the cached step — the post-activation cell state,
+    /// exposed so benchmarks and tests can derive loss gradients without
+    /// replaying the forward pass.
+    pub fn tanh_c(&self) -> &[f32] {
+        &self.tanh_c
+    }
+}
+
+/// Scratch buffers for one layer's forward/backward step: the fused `4H`
+/// gate pre-activations and their gradients. Allocated once, reused for
+/// every timestep.
+#[derive(Debug, Clone)]
+pub struct LstmWorkspace {
+    /// Fused gate pre-activations `[i; f; g; o]`, length `4H`.
+    z: Vec<f32>,
+    /// Gate pre-activation gradients, length `4H`.
+    dz: Vec<f32>,
+}
+
+impl LstmWorkspace {
+    /// A workspace sized for `layer`.
+    pub fn for_layer(layer: &Lstm) -> Self {
+        Self { z: vec![0.0; 4 * layer.hidden_size], dz: vec![0.0; 4 * layer.hidden_size] }
+    }
 }
 
 /// The recurrent state `(h, c)` of one layer.
@@ -63,6 +116,12 @@ impl LstmState {
     pub fn zeros(hidden: usize) -> Self {
         Self { h: vec![0.0; hidden], c: vec![0.0; hidden] }
     }
+
+    /// Reset to zero in place.
+    pub fn reset(&mut self) {
+        self.h.fill(0.0);
+        self.c.fill(0.0);
+    }
 }
 
 impl Lstm {
@@ -77,9 +136,9 @@ impl Lstm {
             wx: xavier(4 * hidden_size, input_size, rng),
             wh: xavier(4 * hidden_size, hidden_size, rng),
             b,
-            gwx: None,
-            gwh: None,
-            gb: Vec::new(),
+            gwx: Mat::zeros(4 * hidden_size, input_size),
+            gwh: Mat::zeros(4 * hidden_size, hidden_size),
+            gb: vec![0.0; 4 * hidden_size],
             input_size,
             hidden_size,
         }
@@ -100,54 +159,68 @@ impl Lstm {
         self.wx.len() + self.wh.len() + self.b.len()
     }
 
-    /// One forward step; returns the new state and the cache for backward.
+    /// One forward step — allocating shim over [`Lstm::step_into`].
     pub fn step(&self, x: &[f32], state: &LstmState) -> (LstmState, StepCache) {
-        assert_eq!(x.len(), self.input_size, "input width mismatch");
-        let h = self.hidden_size;
-        let mut z = self.wx.matvec(x);
-        add_assign(&mut z, &self.wh.matvec(&state.h));
-        add_assign(&mut z, &self.b);
-
-        let mut i = vec![0.0f32; h];
-        let mut f = vec![0.0f32; h];
-        let mut g = vec![0.0f32; h];
-        let mut o = vec![0.0f32; h];
-        for k in 0..h {
-            i[k] = sigmoid(z[k]);
-            f[k] = sigmoid(z[h + k]);
-            g[k] = z[2 * h + k].tanh();
-            o[k] = sigmoid(z[3 * h + k]);
-        }
-        let mut c = vec![0.0f32; h];
-        let mut tanh_c = vec![0.0f32; h];
-        let mut h_new = vec![0.0f32; h];
-        for k in 0..h {
-            c[k] = f[k] * state.c[k] + i[k] * g[k];
-            tanh_c[k] = c[k].tanh();
-            h_new[k] = o[k] * tanh_c[k];
-        }
-        let cache = StepCache {
-            x: x.to_vec(),
-            h_prev: state.h.clone(),
-            c_prev: state.c.clone(),
-            i,
-            f,
-            g,
-            o,
-            tanh_c,
-        };
-        (LstmState { h: h_new, c }, cache)
+        let mut new_state = state.clone();
+        let mut ws = LstmWorkspace::for_layer(self);
+        let mut cache = StepCache::for_layer(self);
+        self.step_into(x, &mut new_state, &mut ws, &mut cache);
+        (new_state, cache)
     }
 
-    /// Ensure gradient buffers exist and are zeroed.
-    pub fn zero_grad(&mut self) {
-        match &mut self.gwx {
-            Some(m) => m.fill_zero(),
-            None => self.gwx = Some(Mat::zeros(self.wx.rows(), self.wx.cols())),
+    /// One forward step, updating `state` in place and refilling `cache`;
+    /// allocation-free once the buffers are warm.
+    pub fn step_into(
+        &self,
+        x: &[f32],
+        state: &mut LstmState,
+        ws: &mut LstmWorkspace,
+        cache: &mut StepCache,
+    ) {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        assert_eq!(state.h.len(), self.hidden_size, "state width mismatch");
+        let h = self.hidden_size;
+
+        copy_into(&mut cache.x, x);
+        copy_into(&mut cache.h_prev, &state.h);
+        copy_into(&mut cache.c_prev, &state.c);
+
+        reset(&mut ws.z, 4 * h);
+        self.wx.matvec_into(x, &mut ws.z);
+        self.wh.matvec_acc(&cache.h_prev, &mut ws.z);
+        add_assign(&mut ws.z, &self.b);
+
+        reset(&mut cache.i, h);
+        reset(&mut cache.f, h);
+        reset(&mut cache.g, h);
+        reset(&mut cache.o, h);
+        reset(&mut cache.tanh_c, h);
+        for k in 0..h {
+            cache.i[k] = sigmoid(ws.z[k]);
+            cache.f[k] = sigmoid(ws.z[h + k]);
+            cache.g[k] = ws.z[2 * h + k].tanh();
+            cache.o[k] = sigmoid(ws.z[3 * h + k]);
         }
-        match &mut self.gwh {
-            Some(m) => m.fill_zero(),
-            None => self.gwh = Some(Mat::zeros(self.wh.rows(), self.wh.cols())),
+        for k in 0..h {
+            let c = cache.f[k] * cache.c_prev[k] + cache.i[k] * cache.g[k];
+            state.c[k] = c;
+            cache.tanh_c[k] = c.tanh();
+            state.h[k] = cache.o[k] * cache.tanh_c[k];
+        }
+    }
+
+    /// Zero the gradient buffers (re-shaping them first if the layer was
+    /// just deserialized, since `#[serde(skip)]` leaves them empty).
+    pub fn zero_grad(&mut self) {
+        if self.gwx.len() != self.wx.len() {
+            self.gwx = Mat::zeros(self.wx.rows(), self.wx.cols());
+        } else {
+            self.gwx.fill_zero();
+        }
+        if self.gwh.len() != self.wh.len() {
+            self.gwh = Mat::zeros(self.wh.rows(), self.wh.cols());
+        } else {
+            self.gwh.fill_zero();
         }
         if self.gb.len() != self.b.len() {
             self.gb = vec![0.0; self.b.len()];
@@ -156,13 +229,8 @@ impl Lstm {
         }
     }
 
-    /// One backward step.
-    ///
-    /// * `dh` — gradient flowing into `h_t` (from the loss at `t` and from
-    ///   the upper layer).
-    /// * `dh_next`, `dc_next` — gradients from timestep `t+1` of this layer.
-    ///
-    /// Returns `(dx, dh_prev, dc_prev)` and accumulates weight gradients.
+    /// One backward step — allocating shim over
+    /// [`Lstm::step_backward_into`].
     pub fn step_backward(
         &mut self,
         cache: &StepCache,
@@ -170,34 +238,69 @@ impl Lstm {
         dh_next: &[f32],
         dc_next: &[f32],
     ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-        let h = self.hidden_size;
-        debug_assert!(self.gwx.is_some(), "call zero_grad before backward");
-        let mut dh_total = dh.to_vec();
-        add_assign(&mut dh_total, dh_next);
+        let mut ws = LstmWorkspace::for_layer(self);
+        let mut dx = vec![0.0f32; self.input_size];
+        let mut dh_prev = vec![0.0f32; self.hidden_size];
+        let mut dc_prev = vec![0.0f32; self.hidden_size];
+        self.step_backward_into(
+            cache,
+            dh,
+            dh_next,
+            dc_next,
+            &mut ws,
+            &mut dx,
+            &mut dh_prev,
+            &mut dc_prev,
+        );
+        (dx, dh_prev, dc_prev)
+    }
 
-        let mut dz = vec![0.0f32; 4 * h];
-        let mut dc_prev = vec![0.0f32; h];
+    /// One backward step, writing `(dx, dh_prev, dc_prev)` into
+    /// caller-owned buffers and accumulating weight gradients;
+    /// allocation-free.
+    ///
+    /// * `dh` — gradient flowing into `h_t` (from the loss at `t` and from
+    ///   the upper layer).
+    /// * `dh_next`, `dc_next` — gradients from timestep `t+1` of this layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_backward_into(
+        &mut self,
+        cache: &StepCache,
+        dh: &[f32],
+        dh_next: &[f32],
+        dc_next: &[f32],
+        ws: &mut LstmWorkspace,
+        dx: &mut [f32],
+        dh_prev: &mut [f32],
+        dc_prev: &mut [f32],
+    ) {
+        let h = self.hidden_size;
+        debug_assert_eq!(self.gwx.len(), self.wx.len(), "call zero_grad before backward");
+        debug_assert_eq!(dx.len(), self.input_size);
+        debug_assert_eq!(dh_prev.len(), h);
+        debug_assert_eq!(dc_prev.len(), h);
+
+        reset(&mut ws.dz, 4 * h);
         for k in 0..h {
-            let do_ = dh_total[k] * cache.tanh_c[k];
-            let dc =
-                dh_total[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc_next[k];
+            let dht = dh[k] + dh_next[k];
+            let do_ = dht * cache.tanh_c[k];
+            let dc = dht * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc_next[k];
             let di = dc * cache.g[k];
             let df = dc * cache.c_prev[k];
             let dg = dc * cache.i[k];
-            dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
-            dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
-            dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
-            dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+            ws.dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            ws.dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            ws.dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            ws.dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
             dc_prev[k] = dc * cache.f[k];
         }
 
-        self.gwx.as_mut().expect("zero_grad called").add_outer(&dz, &cache.x, 1.0);
-        self.gwh.as_mut().expect("zero_grad called").add_outer(&dz, &cache.h_prev, 1.0);
-        add_assign(&mut self.gb, &dz);
+        self.gwx.add_outer(&ws.dz, &cache.x, 1.0);
+        self.gwh.add_outer(&ws.dz, &cache.h_prev, 1.0);
+        add_assign(&mut self.gb, &ws.dz);
 
-        let dx = self.wx.matvec_t(&dz);
-        let dh_prev = self.wh.matvec_t(&dz);
-        (dx, dh_prev, dc_prev)
+        self.wx.matvec_t_into(&ws.dz, dx);
+        self.wh.matvec_t_into(&ws.dz, dh_prev);
     }
 }
 
@@ -209,6 +312,24 @@ pub struct LstmStack {
 
 /// Per-timestep caches for the whole stack.
 pub type StackCache = Vec<StepCache>;
+
+/// Reusable scratch for stack forward/backward: one [`LstmWorkspace`] per
+/// layer plus the inter-layer gradient rotation buffers. Owned by the
+/// training loop and reused across every timestep and chunk.
+#[derive(Debug, Clone)]
+pub struct StackWorkspace {
+    layers: Vec<LstmWorkspace>,
+    /// Gradient flowing into the current layer's `h` (top-down rotation).
+    dh_in: Vec<f32>,
+    /// Gradient w.r.t. the current layer's input (becomes `dh_in` below).
+    dx_out: Vec<f32>,
+    /// Per-layer recurrent gradients carried from `t+1` to `t`.
+    dh_next: Vec<Vec<f32>>,
+    dc_next: Vec<Vec<f32>>,
+    /// Swap targets for the recurrent gradients.
+    dh_prev: Vec<f32>,
+    dc_prev: Vec<f32>,
+}
 
 impl LstmStack {
     /// A stack with the given input width and hidden widths.
@@ -248,20 +369,63 @@ impl LstmStack {
         self.layers.iter().map(|l| LstmState::zeros(l.hidden_size())).collect()
     }
 
-    /// One forward step through all layers. Returns the top hidden vector,
-    /// the new states, and the caches.
-    pub fn step(&self, x: &[f32], states: &[LstmState]) -> (Vec<f32>, Vec<LstmState>, StackCache) {
-        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
-        let mut input = x.to_vec();
-        let mut new_states = Vec::with_capacity(self.layers.len());
-        let mut caches = Vec::with_capacity(self.layers.len());
-        for (layer, state) in self.layers.iter().zip(states) {
-            let (ns, cache) = layer.step(&input, state);
-            input = ns.h.clone();
-            new_states.push(ns);
-            caches.push(cache);
+    /// A workspace sized for this stack.
+    pub fn workspace(&self) -> StackWorkspace {
+        let max_w =
+            self.layers.iter().flat_map(|l| [l.input_size(), l.hidden_size()]).max().unwrap_or(0);
+        StackWorkspace {
+            layers: self.layers.iter().map(LstmWorkspace::for_layer).collect(),
+            dh_in: vec![0.0; max_w],
+            dx_out: vec![0.0; max_w],
+            dh_next: self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect(),
+            dc_next: self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect(),
+            dh_prev: vec![0.0; max_w],
+            dc_prev: vec![0.0; max_w],
         }
-        (input, new_states, caches)
+    }
+
+    /// A per-timestep cache pre-sized for this stack.
+    pub fn new_cache(&self) -> StackCache {
+        self.layers.iter().map(StepCache::for_layer).collect()
+    }
+
+    /// One forward step through all layers — allocating shim over
+    /// [`LstmStack::step_into`]. Returns the top hidden vector, the new
+    /// states, and the caches.
+    pub fn step(&self, x: &[f32], states: &[LstmState]) -> (Vec<f32>, Vec<LstmState>, StackCache) {
+        let mut new_states = states.to_vec();
+        let mut ws = self.workspace();
+        let mut caches = self.new_cache();
+        self.step_into(x, &mut new_states, &mut ws, &mut caches);
+        let top = new_states.last().expect("nonempty").h.clone();
+        (top, new_states, caches)
+    }
+
+    /// One forward step through all layers, updating `states` in place and
+    /// refilling `caches[l]` per layer; allocation-free. The top hidden
+    /// vector is `states.last().h` afterwards.
+    pub fn step_into(
+        &self,
+        x: &[f32],
+        states: &mut [LstmState],
+        ws: &mut StackWorkspace,
+        caches: &mut [StepCache],
+    ) {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        assert_eq!(caches.len(), self.layers.len(), "cache count mismatch");
+        for l in 0..self.layers.len() {
+            if l == 0 {
+                self.layers[0].step_into(x, &mut states[0], &mut ws.layers[0], &mut caches[0]);
+            } else {
+                let (below, rest) = states.split_at_mut(l);
+                self.layers[l].step_into(
+                    &below[l - 1].h,
+                    &mut rest[0],
+                    &mut ws.layers[l],
+                    &mut caches[l],
+                );
+            }
+        }
     }
 
     /// Zero all gradient buffers.
@@ -271,35 +435,56 @@ impl LstmStack {
         }
     }
 
-    /// Backward through a whole (sub)sequence.
+    /// Backward through a whole (sub)sequence — allocating shim over
+    /// [`LstmStack::backward_into`].
+    pub fn backward(&mut self, caches: &[StackCache], dh_top: &[Vec<f32>]) {
+        let mut ws = self.workspace();
+        self.backward_into(caches, dh_top, &mut ws);
+    }
+
+    /// Backward through a whole (sub)sequence using caller-owned scratch;
+    /// allocation-free.
     ///
     /// * `caches[t]` — the stack cache of timestep `t`.
     /// * `dh_top[t]` — loss gradient w.r.t. the top hidden state at `t`.
     ///
     /// Accumulates weight gradients; gradient flow is truncated at the
     /// start of the subsequence (TBPTT).
-    pub fn backward(&mut self, caches: &[StackCache], dh_top: &[Vec<f32>]) {
+    pub fn backward_into(
+        &mut self,
+        caches: &[StackCache],
+        dh_top: &[Vec<f32>],
+        ws: &mut StackWorkspace,
+    ) {
         assert_eq!(caches.len(), dh_top.len(), "cache/grad length mismatch");
         let n_layers = self.layers.len();
-        let mut dh_next: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect();
-        let mut dc_next: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0; l.hidden_size()]).collect();
+        for (l, layer) in self.layers.iter().enumerate() {
+            reset(&mut ws.dh_next[l], layer.hidden_size());
+            reset(&mut ws.dc_next[l], layer.hidden_size());
+        }
 
         for t in (0..caches.len()).rev() {
             // Top layer receives the loss gradient; lower layers receive
             // dx from the layer above.
-            let mut dh_from_above = dh_top[t].clone();
+            copy_into(&mut ws.dh_in, &dh_top[t]);
             for l in (0..n_layers).rev() {
-                let (dx, dh_prev, dc_prev) = self.layers[l].step_backward(
+                let (in_w, h_w) = (self.layers[l].input_size(), self.layers[l].hidden_size());
+                ws.dx_out.resize(in_w, 0.0);
+                ws.dh_prev.resize(h_w, 0.0);
+                ws.dc_prev.resize(h_w, 0.0);
+                self.layers[l].step_backward_into(
                     &caches[t][l],
-                    &dh_from_above,
-                    &dh_next[l],
-                    &dc_next[l],
+                    &ws.dh_in,
+                    &ws.dh_next[l],
+                    &ws.dc_next[l],
+                    &mut ws.layers[l],
+                    &mut ws.dx_out,
+                    &mut ws.dh_prev,
+                    &mut ws.dc_prev,
                 );
-                dh_next[l] = dh_prev;
-                dc_next[l] = dc_prev;
-                dh_from_above = dx;
+                mem::swap(&mut ws.dh_next[l], &mut ws.dh_prev);
+                mem::swap(&mut ws.dc_next[l], &mut ws.dc_prev);
+                mem::swap(&mut ws.dh_in, &mut ws.dx_out);
             }
         }
     }
@@ -324,6 +509,25 @@ mod tests {
         // State evolves.
         let (s2, _) = l.step(&x, &s1);
         assert_ne!(s1, s2);
+    }
+
+    /// The workspace path and the allocating shim share kernels, so a
+    /// reused cache/workspace must produce bit-identical trajectories.
+    #[test]
+    fn workspace_step_matches_shim_across_steps() {
+        let mut rng = seeded(11);
+        let l = Lstm::new(3, 5, &mut rng);
+        let mut ws = LstmWorkspace::for_layer(&l);
+        let mut cache = StepCache::for_layer(&l);
+        let mut state = LstmState::zeros(5);
+        let mut shim_state = LstmState::zeros(5);
+        for t in 0..7 {
+            let x = [0.1 * t as f32, -0.2, (t as f32).sin()];
+            l.step_into(&x, &mut state, &mut ws, &mut cache);
+            let (ns, _) = l.step(&x, &shim_state);
+            shim_state = ns;
+            assert_eq!(state, shim_state, "diverged at step {t}");
+        }
     }
 
     #[test]
@@ -398,8 +602,8 @@ mod tests {
         ];
         for (r, c, kind) in checks {
             let analytic = match kind {
-                'x' => f64::from(layer.gwx.as_ref().unwrap().get(r, c)),
-                'h' => f64::from(layer.gwh.as_ref().unwrap().get(r, c)),
+                'x' => f64::from(layer.gwx.get(r, c)),
+                'h' => f64::from(layer.gwh.get(r, c)),
                 _ => f64::from(layer.gb[r]),
             };
             let mut perturbed = layer.clone();
@@ -452,8 +656,8 @@ mod tests {
             states = ns;
         }
         stack.backward(&caches, &dhs);
-        let g0 = stack.layers()[0].gwx.as_ref().unwrap().sq_norm();
-        let g1 = stack.layers()[1].gwx.as_ref().unwrap().sq_norm();
+        let g0 = stack.layers()[0].gwx.sq_norm();
+        let g1 = stack.layers()[1].gwx.sq_norm();
         assert!(g0 > 0.0, "gradient must reach the bottom layer");
         assert!(g1 > 0.0);
     }

@@ -5,8 +5,49 @@
 //! activations are plain `Vec<f32>` and weights are row-major [`Mat`]s with
 //! exactly the three kernels backpropagation needs: `W·v`, `Wᵀ·u`, and the
 //! rank-1 accumulation `G += u ⊗ v`.
+//!
+//! Hot paths use the `*_into` out-param kernels, which write into
+//! caller-owned buffers and never allocate; the allocating [`Mat::matvec`]
+//! / [`Mat::matvec_t`] wrappers are thin shims over the same kernels, so
+//! both spellings are bit-identical.
+//!
+//! ## Canonical summation order
+//!
+//! Every row dot product runs through [`dot4`]: four fixed lanes over
+//! `chunks_exact(4)` combined as `(l0 + l1) + (l2 + l3)`, then the scalar
+//! remainder. This is the one summation order used everywhere — forward,
+//! backward, and the bench reference — so results are reproducible
+//! bit-for-bit across runs and `--jobs` settings.
 
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Dot product with the canonical 4-lane summation order.
+///
+/// Four independent accumulators over the `chunks_exact(4)` body (letting
+/// the compiler vectorize without reassociating), combined as
+/// `(l0 + l1) + (l2 + l3)`, followed by the in-order remainder. The order
+/// is fixed: every caller — and the naive reference in the perf bench —
+/// observes the same floating-point result for the same inputs.
+#[inline]
+pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        lanes[0] += x[0] * y[0];
+        lanes[1] += x[1] * y[1];
+        lanes[2] += x[2] * y[2];
+        lanes[3] += x[3] * y[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (x, y) in ra.iter().zip(rb) {
+        acc += x * y;
+    }
+    acc
+}
 
 /// A row-major dense matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -14,6 +55,14 @@ pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// The empty `0×0` matrix — exists so `#[serde(skip)]` gradient fields
+/// deserialize; `zero_grad` re-shapes it on first use after loading.
+impl Default for Mat {
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
+    }
 }
 
 impl Mat {
@@ -47,7 +96,8 @@ impl Mat {
         self.data.len()
     }
 
-    /// Whether the matrix has zero elements (never true by construction).
+    /// Whether the matrix has zero elements (only true for
+    /// [`Mat::default`], the deserialization placeholder).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -79,46 +129,89 @@ impl Mat {
         &mut self.data
     }
 
-    /// `y = W · v` (matrix–vector product).
+    /// `y = W · v` — allocating shim over [`Mat::matvec_into`].
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
-        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for (r, yr) in y.iter_mut().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0f32;
-            for (a, b) in row.iter().zip(v) {
-                acc += a * b;
-            }
-            *yr = acc;
-        }
+        self.matvec_into(v, &mut y);
         y
     }
 
-    /// `y = Wᵀ · u` (transpose–vector product).
+    /// `y = W · v`, written into a caller-owned buffer (no allocation).
+    pub fn matvec_into(&self, v: &[f32], y: &mut [f32]) {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
+        for (row, yr) in self.data.chunks_exact(self.cols).zip(y.iter_mut()) {
+            *yr = dot4(row, v);
+        }
+    }
+
+    /// `y += W · v` — fused accumulate variant of [`Mat::matvec_into`].
+    pub fn matvec_acc(&self, v: &[f32], y: &mut [f32]) {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
+        for (row, yr) in self.data.chunks_exact(self.cols).zip(y.iter_mut()) {
+            *yr += dot4(row, v);
+        }
+    }
+
+    /// `y[r - rows.start] = W[rows] · v` for a contiguous row block —
+    /// lets the GRU touch only the gate block it needs.
+    pub fn matvec_rows_into(&self, rows: Range<usize>, v: &[f32], y: &mut [f32]) {
+        assert!(rows.end <= self.rows, "row block out of range");
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), rows.len(), "matvec output length mismatch");
+        let block = &self.data[rows.start * self.cols..rows.end * self.cols];
+        for (row, yr) in block.chunks_exact(self.cols).zip(y.iter_mut()) {
+            *yr = dot4(row, v);
+        }
+    }
+
+    /// `y = Wᵀ · u` — allocating shim over [`Mat::matvec_t_into`].
     pub fn matvec_t(&self, u: &[f32]) -> Vec<f32> {
-        assert_eq!(u.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
-        for (r, &ur) in u.iter().enumerate() {
-            if ur == 0.0 {
-                continue;
-            }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        self.matvec_t_into(u, &mut y);
+        y
+    }
+
+    /// `y = Wᵀ · u`, written into a caller-owned buffer (no allocation).
+    ///
+    /// The inner axpy is branchless: gradients are almost never exactly
+    /// zero, so skipping on `ur == 0.0` only defeated vectorization.
+    pub fn matvec_t_into(&self, u: &[f32], y: &mut [f32]) {
+        assert_eq!(y.len(), self.cols, "matvec_t output length mismatch");
+        y.fill(0.0);
+        self.matvec_t_rows_acc(0..self.rows, u, y);
+    }
+
+    /// `y += W[rows]ᵀ · u` for a contiguous row block, accumulating into
+    /// `y` (`u` indexes the block, not the full matrix).
+    pub fn matvec_t_rows_acc(&self, rows: Range<usize>, u: &[f32], y: &mut [f32]) {
+        assert!(rows.end <= self.rows, "row block out of range");
+        assert_eq!(u.len(), rows.len(), "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output length mismatch");
+        let block = &self.data[rows.start * self.cols..rows.end * self.cols];
+        for (row, &ur) in block.chunks_exact(self.cols).zip(u) {
             for (yc, &w) in y.iter_mut().zip(row) {
                 *yc += ur * w;
             }
         }
-        y
     }
 
     /// `self += scale · (u ⊗ v)` — rank-1 update, the gradient kernel.
+    /// Branchless for the same reason as [`Mat::matvec_t_into`].
     pub fn add_outer(&mut self, u: &[f32], v: &[f32], scale: f32) {
         assert_eq!(u.len(), self.rows, "outer rows mismatch");
+        self.add_outer_rows(0..u.len(), u, v, scale);
+    }
+
+    /// `self[rows] += scale · (u ⊗ v)` for a contiguous row block
+    /// (`u` indexes the block, not the full matrix).
+    pub fn add_outer_rows(&mut self, rows: Range<usize>, u: &[f32], v: &[f32], scale: f32) {
+        assert!(rows.end <= self.rows, "row block out of range");
+        assert_eq!(u.len(), rows.len(), "outer rows mismatch");
         assert_eq!(v.len(), self.cols, "outer cols mismatch");
-        for (r, &ur) in u.iter().enumerate() {
-            if ur == 0.0 {
-                continue;
-            }
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        let block = &mut self.data[rows.start * self.cols..rows.end * self.cols];
+        for (row, &ur) in block.chunks_exact_mut(self.cols).zip(u) {
             let s = scale * ur;
             for (w, &vc) in row.iter_mut().zip(v) {
                 *w += s * vc;
@@ -174,6 +267,20 @@ pub mod vecops {
     pub fn sq_norm(v: &[f32]) -> f64 {
         v.iter().map(|x| f64::from(*x) * f64::from(*x)).sum()
     }
+
+    /// Clear and refill `dst` from `src`, reusing `dst`'s capacity.
+    #[inline]
+    pub fn copy_into(dst: &mut Vec<f32>, src: &[f32]) {
+        dst.clear();
+        dst.extend_from_slice(src);
+    }
+
+    /// Resize `dst` to `len` and zero it, reusing capacity.
+    #[inline]
+    pub fn reset(dst: &mut Vec<f32>, len: usize) {
+        dst.clear();
+        dst.resize(len, 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -193,12 +300,61 @@ mod tests {
     }
 
     #[test]
+    fn dot4_covers_remainder_lanes() {
+        // Lengths 1..=9 hit every chunks_exact(4) remainder size.
+        for n in 1..=9usize {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 + 1.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32 - 3.0).collect();
+            let expect: f64 = a.iter().zip(&b).map(|(x, y)| f64::from(*x) * f64::from(*y)).sum();
+            assert!((f64::from(dot4(&a, &b)) - expect).abs() < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_allocating() {
+        let w = Mat::from_vec(2, 5, (0..10).map(|i| i as f32 * 0.37 - 1.0).collect());
+        let v = [0.5, -1.5, 2.0, 0.25, -0.75];
+        let mut y = [0.0f32; 2];
+        w.matvec_into(&v, &mut y);
+        assert_eq!(y.to_vec(), w.matvec(&v));
+        let mut acc = y;
+        w.matvec_acc(&v, &mut acc);
+        assert_eq!(acc[0], y[0] + y[0]);
+    }
+
+    #[test]
+    fn row_block_kernels_match_full() {
+        let w = Mat::from_vec(4, 3, (0..12).map(|i| i as f32 - 5.5).collect());
+        let v = [1.0, -2.0, 0.5];
+        let full = w.matvec(&v);
+        let mut block = [0.0f32; 2];
+        w.matvec_rows_into(1..3, &v, &mut block);
+        assert_eq!(block.to_vec(), full[1..3].to_vec());
+
+        let u = [0.5f32, -1.0, 2.0, 0.25];
+        let t_full = w.matvec_t(&u);
+        let mut t_block = vec![0.0f32; 3];
+        w.matvec_t_rows_acc(0..2, &u[..2], &mut t_block);
+        w.matvec_t_rows_acc(2..4, &u[2..], &mut t_block);
+        for (a, b) in t_block.iter().zip(&t_full) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
     fn add_outer_accumulates() {
         let mut g = Mat::zeros(2, 2);
         g.add_outer(&[1.0, 2.0], &[3.0, 4.0], 1.0);
         assert_eq!(g.data(), &[3.0, 4.0, 6.0, 8.0]);
         g.add_outer(&[1.0, 0.0], &[1.0, 1.0], 0.5);
         assert_eq!(g.data(), &[3.5, 4.5, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn add_outer_rows_touches_only_the_block() {
+        let mut g = Mat::zeros(3, 2);
+        g.add_outer_rows(1..2, &[2.0], &[1.0, -1.0], 1.0);
+        assert_eq!(g.data(), &[0.0, 0.0, 2.0, -2.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -215,7 +371,7 @@ mod tests {
     fn sigmoid_and_softplus_reference_values() {
         assert!((vecops::sigmoid(0.0) - 0.5).abs() < 1e-7);
         assert!(vecops::sigmoid(20.0) > 0.999);
-        assert!((vecops::softplus(0.0) - 0.693_147).abs() < 1e-5);
+        assert!((vecops::softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-5);
         assert!((vecops::softplus(30.0) - 30.0).abs() < 1e-5);
         assert!(vecops::softplus(-30.0) > 0.0);
     }

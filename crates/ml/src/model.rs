@@ -12,9 +12,10 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::heads::{BernoulliHead, GaussianHead};
+use crate::heads::{BernoulliHead, GaussianHead, GaussianOut};
 use crate::init::seeded;
-use crate::lstm::{LstmStack, LstmState};
+use crate::lstm::{LstmStack, LstmState, StackCache, StackWorkspace};
+use crate::matrix::vecops::{copy_into, reset};
 use crate::optim::{clip_global_norm, Adam, AdamConfig};
 
 /// Model architecture.
@@ -118,6 +119,48 @@ pub struct SequenceModel {
     loss_head: Option<BernoulliHead>,
 }
 
+/// All buffers the TBPTT training loop reuses across chunks: a ring of
+/// per-timestep stack caches (so `StepCache` never clones `x`/`h_prev`/
+/// `c_prev` into fresh allocations), the stack workspace, and the head
+/// scratch. Built once per [`SequenceModel::train`] call; after the first
+/// chunk warms the buffers, training steps are allocation-free.
+struct TrainScratch {
+    ws: StackWorkspace,
+    /// Cache ring, one [`StackCache`] per timestep of a TBPTT chunk.
+    caches: Vec<StackCache>,
+    /// Top hidden vector per timestep (ring, refilled in place).
+    tops: Vec<Vec<f32>>,
+    /// Loss gradient w.r.t. the top hidden state per timestep (ring).
+    dh_top: Vec<Vec<f32>>,
+    /// Delay-head outputs per timestep (`GaussianOut` is `Copy`, so
+    /// clear+push reuses the allocation).
+    douts: Vec<GaussianOut>,
+    /// Recurrent states, persisted across chunks within one sequence.
+    states: Vec<LstmState>,
+    /// Staging row for scheduled sampling.
+    x_row: Vec<f32>,
+    /// Head-backward output and scratch.
+    dh_head: Vec<f32>,
+    dh_tmp: Vec<f32>,
+}
+
+impl TrainScratch {
+    fn new(stack: &LstmStack, chunk: usize) -> Self {
+        let out = stack.output_size();
+        Self {
+            ws: stack.workspace(),
+            caches: (0..chunk).map(|_| stack.new_cache()).collect(),
+            tops: vec![vec![0.0; out]; chunk],
+            dh_top: vec![vec![0.0; out]; chunk],
+            douts: Vec::with_capacity(chunk),
+            states: stack.zero_state(),
+            x_row: Vec::new(),
+            dh_head: Vec::with_capacity(out),
+            dh_tmp: Vec::with_capacity(out),
+        }
+    }
+}
+
 impl SequenceModel {
     /// Build a model with Xavier-initialized weights.
     pub fn new(cfg: SequenceModelConfig) -> Self {
@@ -156,6 +199,10 @@ impl SequenceModel {
         let mut adam = Adam::new(AdamConfig { lr: tc.lr, ..Default::default() });
         let mut rng: StdRng = seeded(self.cfg.seed ^ 0x5EED_5A3B);
         let mut epoch_losses = Vec::with_capacity(tc.epochs);
+        // One scratch for the whole run: chunks never exceed
+        // min(tbptt, longest sequence) timesteps.
+        let max_len = data.iter().map(|e| e.inputs.len()).max().unwrap_or(1);
+        let mut scratch = TrainScratch::new(&self.stack, tc.tbptt.min(max_len).max(1));
 
         // Per-epoch training statistics land in the global metrics
         // registry, so the run manifest records how training behaved.
@@ -174,17 +221,18 @@ impl SequenceModel {
             let mut grad_norm_sum = 0.0f64;
             let mut chunks = 0usize;
             for ex in data {
-                let mut states = self.stack.zero_state();
+                for s in &mut scratch.states {
+                    s.reset();
+                }
                 let mut t0 = 0;
                 while t0 < ex.inputs.len() {
                     let t1 = (t0 + tc.tbptt).min(ex.inputs.len());
-                    let (loss, steps, grad_norm, new_states) =
-                        self.train_chunk(ex, t0, t1, states, tc, &mut adam, &mut rng);
+                    let (loss, steps, grad_norm) =
+                        self.train_chunk(ex, t0, t1, tc, &mut adam, &mut rng, &mut scratch);
                     total_loss += loss;
                     total_steps += steps;
                     grad_norm_sum += grad_norm;
                     chunks += 1;
-                    states = new_states;
                     t0 = t1;
                 }
             }
@@ -205,78 +253,87 @@ impl SequenceModel {
         epoch_losses
     }
 
-    /// Forward + backward + update over one TBPTT chunk.
+    /// Forward + backward + update over one TBPTT chunk. All per-step
+    /// buffers live in `scratch` (steady state: zero allocations).
     #[allow(clippy::too_many_arguments)]
     fn train_chunk(
         &mut self,
         ex: &SeqExample,
         t0: usize,
         t1: usize,
-        mut states: Vec<LstmState>,
         tc: &TrainConfig,
         adam: &mut Adam,
         rng: &mut StdRng,
-    ) -> (f64, usize, f64, Vec<LstmState>) {
+        scratch: &mut TrainScratch,
+    ) -> (f64, usize, f64) {
         self.stack.zero_grad();
         self.delay_head.zero_grad();
         if let Some(h) = &mut self.loss_head {
             h.zero_grad();
         }
 
-        let mut caches = Vec::with_capacity(t1 - t0);
-        let mut tops = Vec::with_capacity(t1 - t0);
-        let mut delay_outs = Vec::with_capacity(t1 - t0);
+        let n = t1 - t0;
+        scratch.douts.clear();
         let mut prev_mu: Option<f32> = None;
-        for t in t0..t1 {
+        for (k, t) in (t0..t1).enumerate() {
             // Scheduled sampling: sometimes feed the model its own
             // previous prediction where the previous delay would go.
-            let x = match (tc.feedback_idx, prev_mu) {
+            let feedback = match (tc.feedback_idx, prev_mu) {
                 (Some(idx), Some(mu)) if t > 0 && rng.random::<f32>() < tc.feedback_prob => {
-                    let mut row = ex.inputs[t].clone();
-                    row[idx] = mu;
-                    row
+                    Some((idx, mu))
                 }
-                _ => ex.inputs[t].clone(),
+                _ => None,
             };
-            let (top, ns, cache) = self.stack.step(&x, &states);
-            let out = self.delay_head.forward(&top);
+            copy_into(&mut scratch.x_row, &ex.inputs[t]);
+            if let Some((idx, mu)) = feedback {
+                scratch.x_row[idx] = mu;
+            }
+            self.stack.step_into(
+                &scratch.x_row,
+                &mut scratch.states,
+                &mut scratch.ws,
+                &mut scratch.caches[k],
+            );
+            let top = &scratch.states.last().expect("nonempty").h;
+            copy_into(&mut scratch.tops[k], top);
+            let out = self.delay_head.forward(top);
             prev_mu = Some(out.mu);
-            caches.push(cache);
-            tops.push(top);
-            delay_outs.push(out);
-            states = ns;
+            scratch.douts.push(out);
         }
 
         // Head losses and gradients w.r.t. the top hidden state.
         let mut chunk_loss = 0.0f64;
-        let mut dh_top = Vec::with_capacity(t1 - t0);
         for (k, t) in (t0..t1).enumerate() {
-            let h = &tops[k];
             let lost = ex.loss_labels[t] > 0.5;
-            let mut dh = vec![0.0f32; h.len()];
+            reset(&mut scratch.dh_top[k], scratch.tops[k].len());
             if !lost && tc.delay_weight > 0.0 {
                 // Delay NLL only where the delay was observed.
-                let out = &delay_outs[k];
-                chunk_loss += f64::from(tc.delay_weight * GaussianHead::nll(out, ex.targets[t]));
-                let d = self.delay_head.backward(h, out, ex.targets[t]);
-                for (a, b) in dh.iter_mut().zip(&d) {
+                let out = scratch.douts[k];
+                chunk_loss += f64::from(tc.delay_weight * GaussianHead::nll(&out, ex.targets[t]));
+                self.delay_head.backward_into(
+                    &scratch.tops[k],
+                    &out,
+                    ex.targets[t],
+                    &mut scratch.dh_head,
+                    &mut scratch.dh_tmp,
+                );
+                for (a, b) in scratch.dh_top[k].iter_mut().zip(&scratch.dh_head) {
                     *a += tc.delay_weight * b;
                 }
             }
             if let Some(head) = &mut self.loss_head {
-                let p = head.forward(h);
+                let p = head.forward(&scratch.tops[k]);
                 chunk_loss += f64::from(tc.loss_weight * BernoulliHead::bce(p, ex.loss_labels[t]));
-                let d = head.backward(h, p, ex.loss_labels[t]);
-                for (a, b) in dh.iter_mut().zip(&d) {
+                head.backward_into(&scratch.tops[k], p, ex.loss_labels[t], &mut scratch.dh_head);
+                for (a, b) in scratch.dh_top[k].iter_mut().zip(&scratch.dh_head) {
                     *a += tc.loss_weight * b;
                 }
             }
-            dh_top.push(dh);
         }
 
-        self.stack.backward(&caches, &dh_top);
-        let grad_norm = self.apply_grads(adam, tc.clip, (t1 - t0) as f32);
-        (chunk_loss, t1 - t0, grad_norm, states)
+        self.stack.backward_into(&scratch.caches[..n], &scratch.dh_top[..n], &mut scratch.ws);
+        let grad_norm = self.apply_grads(adam, tc.clip, n as f32);
+        (chunk_loss, n, grad_norm)
     }
 
     /// Clip gradients and apply one Adam step across all parameters;
@@ -285,21 +342,21 @@ impl SequenceModel {
         let inv = 1.0 / steps.max(1.0);
         // Normalize gradients by chunk length (mean loss).
         for layer in self.stack.layers_mut() {
-            layer.gwx.as_mut().expect("zero_grad").scale(inv);
-            layer.gwh.as_mut().expect("zero_grad").scale(inv);
+            layer.gwx.scale(inv);
+            layer.gwh.scale(inv);
             for g in &mut layer.gb {
                 *g *= inv;
             }
         }
         for d in self.delay_head.layers_mut() {
-            d.gw.as_mut().expect("zero_grad").scale(inv);
+            d.gw.scale(inv);
             for g in &mut d.gb {
                 *g *= inv;
             }
         }
         if let Some(h) = &mut self.loss_head {
             let d = h.layer_mut();
-            d.gw.as_mut().expect("zero_grad").scale(inv);
+            d.gw.scale(inv);
             for g in &mut d.gb {
                 *g *= inv;
             }
@@ -310,58 +367,45 @@ impl SequenceModel {
             let mut mats: Vec<&mut crate::matrix::Mat> = Vec::new();
             let mut vecs: Vec<&mut [f32]> = Vec::new();
             for layer in self.stack.layers_mut() {
-                mats.push(layer.gwx.as_mut().expect("zero_grad"));
-                mats.push(layer.gwh.as_mut().expect("zero_grad"));
+                mats.push(&mut layer.gwx);
+                mats.push(&mut layer.gwh);
                 vecs.push(&mut layer.gb);
             }
             for d in self.delay_head.layers_mut() {
-                mats.push(d.gw.as_mut().expect("zero_grad"));
+                mats.push(&mut d.gw);
                 vecs.push(&mut d.gb);
             }
             if let Some(h) = &mut self.loss_head {
                 let d = h.layer_mut();
-                mats.push(d.gw.as_mut().expect("zero_grad"));
+                mats.push(&mut d.gw);
                 vecs.push(&mut d.gb);
             }
             clip_global_norm(&mut mats, &mut vecs, clip)
         };
 
-        // Adam updates with stable keys.
+        // Adam updates with stable keys (weight and gradient are disjoint
+        // fields, so no buffer juggling is needed).
         adam.begin_step();
         let mut key = 0u64;
         for layer in self.stack.layers_mut() {
-            let g = layer.gwx.take().expect("zero_grad");
-            adam.update_mat(key, &mut layer.wx, &g);
-            layer.gwx = Some(g);
+            adam.update_mat(key, &mut layer.wx, &layer.gwx);
             key += 1;
-            let g = layer.gwh.take().expect("zero_grad");
-            adam.update_mat(key, &mut layer.wh, &g);
-            layer.gwh = Some(g);
+            adam.update_mat(key, &mut layer.wh, &layer.gwh);
             key += 1;
-            let gb = std::mem::take(&mut layer.gb);
-            adam.update_vec(key, &mut layer.b, &gb);
-            layer.gb = gb;
+            adam.update_vec(key, &mut layer.b, &layer.gb);
             key += 1;
         }
         for d in self.delay_head.layers_mut() {
-            let g = d.gw.take().expect("zero_grad");
-            adam.update_mat(key, &mut d.w, &g);
-            d.gw = Some(g);
+            adam.update_mat(key, &mut d.w, &d.gw);
             key += 1;
-            let gb = std::mem::take(&mut d.gb);
-            adam.update_vec(key, &mut d.b, &gb);
-            d.gb = gb;
+            adam.update_vec(key, &mut d.b, &d.gb);
             key += 1;
         }
         if let Some(h) = &mut self.loss_head {
             let d = h.layer_mut();
-            let g = d.gw.take().expect("zero_grad");
-            adam.update_mat(key, &mut d.w, &g);
-            d.gw = Some(g);
+            adam.update_mat(key, &mut d.w, &d.gw);
             key += 1;
-            let gb = std::mem::take(&mut d.gb);
-            adam.update_vec(key, &mut d.b, &gb);
-            d.gb = gb;
+            adam.update_vec(key, &mut d.b, &d.gb);
         }
         grad_norm
     }
@@ -370,11 +414,12 @@ impl SequenceModel {
     /// given, including any previous-delay feature.
     pub fn predict_open_loop(&self, inputs: &[Vec<f32>]) -> Vec<Prediction> {
         let mut states = self.stack.zero_state();
+        let mut ws = self.stack.workspace();
+        let mut cache = self.stack.new_cache();
         let mut out = Vec::with_capacity(inputs.len());
         for x in inputs {
-            let (top, ns, _) = self.stack.step(x, &states);
-            states = ns;
-            out.push(self.head_outputs(&top));
+            self.stack.step_into(x, &mut states, &mut ws, &mut cache);
+            out.push(self.head_outputs(&states.last().expect("nonempty").h));
         }
         out
     }
@@ -432,15 +477,17 @@ impl SequenceModel {
         assert!(clamp.0 <= clamp.1, "clamp range inverted");
         let mut rng = sample_seed.map(seeded);
         let mut states = self.stack.zero_state();
+        let mut ws = self.stack.workspace();
+        let mut cache = self.stack.new_cache();
+        let mut row: Vec<f32> = Vec::with_capacity(self.cfg.input_size);
         let mut out: Vec<Prediction> = Vec::with_capacity(inputs.len());
         for (t, x) in inputs.iter().enumerate() {
-            let mut row = x.clone();
+            copy_into(&mut row, x);
             if t > 0 {
                 row[feedback_idx] = out[t - 1].mu;
             }
-            let (top, ns, _) = self.stack.step(&row, &states);
-            states = ns;
-            let mut p = self.head_outputs(&top);
+            self.stack.step_into(&row, &mut states, &mut ws, &mut cache);
+            let mut p = self.head_outputs(&states.last().expect("nonempty").h);
             if let Some(r) = &mut rng {
                 // Box–Muller draw from the predicted distribution.
                 let u1: f32 = r.random::<f32>().max(1e-12);
@@ -456,10 +503,11 @@ impl SequenceModel {
 
     /// Streaming single-step inference (used by the speed benchmark):
     /// advances `states` in place and returns the prediction.
-    pub fn step_inference(&self, x: &[f32], states: &mut Vec<LstmState>) -> Prediction {
-        let (top, ns, _) = self.stack.step(x, states);
-        *states = ns;
-        self.head_outputs(&top)
+    pub fn step_inference(&self, x: &[f32], states: &mut [LstmState]) -> Prediction {
+        let mut ws = self.stack.workspace();
+        let mut cache = self.stack.new_cache();
+        self.stack.step_into(x, states, &mut ws, &mut cache);
+        self.head_outputs(&states.last().expect("nonempty").h)
     }
 
     /// Fresh zero recurrent state.

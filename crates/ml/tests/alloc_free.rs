@@ -1,0 +1,103 @@
+//! Steady-state allocation smoke test.
+//!
+//! Installs a counting `#[global_allocator]` and asserts that the
+//! workspace LSTM step/backward kernels perform **zero** heap allocations
+//! once warm — the core guarantee the `*_into` rework exists to provide.
+//!
+//! Deliberately a single `#[test]` function: the counter is process-global
+//! and a concurrently running test would pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ibox_ml::lstm::{Lstm, LstmState, LstmWorkspace, StepCache};
+
+/// Delegates to the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn lstm_steady_state_is_allocation_free() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut layer = Lstm::new(8, 32, &mut rng);
+
+    // Everything the hot loop touches, allocated up front.
+    let mut ws = LstmWorkspace::for_layer(&layer);
+    let mut cache = StepCache::for_layer(&layer);
+    let mut state = LstmState::zeros(layer.hidden_size());
+    let x = vec![0.25f32; layer.input_size()];
+    let dh = vec![0.5f32; layer.hidden_size()];
+    let dh_next = vec![0.0f32; layer.hidden_size()];
+    let dc_next = vec![0.0f32; layer.hidden_size()];
+    let mut dx = vec![0.0f32; layer.input_size()];
+    let mut dh_prev = vec![0.0f32; layer.hidden_size()];
+    let mut dc_prev = vec![0.0f32; layer.hidden_size()];
+
+    let steady_step = |layer: &mut Lstm,
+                       state: &mut LstmState,
+                       ws: &mut LstmWorkspace,
+                       cache: &mut StepCache,
+                       dx: &mut [f32],
+                       dh_prev: &mut [f32],
+                       dc_prev: &mut [f32]| {
+        layer.zero_grad();
+        layer.step_into(&x, state, ws, cache);
+        layer.step_backward_into(cache, &dh, &dh_next, &dc_next, ws, dx, dh_prev, dc_prev);
+    };
+
+    // Warm up once: lazily-grown buffers (if any) fill here.
+    steady_step(&mut layer, &mut state, &mut ws, &mut cache, &mut dx, &mut dh_prev, &mut dc_prev);
+
+    let before = allocation_count();
+    for _ in 0..100 {
+        steady_step(
+            &mut layer,
+            &mut state,
+            &mut ws,
+            &mut cache,
+            &mut dx,
+            &mut dh_prev,
+            &mut dc_prev,
+        );
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "expected zero heap allocations across 100 steady-state LSTM \
+         forward+backward steps, observed {delta}"
+    );
+
+    // The kernels actually ran: state and gradients moved off zero.
+    assert!(state.h.iter().any(|v| *v != 0.0), "hidden state never updated");
+    assert!(layer.gb.iter().any(|v| *v != 0.0), "gradients never accumulated");
+}

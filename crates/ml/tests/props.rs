@@ -138,3 +138,223 @@ proptest! {
         }
     }
 }
+
+/// Assert two f32 slices are bit-identical (not merely approximately
+/// equal): the allocating shims and the workspace kernels must share the
+/// exact same summation order.
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "{} length", what);
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{}[{}]: {} vs {}", what, k, x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The allocating `matvec`/`matvec_t` wrappers and the out-param
+    /// kernels produce bit-identical results over random shapes — the
+    /// wrappers must stay thin shims over the same fixed-accumulator
+    /// kernels.
+    #[test]
+    fn matvec_into_matches_allocating_bitwise(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let mut w = Mat::zeros(rows, cols);
+        for x in w.data_mut() {
+            *x = rng.random::<f32>() * 2.0 - 1.0;
+        }
+        let v: Vec<f32> = (0..cols).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+        let u: Vec<f32> = (0..rows).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+
+        let mut y = vec![f32::NAN; rows];
+        w.matvec_into(&v, &mut y);
+        assert_bits_eq(&w.matvec(&v), &y, "matvec")?;
+
+        let mut yt = vec![f32::NAN; cols];
+        w.matvec_t_into(&u, &mut yt);
+        assert_bits_eq(&w.matvec_t(&u), &yt, "matvec_t")?;
+    }
+
+    /// A multi-step LSTM forward+backward through the workspace kernels
+    /// (reused buffers, `step_into`/`step_backward_into`) is bit-identical
+    /// to the allocating per-step API (`step`/`step_backward`) — states,
+    /// input gradients, and accumulated weight gradients alike.
+    #[test]
+    fn lstm_workspace_matches_allocating_bitwise(
+        input_size in 1usize..6,
+        hidden_size in 1usize..10,
+        steps in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        use ibox_ml::lstm::{Lstm, LstmWorkspace, StepCache};
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let reference = Lstm::new(input_size, hidden_size, &mut rng);
+        let mut workspace_layer = reference.clone();
+        let mut alloc_layer = reference.clone();
+        let xs: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..input_size).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect())
+            .collect();
+        let dhs: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..hidden_size).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect())
+            .collect();
+
+        // Allocating path: fresh state + cache per step.
+        let mut alloc_states = vec![LstmState::zeros(hidden_size)];
+        let mut alloc_caches = Vec::new();
+        for x in &xs {
+            let (s, c) = alloc_layer.step(x, alloc_states.last().unwrap());
+            alloc_states.push(s);
+            alloc_caches.push(c);
+        }
+
+        // Workspace path: one state, a reused workspace, a cache ring.
+        let mut ws = LstmWorkspace::for_layer(&workspace_layer);
+        let mut caches: Vec<StepCache> =
+            (0..steps).map(|_| StepCache::for_layer(&workspace_layer)).collect();
+        let mut state = LstmState::zeros(hidden_size);
+        for (t, x) in xs.iter().enumerate() {
+            workspace_layer.step_into(x, &mut state, &mut ws, &mut caches[t]);
+            assert_bits_eq(&alloc_states[t + 1].h, &state.h, "h")?;
+            assert_bits_eq(&alloc_states[t + 1].c, &state.c, "c")?;
+        }
+
+        // Backward over the whole sequence, both paths.
+        alloc_layer.zero_grad();
+        workspace_layer.zero_grad();
+        let mut a_dh_next = vec![0.0f32; hidden_size];
+        let mut a_dc_next = vec![0.0f32; hidden_size];
+        let mut w_dh_next = vec![0.0f32; hidden_size];
+        let mut w_dc_next = vec![0.0f32; hidden_size];
+        let mut dx = vec![0.0f32; input_size];
+        let mut dh_prev = vec![0.0f32; hidden_size];
+        let mut dc_prev = vec![0.0f32; hidden_size];
+        for t in (0..steps).rev() {
+            let (a_dx, a_dh, a_dc) =
+                alloc_layer.step_backward(&alloc_caches[t], &dhs[t], &a_dh_next, &a_dc_next);
+            workspace_layer.step_backward_into(
+                &caches[t], &dhs[t], &w_dh_next, &w_dc_next,
+                &mut ws, &mut dx, &mut dh_prev, &mut dc_prev,
+            );
+            assert_bits_eq(&a_dx, &dx, "dx")?;
+            assert_bits_eq(&a_dh, &dh_prev, "dh_prev")?;
+            assert_bits_eq(&a_dc, &dc_prev, "dc_prev")?;
+            a_dh_next = a_dh;
+            a_dc_next = a_dc;
+            std::mem::swap(&mut w_dh_next, &mut dh_prev);
+            std::mem::swap(&mut w_dc_next, &mut dc_prev);
+        }
+        assert_bits_eq(alloc_layer.gwx.data(), workspace_layer.gwx.data(), "gwx")?;
+        assert_bits_eq(alloc_layer.gwh.data(), workspace_layer.gwh.data(), "gwh")?;
+        assert_bits_eq(&alloc_layer.gb, &workspace_layer.gb, "gb")?;
+    }
+
+    /// Same equivalence at the stack level: `step`/`backward` (allocating)
+    /// vs `step_into`/`backward_into` (workspace), gradients included.
+    #[test]
+    fn lstm_stack_workspace_matches_allocating_bitwise(
+        steps in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let reference = LstmStack::new(3, &[7, 5], &mut rng);
+        let mut alloc_stack = reference.clone();
+        let mut ws_stack = reference.clone();
+        let xs: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..3).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect())
+            .collect();
+        let dh_top: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..5).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect())
+            .collect();
+
+        let mut a_states = alloc_stack.zero_state();
+        let mut a_caches = Vec::new();
+        for x in &xs {
+            let (_, ns, c) = alloc_stack.step(x, &a_states);
+            a_states = ns;
+            a_caches.push(c);
+        }
+
+        let mut ws = ws_stack.workspace();
+        let mut w_states = ws_stack.zero_state();
+        let mut w_caches: Vec<_> = (0..steps).map(|_| ws_stack.new_cache()).collect();
+        for (t, x) in xs.iter().enumerate() {
+            ws_stack.step_into(x, &mut w_states, &mut ws, &mut w_caches[t]);
+        }
+        for (a, w) in a_states.iter().zip(&w_states) {
+            assert_bits_eq(&a.h, &w.h, "stack h")?;
+            assert_bits_eq(&a.c, &w.c, "stack c")?;
+        }
+
+        alloc_stack.zero_grad();
+        ws_stack.zero_grad();
+        alloc_stack.backward(&a_caches, &dh_top);
+        ws_stack.backward_into(&w_caches, &dh_top, &mut ws);
+        for (la, lw) in alloc_stack.layers().iter().zip(ws_stack.layers()) {
+            assert_bits_eq(la.gwx.data(), lw.gwx.data(), "stack gwx")?;
+            assert_bits_eq(la.gwh.data(), lw.gwh.data(), "stack gwh")?;
+            assert_bits_eq(&la.gb, &lw.gb, "stack gb")?;
+        }
+    }
+
+    /// GRU: workspace kernels match the allocating per-step API
+    /// bit-for-bit, forward and backward.
+    #[test]
+    fn gru_workspace_matches_allocating_bitwise(
+        input_size in 1usize..6,
+        hidden_size in 1usize..10,
+        steps in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        use ibox_ml::gru::{Gru, GruCache, GruWorkspace};
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let reference = Gru::new(input_size, hidden_size, &mut rng);
+        let mut alloc_layer = reference.clone();
+        let mut ws_layer = reference.clone();
+        let xs: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..input_size).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect())
+            .collect();
+        let dhs: Vec<Vec<f32>> = (0..steps)
+            .map(|_| (0..hidden_size).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect())
+            .collect();
+
+        let mut a_hs = vec![vec![0.0f32; hidden_size]];
+        let mut a_caches = Vec::new();
+        for x in &xs {
+            let (h, c) = alloc_layer.step(x, a_hs.last().unwrap());
+            a_hs.push(h);
+            a_caches.push(c);
+        }
+
+        let mut ws = GruWorkspace::for_layer(&ws_layer);
+        let mut caches: Vec<GruCache> =
+            (0..steps).map(|_| GruCache::for_layer(&ws_layer)).collect();
+        let mut h = vec![0.0f32; hidden_size];
+        for (t, x) in xs.iter().enumerate() {
+            ws_layer.step_into(x, &mut h, &mut ws, &mut caches[t]);
+            assert_bits_eq(&a_hs[t + 1], &h, "gru h")?;
+        }
+
+        alloc_layer.zero_grad();
+        ws_layer.zero_grad();
+        let mut dx = vec![0.0f32; input_size];
+        let mut dh_prev = vec![0.0f32; hidden_size];
+        for t in (0..steps).rev() {
+            let (a_dx, a_dh) = alloc_layer.step_backward(&a_caches[t], &dhs[t]);
+            ws_layer.step_backward_into(&caches[t], &dhs[t], &mut ws, &mut dx, &mut dh_prev);
+            assert_bits_eq(&a_dx, &dx, "gru dx")?;
+            assert_bits_eq(&a_dh, &dh_prev, "gru dh_prev")?;
+        }
+        assert_bits_eq(alloc_layer.gwx.data(), ws_layer.gwx.data(), "gru gwx")?;
+        assert_bits_eq(alloc_layer.gwh.data(), ws_layer.gwh.data(), "gru gwh")?;
+        assert_bits_eq(&alloc_layer.gb, &ws_layer.gb, "gru gb")?;
+    }
+}

@@ -77,6 +77,33 @@ impl CrossTrafficCfg {
         CrossTrafficCfg::Cbr { rate_bps, pkt_size: CT_PACKET_SIZE, start, stop }
     }
 
+    /// Expected number of emissions up to `end` — a capacity hint so the
+    /// engine can size per-source logs before the run (never a bound on
+    /// how many packets are actually emitted).
+    pub fn expected_packets(&self, end: SimTime) -> usize {
+        /// Don't reserve more than this up front, however long the run.
+        const CAP: f64 = (1u32 << 20) as f64;
+        let window =
+            |start: &SimTime, stop: &SimTime| (*stop).min(end).saturating_sub(*start).as_secs_f64();
+        let n = match self {
+            CrossTrafficCfg::Cbr { rate_bps, pkt_size, start, stop } => {
+                rate_bps * window(start, stop) / (8.0 * f64::from(*pkt_size))
+            }
+            CrossTrafficCfg::OnOff { rate_bps, pkt_size, on, off, start, stop } => {
+                let duty = on.as_secs_f64() / (on.as_secs_f64() + off.as_secs_f64());
+                rate_bps * window(start, stop) * duty / (8.0 * f64::from(*pkt_size))
+            }
+            CrossTrafficCfg::Poisson { mean_rate_bps, pkt_size, start, stop } => {
+                mean_rate_bps * window(start, stop) / (8.0 * f64::from(*pkt_size))
+            }
+            CrossTrafficCfg::Replay { bins, pkt_size } => bins
+                .iter()
+                .map(|(_, bytes)| (bytes / f64::from(*pkt_size)).ceil().max(1.0))
+                .sum::<f64>(),
+        };
+        n.clamp(0.0, CAP) as usize
+    }
+
     /// Validate invariants; panics on configuration bugs.
     pub fn validate(&self) {
         match self {
@@ -196,6 +223,11 @@ impl CrossSource {
     /// Packets emitted so far.
     pub fn emitted_count(&self) -> u64 {
         self.emitted
+    }
+
+    /// The source's configuration.
+    pub fn cfg(&self) -> &CrossTrafficCfg {
+        &self.cfg
     }
 }
 

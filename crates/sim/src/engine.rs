@@ -11,6 +11,7 @@
 //! end), but the event loop drains in-flight packets and acks to
 //! completion, so every sent packet's fate is resolved in the trace.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -103,6 +104,16 @@ impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.tie).cmp(&(other.time, other.tie))
     }
+}
+
+thread_local! {
+    /// Recycled backing storage for the event heap: a finished simulation
+    /// stashes its (drained) heap's `Vec` here and the next [`Simulation`]
+    /// on the same thread adopts it, so batch sweeps that run thousands of
+    /// short simulations stop re-growing the heap from scratch each run.
+    /// Determinism is unaffected — the vector is always empty when stashed,
+    /// only its capacity survives.
+    static HEAP_POOL: RefCell<Vec<Reverse<QueuedEvent>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Per-flow fate recorder: index = sequence number.
@@ -207,7 +218,7 @@ impl Simulation {
             queue,
             rate,
             link_busy: false,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::from(HEAP_POOL.with(|p| std::mem::take(&mut *p.borrow_mut()))),
             tie: 0,
             now: SimTime::ZERO,
             rng_loss: rng::seeded(rng::derive_seed(seed, 3)),
@@ -266,8 +277,29 @@ impl Simulation {
         self.heap.push(Reverse(QueuedEvent { time, tie: self.tie, ev }));
     }
 
+    /// Size the growable per-run logs from the configuration so the hot
+    /// loop appends without reallocating: samples from the sampling period,
+    /// per-flow recorders from what the link can carry over each flow's
+    /// active window, cross logs from each source's expected emissions.
+    fn reserve_buffers(&mut self) {
+        if let Some(every) = self.sample_every {
+            let n = self.end.as_nanos() / every.as_nanos().max(1) + 2;
+            self.samples.reserve(n.min(1 << 20) as usize);
+        }
+        let mean_rate = self.path.rate.mean_rate_bps();
+        for (flow, rec) in self.flows.iter().zip(self.recorders.iter_mut()) {
+            let active = flow.cfg.stop.min(self.end).saturating_sub(flow.cfg.start).as_secs_f64();
+            let n = mean_rate * active / (8.0 * f64::from(flow.cfg.packet_size.max(1)));
+            rec.sends.reserve(n.clamp(0.0, (1u32 << 20) as f64) as usize);
+        }
+        for (src, log) in self.cross.iter().zip(self.cross_log.iter_mut()) {
+            log.reserve(src.cfg().expected_packets(self.end));
+        }
+    }
+
     /// Run to completion and return traces and statistics.
     pub fn run(mut self) -> SimOutput {
+        self.reserve_buffers();
         // Seed initial events.
         for i in 0..self.flows.len() {
             let start = self.flows[i].cfg.start;
@@ -497,7 +529,7 @@ impl Simulation {
 
     /// Record fates of packets an AQM discipline dropped at dequeue.
     fn collect_dequeue_drops(&mut self) {
-        for pkt in self.queue.take_dequeue_drops() {
+        while let Some(pkt) = self.queue.pop_dequeue_drop() {
             self.m_dropped_aqm += 1;
             self.record_fate(&pkt, PacketFate::Dropped(self.now));
         }
@@ -522,6 +554,10 @@ impl Simulation {
     }
 
     fn finish(self) -> SimOutput {
+        // Hand the (drained) heap's storage to the next run on this thread.
+        let mut stash = self.heap.into_vec();
+        stash.clear();
+        HEAP_POOL.with(|p| *p.borrow_mut() = stash);
         // Flush the single-threaded hot-path tallies into the registry.
         self.metrics.counter("sim.packets_sent").add(self.m_sent);
         self.metrics.counter("sim.packets_delivered").add(self.m_delivered);

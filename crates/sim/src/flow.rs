@@ -10,7 +10,7 @@
 //! congestion controller is signalled exactly as TCP would be, so window
 //! dynamics are faithful.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use crate::cc::{AckEvent, CongestionControl, CongestionSignal};
 use crate::config::FlowConfig;
@@ -30,6 +30,83 @@ struct SentInfo {
     size: u32,
     /// How many later-sent packets have been acked past this one.
     dup: u32,
+}
+
+/// Slot-addressed scoreboard for sequentially-sent packets.
+///
+/// Sends always carry the next sequence number, so entry `seq` lives at
+/// ring slot `seq - head` of a `VecDeque` that is reused for the whole
+/// flow lifetime — unlike the `BTreeMap` it replaces, which paid one node
+/// allocation per packet on the per-packet hot path. Acked/lost entries
+/// become `None`; fully-acked prefixes are popped so `head` tracks the
+/// oldest outstanding packet.
+#[derive(Debug, Default)]
+struct Scoreboard {
+    /// Sequence number of `slots[0]`.
+    head: u64,
+    slots: VecDeque<Option<SentInfo>>,
+    /// Number of `Some` slots.
+    live: usize,
+}
+
+impl Scoreboard {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Insert the next sequential send.
+    fn insert_next(&mut self, seq: u64, info: SentInfo) {
+        if self.slots.is_empty() {
+            self.head = seq;
+        }
+        debug_assert_eq!(seq, self.head + self.slots.len() as u64, "sends must be sequential");
+        self.slots.push_back(Some(info));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<SentInfo> {
+        let idx = usize::try_from(seq.checked_sub(self.head)?).ok()?;
+        let info = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        // Pop the fully-acked prefix so `head` stays at the oldest
+        // outstanding packet (keeps the ring short and `oldest` O(1)).
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.head += 1;
+        }
+        Some(info)
+    }
+
+    /// Live entries with sequence `< before`, ascending.
+    fn iter_below_mut(&mut self, before: u64) -> impl Iterator<Item = (u64, &mut SentInfo)> {
+        let head = self.head;
+        let n = usize::try_from(before.saturating_sub(head).min(self.slots.len() as u64))
+            .unwrap_or(usize::MAX);
+        self.slots
+            .iter_mut()
+            .take(n)
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_mut().map(|e| (head + i as u64, e)))
+    }
+
+    /// The oldest outstanding entry (send times are monotone in sequence,
+    /// so this is also the earliest `sent_at`). O(1): the front slot is
+    /// always live when the board is non-empty.
+    fn oldest(&self) -> Option<&SentInfo> {
+        self.slots.front().and_then(Option::as_ref)
+    }
+
+    /// Live sequence numbers, ascending.
+    fn live_seqs(&self) -> impl Iterator<Item = u64> + '_ {
+        let head = self.head;
+        self.slots.iter().enumerate().filter_map(move |(i, s)| s.as_ref().map(|_| head + i as u64))
+    }
+
+    /// Drop every entry (keeps the ring's capacity for reuse).
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
 }
 
 /// What the flow wants to do next.
@@ -58,7 +135,7 @@ pub struct FlowState {
     pub cfg: FlowConfig,
     cc: Box<dyn CongestionControl>,
     next_seq: u64,
-    scoreboard: BTreeMap<u64, SentInfo>,
+    scoreboard: Scoreboard,
     // RTT estimation (RFC 6298).
     srtt: Option<SimTime>,
     rttvar: SimTime,
@@ -81,7 +158,7 @@ impl FlowState {
             cfg,
             cc,
             next_seq: 0,
-            scoreboard: BTreeMap::new(),
+            scoreboard: Scoreboard::default(),
             srtt: None,
             rttvar: SimTime::ZERO,
             rto: SimTime::from_secs(1),
@@ -154,7 +231,8 @@ impl FlowState {
         debug_assert!(self.is_active(), "send on inactive flow");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scoreboard.insert(seq, SentInfo { sent_at: now, size: self.cfg.packet_size, dup: 0 });
+        self.scoreboard
+            .insert_next(seq, SentInfo { sent_at: now, size: self.cfg.packet_size, dup: 0 });
         if let Some(rate) = self.cc.pacing_rate_bps() {
             let gap = tx_time(self.cfg.packet_size, rate);
             let base = self.next_pacing_time.max(now);
@@ -166,7 +244,7 @@ impl FlowState {
     /// Process an ack for `seq` arriving at `now`. Returns the packets
     /// newly declared lost and whether the CC was signalled.
     pub fn on_ack(&mut self, now: SimTime, seq: u64) -> AckOutcome {
-        let Some(info) = self.scoreboard.remove(&seq) else {
+        let Some(info) = self.scoreboard.remove(seq) else {
             // Ack for a packet already declared lost (spurious detection) —
             // ignore; real TCP would undo, we keep it simple and document.
             return AckOutcome { newly_lost: Vec::new(), signalled: false };
@@ -177,14 +255,14 @@ impl FlowState {
         // Duplicate accounting: every packet older than the acked one has
         // been "passed".
         let mut newly_lost = Vec::new();
-        for (&s, e) in self.scoreboard.range_mut(..seq) {
+        for (s, e) in self.scoreboard.iter_below_mut(seq) {
             e.dup += 1;
             if e.dup >= DUP_THRESH {
                 newly_lost.push(s);
             }
         }
         for s in &newly_lost {
-            self.scoreboard.remove(s);
+            self.scoreboard.remove(*s);
         }
 
         let mut signalled = false;
@@ -225,7 +303,7 @@ impl FlowState {
 
     /// Deadline at which an RTO would fire: oldest outstanding send + RTO.
     pub fn rto_deadline(&self) -> Option<SimTime> {
-        self.scoreboard.values().map(|e| e.sent_at).min().map(|oldest| oldest + self.rto)
+        self.scoreboard.oldest().map(|e| e.sent_at + self.rto)
     }
 
     /// Fire the retransmission timer at `now`. If the oldest outstanding
@@ -239,7 +317,7 @@ impl FlowState {
         if deadline > now {
             return None;
         }
-        let flushed: Vec<u64> = self.scoreboard.keys().copied().collect();
+        let flushed: Vec<u64> = self.scoreboard.live_seqs().collect();
         self.scoreboard.clear();
         self.cc.on_congestion(now, CongestionSignal::Timeout);
         self.recovery_exit = Some(self.next_seq.saturating_sub(1));
@@ -365,6 +443,36 @@ mod tests {
         let o = f.on_ack(SimTime::from_secs(2), 0);
         assert!(o.newly_lost.is_empty());
         assert!(!o.signalled);
+    }
+
+    #[test]
+    fn scoreboard_ring_tracks_head_and_reuses_slots() {
+        let info = |t: u64| SentInfo { sent_at: SimTime(t), size: 1, dup: 0 };
+        let mut sb = Scoreboard::default();
+        for seq in 0..4 {
+            sb.insert_next(seq, info(seq));
+        }
+        assert_eq!(sb.len(), 4);
+        // Mid-ring removal leaves a hole; head stays put.
+        assert!(sb.remove(2).is_some());
+        assert_eq!(sb.len(), 3);
+        assert_eq!(sb.oldest().unwrap().sent_at, SimTime(0));
+        assert_eq!(sb.live_seqs().collect::<Vec<_>>(), vec![0, 1, 3]);
+        // Removing the front pops the acked prefix (including the hole).
+        assert!(sb.remove(0).is_some());
+        assert!(sb.remove(1).is_some());
+        assert_eq!(sb.oldest().unwrap().sent_at, SimTime(3));
+        assert_eq!(sb.live_seqs().collect::<Vec<_>>(), vec![3]);
+        // Double-remove and unknown seqs are rejected.
+        assert!(sb.remove(1).is_none());
+        assert!(sb.remove(99).is_none());
+        // Draining re-anchors head at the next insert.
+        assert!(sb.remove(3).is_some());
+        assert_eq!(sb.len(), 0);
+        sb.insert_next(4, info(4));
+        assert_eq!(sb.live_seqs().collect::<Vec<_>>(), vec![4]);
+        assert_eq!(sb.iter_below_mut(4).count(), 0);
+        assert_eq!(sb.iter_below_mut(5).count(), 1);
     }
 
     #[test]

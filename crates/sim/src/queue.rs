@@ -75,8 +75,9 @@ pub struct BottleneckQueue {
     /// CoDel controller (present only under `SchedulerKind::Codel`).
     codel: Option<Codel>,
     /// Packets CoDel dropped at dequeue since the last collection — the
-    /// engine records their fates.
-    dequeue_drops: Vec<Packet>,
+    /// engine pops and records their fates, so the buffer's capacity is
+    /// reused for the whole run.
+    dequeue_drops: VecDeque<Packet>,
     /// PF state: per-stream queues, keyed by insertion order of first use.
     pf_queues: Vec<(StreamId, VecDeque<Packet>)>,
     /// PF: EWMA of served throughput per stream (parallel to `pf_queues`).
@@ -100,13 +101,18 @@ impl BottleneckQueue {
             SchedulerKind::Codel { target, interval } => Some(Codel::new(target, interval)),
             _ => None,
         };
+        // Size the FIFO for a buffer full of default-sized packets so
+        // steady-state enqueues never reallocate (smaller packets can still
+        // grow it past this hint).
+        let fifo_hint = (buffer_bytes / u64::from(crate::config::DEFAULT_PACKET_SIZE) + 1)
+            .min(1 << 16) as usize;
         Self {
             kind,
             buffer_bytes,
             occupied_bytes: 0,
-            fifo: VecDeque::new(),
+            fifo: VecDeque::with_capacity(fifo_hint),
             codel,
-            dequeue_drops: Vec::new(),
+            dequeue_drops: VecDeque::new(),
             pf_queues: Vec::new(),
             pf_avg_tput: Vec::new(),
             pf_quality: Vec::new(),
@@ -140,7 +146,7 @@ impl BottleneckQueue {
     /// Pick the next packet to serve at time `now`, removing it from its
     /// queue. Returns `None` when the buffer is empty. Under CoDel,
     /// head-dropped packets are collected for
-    /// [`BottleneckQueue::take_dequeue_drops`].
+    /// [`BottleneckQueue::pop_dequeue_drop`].
     pub fn dequeue(&mut self, now: SimTime) -> Option<ServiceGrant> {
         match self.kind {
             SchedulerKind::Fifo => self.fifo.pop_front().map(|(packet, _)| {
@@ -164,17 +170,19 @@ impl BottleneckQueue {
                 }
                 CodelVerdict::Drop => {
                     self.drops += 1;
-                    self.dequeue_drops.push(packet);
+                    self.dequeue_drops.push_back(packet);
                 }
             }
         }
         None
     }
 
-    /// Packets CoDel dropped at dequeue since the last call (empty for the
-    /// other disciplines). The caller records their fates.
-    pub fn take_dequeue_drops(&mut self) -> Vec<Packet> {
-        std::mem::take(&mut self.dequeue_drops)
+    /// Pop one packet CoDel dropped at dequeue since the last collection
+    /// (always `None` for the other disciplines). The caller records their
+    /// fates; popping instead of swapping out the whole buffer keeps its
+    /// allocation alive across the run.
+    pub fn pop_dequeue_drop(&mut self) -> Option<Packet> {
+        self.dequeue_drops.pop_front()
     }
 
     fn pf_stream_index(&mut self, stream: StreamId) -> usize {

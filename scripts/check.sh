@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Local gate: everything CI would run, offline.
-#   scripts/check.sh [--quick]
+#   scripts/check.sh [--quick] [--perf]
 #
 # --quick additionally smoke-tests the batch runner end to end: a 4-spec
 # batch file executed through the release `ibox batch --jobs 2`.
+# --perf additionally runs the release `perf` binary in quick mode and
+# fails on a >20% throughput regression vs the committed BENCH_perf.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,16 @@ gate 'const FLAGS' crates/cli \
     "ad-hoc FLAGS table reintroduced in the CLI — declare options in the OptSpec tables (crates/cli/src/commands.rs)"
 gate '[^_a-z](ensemble_test|instance_test|realism_test|generate_paired_datasets|generate_dataset)\(' crates/bench \
     "serial entry point in a bench binary — use the _jobs variant routed through ibox-runner"
+# The recurrent hot loops must stay on the out-param workspace kernels:
+# the allocating matvec/matvec_t wrappers allocate a fresh Vec per call.
+gate '\.matvec\(' crates/ml/src/lstm.rs \
+    "allocating .matvec( in the LSTM hot path — use matvec_into/matvec_acc with a workspace buffer"
+gate '\.matvec_t\(' crates/ml/src/lstm.rs \
+    "allocating .matvec_t( in the LSTM hot path — use matvec_t_into with a workspace buffer"
+gate '\.matvec\(' crates/ml/src/gru.rs \
+    "allocating .matvec( in the GRU hot path — use matvec_into/matvec_acc with a workspace buffer"
+gate '\.matvec_t\(' crates/ml/src/gru.rs \
+    "allocating .matvec_t( in the GRU hot path — use matvec_t_into with a workspace buffer"
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
@@ -50,6 +62,19 @@ EOF
     run ./target/release/ibox batch "$tmp/batch.json" --jobs 2 -o "$tmp/results.json"
     test -s "$tmp/results.json" || { echo "FAIL: batch smoke wrote no results" >&2; exit 1; }
     echo "batch smoke passed"
+fi
+
+if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
+    echo "==> perf smoke: quick benchmarks vs committed BENCH_perf.json"
+    # Run from a scratch dir: the binary writes a fresh BENCH_perf.json to
+    # its cwd, and the committed baseline must stay untouched.
+    repo="$PWD"
+    perf_tmp="$(mktemp -d)"
+    # ${tmp:+...}: also clean the --quick scratch dir if that block ran
+    # (a second trap would otherwise replace its cleanup).
+    trap 'rm -rf ${tmp:+"$tmp"} "$perf_tmp"' EXIT
+    (cd "$perf_tmp" && run "$repo/target/release/perf" --quick --baseline "$repo/BENCH_perf.json")
+    echo "perf smoke passed"
 fi
 
 echo "all checks passed"

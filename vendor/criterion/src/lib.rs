@@ -43,7 +43,19 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark and print its per-iteration timing.
-    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut routine: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_function_timed(id, routine);
+        self
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], but also returns the
+    /// measured [`Stats`] so callers (e.g. the `perf` binary) can assert on
+    /// throughput or persist the numbers. `None` if the routine never
+    /// called `b.iter`.
+    pub fn bench_function_timed<F>(&mut self, id: impl AsRef<str>, mut routine: F) -> Option<Stats>
     where
         F: FnMut(&mut Bencher),
     {
@@ -61,21 +73,38 @@ impl BenchmarkGroup<'_> {
             ),
             None => println!("{label:<50} (no measurement: b.iter was never called)"),
         }
-        self
+        bencher.report
     }
 
     /// End the group (kept for API parity; reporting is per-benchmark).
     pub fn finish(self) {}
 }
 
+/// Per-iteration timing statistics of one measured benchmark.
 #[derive(Debug, Clone, Copy)]
-struct Report {
-    min_ns: f64,
-    mean_ns: f64,
-    max_ns: f64,
-    iters_per_sample: u64,
-    samples: usize,
+pub struct Stats {
+    /// Fastest sample's mean nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Slowest sample's mean nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per timed sample (from the calibration pass).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
 }
+
+impl Stats {
+    /// Mean throughput in iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        1e9 / self.mean_ns.max(1e-9)
+    }
+}
+
+/// Kept as an alias of the public stats type: `Bencher` records one of
+/// these per `iter` call.
+type Report = Stats;
 
 /// Timing harness handed to each benchmark closure.
 pub struct Bencher {
