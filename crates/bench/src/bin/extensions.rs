@@ -13,9 +13,9 @@
 //! Run: `cargo run -p ibox-bench --release --bin extensions [--quick]`
 
 use ibox::adaptive::AdaptiveCross;
-use ibox::realism::realism_test_jobs;
+use ibox::realism::{realism_of_model_jobs, realism_test_jobs};
 use ibox::validity::ValidityRegion;
-use ibox::IBoxNet;
+use ibox::{FitCache, IBoxNet, ModelKind};
 use ibox_bench::{cell, render_table, Scale};
 use ibox_cc::Cubic;
 use ibox_sim::{FixedRate, PathConfig, PathEmulator, SimTime};
@@ -70,9 +70,6 @@ fn main() {
             .expect("one recorded flow")
             .normalized()
     });
-    let iboxnet_sims: Vec<FlowTrace> = ibox_runner::run_scoped(gt.len(), jobs, |i| {
-        IBoxNet::fit(&gt[i]).simulate("cubic", dur, 40 + i as u64)
-    });
     let crude: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| {
         PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
             .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i as u64)
@@ -82,7 +79,8 @@ fn main() {
             .expect("one recorded flow")
             .normalized()
     });
-    let r_net = realism_test_jobs(&gt, &iboxnet_sims, jobs);
+    let cache = FitCache::in_memory();
+    let r_net = realism_of_model_jobs(&ModelKind::IBoxNet, &gt, "cubic", dur, 40, jobs, &cache);
     let r_crude = realism_test_jobs(&gt, &crude, jobs);
     let rows = vec![
         vec![

@@ -48,7 +48,7 @@ fn main() {
         .iter()
         .map(|k| {
             ibox_obs::info!("fig3: evaluating {}…", k.name());
-            ensemble_test_jobs(&ds[0], &ds[1], *k, duration, 7, jobs)
+            ensemble_test_jobs(&ds[0], &ds[1], k.clone(), duration, 7, jobs)
         })
         .collect();
 

@@ -35,7 +35,7 @@ fn main() {
                         .protocol("vegas")
                         .duration_s(duration)
                         .seed(19 + r as u64)
-                        .model(model)
+                        .model(model.clone())
                         .build()
                         .expect("spec is valid"),
                 );

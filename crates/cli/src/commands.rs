@@ -5,7 +5,10 @@
 
 use std::path::Path;
 
-use ibox::{BatchSpec, IBoxNet, RunRecord, RunSpec, ValidityRegion};
+use ibox::{
+    fit_model, BatchSpec, FitCache, FittedModel, IBoxMlSpec, ModelArtifact, ModelKind, PathModel,
+    RunRecord, RunSpec, ValidityRegion,
+};
 use ibox_obs::{RunManifest, RunManifestBuilder};
 use ibox_sim::SimTime;
 use ibox_testbed::pantheon::run_protocol;
@@ -13,24 +16,36 @@ use ibox_testbed::Profile;
 use ibox_trace::metrics::TraceMetrics;
 
 use crate::args::{parse, CmdSpec, OptSpec, PosSpec};
-use crate::io::{load_trace, save_text, save_trace};
+use crate::io::{load_model, load_trace, save_text, save_trace};
 
 const OUTPUT: OptSpec = OptSpec::value("--output", "path").with_short("-o");
 const DURATION: OptSpec = OptSpec::value("--duration", "S");
 const SEED: OptSpec = OptSpec::value("--seed", "N");
 const JOBS: OptSpec = OptSpec::value("--jobs", "N");
 const PROTOCOL: OptSpec = OptSpec::value("--protocol", "cubic|reno|vegas|bbr|rtc");
+const MODEL_CACHE: OptSpec = OptSpec::value("--model-cache", "dir");
 
 const FIT: CmdSpec = CmdSpec {
     name: "fit",
     positionals: &[PosSpec { name: "trace.{json,csv}", required: true, variadic: false }],
-    opts: &[OUTPUT, OptSpec::flag("--no-cross"), OptSpec::flag("--with-reordering")],
+    opts: &[
+        OUTPUT,
+        OptSpec::value("--model", "iboxnet|statistical-loss|iboxml"),
+        OptSpec::flag("--no-cross"),
+        OptSpec::flag("--with-reordering"),
+    ],
+};
+
+const REPLAY: CmdSpec = CmdSpec {
+    name: "replay",
+    positionals: &[PosSpec { name: "model.json", required: true, variadic: false }],
+    opts: &[PROTOCOL, DURATION, SEED, OUTPUT],
 };
 
 const SIMULATE: CmdSpec = CmdSpec {
     name: "simulate",
     positionals: &[PosSpec { name: "profile.json", required: true, variadic: false }],
-    opts: &[PROTOCOL, DURATION, SEED, OptSpec::value("--runs", "N"), JOBS, OUTPUT],
+    opts: &[PROTOCOL, DURATION, SEED, OptSpec::value("--runs", "N"), JOBS, MODEL_CACHE, OUTPUT],
 };
 
 const METRICS: CmdSpec = CmdSpec {
@@ -54,17 +69,22 @@ const SYNTH: CmdSpec = CmdSpec {
 const VALIDITY: CmdSpec = CmdSpec {
     name: "validity",
     positionals: &[PosSpec { name: "more-train-traces", required: false, variadic: true }],
-    opts: &[OptSpec::repeated("--train", "trace"), OptSpec::value("--check", "trace"), JOBS],
+    opts: &[
+        OptSpec::repeated("--train", "trace"),
+        OptSpec::value("--check", "trace"),
+        JOBS,
+        MODEL_CACHE,
+    ],
 };
 
 const BATCH: CmdSpec = CmdSpec {
     name: "batch",
     positionals: &[PosSpec { name: "batch.json", required: true, variadic: false }],
-    opts: &[JOBS, OUTPUT],
+    opts: &[JOBS, MODEL_CACHE, OUTPUT],
 };
 
 /// Every subcommand grammar, in help order.
-const COMMANDS: [&CmdSpec; 6] = [&FIT, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH];
+const COMMANDS: [&CmdSpec; 7] = [&FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH];
 
 /// Usage text shown on errors — generated from the [`CmdSpec`] tables.
 pub fn usage() -> String {
@@ -99,6 +119,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     ibox_obs::debug!("dispatching {cmd} {rest:?}");
     match cmd.as_str() {
         "fit" => cmd_fit(rest),
+        "replay" => cmd_replay(rest),
         "simulate" => cmd_simulate(rest),
         "metrics" => cmd_metrics(rest),
         "synth" => cmd_synth(rest),
@@ -124,33 +145,98 @@ fn write_manifest(builder: RunManifestBuilder, out: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// Resolve `--model-cache <dir>` into a fit cache: disk-backed when the
+/// flag is given, otherwise an invocation-local in-memory cache.
+fn model_cache(p: &crate::args::Parsed) -> Result<FitCache, String> {
+    match p.opt("--model-cache") {
+        Some(dir) => FitCache::with_dir(dir),
+        None => Ok(FitCache::in_memory()),
+    }
+}
+
+/// Map the `fit --model` selector (plus the legacy iBoxNet fit-variant
+/// flags) onto a [`ModelKind`].
+fn fit_kind(p: &crate::args::Parsed) -> Result<ModelKind, String> {
+    let kind = match p.opt("--model") {
+        None | Some("iboxnet") => ModelKind::IBoxNet,
+        Some("statistical-loss") => ModelKind::StatisticalLoss,
+        Some("iboxml") => ModelKind::IBoxMl(IBoxMlSpec::default()),
+        Some(other) => {
+            return Err(format!(
+                "unknown model kind {other:?} (use iboxnet, statistical-loss, or iboxml)"
+            ))
+        }
+    };
+    match (p.flag("--no-cross"), p.flag("--with-reordering")) {
+        (false, false) => Ok(kind),
+        _ if kind != ModelKind::IBoxNet => {
+            Err("--no-cross/--with-reordering only apply to the iboxnet model".into())
+        }
+        (true, false) => Ok(ModelKind::IBoxNetNoCross),
+        (false, true) => Ok(ModelKind::IBoxNetReorder),
+        (true, true) => Err("--no-cross and --with-reordering are mutually exclusive".into()),
+    }
+}
+
 fn cmd_fit(argv: &[String]) -> Result<(), String> {
     let p = parse(argv, &FIT)?;
+    let kind = fit_kind(&p)?;
     let trace = load_trace(p.positional(0, "trace file")?)?;
-    let model = if p.flag("--no-cross") {
-        IBoxNet::fit_without_cross(&trace)
-    } else if p.flag("--with-reordering") {
-        IBoxNet::fit_with_reordering(&trace)
-    } else {
-        IBoxNet::fit(&trace)
-    };
-    println!("fitted iBoxNet profile from {} packets:", trace.len());
-    println!("  bandwidth   : {:.3} Mbps", model.params.bandwidth_bps / 1e6);
-    println!("  prop delay  : {:.2} ms", model.params.prop_delay.as_millis_f64());
-    println!("  buffer      : {} bytes", model.params.buffer_bytes);
-    println!("  cross bytes : {:.0}", model.cross.total_bytes());
-    if let Some(r) = &model.reorder {
-        println!(
-            "  reordering  : p={:.4}, extra {:.1}-{:.1} ms",
-            r.probability,
-            r.extra_min.as_millis_f64(),
-            r.extra_max.as_millis_f64()
-        );
+    let artifact = ModelArtifact::new(&kind, fit_model(&kind, &trace));
+    println!("fitted {} from {} packets:", kind.name(), trace.len());
+    match &artifact.model {
+        FittedModel::IBoxNet(model) => {
+            println!("  bandwidth   : {:.3} Mbps", model.params.bandwidth_bps / 1e6);
+            println!("  prop delay  : {:.2} ms", model.params.prop_delay.as_millis_f64());
+            println!("  buffer      : {} bytes", model.params.buffer_bytes);
+            println!("  cross bytes : {:.0}", model.cross.total_bytes());
+            if let Some(r) = &model.reorder {
+                println!(
+                    "  reordering  : p={:.4}, extra {:.1}-{:.1} ms",
+                    r.probability,
+                    r.extra_min.as_millis_f64(),
+                    r.extra_max.as_millis_f64()
+                );
+            }
+        }
+        FittedModel::StatisticalLoss(model) => {
+            println!("  bandwidth   : {:.3} Mbps", model.params.bandwidth_bps / 1e6);
+            println!("  prop delay  : {:.2} ms", model.params.prop_delay.as_millis_f64());
+            println!("  loss rate   : {:.4}", model.loss_rate);
+        }
+        FittedModel::IBoxMl(_) => {
+            println!("  learned state-space model (LSTM weights in the artifact)");
+        }
     }
+    println!("  config hash : {}", artifact.config_hash);
     if let Some(out) = p.opt("--output") {
-        save_text(&model.to_json(), out)?;
-        ibox_obs::info!("profile written to {out}");
-        write_manifest(RunManifestBuilder::new("fit").config(&model), out)?;
+        artifact.save(Path::new(out)).map_err(|e| e.to_string())?;
+        ibox_obs::info!("model artifact written to {out}");
+        write_manifest(RunManifestBuilder::new("fit").config(&kind), out)?;
+    }
+    Ok(())
+}
+
+fn cmd_replay(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &REPLAY)?;
+    let artifact = load_model(p.positional(0, "model artifact")?)?;
+    let protocol = p.required("--protocol")?;
+    if ibox_cc::by_name(protocol).is_none() {
+        return Err(format!("unknown protocol {protocol:?}"));
+    }
+    let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
+    let seed = p.num("--seed", 1u64)?;
+    let trace = artifact.model.simulate(protocol, duration, seed);
+    println!("model         : {} (fitted on {})", artifact.kind, artifact.fitted_on);
+    print_metrics(&trace);
+    println!("trace digest  : {}", trace.digest());
+    if let Some(out) = p.opt("--output") {
+        save_trace(&trace, out)?;
+        ibox_obs::info!("replayed trace written to {out}");
+        write_manifest(
+            RunManifestBuilder::new("replay").seed(seed).config(&artifact.config_hash),
+            out,
+        )?;
     }
     Ok(())
 }
@@ -186,8 +272,9 @@ fn cmd_simulate(argv: &[String]) -> Result<(), String> {
             );
         }
         let batch = b.build()?;
+        let cache = model_cache(&p)?;
         let wall = std::time::Instant::now();
-        let result = ibox::run_batch(&batch)?;
+        let result = ibox::run_batch_with_cache(&batch, batch.jobs, &cache)?;
         record_batch_timing(wall.elapsed().as_secs_f64(), batch.jobs, batch.runs.len());
         print_records(&result.records);
         if let Some(out) = p.opt("--output") {
@@ -198,16 +285,14 @@ fn cmd_simulate(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let profile_text =
-        std::fs::read_to_string(profile_path).map_err(|e| format!("cannot read profile: {e}"))?;
-    let model = IBoxNet::from_json(&profile_text).map_err(|e| format!("bad profile: {e}"))?;
+    let artifact = load_model(profile_path)?;
     let duration = SimTime::from_secs_f64(duration_s);
-    let trace = model.simulate(protocol, duration, seed);
+    let trace = artifact.model.simulate(protocol, duration, seed);
     print_metrics(&trace);
     if let Some(out) = p.opt("--output") {
         save_trace(&trace, out)?;
         ibox_obs::info!("counterfactual trace written to {out}");
-        write_manifest(builder.seed(seed).config(&model), out)?;
+        write_manifest(builder.seed(seed).config(&artifact.config_hash), out)?;
     }
     Ok(())
 }
@@ -253,8 +338,9 @@ fn cmd_validity(argv: &[String]) -> Result<(), String> {
     }
     let check_path = p.required("--check")?;
     let jobs = p.num("--jobs", 1usize)?;
+    let cache = model_cache(&p)?;
     let train: Result<Vec<_>, _> = train_paths.iter().map(|t| load_trace(t)).collect();
-    let region = ValidityRegion::fit_jobs(&train?, jobs);
+    let region = ValidityRegion::fit_jobs_cached(&train?, jobs, &cache);
     let report = region.check(&load_trace(check_path)?);
     println!("coverage: {:.3}", report.coverage);
     for (feature, frac) in &report.out_of_range {
@@ -274,8 +360,9 @@ fn cmd_batch(argv: &[String]) -> Result<(), String> {
     if let Some(jobs) = p.opt("--jobs") {
         batch.jobs = jobs.parse().map_err(|_| format!("invalid value for --jobs: {jobs:?}"))?;
     }
+    let cache = model_cache(&p)?;
     let wall = std::time::Instant::now();
-    let result = ibox::run_batch(&batch)?;
+    let result = ibox::run_batch_with_cache(&batch, batch.jobs, &cache)?;
     record_batch_timing(wall.elapsed().as_secs_f64(), batch.jobs, batch.runs.len());
     print_records(&result.records);
     if let Some(out) = p.opt("--output") {
@@ -357,10 +444,11 @@ mod tests {
     #[test]
     fn usage_covers_every_command() {
         let u = usage();
-        for cmd in ["fit", "simulate", "metrics", "synth", "validity", "batch"] {
+        for cmd in ["fit", "replay", "simulate", "metrics", "synth", "validity", "batch"] {
             assert!(u.contains(&format!("ibox {cmd}")), "usage must mention {cmd}:\n{u}");
         }
         assert!(u.contains("--jobs <N>"), "{u}");
+        assert!(u.contains("--model-cache <dir>"), "{u}");
     }
 
     #[test]
@@ -532,6 +620,119 @@ mod tests {
     #[test]
     fn fit_rejects_missing_file() {
         assert!(dispatch(&argv(&["fit", "/nope/missing.json"])).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_conflicting_model_flags() {
+        let err =
+            dispatch(&argv(&["fit", "--model", "iboxml", "--no-cross", "t.json"])).unwrap_err();
+        assert!(err.contains("only apply to the iboxnet model"), "{err}");
+        let err = dispatch(&argv(&["fit", "--model", "magic", "t.json"])).unwrap_err();
+        assert!(err.contains("unknown model kind"), "{err}");
+    }
+
+    #[test]
+    fn replay_reports_typed_errors_with_the_path() {
+        let err =
+            dispatch(&argv(&["replay", "/nope/model.json", "--protocol", "cubic"])).unwrap_err();
+        assert!(err.contains("/nope/model.json"), "{err}");
+    }
+
+    #[test]
+    fn fit_then_replay_is_deterministic_across_reloads() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ibox_cli_replay_trace.json").to_string_lossy().into_owned();
+        let model_path = dir.join("ibox_cli_replay_model.json").to_string_lossy().into_owned();
+        let out1 = dir.join("ibox_cli_replay_out1.json").to_string_lossy().into_owned();
+        let out2 = dir.join("ibox_cli_replay_out2.json").to_string_lossy().into_owned();
+
+        dispatch(&argv(&[
+            "synth",
+            "--profile",
+            "ethernet",
+            "--protocol",
+            "cubic",
+            "--duration",
+            "3",
+            "-o",
+            &trace_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["fit", &trace_path, "--model", "statistical-loss", "-o", &model_path]))
+            .unwrap();
+
+        // The written artifact is a versioned envelope around the fitted
+        // model, and two separate loads replay byte-identically.
+        let artifact = load_model(&model_path).unwrap();
+        assert_eq!(artifact.schema, ibox::MODEL_ARTIFACT_SCHEMA);
+        assert_eq!(artifact.kind, "Statistical loss");
+        for out in [&out1, &out2] {
+            dispatch(&argv(&[
+                "replay",
+                &model_path,
+                "--protocol",
+                "vegas",
+                "--duration",
+                "3",
+                "--seed",
+                "7",
+                "-o",
+                out,
+            ]))
+            .unwrap();
+        }
+        let t1 = std::fs::read_to_string(&out1).unwrap();
+        let t2 = std::fs::read_to_string(&out2).unwrap();
+        assert_eq!(t1, t2, "saved-then-loaded model must replay byte-identically");
+
+        for p in [&trace_path, &model_path, &out1, &out2] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
+    }
+
+    #[test]
+    fn batch_model_cache_persists_fits_across_invocations() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("ibox_cli_cache_spec.json").to_string_lossy().into_owned();
+        let cache_dir = dir
+            .join(format!("ibox_cli_cache_dir_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let out1 = dir.join("ibox_cli_cache_out1.json").to_string_lossy().into_owned();
+        let out2 = dir.join("ibox_cli_cache_out2.json").to_string_lossy().into_owned();
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
+        let batch = BatchSpec::builder()
+            .jobs(1)
+            .run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 60)
+                    .protocol("vegas")
+                    .duration_s(3.0)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        std::fs::write(&spec_path, batch.to_json()).unwrap();
+
+        dispatch(&argv(&["batch", &spec_path, "--model-cache", &cache_dir, "-o", &out1])).unwrap();
+        let cached: Vec<_> = std::fs::read_dir(&cache_dir).unwrap().collect();
+        assert_eq!(cached.len(), 1, "one fit ⇒ one cache entry on disk");
+
+        dispatch(&argv(&["batch", &spec_path, "--model-cache", &cache_dir, "-o", &out2])).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap(),
+            "a disk-cache hit must reproduce the fresh-fit results byte for byte"
+        );
+
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        for p in [&spec_path, &out1, &out2] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Versioned model artifacts: a fitted model as a file.
+//!
+//! A [`ModelArtifact`] wraps a [`FittedModel`] in a small envelope —
+//! schema version, model-kind name, config hash, provenance — and
+//! round-trips through JSON such that the reloaded model **replays
+//! byte-identically** to the in-memory original (test-enforced per
+//! [`ModelKind`] in `tests/artifacts.rs`). The same serialized form is
+//! what the fit cache ([`crate::cache`]) stores, so a cache hit is
+//! guaranteed to behave exactly like a saved-then-loaded artifact.
+//!
+//! Loading returns a typed [`ArtifactError`] carrying the offending file
+//! path (and, on version skew, both schema versions) instead of
+//! panicking on malformed input — `ibox replay nonsense.json` must fail
+//! with a sentence, not a backtrace.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use ibox_runner::ModelKind;
+
+use crate::iboxnet::IBoxNet;
+use crate::model::{FittedModel, PathModel};
+
+/// Artifact envelope schema version. Bump on any breaking change to the
+/// envelope *or* to the serialized form of a fitted model; loaders reject
+/// any other version by name rather than misinterpreting the payload.
+pub const MODEL_ARTIFACT_SCHEMA: u32 = 1;
+
+/// Why an artifact failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file could not be read at all.
+    Io {
+        /// Path that failed to read.
+        path: PathBuf,
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
+    /// The file read but is not valid artifact JSON.
+    Parse {
+        /// Path holding the malformed document.
+        path: PathBuf,
+        /// The serde error, stringified.
+        detail: String,
+    },
+    /// The envelope parsed but declares an unsupported schema version.
+    SchemaMismatch {
+        /// Path holding the incompatible artifact.
+        path: PathBuf,
+        /// Version the file declares.
+        found: u64,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io { path, detail } => {
+                write!(f, "cannot read model artifact {}: {detail}", path.display())
+            }
+            ArtifactError::Parse { path, detail } => {
+                write!(f, "malformed model artifact {}: {detail}", path.display())
+            }
+            ArtifactError::SchemaMismatch { path, found, supported } => write!(
+                f,
+                "model artifact {} has schema version {found}, but this build supports \
+                 version {supported} — refit the model or use a matching ibox version",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Minimal probe of the envelope, parsed before the full payload so
+/// version skew is reported as such (a v2 artifact should say "schema
+/// version 2", not "unknown field").
+#[derive(Deserialize)]
+struct EnvelopeProbe {
+    schema: Option<u64>,
+}
+
+/// A fitted model with its envelope: what `ibox fit -o` writes and
+/// `ibox replay` loads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Envelope schema version ([`MODEL_ARTIFACT_SCHEMA`]).
+    pub schema: u32,
+    /// Display name of the [`ModelKind`] that produced the model.
+    pub kind: String,
+    /// `ibox_obs::config_hash` of the producing [`ModelKind`] — ties the
+    /// artifact to its exact fit configuration (and doubles as the config
+    /// component of the fit-cache key).
+    pub config_hash: String,
+    /// Name of the trace/path the model was fitted on.
+    pub fitted_on: String,
+    /// The fitted model itself.
+    pub model: FittedModel,
+}
+
+impl ModelArtifact {
+    /// Wrap a freshly fitted model in the current envelope.
+    pub fn new(kind: &ModelKind, model: FittedModel) -> Self {
+        Self {
+            schema: MODEL_ARTIFACT_SCHEMA,
+            kind: kind.name().to_string(),
+            config_hash: ibox_obs::config_hash(kind),
+            fitted_on: model.fitted_on().to_string(),
+            model,
+        }
+    }
+
+    /// Serialize to JSON (stable field order — byte-reproducible).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization cannot fail")
+    }
+
+    /// Parse an artifact, attributing failures to `origin`.
+    pub fn parse(json: &str, origin: &Path) -> Result<Self, ArtifactError> {
+        let probe: EnvelopeProbe = serde_json::from_str(json).map_err(|e| {
+            ArtifactError::Parse { path: origin.to_path_buf(), detail: e.to_string() }
+        })?;
+        match probe.schema {
+            None => Err(ArtifactError::Parse {
+                path: origin.to_path_buf(),
+                detail: "missing \"schema\" field — not a model artifact".into(),
+            }),
+            Some(v) if v != u64::from(MODEL_ARTIFACT_SCHEMA) => {
+                Err(ArtifactError::SchemaMismatch {
+                    path: origin.to_path_buf(),
+                    found: v,
+                    supported: MODEL_ARTIFACT_SCHEMA,
+                })
+            }
+            Some(_) => serde_json::from_str(json).map_err(|e| ArtifactError::Parse {
+                path: origin.to_path_buf(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Load an artifact from disk.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArtifactError::Io { path: path.to_path_buf(), detail: e.to_string() })?;
+        Self::parse(&text, path)
+    }
+
+    /// Load either a real artifact **or** a legacy bare iBoxNet profile
+    /// (the pre-envelope output of `ibox fit`, a serialized [`IBoxNet`]
+    /// with no `schema` field). Legacy profiles are wrapped on the fly so
+    /// `ibox simulate` and batch `ProfileFile` sources keep accepting
+    /// files fitted by older builds.
+    pub fn load_flexible(path: &Path) -> Result<Self, ArtifactError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArtifactError::Io { path: path.to_path_buf(), detail: e.to_string() })?;
+        match Self::parse(&text, path) {
+            Ok(artifact) => Ok(artifact),
+            Err(err @ ArtifactError::SchemaMismatch { .. }) => Err(err),
+            Err(err) => match IBoxNet::from_json(&text) {
+                Ok(net) => Ok(Self {
+                    schema: MODEL_ARTIFACT_SCHEMA,
+                    kind: "iBoxNet".to_string(),
+                    config_hash: ibox_obs::config_hash(&ModelKind::IBoxNet),
+                    fitted_on: net.fitted_on.clone(),
+                    model: FittedModel::IBoxNet(net),
+                }),
+                Err(_) => Err(err),
+            },
+        }
+    }
+
+    /// Save to disk as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| ArtifactError::Io { path: path.to_path_buf(), detail: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> ModelArtifact {
+        let train = ibox_testbed::run_protocol(
+            &ibox_testbed::Profile::Ethernet
+                .builder()
+                .seed(2)
+                .duration(ibox_sim::SimTime::from_secs(3))
+                .sample(),
+            "cubic",
+            ibox_sim::SimTime::from_secs(3),
+            2,
+        );
+        let kind = ModelKind::IBoxNet;
+        ModelArtifact::new(&kind, crate::model::fit_model(&kind, &train))
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_is_byte_stable() {
+        let artifact = sample_artifact();
+        let json = artifact.to_json();
+        let back = ModelArtifact::parse(&json, Path::new("mem")).unwrap();
+        assert_eq!(back.schema, MODEL_ARTIFACT_SCHEMA);
+        assert_eq!(back.kind, "iBoxNet");
+        assert_eq!(back.config_hash, artifact.config_hash);
+        assert_eq!(back.to_json(), json, "re-serialization must be byte-stable");
+    }
+
+    #[test]
+    fn parse_failures_name_the_file() {
+        let err = ModelArtifact::parse("{ not json", Path::new("/tmp/broken.json")).unwrap_err();
+        assert!(matches!(err, ArtifactError::Parse { .. }));
+        assert!(err.to_string().contains("/tmp/broken.json"), "{err}");
+
+        let err = ModelArtifact::parse(r#"{"no_schema": 1}"#, Path::new("other.json")).unwrap_err();
+        assert!(err.to_string().contains("not a model artifact"), "{err}");
+    }
+
+    #[test]
+    fn schema_mismatch_names_both_versions() {
+        let mut doc = sample_artifact().to_json();
+        doc = doc.replacen("\"schema\":1", "\"schema\":999", 1);
+        let err = ModelArtifact::parse(&doc, Path::new("future.json")).unwrap_err();
+        let ArtifactError::SchemaMismatch { found, supported, .. } = &err else {
+            panic!("expected SchemaMismatch, got {err:?}");
+        };
+        assert_eq!(*found, 999);
+        assert_eq!(*supported, MODEL_ARTIFACT_SCHEMA);
+        let msg = err.to_string();
+        assert!(msg.contains("future.json") && msg.contains("999") && msg.contains("1"), "{msg}");
+    }
+
+    #[test]
+    fn load_flexible_accepts_legacy_bare_profiles() {
+        let artifact = sample_artifact();
+        let FittedModel::IBoxNet(net) = &artifact.model else { panic!("iboxnet expected") };
+        let dir = std::env::temp_dir();
+        let legacy = dir.join("ibox_artifact_test_legacy.json");
+        std::fs::write(&legacy, net.to_json()).unwrap();
+        let loaded = ModelArtifact::load_flexible(&legacy).unwrap();
+        assert_eq!(loaded.kind, "iBoxNet");
+        assert_eq!(loaded.fitted_on, net.fitted_on);
+        let _ = std::fs::remove_file(&legacy);
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! The spec types live in the domain-light `ibox-runner` crate so every
 //! layer can name them without cycles; this module supplies the execution
-//! half — mapping a [`RunSource`] onto the testbed/trace/profile loaders
-//! and a [`ModelKind`] onto the concrete fit+replay via
-//! [`FitSimulate`](crate::abtest::FitSimulate).
+//! half — mapping a [`RunSource`] onto the testbed/trace/artifact loaders
+//! and a [`ModelKind`](ibox_runner::ModelKind) onto fit+replay via the
+//! [`PathModel`](crate::model::PathModel) split: fits go through the
+//! content-addressed [`FitCache`], replays through the fitted model.
 //!
 //! Determinism contract: a batch's results depend only on the specs, never
 //! on `jobs`. Runs execute on the runner pool with per-run scoped metric
-//! registries folded back in spec order, and [`BatchResult::to_json`] is
+//! registries folded back in spec order, cache lookups are single-flight
+//! (hit/miss counters are jobs-invariant), and [`BatchResult::to_json`] is
 //! byte-identical at any parallelism.
 
 use serde::{Deserialize, Serialize};
@@ -19,8 +21,9 @@ use ibox_testbed::{run_protocol, Profile};
 use ibox_trace::metrics::TraceMetrics;
 use ibox_trace::{from_csv, FlowMeta, FlowTrace};
 
-use crate::abtest::FitSimulate;
-use crate::IBoxNet;
+use crate::artifact::ModelArtifact;
+use crate::cache::FitCache;
+use crate::model::PathModel;
 
 /// Outcome of one [`RunSpec`]: identity plus the replay's summary metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,12 +78,17 @@ fn load_trace(path: &str) -> Result<FlowTrace, String> {
 }
 
 /// Execute one spec: resolve the source, fit the model (unless the source
-/// is an already-fitted profile), replay the spec's protocol, and summarize.
+/// is an already-fitted artifact), replay the spec's protocol, and
+/// summarize. Fits go through `cache`, so identical (trace, kind, config,
+/// seed) specs in one batch fit once and replay many times.
 ///
 /// Returns the record *and* the simulated trace so callers that need the
 /// full trace (e.g. `ibox simulate -o`) don't replay twice; batch callers
 /// drop the trace in the worker.
-pub fn execute_run(spec: &RunSpec) -> Result<(RunRecord, FlowTrace), String> {
+pub fn execute_run_cached(
+    spec: &RunSpec,
+    cache: &FitCache,
+) -> Result<(RunRecord, FlowTrace), String> {
     if !spec.duration_s.is_finite() || spec.duration_s <= 0.0 {
         return Err(format!("duration must be positive, got {}", spec.duration_s));
     }
@@ -96,23 +104,20 @@ pub fn execute_run(spec: &RunSpec) -> Result<(RunRecord, FlowTrace), String> {
             let inst =
                 Profile::from_name(profile)?.builder().seed(*seed).duration(duration).sample();
             let train = run_protocol(&inst, protocol, duration, *seed);
-            (
-                spec.model.name(),
-                spec.model.fit_simulate(&train, &spec.protocol, duration, spec.seed),
-            )
+            let fitted = cache.fit_path_model(&spec.model, &train);
+            (spec.model.name(), fitted.simulate(&spec.protocol, duration, spec.seed))
         }
         RunSource::TraceFile { path } => {
             let train = load_trace(path)?;
-            (
-                spec.model.name(),
-                spec.model.fit_simulate(&train, &spec.protocol, duration, spec.seed),
-            )
+            let fitted = cache.fit_path_model(&spec.model, &train);
+            (spec.model.name(), fitted.simulate(&spec.protocol, duration, spec.seed))
         }
         RunSource::ProfileFile { path } => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let net = IBoxNet::from_json(&text).map_err(|e| format!("bad profile {path}: {e}"))?;
-            ("profile replay", net.simulate(&spec.protocol, duration, spec.seed))
+            // Accepts both versioned model artifacts (any kind) and
+            // legacy bare iBoxNet profiles.
+            let artifact = ModelArtifact::load_flexible(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            ("profile replay", artifact.model.simulate(&spec.protocol, duration, spec.seed))
         }
     };
     let record = RunRecord {
@@ -126,6 +131,12 @@ pub fn execute_run(spec: &RunSpec) -> Result<(RunRecord, FlowTrace), String> {
     Ok((record, sim))
 }
 
+/// [`execute_run_cached`] with a run-private cache — for one-shot callers
+/// that have no batch to share fits across.
+pub fn execute_run(spec: &RunSpec) -> Result<(RunRecord, FlowTrace), String> {
+    execute_run_cached(spec, &FitCache::in_memory())
+}
+
 /// Run every spec in the batch on the runner pool at the batch's own
 /// `jobs` setting. Fails on the first erroring run (reported with its
 /// index); otherwise returns records in spec order.
@@ -134,13 +145,25 @@ pub fn run_batch(batch: &BatchSpec) -> Result<BatchResult, String> {
 }
 
 /// [`run_batch`] with the parallelism overridden (`0` = all cores) — the
-/// `--jobs` flag. Results are identical at any value.
+/// `--jobs` flag. Results are identical at any value. Fits share a
+/// batch-wide in-memory cache.
 pub fn run_batch_jobs(batch: &BatchSpec, jobs: usize) -> Result<BatchResult, String> {
+    run_batch_with_cache(batch, jobs, &FitCache::in_memory())
+}
+
+/// [`run_batch_jobs`] against a caller-supplied [`FitCache`] — the CLI's
+/// `--model-cache <dir>` passes a disk-backed cache here so fits persist
+/// across invocations.
+pub fn run_batch_with_cache(
+    batch: &BatchSpec,
+    jobs: usize,
+    cache: &FitCache,
+) -> Result<BatchResult, String> {
     let outcomes = ibox_runner::run_scoped(batch.runs.len(), jobs, |i| {
         // The per-run span totals add up to the batch's serial wall time,
         // which is what the CLI divides by to report the actual speedup.
         let _span = ibox_obs::span!("batch.run");
-        execute_run(&batch.runs[i]).map(|(record, _trace)| record)
+        execute_run_cached(&batch.runs[i], cache).map(|(record, _trace)| record)
     });
     let mut records = Vec::with_capacity(outcomes.len());
     for (i, outcome) in outcomes.into_iter().enumerate() {
@@ -251,9 +274,10 @@ mod tests {
     fn profile_file_source_replays_without_fitting() {
         let inst = Profile::Ethernet.builder().seed(3).duration(SimTime::from_secs(3)).sample();
         let train = run_protocol(&inst, "cubic", SimTime::from_secs(3), 3);
-        let net = IBoxNet::fit(&train);
+        let kind = ModelKind::IBoxNet;
+        let artifact = ModelArtifact::new(&kind, crate::model::fit_model(&kind, &train));
         let path = std::env::temp_dir().join("ibox_batch_test_profile.json");
-        std::fs::write(&path, net.to_json()).unwrap();
+        artifact.save(&path).unwrap();
 
         let spec = RunSpec::builder()
             .profile_file(path.to_string_lossy())
@@ -262,9 +286,54 @@ mod tests {
             .seed(5)
             .build()
             .unwrap();
+        let scope = ibox_obs::scoped();
         let (record, trace) = execute_run(&spec).unwrap();
+        let metrics = scope.finish().snapshot();
         assert_eq!(record.model, "profile replay");
         assert!(trace.len() > 100);
+        assert!(!metrics.counters.contains_key("model.fit"), "artifact replay must not fit");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: batch runs an `IBoxMl` spec like any other kind, and the
+    /// fit cache collapses duplicate (trace, kind, config, seed) fits.
+    #[test]
+    fn batch_fits_iboxml_and_dedups_identical_fits() {
+        let ml = ModelKind::IBoxMl(ibox_runner::IBoxMlSpec {
+            hidden_sizes: vec![6],
+            epochs: 1,
+            lr: 5e-3,
+            tbptt: 32,
+            with_cross_traffic: false,
+            seed: 3,
+        });
+        // Two specs share (source, model); only the replay seed differs —
+        // one fit, two replays.
+        let spec = |seed: u64| {
+            RunSpec::builder()
+                .synth("ethernet", "cubic", 41)
+                .protocol("vegas")
+                .duration_s(3.0)
+                .seed(seed)
+                .model(ml.clone())
+                .build()
+                .unwrap()
+        };
+        let batch = BatchSpec::builder().run(spec(1)).run(spec(2)).build().unwrap();
+
+        let run = |jobs: usize| {
+            let scope = ibox_obs::scoped();
+            let result = run_batch_jobs(&batch, jobs).unwrap();
+            (result, scope.finish().snapshot())
+        };
+        let (r1, m1) = run(1);
+        let (r2, m2) = run(2);
+        assert_eq!(r1.to_json(), r2.to_json(), "results must not depend on jobs");
+        assert_eq!(m1.counters, m2.counters, "cache counters must not depend on jobs");
+        assert_eq!(r1.records[0].model, "iBoxML");
+        assert_eq!(m1.counters["model.fit"], 1, "identical fits must be cached");
+        assert_eq!(m1.counters["fitcache.miss"], 1);
+        assert_eq!(m1.counters["fitcache.hit"], 1);
+        assert_ne!(r1.records[0].metrics, r1.records[1].metrics, "replay seeds differ");
     }
 }

@@ -1,0 +1,282 @@
+//! Content-addressed fit cache: never fit the same model twice.
+//!
+//! The cache key is the full provenance of a fit —
+//! `trace digest × model kind × config hash × fit seed` — so a hit can
+//! only ever return the model the miss would have produced. Values are
+//! stored *serialized* (the same JSON the artifact envelope embeds),
+//! which makes a cache hit behaviourally identical to a
+//! saved-then-loaded artifact: the byte-identical-replay guarantee of
+//! [`crate::artifact`] covers cached models for free.
+//!
+//! Concurrency: lookups are **single-flight** per key. When several pool
+//! workers race on the same key, exactly one computes while the rest
+//! block on the key's cell — so the `fitcache.hit` / `fitcache.miss`
+//! counters are deterministic at any `--jobs` value (n requests for one
+//! key ⇒ 1 miss, n−1 hits), preserving the batch layer's
+//! metrics-identical-at-any-parallelism contract.
+//!
+//! An optional on-disk directory persists entries across processes
+//! (`--model-cache <dir>`): each entry is one JSON file named by the
+//! key's digest. Disk hits count as `fitcache.disk_hit`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use ibox_runner::ModelKind;
+use ibox_trace::FlowTrace;
+
+use crate::model::{fit_model, FittedModel};
+
+/// The full provenance of one fit — everything that can change its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitCacheKey {
+    /// Content digest of the training trace ([`FlowTrace::digest`]).
+    pub trace_digest: String,
+    /// Model-kind display name.
+    pub kind: String,
+    /// `ibox_obs::config_hash` of the full [`ModelKind`] (covers the
+    /// IBoxMl hyperparameters; constant per unit variant).
+    pub config_hash: String,
+    /// Seed consumed by the fit ([`ModelKind::fit_seed`]).
+    pub fit_seed: u64,
+}
+
+impl FitCacheKey {
+    /// Key for fitting `kind` on `train`.
+    pub fn for_fit(kind: &ModelKind, train: &FlowTrace) -> Self {
+        Self {
+            trace_digest: train.digest(),
+            kind: kind.name().to_string(),
+            config_hash: ibox_obs::config_hash(kind),
+            fit_seed: kind.fit_seed(),
+        }
+    }
+
+    /// Filename-safe identity: FNV-1a over the four components.
+    pub fn id(&self) -> String {
+        const PRIME: u64 = 0x1_0000_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [
+            self.trace_digest.as_bytes(),
+            self.kind.as_bytes(),
+            self.config_hash.as_bytes(),
+            &self.fit_seed.to_le_bytes(),
+        ] {
+            // Separator byte between parts so ("ab","c") ≠ ("a","bc").
+            for &b in part.iter().chain(std::iter::once(&0xFFu8)) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        format!("fit-{h:016x}")
+    }
+}
+
+/// Per-key cell: holds the serialized value once computed. `OnceLock`
+/// gives the single-flight behaviour — concurrent `get_or_init` callers
+/// block until the first finishes.
+type Cell = Arc<OnceLock<String>>;
+
+/// A content-addressed cache of fitted models (and other fit-shaped
+/// results, e.g. validity regions), in memory with optional disk backing.
+pub struct FitCache {
+    entries: Mutex<HashMap<String, Cell>>,
+    dir: Option<PathBuf>,
+}
+
+impl FitCache {
+    /// A process-local cache with no disk backing.
+    pub fn in_memory() -> Self {
+        Self { entries: Mutex::new(HashMap::new()), dir: None }
+    }
+
+    /// A cache backed by `dir` (created if missing): entries persist
+    /// across processes as one JSON file per key.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create model cache dir {}: {e}", dir.display()))?;
+        Ok(Self { entries: Mutex::new(HashMap::new()), dir: Some(dir) })
+    }
+
+    /// Number of in-memory entries (testing/introspection).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("fit cache lock").len()
+    }
+
+    /// Whether the in-memory cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `id`, computing (and storing) the value on a miss. The
+    /// value round-trips through its serde JSON form even on the fill
+    /// path, so a miss returns exactly what later hits will return.
+    pub fn get_or_insert_with<T, F>(&self, id: &str, make: F) -> Result<T, String>
+    where
+        T: Serialize + Deserialize,
+        F: FnOnce() -> T,
+    {
+        let cell: Cell = {
+            let mut entries = self.entries.lock().expect("fit cache lock");
+            Arc::clone(entries.entry(id.to_string()).or_default())
+        };
+        let mut filled_here = false;
+        let json = cell.get_or_init(|| {
+            filled_here = true;
+            if let Some(text) = self.read_disk(id) {
+                ibox_obs::global().counter("fitcache.disk_hit").inc();
+                return text;
+            }
+            ibox_obs::global().counter("fitcache.miss").inc();
+            let value = make();
+            let text = serde_json::to_string(&value).expect("cache value serialization");
+            self.write_disk(id, &text);
+            text
+        });
+        if !filled_here {
+            ibox_obs::global().counter("fitcache.hit").inc();
+        }
+        serde_json::from_str(json).map_err(|e| format!("corrupt cache entry {id}: {e}"))
+    }
+
+    /// Fit `kind` on `train` through the cache: at most one
+    /// [`fit_model`] call per distinct [`FitCacheKey`], in this process
+    /// and (with a cache dir) across processes.
+    pub fn fit_path_model(&self, kind: &ModelKind, train: &FlowTrace) -> FittedModel {
+        let key = FitCacheKey::for_fit(kind, train);
+        self.get_or_insert_with(&key.id(), || fit_model(kind, train))
+            .expect("FittedModel round-trips through its own serde form")
+    }
+
+    fn entry_path(&self, id: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{id}.json")))
+    }
+
+    fn read_disk(&self, id: &str) -> Option<String> {
+        std::fs::read_to_string(self.entry_path(id)?).ok()
+    }
+
+    fn write_disk(&self, id: &str, text: &str) {
+        let Some(path) = self.entry_path(id) else { return };
+        if let Err(e) = std::fs::write(&path, text) {
+            ibox_obs::warn!("fit cache: cannot persist {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PathModel;
+    use ibox_sim::SimTime;
+
+    fn train(seed: u64) -> FlowTrace {
+        ibox_testbed::run_protocol(
+            &ibox_testbed::Profile::Ethernet
+                .builder()
+                .seed(seed)
+                .duration(SimTime::from_secs(3))
+                .sample(),
+            "cubic",
+            SimTime::from_secs(3),
+            seed,
+        )
+    }
+
+    #[test]
+    fn repeated_fits_hit_the_cache_and_replay_identically() {
+        let t = train(4);
+        let cache = FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        let a = cache.fit_path_model(&ModelKind::IBoxNet, &t);
+        let b = cache.fit_path_model(&ModelKind::IBoxNet, &t);
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["fitcache.miss"], 1);
+        assert_eq!(metrics.counters["fitcache.hit"], 1);
+        assert_eq!(metrics.counters["model.fit"], 1, "second request must not refit");
+        assert_eq!(
+            a.simulate("vegas", SimTime::from_secs(3), 8),
+            b.simulate("vegas", SimTime::from_secs(3), 8),
+        );
+    }
+
+    #[test]
+    fn distinct_kinds_and_traces_miss_separately() {
+        let (t1, t2) = (train(4), train(5));
+        let cache = FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        cache.fit_path_model(&ModelKind::IBoxNet, &t1);
+        cache.fit_path_model(&ModelKind::IBoxNetNoCross, &t1);
+        cache.fit_path_model(&ModelKind::IBoxNet, &t2);
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["fitcache.miss"], 3);
+        assert!(!metrics.counters.contains_key("fitcache.hit"));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn hit_miss_counts_are_deterministic_under_parallel_requests() {
+        let t = train(6);
+        let count = |jobs: usize| {
+            let cache = FitCache::in_memory();
+            let scope = ibox_obs::scoped();
+            ibox_runner::run_scoped(6, jobs, |_| {
+                cache.fit_path_model(&ModelKind::StatisticalLoss, &t);
+            });
+            scope.finish().snapshot().counters
+        };
+        let serial = count(1);
+        let parallel = count(4);
+        assert_eq!(serial, parallel, "single-flight must make counts jobs-invariant");
+        assert_eq!(serial["fitcache.miss"], 1);
+        assert_eq!(serial["fitcache.hit"], 5);
+        assert_eq!(serial["model.fit"], 1);
+    }
+
+    #[test]
+    fn disk_backed_cache_survives_a_new_instance() {
+        let t = train(7);
+        let dir = std::env::temp_dir().join(format!("ibox_fitcache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = FitCache::with_dir(&dir).unwrap();
+        let a = first.fit_path_model(&ModelKind::IBoxNet, &t);
+
+        let second = FitCache::with_dir(&dir).unwrap();
+        let scope = ibox_obs::scoped();
+        let b = second.fit_path_model(&ModelKind::IBoxNet, &t);
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["fitcache.disk_hit"], 1);
+        assert!(!metrics.counters.contains_key("model.fit"), "disk hit must not refit");
+        assert_eq!(
+            a.simulate("cubic", SimTime::from_secs(3), 2),
+            b.simulate("cubic", SimTime::from_secs(3), 2),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_ids_are_stable_and_component_sensitive() {
+        let t = train(4);
+        let k1 = FitCacheKey::for_fit(&ModelKind::IBoxNet, &t);
+        assert_eq!(k1.id(), FitCacheKey::for_fit(&ModelKind::IBoxNet, &t).id());
+        let k2 = FitCacheKey::for_fit(&ModelKind::IBoxNetNoCross, &t);
+        assert_ne!(k1.id(), k2.id(), "kind must be part of the key");
+        let k3 = FitCacheKey::for_fit(&ModelKind::IBoxNet, &train(5));
+        assert_ne!(k1.id(), k3.id(), "trace digest must be part of the key");
+        let ml_a = ModelKind::IBoxMl(ibox_runner::IBoxMlSpec::default());
+        let ml_b = ModelKind::IBoxMl(ibox_runner::IBoxMlSpec {
+            seed: 99,
+            ..ibox_runner::IBoxMlSpec::default()
+        });
+        assert_ne!(
+            FitCacheKey::for_fit(&ml_a, &t).id(),
+            FitCacheKey::for_fit(&ml_b, &t).id(),
+            "config/seed must be part of the key"
+        );
+    }
+}

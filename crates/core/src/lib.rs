@@ -59,36 +59,58 @@
 //!   Results and folded metrics are bit-identical at any `jobs` value; the
 //!   evaluation harnesses above all expose `_jobs` variants built on the
 //!   same pool.
+//!
+//! ## Model artifacts & fit cache
+//!
+//! * [`model`] — the [`PathModel`] trait splits *fit* from *replay*:
+//!   [`fit_model`] is the single fit entry point, [`FittedModel`] the
+//!   serializable sum of every fitted family (including iBoxML's LSTM
+//!   weights).
+//! * [`artifact`] — versioned JSON envelopes ([`ModelArtifact`]) around
+//!   fitted models; a saved-then-loaded model replays byte-identically.
+//! * [`cache`] — the content-addressed [`FitCache`] (trace digest ×
+//!   kind × config × seed) with single-flight lookups and
+//!   `fitcache.hit`/`miss` obs counters, used by the ensemble harness,
+//!   realism/validity extensions, and batch execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abtest;
 pub mod adaptive;
+pub mod artifact;
 pub mod baseline;
 pub mod batch;
+pub mod cache;
 pub mod estimator;
 pub mod features;
 pub mod iboxml;
 pub mod iboxnet;
 pub mod meld;
+pub mod model;
 pub mod realism;
 pub mod validity;
 
 pub use abtest::{
     ensemble_test, ensemble_test_jobs, instance_test, instance_test_jobs, EnsembleReport,
-    FitSimulate, InstanceReport, ModelKind,
+    InstanceReport, ModelKind,
 };
 pub use adaptive::AdaptiveCross;
+pub use artifact::{ArtifactError, ModelArtifact, MODEL_ARTIFACT_SCHEMA};
 pub use baseline::StatisticalLossModel;
-pub use batch::{execute_run, run_batch, run_batch_jobs, BatchResult, RunRecord};
+pub use batch::{
+    execute_run, execute_run_cached, run_batch, run_batch_jobs, run_batch_with_cache, BatchResult,
+    RunRecord,
+};
+pub use cache::{FitCache, FitCacheKey};
 pub use estimator::{CrossTrafficEstimate, StaticParams};
 pub use iboxml::{IBoxMl, IBoxMlConfig, IBoxMlConfigBuilder};
 pub use iboxnet::IBoxNet;
-pub use realism::{realism_test, realism_test_jobs, RealismReport};
+pub use model::{fit_model, FittedIBoxMl, FittedModel, PathModel};
+pub use realism::{realism_of_model_jobs, realism_test, realism_test_jobs, RealismReport};
 pub use validity::{ValidityRegion, ValidityReport};
 
 // The typed batch API, re-exported so downstream users need only `ibox`.
 pub use ibox_runner::{
-    suggested_jobs, BatchSpec, BatchSpecBuilder, RunSource, RunSpec, RunSpecBuilder,
+    suggested_jobs, BatchSpec, BatchSpecBuilder, IBoxMlSpec, RunSource, RunSpec, RunSpecBuilder,
 };

@@ -1,0 +1,266 @@
+//! The `PathModel` layer: fit once, replay counterfactuals many times.
+//!
+//! iBox's central promise (§2) is that a fitted path model is a *reusable
+//! artifact*: fit it on one trace, then drive any number of protocols
+//! through it. This module makes that split structural:
+//!
+//! * [`PathModel`] — the replay half. Anything fitted simulates a
+//!   protocol for a duration under a seed, with no access to the
+//!   training data.
+//! * [`fit_model`] — the fit half: the **single** entry point that turns
+//!   a [`ModelKind`] plus a training trace into a [`FittedModel`]. Every
+//!   call increments the `model.fit` obs counter, which is how the
+//!   harness tests assert "exactly one fit per (trace, model)".
+//! * [`FittedModel`] — the serde-serializable sum of every fitted model
+//!   family, so one artifact envelope (see [`crate::artifact`]) covers
+//!   them all.
+//!
+//! Replaying a deserialized model is **byte-identical** to replaying the
+//! in-memory original: fitted state is plain data (f64/f32 weights
+//! round-trip exactly — the vendored serde_json is built with
+//! `float_roundtrip`), and simulation draws all randomness from the seed
+//! argument.
+
+use serde::{Deserialize, Serialize};
+
+use ibox_runner::{IBoxMlSpec, ModelKind};
+use ibox_sim::SimTime;
+use ibox_trace::FlowTrace;
+
+use crate::baseline::StatisticalLossModel;
+use crate::iboxml::{IBoxMl, IBoxMlConfig};
+use crate::iboxnet::IBoxNet;
+
+/// The replay half of a fitted path model.
+///
+/// Implementations must be deterministic: the same `(protocol, duration,
+/// seed)` triple yields the same trace, byte for byte, on any thread and
+/// after any number of serialize/deserialize round trips.
+pub trait PathModel {
+    /// Run `protocol` over the fitted model for `duration` — the
+    /// counterfactual prediction.
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace;
+
+    /// Stable machine-readable tag of the model family (artifact `kind`).
+    fn kind_tag(&self) -> &'static str;
+
+    /// Name of the trace/path the model was fitted on.
+    fn fitted_on(&self) -> &str;
+}
+
+impl PathModel for IBoxNet {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        IBoxNet::simulate(self, protocol, duration, seed)
+    }
+
+    fn kind_tag(&self) -> &'static str {
+        "iboxnet"
+    }
+
+    fn fitted_on(&self) -> &str {
+        &self.fitted_on
+    }
+}
+
+impl PathModel for StatisticalLossModel {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        StatisticalLossModel::simulate(self, protocol, duration, seed)
+    }
+
+    fn kind_tag(&self) -> &'static str {
+        "statistical-loss"
+    }
+
+    fn fitted_on(&self) -> &str {
+        &self.fitted_on
+    }
+}
+
+/// A fitted iBoxML model packaged for protocol replay.
+///
+/// The learned model (§4) predicts `P(delay, loss | packet stream)` — it
+/// needs a *sending pattern* to predict over, and cannot natively close
+/// the loop with a live congestion-control sender. The replay therefore
+/// composes the two families: the iBoxNet driver (fitted on the same
+/// trace) runs the protocol to produce the counterfactual send pattern,
+/// and the learned heads re-predict each packet's delay and loss by
+/// sampled closed-loop unroll. Both halves are seeded, so the composite
+/// is as deterministic as its parts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedIBoxMl {
+    /// The learned delay/loss model.
+    pub ml: IBoxMl,
+    /// The send-pattern driver (full iBoxNet fit of the same trace).
+    pub driver: IBoxNet,
+}
+
+impl PathModel for FittedIBoxMl {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        let pattern = self.driver.simulate(protocol, duration, seed);
+        // Decorrelate the sampling seed from the driver seed (SplitMix64):
+        // the two stages must not reuse one RNG stream.
+        let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.ml.predict_trace_sampled(&pattern, z ^ (z >> 31))
+    }
+
+    fn kind_tag(&self) -> &'static str {
+        "iboxml"
+    }
+
+    fn fitted_on(&self) -> &str {
+        &self.driver.fitted_on
+    }
+}
+
+/// Every fitted model family behind one serializable type — what the
+/// artifact envelope stores and what [`fit_model`] returns.
+///
+/// All three iBoxNet [`ModelKind`] variants (full, no-CT, reorder) fit to
+/// the same [`IBoxNet`] struct; the *kind* distinction lives in the fit,
+/// not the fitted state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedModel {
+    /// A fitted iBoxNet (any of the three fit variants).
+    IBoxNet(IBoxNet),
+    /// The calibrated-emulator statistical-loss baseline.
+    StatisticalLoss(StatisticalLossModel),
+    /// The learned model plus its send-pattern driver (boxed: the weights
+    /// dwarf the other variants).
+    IBoxMl(Box<FittedIBoxMl>),
+}
+
+impl PathModel for FittedModel {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        match self {
+            FittedModel::IBoxNet(m) => PathModel::simulate(m, protocol, duration, seed),
+            FittedModel::StatisticalLoss(m) => PathModel::simulate(m, protocol, duration, seed),
+            FittedModel::IBoxMl(m) => PathModel::simulate(m.as_ref(), protocol, duration, seed),
+        }
+    }
+
+    fn kind_tag(&self) -> &'static str {
+        match self {
+            FittedModel::IBoxNet(m) => m.kind_tag(),
+            FittedModel::StatisticalLoss(m) => m.kind_tag(),
+            FittedModel::IBoxMl(m) => m.kind_tag(),
+        }
+    }
+
+    fn fitted_on(&self) -> &str {
+        match self {
+            FittedModel::IBoxNet(m) => PathModel::fitted_on(m),
+            FittedModel::StatisticalLoss(m) => PathModel::fitted_on(m),
+            FittedModel::IBoxMl(m) => PathModel::fitted_on(m.as_ref()),
+        }
+    }
+}
+
+/// Translate the domain-light runner spec into the real training config.
+/// The spec's fields map one-to-one; the remaining hyperparameters
+/// (gradient clip, head weights, scheduled sampling) keep the library
+/// defaults so spec JSON stays small and stable.
+fn ml_config(spec: &IBoxMlSpec) -> IBoxMlConfig {
+    let mut cfg = IBoxMlConfig::builder()
+        .hidden_sizes(spec.hidden_sizes.clone())
+        .with_cross_traffic(spec.with_cross_traffic)
+        .seed(spec.seed)
+        .build();
+    cfg.train.epochs = spec.epochs;
+    cfg.train.lr = spec.lr as f32;
+    cfg.train.tbptt = spec.tbptt;
+    cfg
+}
+
+/// Fit `kind` on `train` — the fit half of the [`PathModel`] split and
+/// the only place a model kind meets a training trace.
+///
+/// Each call records a `model.fit` span and increments the `model.fit`
+/// counter in the effective obs registry; the fit cache
+/// ([`crate::cache::FitCache`]) wraps this function and guarantees at
+/// most one call per distinct (trace, kind, config, seed).
+pub fn fit_model(kind: &ModelKind, train: &FlowTrace) -> FittedModel {
+    let _span = ibox_obs::span!("model.fit");
+    ibox_obs::global().counter("model.fit").inc();
+    match kind {
+        ModelKind::IBoxNet => FittedModel::IBoxNet(IBoxNet::fit(train)),
+        ModelKind::IBoxNetNoCross => FittedModel::IBoxNet(IBoxNet::fit_without_cross(train)),
+        ModelKind::StatisticalLoss => {
+            FittedModel::StatisticalLoss(StatisticalLossModel::fit(train))
+        }
+        ModelKind::IBoxNetReorder => FittedModel::IBoxNet(IBoxNet::fit_with_reordering(train)),
+        ModelKind::IBoxMl(spec) => {
+            let ml = IBoxMl::fit(std::slice::from_ref(train), ml_config(spec));
+            let driver = IBoxNet::fit(train);
+            FittedModel::IBoxMl(Box::new(FittedIBoxMl { ml, driver }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox_cc::Cubic;
+    use ibox_sim::{PathConfig, PathEmulator};
+
+    fn train_trace(secs: u64, seed: u64) -> FlowTrace {
+        PathEmulator::new(
+            PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+            SimTime::from_secs(secs),
+        )
+        .with_name("model-gt")
+        .run_sender(Box::new(Cubic::new()), "m", seed)
+        .traces
+        .into_iter()
+        .next()
+        .expect("one recorded flow")
+        .normalized()
+    }
+
+    fn tiny_ml_kind() -> ModelKind {
+        ModelKind::IBoxMl(IBoxMlSpec {
+            hidden_sizes: vec![8],
+            epochs: 2,
+            lr: 5e-3,
+            tbptt: 32,
+            with_cross_traffic: false,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn fit_model_covers_every_kind_and_counts_fits() {
+        let train = train_trace(5, 1);
+        let scope = ibox_obs::scoped();
+        let mut kinds: Vec<ModelKind> = ModelKind::all().to_vec();
+        kinds.push(tiny_ml_kind());
+        for kind in &kinds {
+            let fitted = fit_model(kind, &train);
+            assert_eq!(fitted.fitted_on(), "model-gt");
+            let sim = fitted.simulate("vegas", SimTime::from_secs(3), 9);
+            assert!(sim.len() > 20, "{} produced {} packets", kind.name(), sim.len());
+        }
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["model.fit"], kinds.len() as u64);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed_for_the_composite_ml_model() {
+        let train = train_trace(5, 2);
+        let fitted = fit_model(&tiny_ml_kind(), &train);
+        let a = fitted.simulate("cubic", SimTime::from_secs(3), 11);
+        let b = fitted.simulate("cubic", SimTime::from_secs(3), 11);
+        assert_eq!(a, b);
+        let c = fitted.simulate("cubic", SimTime::from_secs(3), 12);
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn kind_tags_distinguish_families_not_fit_variants() {
+        let train = train_trace(4, 3);
+        assert_eq!(fit_model(&ModelKind::IBoxNet, &train).kind_tag(), "iboxnet");
+        assert_eq!(fit_model(&ModelKind::IBoxNetNoCross, &train).kind_tag(), "iboxnet");
+        assert_eq!(fit_model(&ModelKind::StatisticalLoss, &train).kind_tag(), "statistical-loss");
+    }
+}

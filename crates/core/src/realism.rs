@@ -17,8 +17,13 @@
 use serde::{Deserialize, Serialize};
 
 use ibox_ml::{Logistic, LogisticConfig, StandardScaler};
+use ibox_runner::ModelKind;
+use ibox_sim::SimTime;
 use ibox_trace::series::{delay_series, inter_arrival_diffs, send_rate_series};
 use ibox_trace::FlowTrace;
+
+use crate::cache::FitCache;
+use crate::model::PathModel;
 
 /// Window length for discriminator features, seconds.
 const WINDOW_SECS: f64 = 2.0;
@@ -142,10 +147,32 @@ pub fn realism_test_jobs(
     }
 }
 
+/// The end-to-end realism check for a model *kind*: fit `kind` on every
+/// real trace (through `cache` — repeated checks of the same corpus fit
+/// nothing twice), replay `protocol` through each fitted model, and run
+/// the discriminator on real vs replayed. Fit/replay jobs run on the
+/// runner pool; replay seeds derive from `seed` and the trace index, so
+/// the report is identical at any `jobs` value.
+pub fn realism_of_model_jobs(
+    kind: &ModelKind,
+    real: &[FlowTrace],
+    protocol: &str,
+    duration: SimTime,
+    seed: u64,
+    jobs: usize,
+    cache: &FitCache,
+) -> RealismReport {
+    assert!(!real.is_empty(), "realism check needs real traces");
+    let simulated: Vec<FlowTrace> = ibox_runner::run_scoped(real.len(), jobs, |i| {
+        cache.fit_path_model(kind, &real[i]).simulate(protocol, duration, seed + i as u64)
+    });
+    realism_test_jobs(real, &simulated, jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::IBoxNet;
+    use crate::model::fit_model;
     use ibox_cc::Cubic;
     use ibox_sim::{PathConfig, PathEmulator, SimTime};
 
@@ -190,12 +217,49 @@ mod tests {
         let sims: Vec<FlowTrace> = real
             .iter()
             .enumerate()
-            .map(|(i, t)| IBoxNet::fit(t).simulate("cubic", SimTime::from_secs(15), 40 + i as u64))
+            .map(|(i, t)| {
+                fit_model(&ModelKind::IBoxNet, t).simulate(
+                    "cubic",
+                    SimTime::from_secs(15),
+                    40 + i as u64,
+                )
+            })
             .collect();
         let r = realism_test(&real, &sims);
         assert!(
             r.realism_score > 0.2,
             "an iBoxNet replay should not be trivially separable: {r:?}"
         );
+    }
+
+    #[test]
+    fn realism_of_model_fits_through_the_cache() {
+        // Distinct rates so the three traces have three distinct digests
+        // (on a deterministic simple path, the seed alone does not).
+        let real: Vec<FlowTrace> = (0..3).map(|i| gt(i, 5e6 + i as f64 * 1e6)).collect();
+        let cache = crate::cache::FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        let first = realism_of_model_jobs(
+            &ModelKind::IBoxNet,
+            &real,
+            "cubic",
+            SimTime::from_secs(15),
+            40,
+            1,
+            &cache,
+        );
+        let again = realism_of_model_jobs(
+            &ModelKind::IBoxNet,
+            &real,
+            "cubic",
+            SimTime::from_secs(15),
+            40,
+            2,
+            &cache,
+        );
+        let metrics = scope.finish().snapshot();
+        assert_eq!(first, again, "same corpus + seed ⇒ same report at any jobs");
+        assert_eq!(metrics.counters["model.fit"], 3, "second check must reuse cached fits");
+        assert_eq!(metrics.counters["fitcache.hit"], 3);
     }
 }

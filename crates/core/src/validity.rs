@@ -83,6 +83,34 @@ impl ValidityRegion {
         Self { lo, hi }
     }
 
+    /// [`ValidityRegion::fit_jobs`] through a [`FitCache`]: the region is
+    /// cached under the digests of the training corpus, so re-checking
+    /// candidates against the same corpus (e.g. `ibox validity
+    /// --model-cache <dir>` across invocations) extracts features once.
+    pub fn fit_jobs_cached(
+        traces: &[FlowTrace],
+        jobs: usize,
+        cache: &crate::cache::FitCache,
+    ) -> Self {
+        assert!(!traces.is_empty(), "cannot fit a validity region on no traces");
+        // The corpus digest folds every trace digest in order; "validity"
+        // stands in for the model kind and the fit is deterministic.
+        let mut corpus = String::with_capacity(traces.len() * 23);
+        for t in traces {
+            corpus.push_str(&t.digest());
+            corpus.push('\n');
+        }
+        let key = crate::cache::FitCacheKey {
+            trace_digest: ibox_obs::config_hash(&corpus),
+            kind: "validity-region".to_string(),
+            config_hash: "-".to_string(),
+            fit_seed: 0,
+        };
+        cache
+            .get_or_insert_with(&key.id(), || Self::fit_jobs(traces, jobs))
+            .expect("ValidityRegion round-trips through its own serde form")
+    }
+
     /// Check a candidate trace against the envelope.
     pub fn check(&self, trace: &FlowTrace) -> ValidityReport {
         let cfg = FeatureConfig { with_cross_traffic: false };
@@ -170,6 +198,21 @@ mod tests {
         let region = ValidityRegion::fit(&train);
         let fresh = run(Box::new(RtcController::default_config()), 99);
         assert!(region.check(&fresh).is_valid(0.9));
+    }
+
+    #[test]
+    fn cached_fit_matches_direct_fit_and_skips_refits() {
+        let train: Vec<FlowTrace> =
+            (0..3).map(|i| run(Box::new(RtcController::default_config()), i)).collect();
+        let cache = crate::cache::FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        let a = ValidityRegion::fit_jobs_cached(&train, 1, &cache);
+        let b = ValidityRegion::fit_jobs_cached(&train, 1, &cache);
+        let metrics = scope.finish().snapshot();
+        assert_eq!(a, ValidityRegion::fit(&train), "cache must not change the fit");
+        assert_eq!(a, b);
+        assert_eq!(metrics.counters["fitcache.miss"], 1);
+        assert_eq!(metrics.counters["fitcache.hit"], 1);
     }
 
     #[test]

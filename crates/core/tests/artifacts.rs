@@ -1,0 +1,115 @@
+//! Property tests for model artifacts: a saved-then-loaded model replays
+//! **byte-identically** to the in-memory original, for every
+//! [`ModelKind`] — the core guarantee of the fit/replay split — and
+//! version-skewed artifacts are rejected by name, not misread.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ibox::{fit_model, ModelArtifact, ModelKind, PathModel, MODEL_ARTIFACT_SCHEMA};
+use ibox_runner::IBoxMlSpec;
+use ibox_sim::SimTime;
+
+/// Every model family: the four emulator-replay kinds plus a tiny iBoxML
+/// configuration (small net, one epoch — enough to exercise weight
+/// serialization without minutes of training).
+fn kinds() -> Vec<ModelKind> {
+    let mut kinds = ModelKind::all().to_vec();
+    kinds.push(ModelKind::IBoxMl(IBoxMlSpec {
+        hidden_sizes: vec![6],
+        epochs: 1,
+        lr: 5e-3,
+        tbptt: 32,
+        with_cross_traffic: false,
+        seed: 3,
+    }));
+    kinds
+}
+
+/// One artifact per kind, fitted once on a shared training trace (fits —
+/// especially the ML one — dominate the test's wall time, so they are
+/// not repeated per proptest case).
+fn artifacts() -> &'static Vec<(ModelKind, ModelArtifact)> {
+    static CELL: OnceLock<Vec<(ModelKind, ModelArtifact)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let duration = SimTime::from_secs(4);
+        let train = ibox_testbed::run_protocol(
+            &ibox_testbed::Profile::Ethernet.builder().seed(11).duration(duration).sample(),
+            "cubic",
+            duration,
+            11,
+        );
+        kinds()
+            .into_iter()
+            .map(|kind| {
+                let artifact = ModelArtifact::new(&kind, fit_model(&kind, &train));
+                (kind, artifact)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For every model kind: serialize → deserialize → simulate produces
+    /// bitwise the same trace as the in-memory original, under arbitrary
+    /// replay protocols, seeds, and durations — and re-serialization is
+    /// byte-stable.
+    #[test]
+    fn saved_then_loaded_models_replay_byte_identically(
+        seed in any::<u64>(),
+        proto_idx in 0usize..3,
+        dur_s in 2u64..5,
+    ) {
+        let protocol = ["cubic", "vegas", "reno"][proto_idx];
+        let duration = SimTime::from_secs(dur_s);
+        for (kind, original) in artifacts() {
+            let json = original.to_json();
+            let loaded = ModelArtifact::parse(&json, Path::new("mem")).unwrap();
+            prop_assert_eq!(loaded.to_json(), json, "{}: envelope must be byte-stable", kind.name());
+            let fresh = original.model.simulate(protocol, duration, seed);
+            let replayed = loaded.model.simulate(protocol, duration, seed);
+            prop_assert_eq!(
+                fresh.digest(),
+                replayed.digest(),
+                "{}: digests diverged after a round trip", kind.name()
+            );
+            prop_assert_eq!(
+                &fresh,
+                &replayed,
+                "{}: a reloaded model must replay byte-identically", kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected_at_the_file_level() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ibox_artifact_skew_{}.json", std::process::id()));
+    let (_, artifact) = &artifacts()[0];
+    let skewed = artifact.to_json().replacen(
+        &format!("\"schema\":{MODEL_ARTIFACT_SCHEMA}"),
+        "\"schema\":2",
+        1,
+    );
+    std::fs::write(&path, &skewed).unwrap();
+
+    for result in [ModelArtifact::load(&path), ModelArtifact::load_flexible(&path)] {
+        let err = result.unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(path.display().to_string().as_str()),
+            "must name the offending file: {msg}"
+        );
+        assert!(msg.contains("schema version 2"), "must name the file's version: {msg}");
+        assert!(
+            msg.contains(&format!("version {MODEL_ARTIFACT_SCHEMA}")),
+            "must name the supported version: {msg}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

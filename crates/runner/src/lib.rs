@@ -30,4 +30,6 @@ pub mod pool;
 pub mod spec;
 
 pub use pool::{run_indexed, run_scoped, suggested_jobs};
-pub use spec::{BatchSpec, BatchSpecBuilder, ModelKind, RunSource, RunSpec, RunSpecBuilder};
+pub use spec::{
+    BatchSpec, BatchSpecBuilder, IBoxMlSpec, ModelKind, RunSource, RunSpec, RunSpecBuilder,
+};

@@ -14,8 +14,79 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Which model family to fit in a run (paper Figs. 2–3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Training configuration for [`ModelKind::IBoxMl`], kept domain-light
+/// (plain numbers, no `crates/ml` types) so the runner stays dependency-free.
+/// The executor in `ibox::model` translates it into an `IBoxMlConfig`.
+///
+/// Every field defaults on deserialize (see the hand-written
+/// [`Deserialize`] impl below), so batch files may spell `{"IBoxMl": {}}`
+/// or override only what they need.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IBoxMlSpec {
+    /// Hidden sizes of the recurrent stack.
+    pub hidden_sizes: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Truncated-BPTT window length.
+    pub tbptt: usize,
+    /// Include the estimated cross-traffic feature column.
+    pub with_cross_traffic: bool,
+    /// Weight-init and sampling seed.
+    pub seed: u64,
+}
+
+impl Default for IBoxMlSpec {
+    fn default() -> Self {
+        Self {
+            hidden_sizes: vec![32, 32],
+            epochs: 15,
+            lr: 3e-3,
+            tbptt: 64,
+            with_cross_traffic: false,
+            seed: 17,
+        }
+    }
+}
+
+// Hand-written so absent fields fall back to the defaults above (the
+// derive would reject them as missing), keeping `{"IBoxMl": {}}` and
+// partially specified batch files valid.
+impl Deserialize for IBoxMlSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("an IBoxMlSpec object", v));
+        }
+        let d = IBoxMlSpec::default();
+        fn field<T: Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match v.get(name) {
+                Some(x) => T::from_value(x),
+                None => Ok(default),
+            }
+        }
+        Ok(Self {
+            hidden_sizes: field(v, "hidden_sizes", d.hidden_sizes)?,
+            epochs: field(v, "epochs", d.epochs)?,
+            lr: field(v, "lr", d.lr)?,
+            tbptt: field(v, "tbptt", d.tbptt)?,
+            with_cross_traffic: field(v, "with_cross_traffic", d.with_cross_traffic)?,
+            seed: field(v, "seed", d.seed)?,
+        })
+    }
+}
+
+/// Which model family to fit in a run (paper Figs. 2–3, §4 for iBoxML).
+///
+/// The unit variants serialize as plain strings (`"model": "IBoxNet"`), so
+/// pre-existing batch files keep parsing; [`ModelKind::IBoxMl`] carries its
+/// training config and serializes externally tagged
+/// (`"model": {"IBoxMl": {...}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModelKind {
     /// Full iBoxNet: `(b, d, B)` + estimated cross traffic.
     IBoxNet,
@@ -26,20 +97,36 @@ pub enum ModelKind {
     /// Extension: iBoxNet plus an estimated reordering stage in the
     /// emulated path — melding the §5.1 discovery back into the emulator.
     IBoxNetReorder,
+    /// Learned state-space model (paper §4): recurrent delay/loss heads
+    /// driven through a fitted iBoxNet send-pattern driver.
+    IBoxMl(IBoxMlSpec),
 }
 
 impl ModelKind {
     /// Display name used in experiment output.
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             ModelKind::IBoxNet => "iBoxNet",
             ModelKind::IBoxNetNoCross => "iBoxNet w/o CT",
             ModelKind::StatisticalLoss => "Statistical loss",
             ModelKind::IBoxNetReorder => "iBoxNet + reorder (ext)",
+            ModelKind::IBoxMl(_) => "iBoxML",
         }
     }
 
-    /// Every model kind, in evaluation order.
+    /// The seed the *fit* consumes (cache-key component). The emulator
+    /// kinds fit deterministically from the trace alone, so their fit seed
+    /// is 0; iBoxML's weight init and sampling derive from its spec seed.
+    pub fn fit_seed(&self) -> u64 {
+        match self {
+            ModelKind::IBoxMl(spec) => spec.seed,
+            _ => 0,
+        }
+    }
+
+    /// The emulator-replay evaluation set, in order (iBoxML, which needs a
+    /// training config and ~100× the fit time, is constructed explicitly
+    /// via [`ModelKind::IBoxMl`]).
     pub fn all() -> [ModelKind; 4] {
         [
             ModelKind::IBoxNet,
@@ -70,8 +157,9 @@ pub enum RunSource {
         /// Path to the trace file.
         path: String,
     },
-    /// Load an already-fitted iBoxNet profile (the output of `ibox fit`)
-    /// and only replay — no fitting. The spec's `model` is ignored.
+    /// Load an already-fitted model artifact (the output of `ibox fit`;
+    /// legacy bare iBoxNet profiles are also accepted) and only replay —
+    /// no fitting. The spec's `model` is ignored.
     ProfileFile {
         /// Path to the fitted-profile JSON.
         path: String,
@@ -325,6 +413,34 @@ mod tests {
     #[test]
     fn model_kind_names() {
         assert_eq!(ModelKind::IBoxNet.name(), "iBoxNet");
+        assert_eq!(ModelKind::IBoxMl(IBoxMlSpec::default()).name(), "iBoxML");
         assert_eq!(ModelKind::all().len(), 4);
+    }
+
+    #[test]
+    fn unit_model_kinds_keep_string_serialization() {
+        // Pre-existing batch files spell `"model": "IBoxNet"` — the IBoxMl
+        // data variant must not change how the unit variants serialize.
+        assert_eq!(serde_json::to_string(&ModelKind::IBoxNet).unwrap(), "\"IBoxNet\"");
+        let back: ModelKind = serde_json::from_str("\"StatisticalLoss\"").unwrap();
+        assert_eq!(back, ModelKind::StatisticalLoss);
+    }
+
+    #[test]
+    fn iboxml_spec_defaults_fill_missing_fields() {
+        let kind: ModelKind =
+            serde_json::from_str(r#"{"IBoxMl": {"hidden_sizes": [8], "epochs": 2}}"#).unwrap();
+        let ModelKind::IBoxMl(spec) = &kind else { panic!("expected IBoxMl") };
+        assert_eq!(spec.hidden_sizes, vec![8]);
+        assert_eq!(spec.epochs, 2);
+        assert_eq!(spec.tbptt, IBoxMlSpec::default().tbptt);
+        assert_eq!(spec.seed, 17);
+        assert_eq!(kind.fit_seed(), 17);
+        assert_eq!(ModelKind::IBoxNet.fit_seed(), 0);
+
+        // Full round-trip through the externally tagged form.
+        let json = serde_json::to_string(&kind).unwrap();
+        let again: ModelKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(again, kind);
     }
 }

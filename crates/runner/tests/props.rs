@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ibox_runner::{BatchSpec, ModelKind, RunSource, RunSpec};
+use ibox_runner::{BatchSpec, IBoxMlSpec, ModelKind, RunSource, RunSpec};
 
 /// Deterministically expand a `u64` into a short printable token, so
 /// names/paths exercise serialization without a string strategy.
@@ -13,7 +13,20 @@ fn token(seed: u64, prefix: &str) -> String {
 
 fn model_from(idx: u64) -> ModelKind {
     let all = ModelKind::all();
-    all[(idx % all.len() as u64) as usize]
+    let n = all.len() as u64 + 1;
+    match idx % n {
+        // Every fifth spec gets the data-carrying IBoxMl variant, with a
+        // config derived from the index so fields vary across cases.
+        i if i == all.len() as u64 => ModelKind::IBoxMl(IBoxMlSpec {
+            hidden_sizes: vec![4 + (idx % 3) as usize, 8],
+            epochs: 1 + (idx % 4) as usize,
+            lr: 1e-3 + (idx % 7) as f64 * 1e-4,
+            tbptt: 16 + (idx % 5) as usize,
+            with_cross_traffic: idx % 2 == 0,
+            seed: idx,
+        }),
+        i => all[i as usize].clone(),
+    }
 }
 
 fn source_from(kind: u64, a: u64, b: u64) -> RunSource {

@@ -172,6 +172,40 @@ impl FlowTrace {
         v
     }
 
+    /// Content digest of the trace: FNV-1a 64 over the metadata strings
+    /// (length-prefixed) and every record's `(seq, send_ns, size, recv_ns)`
+    /// in fixed-width little-endian encoding, formatted as
+    /// `fnv1a:{:016x}` to match `ibox_obs::config_hash`.
+    ///
+    /// Two traces share a digest iff they are identical (up to hash
+    /// collisions) — this is the trace component of fit-cache keys, where
+    /// a stale hit would silently replay the wrong path model.
+    pub fn digest(&self) -> String {
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1_0000_0000_01b3;
+        let mut h = BASIS;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for s in [&self.meta.path, &self.meta.protocol, &self.meta.run] {
+            eat(&(s.len() as u64).to_le_bytes());
+            eat(s.as_bytes());
+        }
+        eat(&(self.records.len() as u64).to_le_bytes());
+        for r in &self.records {
+            eat(&r.seq.to_le_bytes());
+            eat(&r.send_ns.to_le_bytes());
+            eat(&r.size.to_le_bytes());
+            // Lost packets hash as u64::MAX — unreachable as a real recv
+            // timestamp (≈ 584 years of simulated time).
+            eat(&r.recv_ns.unwrap_or(u64::MAX).to_le_bytes());
+        }
+        format!("fnv1a:{h:016x}")
+    }
+
     /// Shift all timestamps so that the first send is at t = 0.
     ///
     /// Models treat traces as starting at zero; the testbed records absolute
@@ -275,6 +309,29 @@ mod tests {
                 .collect(),
         );
         assert_eq!(shifted.normalized(), t);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let t = sample();
+        assert_eq!(t.digest(), t.clone().digest(), "digest must be deterministic");
+        assert!(t.digest().starts_with("fnv1a:"), "obs hash convention");
+
+        // Any record mutation changes the digest…
+        let mut recs: Vec<PacketRecord> = t.records().to_vec();
+        recs[1].size += 1;
+        let bumped = FlowTrace::from_records(t.meta.clone(), recs);
+        assert_ne!(bumped.digest(), t.digest());
+
+        // …and so does a delivered→lost flip or a metadata change.
+        let mut recs: Vec<PacketRecord> = t.records().to_vec();
+        recs[0].recv_ns = None;
+        let lost = FlowTrace::from_records(t.meta.clone(), recs);
+        assert_ne!(lost.digest(), t.digest());
+
+        let mut renamed = t.clone();
+        renamed.meta.run = "other".into();
+        assert_ne!(renamed.digest(), t.digest());
     }
 
     #[test]

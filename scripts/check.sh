@@ -2,8 +2,10 @@
 # Local gate: everything CI would run, offline.
 #   scripts/check.sh [--quick] [--perf]
 #
-# --quick additionally smoke-tests the batch runner end to end: a 4-spec
-# batch file executed through the release `ibox batch --jobs 2`.
+# --quick additionally smoke-tests the release binary end to end: a
+# 5-spec batch file (every model kind, incl. a tiny iBoxML) through
+# `ibox batch --jobs 2 --model-cache`, then a fit → save → reload →
+# replay loop asserting byte-identical traces.
 # --perf additionally runs the release `perf` binary in quick mode and
 # fails on a >20% throughput regression vs the committed BENCH_perf.json.
 set -euo pipefail
@@ -38,6 +40,14 @@ gate '\.matvec\(' crates/ml/src/gru.rs \
     "allocating .matvec( in the GRU hot path — use matvec_into/matvec_acc with a workspace buffer"
 gate '\.matvec_t\(' crates/ml/src/gru.rs \
     "allocating .matvec_t( in the GRU hot path — use matvec_t_into with a workspace buffer"
+# The PathModel split: fits go through fit_model/FitCache (counted,
+# cached, serializable), never through the concrete fit entry points.
+gate '(IBoxNet|StatisticalLossModel)::fit' crates/cli \
+    "direct model fit in the CLI — route through ibox::fit_model / FitCache so fits are counted and cached"
+gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/abtest.rs \
+    "direct model fit in the A/B harness — route through ibox::fit_model / FitCache"
+gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/batch.rs \
+    "direct model fit in the batch executor — route through ibox::fit_model / FitCache"
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
@@ -55,13 +65,26 @@ if [[ "${1:-}" == "--quick" ]]; then
     {"id": "smoke/iboxnet", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 70}}, "protocol": "cubic", "duration_s": 4.0, "seed": 1, "model": "IBoxNet"},
     {"id": "smoke/nocross", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 71}}, "protocol": "cubic", "duration_s": 4.0, "seed": 2, "model": "IBoxNetNoCross"},
     {"id": "smoke/statloss", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 72}}, "protocol": "cubic", "duration_s": 4.0, "seed": 3, "model": "StatisticalLoss"},
-    {"id": "smoke/reorder", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 73}}, "protocol": "cubic", "duration_s": 4.0, "seed": 4, "model": "IBoxNetReorder"}
+    {"id": "smoke/reorder", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 73}}, "protocol": "cubic", "duration_s": 4.0, "seed": 4, "model": "IBoxNetReorder"},
+    {"id": "smoke/iboxml", "source": {"Synth": {"profile": "ethernet", "protocol": "cubic", "seed": 70}}, "protocol": "cubic", "duration_s": 4.0, "seed": 5, "model": {"IBoxMl": {"hidden_sizes": [8], "epochs": 2, "tbptt": 32}}}
   ]
 }
 EOF
-    run ./target/release/ibox batch "$tmp/batch.json" --jobs 2 -o "$tmp/results.json"
+    run ./target/release/ibox batch "$tmp/batch.json" --jobs 2 --model-cache "$tmp/cache" -o "$tmp/results.json"
     test -s "$tmp/results.json" || { echo "FAIL: batch smoke wrote no results" >&2; exit 1; }
+    grep -q 'iBoxML' "$tmp/results.json" || { echo "FAIL: batch smoke missing the iBoxML record" >&2; exit 1; }
     echo "batch smoke passed"
+
+    echo "==> artifact smoke: fit, save, reload, replay byte-identically"
+    run ./target/release/ibox synth --profile ethernet --protocol cubic --duration 4 --seed 81 -o "$tmp/train.json"
+    run ./target/release/ibox fit "$tmp/train.json" -o "$tmp/model.json"
+    run ./target/release/ibox replay "$tmp/model.json" --protocol vegas --duration 4 --seed 9 -o "$tmp/replay1.json" | tee "$tmp/log1.txt"
+    run ./target/release/ibox replay "$tmp/model.json" --protocol vegas --duration 4 --seed 9 -o "$tmp/replay2.json" | tee "$tmp/log2.txt"
+    cmp "$tmp/replay1.json" "$tmp/replay2.json" \
+        || { echo "FAIL: a saved-then-loaded model did not replay byte-identically" >&2; exit 1; }
+    diff <(grep 'trace digest' "$tmp/log1.txt") <(grep 'trace digest' "$tmp/log2.txt") \
+        || { echo "FAIL: replay digests diverged across reloads" >&2; exit 1; }
+    echo "artifact smoke passed"
 fi
 
 if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
