@@ -1,0 +1,184 @@
+//! Loopback throughput and load-shedding behaviour of the `ibox-serve`
+//! daemon.
+//!
+//! Two phases against an in-process server on an ephemeral port:
+//!
+//! 1. **Throughput** — keep-alive clients hammer `GET /healthz` (the
+//!    transport floor) and `POST /replay` of a small registered model
+//!    (a real inference round-trip), recording requests/second as
+//!    `serve.bench.healthz_rps` / `serve.bench.replay_rps` gauges.
+//! 2. **Overload** — a second server with one worker and a one-slot
+//!    accept queue takes a concurrent barrage; the shed rate (503s or
+//!    reset connections over total attempts) lands in
+//!    `serve.bench.shed_rate`, asserting the daemon degrades by
+//!    rejecting rather than queueing without bound.
+//!
+//! Results (plus the server's own `serve.*` counters) are written to
+//! `BENCH_serve.json`.
+//!
+//! Run: `cargo run -p ibox-bench --release --bin serve [--quick]`
+
+use std::time::{Duration, Instant};
+
+use ibox_bench::{cell, render_table, BenchRun, Scale};
+use ibox_serve::{HttpClient, ServeConfig, Server};
+
+/// Start a daemon on an ephemeral loopback port with a fresh model dir.
+fn start(tag: &str, configure: impl FnOnce(&mut ServeConfig)) -> Server {
+    let dir = std::env::temp_dir().join(format!("ibox-bench-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServeConfig::new("127.0.0.1:0", &dir);
+    configure(&mut config);
+    Server::bind(config).expect("bind bench server")
+}
+
+/// Register a small model synchronously and return its id.
+fn fit_small_model(addr: &str) -> String {
+    let body = br#"{"model": "IBoxNet", "wait": true,
+        "synth": {"profile": "ethernet", "protocol": "cubic", "seed": 7, "duration_s": 3}}"#;
+    let mut c = HttpClient::connect(addr, Duration::from_secs(60)).expect("connect");
+    let (status, resp) = c.request("POST", "/fit", Some(body)).expect("fit");
+    let text = String::from_utf8(resp).expect("fit response utf-8");
+    assert_eq!(status, 200, "{text}");
+    let v = serde_json::parse_value(&text).expect("fit response json");
+    match v.get("model") {
+        Some(serde::Value::Str(id)) => id.clone(),
+        other => panic!("fit answered without a model id: {other:?}"),
+    }
+}
+
+/// Hammer one endpoint from `clients` keep-alive connections for
+/// `per_client` requests each; returns aggregate requests/second.
+fn measure_rps(
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c =
+                        HttpClient::connect(addr, Duration::from_secs(60)).expect("connect");
+                    for _ in 0..per_client {
+                        let (status, _) = match c.request(method, path, body) {
+                            Ok(r) => r,
+                            Err(_) => {
+                                // The server's keep-alive request cap
+                                // closed the connection; dial again.
+                                c = HttpClient::connect(addr, Duration::from_secs(60))
+                                    .expect("reconnect");
+                                c.request(method, path, body).expect("request after reconnect")
+                            }
+                        };
+                        assert_eq!(status, 200, "{method} {path} failed mid-benchmark");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("bench client");
+        }
+    });
+    (clients * per_client) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Barrage a capacity-1 server; returns (attempts, served, rejected).
+/// "Rejected" counts both clean 503s and connections the shed path
+/// closed before the client finished its send.
+fn measure_shedding(
+    addr: &str,
+    waves: usize,
+    per_wave: usize,
+    body: &[u8],
+) -> (usize, usize, usize) {
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..waves {
+        let outcomes: Vec<Result<u16, String>> = std::thread::scope(|s| {
+            (0..per_wave)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut c = HttpClient::connect(addr, Duration::from_secs(60))?;
+                        c.request("POST", "/replay", Some(body)).map(|(status, _)| status)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("barrage client"))
+                .collect()
+        });
+        for o in outcomes {
+            match o {
+                Ok(200) => served += 1,
+                Ok(503) | Err(_) => rejected += 1,
+                Ok(other) => panic!("unexpected status {other} under overload"),
+            }
+        }
+    }
+    (waves * per_wave, served, rejected)
+}
+
+fn main() {
+    let run = BenchRun::start("serve");
+    let scale = Scale::from_args();
+    let reg = ibox_obs::global();
+
+    // -------------------------------------------------- throughput phase
+    let server = start("throughput", |c| c.jobs = 4);
+    let addr = server.addr().to_string();
+    let model = fit_small_model(&addr);
+    let replay =
+        format!(r#"{{"model": "{model}", "protocol": "cubic", "duration_s": 1, "seed": 3}}"#)
+            .into_bytes();
+
+    let clients = 4;
+    let healthz_rps = measure_rps(&addr, clients, scale.pick(200, 2000), "GET", "/healthz", None);
+    let replay_rps =
+        measure_rps(&addr, clients, scale.pick(20, 200), "POST", "/replay", Some(&replay));
+    reg.gauge("serve.bench.healthz_rps").set(healthz_rps);
+    reg.gauge("serve.bench.replay_rps").set(replay_rps);
+    server.handle().shutdown();
+    server.join();
+
+    // ----------------------------------------------------- overload phase
+    let server = start("overload", |c| {
+        c.jobs = 1;
+        c.max_inflight = 1;
+    });
+    let addr = server.addr().to_string();
+    let model = fit_small_model(&addr);
+    let replay =
+        format!(r#"{{"model": "{model}", "protocol": "cubic", "duration_s": 2, "seed": 3}}"#)
+            .into_bytes();
+    let (attempts, served, rejected) = measure_shedding(&addr, scale.pick(2, 6), 8, &replay);
+    let shed_rate = rejected as f64 / attempts as f64;
+    reg.gauge("serve.bench.shed_attempts").set(attempts as f64);
+    reg.gauge("serve.bench.shed_served").set(served as f64);
+    reg.gauge("serve.bench.shed_rate").set(shed_rate);
+    server.handle().shutdown();
+    server.join();
+
+    assert!(served >= 1, "overloaded server must still serve someone");
+    assert!(rejected >= 1, "a capacity-2 server under an 8-wide barrage must shed");
+
+    println!(
+        "{}",
+        render_table(
+            "ibox-serve loopback benchmark",
+            &["measurement", "value"],
+            &[
+                vec!["healthz rps (4 clients)".into(), cell(healthz_rps, 0)],
+                vec!["replay rps (4 clients)".into(), cell(replay_rps, 1)],
+                vec!["overload attempts".into(), format!("{attempts}")],
+                vec!["overload served".into(), format!("{served}")],
+                vec!["overload shed rate".into(), cell(shed_rate, 3)],
+            ],
+        )
+    );
+    run.finish();
+}

@@ -83,8 +83,34 @@ const BATCH: CmdSpec = CmdSpec {
     opts: &[JOBS, MODEL_CACHE, OUTPUT],
 };
 
+const SERVE: CmdSpec = CmdSpec {
+    name: "serve",
+    positionals: &[],
+    opts: &[
+        OptSpec::value("--addr", "host:port"),
+        JOBS,
+        MODEL_CACHE,
+        OptSpec::value("--max-inflight", "K"),
+        OptSpec::value("--read-timeout", "S"),
+    ],
+};
+
+const CALL: CmdSpec = CmdSpec {
+    name: "call",
+    positionals: &[PosSpec { name: "url", required: true, variadic: false }],
+    opts: &[
+        OptSpec::value("--data", "body.json"),
+        OptSpec::flag("--post"),
+        OptSpec::value("--timeout", "S"),
+        OUTPUT,
+    ],
+};
+
+const VERSION: CmdSpec = CmdSpec { name: "version", positionals: &[], opts: &[] };
+
 /// Every subcommand grammar, in help order.
-const COMMANDS: [&CmdSpec; 7] = [&FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH];
+const COMMANDS: [&CmdSpec; 10] =
+    [&FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH, &SERVE, &CALL, &VERSION];
 
 /// Usage text shown on errors — generated from the [`CmdSpec`] tables.
 pub fn usage() -> String {
@@ -125,6 +151,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "synth" => cmd_synth(rest),
         "validity" => cmd_validity(rest),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
+        "call" => cmd_call(rest),
+        "version" | "--version" | "-V" => {
+            println!("{}", version_line());
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -373,6 +405,76 @@ fn cmd_batch(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &SERVE)?;
+    let addr = p.opt("--addr").unwrap_or("127.0.0.1:7070").to_string();
+    // The registry/cache dir doubles as the daemon's state dir; without
+    // --model-cache, models live only for this daemon's lifetime.
+    let model_dir = match p.opt("--model-cache") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("ibox-serve-{}", std::process::id())),
+    };
+    let mut config = ibox_serve::ServeConfig::new(addr, &model_dir);
+    config.jobs = p.num("--jobs", 0usize)?;
+    config.max_inflight = p.num("--max-inflight", 64usize)?.max(1);
+    let read_timeout_s: u64 = p.num("--read-timeout", 10u64)?;
+    config.read_timeout = std::time::Duration::from_secs(read_timeout_s.max(1));
+
+    let server = ibox_serve::Server::bind(config)?;
+    // The line scripts poll for; stdout, flushed, before blocking.
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+
+    // The daemon has no output file to anchor the manifest to; write it
+    // into the state dir instead so every run leaves provenance behind.
+    let manifest = RunManifestBuilder::new("serve").finish(ibox_obs::global().snapshot());
+    let path = model_dir.join("serve.manifest.json");
+    manifest
+        .write_to(&path)
+        .map_err(|e| format!("cannot write manifest {}: {e}", path.display()))?;
+    ibox_obs::info!("run manifest written to {}", path.display());
+    Ok(())
+}
+
+fn cmd_call(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &CALL)?;
+    let url = p.positional(0, "url")?;
+    let timeout_s: u64 = p.num("--timeout", 10u64)?;
+    let body = match p.opt("--data") {
+        Some(path) => Some(std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?),
+        None => None,
+    };
+    let method = if body.is_some() || p.flag("--post") { "POST" } else { "GET" };
+    let (status, resp) = ibox_serve::request_url(
+        url,
+        method,
+        body.as_deref(),
+        std::time::Duration::from_secs(timeout_s.max(1)),
+    )?;
+    let text = String::from_utf8_lossy(&resp);
+    if status >= 400 {
+        return Err(format!("{method} {url} failed with {status}: {text}"));
+    }
+    match p.opt("--output") {
+        Some(out) => save_text(&text, out)?,
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+/// The `ibox version` line: crate version plus the two on-disk schema
+/// versions peers need for compatibility checks.
+fn version_line() -> String {
+    format!(
+        "ibox {} (model artifact schema {}, run manifest schema {})",
+        env!("CARGO_PKG_VERSION"),
+        ibox::MODEL_ARTIFACT_SCHEMA,
+        ibox_obs::manifest::MANIFEST_SCHEMA,
+    )
+}
+
 /// Record batch wall time and the measured speedup over serial execution
 /// (sum of per-run `batch.run` spans ÷ wall time) as manifest gauges.
 /// Timing lives in the manifest, never in the results JSON — results stay
@@ -444,11 +546,32 @@ mod tests {
     #[test]
     fn usage_covers_every_command() {
         let u = usage();
-        for cmd in ["fit", "replay", "simulate", "metrics", "synth", "validity", "batch"] {
+        for cmd in [
+            "fit", "replay", "simulate", "metrics", "synth", "validity", "batch", "serve", "call",
+            "version",
+        ] {
             assert!(u.contains(&format!("ibox {cmd}")), "usage must mention {cmd}:\n{u}");
         }
         assert!(u.contains("--jobs <N>"), "{u}");
         assert!(u.contains("--model-cache <dir>"), "{u}");
+        assert!(u.contains("--addr <host:port>"), "{u}");
+    }
+
+    #[test]
+    fn version_reports_crate_and_schema_versions() {
+        let line = version_line();
+        assert!(line.starts_with(&format!("ibox {}", env!("CARGO_PKG_VERSION"))), "{line}");
+        assert!(
+            line.contains(&format!("model artifact schema {}", ibox::MODEL_ARTIFACT_SCHEMA)),
+            "{line}"
+        );
+        assert!(
+            line.contains(&format!("run manifest schema {}", ibox_obs::manifest::MANIFEST_SCHEMA)),
+            "{line}"
+        );
+        // Both spellings reach the same code path.
+        assert!(dispatch(&argv(&["version"])).is_ok());
+        assert!(dispatch(&argv(&["--version"])).is_ok());
     }
 
     #[test]

@@ -27,6 +27,12 @@ use crate::model::{FittedModel, PathModel};
 /// any other version by name rather than misinterpreting the payload.
 pub const MODEL_ARTIFACT_SCHEMA: u32 = 1;
 
+/// Filename suffix for registry-managed artifacts (`<id>.artifact.json`).
+/// Distinct from the fit cache's bare `<id>.json` entries (which hold a
+/// serialized [`FittedModel`], not an envelope), so both can share one
+/// `--model-cache` directory without colliding.
+pub const ARTIFACT_FILE_SUFFIX: &str = ".artifact.json";
+
 /// Why an artifact failed to load.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArtifactError {
@@ -172,6 +178,12 @@ impl ModelArtifact {
                 Err(_) => Err(err),
             },
         }
+    }
+
+    /// Path of the registry file for model `id` under `dir`
+    /// (`<dir>/<id>.artifact.json`).
+    pub fn registry_path(dir: &Path, id: &str) -> PathBuf {
+        dir.join(format!("{id}{ARTIFACT_FILE_SUFFIX}"))
     }
 
     /// Save to disk as JSON.

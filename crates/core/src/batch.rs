@@ -159,12 +159,13 @@ pub fn run_batch_with_cache(
     jobs: usize,
     cache: &FitCache,
 ) -> Result<BatchResult, String> {
-    let outcomes = ibox_runner::run_scoped(batch.runs.len(), jobs, |i| {
+    let outcomes = ibox_runner::run_scoped_checked(batch.runs.len(), jobs, |i| {
         // The per-run span totals add up to the batch's serial wall time,
         // which is what the CLI divides by to report the actual speedup.
         let _span = ibox_obs::span!("batch.run");
         execute_run_cached(&batch.runs[i], cache).map(|(record, _trace)| record)
-    });
+    })
+    .map_err(|e| e.to_string())?;
     let mut records = Vec::with_capacity(outcomes.len());
     for (i, outcome) in outcomes.into_iter().enumerate() {
         let mut record = outcome.map_err(|e| format!("run {i}: {e}"))?;

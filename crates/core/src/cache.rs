@@ -147,9 +147,28 @@ impl FitCache {
     /// [`fit_model`] call per distinct [`FitCacheKey`], in this process
     /// and (with a cache dir) across processes.
     pub fn fit_path_model(&self, kind: &ModelKind, train: &FlowTrace) -> FittedModel {
+        self.fit_path_model_keyed(kind, train).1
+    }
+
+    /// [`fit_path_model`], also returning the content-addressed key. The
+    /// serving layer names registry artifacts by `key.id()`, so a model
+    /// fitted over HTTP and one fitted by the CLI on the same trace share
+    /// one identity.
+    pub fn fit_path_model_keyed(
+        &self,
+        kind: &ModelKind,
+        train: &FlowTrace,
+    ) -> (FitCacheKey, FittedModel) {
         let key = FitCacheKey::for_fit(kind, train);
-        self.get_or_insert_with(&key.id(), || fit_model(kind, train))
-            .expect("FittedModel round-trips through its own serde form")
+        let model = self
+            .get_or_insert_with(&key.id(), || fit_model(kind, train))
+            .expect("FittedModel round-trips through its own serde form");
+        (key, model)
+    }
+
+    /// The on-disk directory backing this cache, if one was configured.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
     }
 
     fn entry_path(&self, id: &str) -> Option<PathBuf> {

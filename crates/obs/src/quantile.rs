@@ -50,7 +50,9 @@ impl StreamingQuantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                // total_cmp, not partial_cmp().unwrap(): one NaN latency
+                // sample must not panic the whole metrics registry.
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -115,7 +117,7 @@ impl StreamingQuantile {
             0 => 0.0,
             n @ 1..=4 => {
                 let mut sorted = self.heights[..n].to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                sorted.sort_by(f64::total_cmp);
                 let rank = (self.q * (n - 1) as f64).round() as usize;
                 sorted[rank]
             }
@@ -179,6 +181,33 @@ mod tests {
         est.observe(6.0);
         assert_eq!(est.estimate(), 6.0); // exact median of {2, 6, 10}
         assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn nan_observations_never_panic() {
+        // Regression: both sort sites used partial_cmp().unwrap(), so a
+        // single NaN in the first five observations (or in a sub-five
+        // estimate) panicked. NaN must degrade the estimate, not crash.
+        let mut est = StreamingQuantile::new(0.5);
+        est.observe(1.0);
+        est.observe(f64::NAN);
+        est.observe(3.0);
+        let _ = est.estimate(); // small-sample sort path
+        est.observe(2.0);
+        est.observe(f64::NAN); // fifth observation: full sort path
+        for x in stream(4, 1_000) {
+            est.observe(x); // steady-state path with NaN markers present
+        }
+        let _ = est.estimate();
+        assert_eq!(est.count(), 1_005);
+
+        // A clean stream after a NaN-free warmup still estimates sanely.
+        let mut clean = StreamingQuantile::new(0.5);
+        for x in stream(5, 10_000) {
+            clean.observe(x);
+        }
+        clean.observe(f64::NAN);
+        assert!((clean.estimate() - 0.5).abs() < 0.05);
     }
 
     #[test]

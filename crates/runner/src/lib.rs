@@ -29,7 +29,9 @@
 pub mod pool;
 pub mod spec;
 
-pub use pool::{run_indexed, run_scoped, suggested_jobs};
+pub use pool::{
+    run_indexed, run_indexed_checked, run_scoped, run_scoped_checked, suggested_jobs, PoolError,
+};
 pub use spec::{
     BatchSpec, BatchSpecBuilder, IBoxMlSpec, ModelKind, RunSource, RunSpec, RunSpecBuilder,
 };

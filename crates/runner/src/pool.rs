@@ -15,12 +15,18 @@
 //!    (so concurrent jobs never interleave writes into shared metrics)
 //!    and folds the per-job registries into the caller's effective
 //!    registry in index order after all jobs finish.
+//! 3. A panicking job surfaces as a typed [`PoolError`] naming the job
+//!    index and carrying the original panic message — never as a
+//!    poisoned-mutex panic on the caller thread. When several jobs
+//!    panic, the lowest index wins, which is also what the serial path
+//!    reports.
 //!
-//! Together these make a batch's observable output — values *and*
-//! metrics — identical at any `jobs` value, including `jobs = 1`.
+//! Together these make a batch's observable output — values, metrics,
+//! *and errors* — identical at any `jobs` value, including `jobs = 1`.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// A sensible default parallelism: the machine's available cores.
 pub fn suggested_jobs() -> usize {
@@ -33,25 +39,66 @@ fn effective_jobs(jobs: usize, n: usize) -> usize {
     jobs.min(n).max(1)
 }
 
-/// Run `f(0..n)` across up to `jobs` worker threads (`0` = auto) and
-/// return the results in index order. With `jobs <= 1` (or `n <= 1`) the
-/// closure runs inline on the caller's thread — the serial path is the
-/// same code minus the threads, not a separate implementation.
-///
-/// `f` must be deterministic per index for the batch to be reproducible;
-/// derive any RNG from the job's spec, never from shared mutable state.
-pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+/// A job submitted to the pool panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the panicking job. When several jobs panic in one run,
+    /// this is the lowest such index (matching the serial path, which
+    /// stops at the first panic).
+    pub index: usize,
+    /// The original panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Stringify a panic payload (`panic!("...")` carries `&str` or `String`;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// Lock that shrugs off poisoning: the pool converts job panics into
+/// [`PoolError`]s itself, so a poisoned results mutex only means "some
+/// worker died mid-store" and the data inside is still per-index sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`run_indexed`], but a panicking job returns `Err(PoolError)` instead
+/// of propagating the panic. All non-panicking jobs still run to
+/// completion in the parallel case (workers drain the cursor), but only
+/// the lowest panicking index is reported.
+pub fn run_indexed_checked<T, F>(n: usize, jobs: usize, f: F) -> Result<Vec<T>, PoolError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let call = |i: usize| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i)))
+            .map_err(|payload| PoolError { index: i, message: panic_message(payload) })
+    };
+
     let jobs = effective_jobs(jobs, n);
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(call).collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let failure: Mutex<Option<PoolError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -59,17 +106,65 @@ where
                 if i >= n {
                     break;
                 }
-                let value = f(i);
-                results.lock().unwrap()[i] = Some(value);
+                match call(i) {
+                    Ok(value) => lock(&results)[i] = Some(value),
+                    Err(err) => {
+                        let mut slot = lock(&failure);
+                        if slot.as_ref().is_none_or(|prev| err.index < prev.index) {
+                            *slot = Some(err);
+                        }
+                    }
+                }
             });
         }
     });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|v| v.expect("every index executed exactly once"))
-        .collect()
+    if let Some(err) = lock(&failure).take() {
+        return Err(err);
+    }
+    let slots = results.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    Ok(slots.into_iter().map(|v| v.expect("every index executed exactly once")).collect())
+}
+
+/// Run `f(0..n)` across up to `jobs` worker threads (`0` = auto) and
+/// return the results in index order. With `jobs <= 1` (or `n <= 1`) the
+/// closure runs inline on the caller's thread — the serial path is the
+/// same code minus the threads, not a separate implementation.
+///
+/// `f` must be deterministic per index for the batch to be reproducible;
+/// derive any RNG from the job's spec, never from shared mutable state.
+///
+/// If a job panics, the panic resurfaces on the caller thread with the
+/// original message plus the job index (see [`run_indexed_checked`] for
+/// the non-panicking variant).
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_checked(n, jobs, f).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`run_scoped`], but a panicking job returns `Err(PoolError)` instead
+/// of propagating the panic. Metrics from jobs that completed before the
+/// failure are discarded (nothing is folded on the error path), keeping
+/// the caller's registry identical to "the batch never ran".
+pub fn run_scoped_checked<T, F>(n: usize, jobs: usize, f: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let pairs = run_indexed_checked(n, jobs, |i| {
+        let scope = ibox_obs::scoped();
+        let value = f(i);
+        (value, scope.finish())
+    })?;
+    let target = ibox_obs::global();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (value, registry) in pairs {
+        target.absorb_registry(&registry);
+        out.push(value);
+    }
+    Ok(out)
 }
 
 /// [`run_indexed`], with per-job metric isolation: each job records into
@@ -82,23 +177,26 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let pairs = run_indexed(n, jobs, |i| {
-        let scope = ibox_obs::scoped();
-        let value = f(i);
-        (value, scope.finish())
-    });
-    let target = ibox_obs::global();
-    let mut out = Vec::with_capacity(pairs.len());
-    for (value, registry) in pairs {
-        target.absorb_registry(&registry);
-        out.push(value);
-    }
-    out
+    run_scoped_checked(n, jobs, f).unwrap_or_else(|err| panic!("{err}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Run `body` with the default panic hook silenced, so intentional
+    /// job panics don't spray backtraces over the test output. Hook state
+    /// is global; the lock keeps the panic tests from trampling each
+    /// other.
+    fn with_quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _guard = lock(&HOOK);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = std::panic::catch_unwind(AssertUnwindSafe(body));
+        std::panic::set_hook(prev);
+        out.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+    }
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -161,5 +259,77 @@ mod tests {
         assert_eq!(m1.counters["pool.test.weight"], 66);
         assert_eq!(m1.gauges["pool.test.last_index"], 11.0);
         assert_eq!(m1.histograms["pool.test.h"].count, 12);
+    }
+
+    #[test]
+    fn job_panic_surfaces_as_typed_error() {
+        let err = with_quiet_panics(|| {
+            run_indexed_checked(8, 4, |i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+            .unwrap_err()
+        });
+        assert_eq!(err.index, 3);
+        assert_eq!(err.message, "boom at 3");
+        assert!(err.to_string().contains("job 3"), "{err}");
+    }
+
+    #[test]
+    fn serial_and_parallel_report_the_same_panic_index() {
+        let f = |i: usize| -> usize {
+            if i == 2 || i == 5 {
+                panic!("job {i} died");
+            }
+            i
+        };
+        let (serial, parallel) = with_quiet_panics(|| {
+            (run_indexed_checked(8, 1, f).unwrap_err(), run_indexed_checked(8, 4, f).unwrap_err())
+        });
+        assert_eq!(serial.index, 2);
+        assert_eq!(serial, parallel, "error must not depend on the jobs value");
+    }
+
+    #[test]
+    fn run_indexed_repanics_with_the_original_message() {
+        // Regression: a job panic used to poison the results mutex and
+        // resurface as "PoisonError" — the original message was lost.
+        let payload = with_quiet_panics(|| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(4, 2, |i| {
+                    if i == 1 {
+                        panic!("original diagnosis");
+                    }
+                    i
+                })
+            }))
+            .unwrap_err()
+        });
+        let message = panic_message(payload);
+        assert!(message.contains("original diagnosis"), "lost the real panic: {message}");
+        assert!(!message.contains("Poison"), "poisoned-mutex panic leaked through: {message}");
+    }
+
+    #[test]
+    fn scoped_checked_folds_nothing_on_failure() {
+        let scope = ibox_obs::scoped();
+        let err = with_quiet_panics(|| {
+            run_scoped_checked(4, 2, |i| {
+                ibox_obs::global().counter("pool.test.partial").inc();
+                if i == 0 {
+                    panic!("first job fails");
+                }
+                i
+            })
+            .unwrap_err()
+        });
+        assert_eq!(err.index, 0);
+        let snap = scope.finish().snapshot();
+        assert!(
+            !snap.counters.contains_key("pool.test.partial"),
+            "metrics from a failed batch must not leak into the caller's registry"
+        );
     }
 }

@@ -1,0 +1,560 @@
+//! A minimal, defensive HTTP/1.1 implementation over `std` I/O.
+//!
+//! The server half is [`parse_request`] + [`Response`]: enough of
+//! HTTP/1.1 for a JSON API behind a trusted load balancer or loopback —
+//! `Content-Length` bodies, keep-alive, no chunked transfer, no TLS.
+//! Every input limit is explicit ([`HttpLimits`]) and every failure is a
+//! typed [`HttpError`] that maps to a 4xx/5xx status via
+//! [`HttpError::status`]; the parser never panics on hostile bytes
+//! (property-tested in `tests/http_props.rs`) and never reads more than
+//! the declared body length, so a keep-alive connection stays in sync.
+//!
+//! The client half ([`HttpClient`], [`request_url`]) is the same wire
+//! format from the other side, used by `ibox call`, the serve bench, and
+//! the integration tests — the whole stack stays zero-dependency.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Input-size ceilings enforced while parsing a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Longest accepted request line (method + path + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`, bytes.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 8 * 1024,
+            max_header_line: 16 * 1024,
+            max_headers: 64,
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be parsed. [`HttpError::status`] maps each
+/// variant to the response status the server should write (or `None`
+/// when the peer is already gone and no reply makes sense).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed cleanly before any request byte arrived —
+    /// the normal end of a keep-alive connection, not an error.
+    ConnectionClosed,
+    /// The connection closed mid-request.
+    Truncated,
+    /// A socket read timed out before the request completed.
+    Timeout,
+    /// Transport-level failure.
+    Io(String),
+    /// The request line is not `METHOD SP PATH SP VERSION`.
+    BadRequestLine(String),
+    /// The request line exceeds [`HttpLimits::max_request_line`].
+    RequestLineTooLong {
+        /// The configured ceiling, bytes.
+        max: usize,
+    },
+    /// A method this server does not implement.
+    UnsupportedMethod(String),
+    /// An HTTP version other than 1.x.
+    UnsupportedVersion(String),
+    /// A header line without a `name: value` shape, or an unsupported
+    /// transfer encoding.
+    BadHeader(String),
+    /// A header line exceeds [`HttpLimits::max_header_line`].
+    HeaderTooLong {
+        /// The configured ceiling, bytes.
+        max: usize,
+    },
+    /// More headers than [`HttpLimits::max_headers`].
+    TooManyHeaders {
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// `Content-Length` is present but not a decimal integer.
+    BadContentLength(String),
+    /// The declared body exceeds [`HttpLimits::max_body`].
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        len: usize,
+        /// The configured ceiling, bytes.
+        max: usize,
+    },
+}
+
+impl HttpError {
+    /// Status code to answer with, or `None` when no response should be
+    /// written (connection already closed or transport broken).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::ConnectionClosed | HttpError::Truncated | HttpError::Io(_) => None,
+            HttpError::Timeout => Some(408),
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_) => Some(400),
+            HttpError::RequestLineTooLong { .. } => Some(414),
+            HttpError::UnsupportedMethod(_) => Some(405),
+            HttpError::UnsupportedVersion(_) => Some(505),
+            HttpError::HeaderTooLong { .. } | HttpError::TooManyHeaders { .. } => Some(431),
+            HttpError::BodyTooLarge { .. } => Some(413),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::Timeout => write!(f, "request timed out"),
+            HttpError::Io(detail) => write!(f, "i/o error: {detail}"),
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line {line:?}"),
+            HttpError::RequestLineTooLong { max } => {
+                write!(f, "request line exceeds {max} bytes")
+            }
+            HttpError::UnsupportedMethod(m) => write!(f, "method {m:?} not supported"),
+            HttpError::UnsupportedVersion(v) => write!(f, "http version {v:?} not supported"),
+            HttpError::BadHeader(line) => write!(f, "malformed header {line:?}"),
+            HttpError::HeaderTooLong { max } => write!(f, "header line exceeds {max} bytes"),
+            HttpError::TooManyHeaders { max } => write!(f, "more than {max} headers"),
+            HttpError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            HttpError::BodyTooLarge { len, max } => {
+                write!(f, "body of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request: method, path, lowercased headers, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected while parsing).
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length`-delimited; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header named `name` (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn io_error(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => HttpError::Truncated,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line of at most `cap` bytes,
+/// without the terminator. `Ok(None)` means clean EOF before any byte.
+/// The error constructor for an oversized line is supplied by the caller
+/// so request-line and header limits stay distinct.
+fn read_line(
+    reader: &mut impl BufRead,
+    cap: usize,
+    too_long: impl Fn() -> HttpError,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(line));
+                }
+                if line.len() >= cap {
+                    return Err(too_long());
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(io_error(&e)),
+        }
+    }
+}
+
+/// Parse one request from `reader`, enforcing `limits` throughout. Reads
+/// exactly the request's bytes and no more, so the reader is positioned
+/// at the next request on a keep-alive connection.
+pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let line = match read_line(reader, limits.max_request_line, || HttpError::RequestLineTooLong {
+        max: limits.max_request_line,
+    })? {
+        None => return Err(HttpError::ConnectionClosed),
+        Some(line) => line,
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::BadRequestLine("(non-utf8 request line)".into()))?;
+
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine(truncate_for_display(&line))),
+    };
+    if !matches!(method, "GET" | "POST") {
+        return Err(HttpError::UnsupportedMethod(truncate_for_display(method)));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::UnsupportedVersion(truncate_for_display(version)));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine(truncate_for_display(&line)));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_header_line, || HttpError::HeaderTooLong {
+            max: limits.max_header_line,
+        })?
+        .ok_or(HttpError::Truncated)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders { max: limits.max_headers });
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| HttpError::BadHeader("(non-utf8 header)".into()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(truncate_for_display(&line)));
+        };
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic()) {
+            return Err(HttpError::BadHeader(truncate_for_display(&line)));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let transfer_encoding = headers.iter().find(|(k, _)| k == "transfer-encoding");
+    if transfer_encoding.is_some() {
+        return Err(HttpError::BadHeader("transfer-encoding not supported".into()));
+    }
+
+    let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| HttpError::BadContentLength(truncate_for_display(v)))?
+        }
+    };
+    if body_len > limits.max_body {
+        return Err(HttpError::BodyTooLarge { len: body_len, max: limits.max_body });
+    }
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body).map_err(|e| io_error(&e))?;
+
+    Ok(Request { method: method.to_string(), path, headers, body })
+}
+
+/// Clip hostile input to a displayable length for error messages.
+fn truncate_for_display(s: &str) -> String {
+    const MAX: usize = 120;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let cut = (1..=MAX).rev().find(|&i| s.is_char_boundary(i)).unwrap_or(0);
+        format!("{}…", &s[..cut])
+    }
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// A response ready to serialize: status, JSON body, connection handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always `application/json` in this server).
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, set on load-shedding 503s.
+    pub retry_after_s: Option<u32>,
+    /// Whether to close the connection after writing this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, body: body.into(), retry_after_s: None, close: false }
+    }
+
+    /// An error response with a `{"error": message}` body (message
+    /// JSON-escaped via the serde layer).
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::Str(message.to_string()),
+        )]);
+        Self::json(status, serde_json::to_string(&body).expect("error body serializes"))
+    }
+
+    /// The load-shedding response: `503` with `Retry-After`.
+    pub fn overloaded(message: &str) -> Self {
+        let mut resp = Self::error(503, message);
+        resp.retry_after_s = Some(1);
+        resp.close = true;
+        resp
+    }
+
+    /// Serialize status line, headers, and body to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        if let Some(s) = self.retry_after_s {
+            head.push_str(&format!("retry-after: {s}\r\n"));
+        }
+        head.push_str(if self.close { "connection: close\r\n\r\n" } else { "\r\n" });
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A blocking keep-alive HTTP client over one `TcpStream` — the consumer
+/// side of this module's wire format, shared by `ibox call`, the serve
+/// bench, and the tests.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (`host:port`) with `timeout` applied to the
+    /// connection attempt and every subsequent read/write.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, String> {
+        let target: std::net::SocketAddr = addr.parse().or_else(|_| {
+            use std::net::ToSocketAddrs;
+            addr.to_socket_addrs()
+                .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("cannot resolve {addr}: no addresses"))
+        })?;
+        let stream = TcpStream::connect_timeout(&target, timeout)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+        stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Self { reader: BufReader::new(stream), writer, host: addr.to_string() })
+    }
+
+    /// Issue one request and read the full response: `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).map_err(|e| format!("send failed: {e}"))?;
+        self.writer.write_all(body).map_err(|e| format!("send failed: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send failed: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<(u16, Vec<u8>), String> {
+        let limits = HttpLimits::default();
+        let status_line = read_line(&mut self.reader, limits.max_request_line, || {
+            HttpError::RequestLineTooLong { max: limits.max_request_line }
+        })
+        .map_err(|e| format!("bad response: {e}"))?
+        .ok_or_else(|| "server closed the connection".to_string())?;
+        let status_line = String::from_utf8_lossy(&status_line).to_string();
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+
+        let mut content_length = 0usize;
+        loop {
+            let line = read_line(&mut self.reader, limits.max_header_line, || {
+                HttpError::HeaderTooLong { max: limits.max_header_line }
+            })
+            .map_err(|e| format!("bad response headers: {e}"))?
+            .ok_or_else(|| "truncated response headers".to_string())?;
+            if line.is_empty() {
+                break;
+            }
+            let line = String::from_utf8_lossy(&line).to_string();
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad content-length {value:?}: {e}"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).map_err(|e| format!("truncated response body: {e}"))?;
+        Ok((status, body))
+    }
+}
+
+/// One-shot request against an `http://host:port/path` URL.
+pub fn request_url(
+    url: &str,
+    method: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported url {url:?} (only http:// is supported)"))?;
+    let (addr, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if addr.is_empty() {
+        return Err(format!("unsupported url {url:?}: missing host"));
+    }
+    let mut client = HttpClient::connect(addr, timeout)?;
+    client.request(method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(bytes), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_strips_query() {
+        let req = parse(b"POST /fit?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.path, "/fit");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn keep_alive_leaves_the_reader_at_the_next_request() {
+        let wire = b"POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        let limits = HttpLimits::default();
+        assert_eq!(parse_request(&mut reader, &limits).unwrap().path, "/a");
+        assert_eq!(parse_request(&mut reader, &limits).unwrap().path, "/b");
+        assert_eq!(parse_request(&mut reader, &limits).unwrap_err(), HttpError::ConnectionClosed);
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body_without_reading_it() {
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn error_statuses_cover_the_4xx_map() {
+        for (wire, status) in [
+            (&b"NONSENSE\r\n\r\n"[..], 400),
+            (b"PUT / HTTP/1.1\r\n\r\n", 405),
+            (b"GET / SPDY/3\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 400),
+        ] {
+            assert_eq!(parse(wire).unwrap_err().status(), Some(status), "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_requests_get_no_response() {
+        for wire in
+            [&b"GET / HTTP/1.1\r\nhost: x"[..], b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\nabc"]
+        {
+            let err = parse(wire).unwrap_err();
+            assert_eq!(err, HttpError::Truncated, "{wire:?}");
+            assert_eq!(err.status(), None);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_client_reader() {
+        let resp = Response::json(200, r#"{"ok":true}"#);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+
+        let shed = Response::overloaded("busy");
+        let mut wire = Vec::new();
+        shed.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # ibox-serve
+//!
+//! A zero-dependency model-serving daemon: the online tier over the
+//! fit/replay split of `ibox` (the `PathModel` trait, `ModelArtifact`
+//! envelopes, and the content-addressed `FitCache`). Where the CLI is
+//! one fit or replay per process, the daemon keeps fitted models warm
+//! and answers counterfactual queries over HTTP — the "fast query
+//! backend" role the paper's counterfactual-testing vision implies.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `POST /fit` | Fit a model on an inline trace or a synth spec. Keyed by the content-addressed fit identity; single-flight through the [`ibox::FitCache`]. Async by default (`202` + job id), synchronous with `"wait": true`. |
+//! | `POST /replay` | Replay a protocol through a registered model. The body is **byte-identical** to what offline `ibox replay` writes. |
+//! | `POST /batch` | Run a `BatchSpec` over the runner pool; answers with the jobs-invariant `BatchResult` JSON. |
+//! | `GET /models` | List registered artifacts (id, kind, provenance). |
+//! | `GET /models/<id>` | Fetch one artifact envelope; `202` while its fit is pending, typed `404`/`409`/`500` errors otherwise. |
+//! | `GET /metrics` | Obs registry snapshot as JSON. |
+//! | `GET /healthz` | Liveness. |
+//! | `POST /shutdown` | Begin graceful drain. |
+//!
+//! ## Robustness invariants
+//!
+//! * **Bounded everything**: the accept queue holds at most
+//!   `max_inflight` connections (beyond that: `503 Retry-After`,
+//!   counter `serve.shed`), background fits are capped, request sizes
+//!   are limited ([`HttpLimits`]). Overload degrades into fast
+//!   rejections, never unbounded memory or deadlock.
+//! * **Typed failure**: hostile bytes become 4xx via [`HttpError`]
+//!   (property-tested), schema-skewed artifacts become `409`s via
+//!   [`RegistryError`], and a panicking handler becomes a `500` —
+//!   the daemon itself never dies on bad input.
+//! * **Graceful drain**: shutdown stops the listener, finishes queued
+//!   and in-flight requests, and joins background fit threads.
+//! * **Determinism**: `/replay` and `/batch` answer with the same bytes
+//!   the offline CLI produces, at any worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod registry;
+pub mod routes;
+pub mod server;
+
+pub use http::{request_url, HttpClient, HttpError, HttpLimits, Request, Response};
+pub use registry::{ModelRegistry, ModelSummary, RegistryError};
+pub use routes::App;
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,244 @@
+//! The model registry: fitted-model artifacts as named, servable files.
+//!
+//! A [`ModelRegistry`] is a directory of [`ModelArtifact`] envelopes,
+//! one `<id>.artifact.json` per model, where `id` is the content-
+//! addressed fit-cache identity (`FitCacheKey::id`). The same directory
+//! doubles as the `--model-cache` fit cache (whose entries are bare
+//! `<id>.json` fitted models, a disjoint namespace), so a daemon and the
+//! offline CLI pointed at one directory share both fits and artifacts.
+//!
+//! Lookups return typed [`RegistryError`]s that carry an HTTP status:
+//! a missing model is 404, a schema-skewed artifact (written by an
+//! incompatible build) is 409 with both versions named, and a corrupt
+//! file is 500 — never a panic, never a misread payload.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use ibox::{ArtifactError, ModelArtifact, ARTIFACT_FILE_SUFFIX};
+
+/// Why a registry lookup failed; [`RegistryError::status`] maps each
+/// case onto the HTTP status the daemon answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// `id` contains characters that could escape the registry dir.
+    InvalidId(String),
+    /// No artifact with this id.
+    NotFound(String),
+    /// The artifact file exists but failed to load (I/O, parse, or
+    /// schema skew — see [`ArtifactError`]).
+    Artifact(ArtifactError),
+}
+
+impl RegistryError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            RegistryError::InvalidId(_) => 400,
+            RegistryError::NotFound(_) => 404,
+            RegistryError::Artifact(ArtifactError::SchemaMismatch { .. }) => 409,
+            RegistryError::Artifact(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::InvalidId(id) => write!(f, "invalid model id {id:?}"),
+            RegistryError::NotFound(id) => write!(f, "no model {id:?} in the registry"),
+            RegistryError::Artifact(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One row of `GET /models`: the envelope minus the model payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// Registry id (the content-addressed fit identity).
+    pub id: String,
+    /// Model-kind display name.
+    pub kind: String,
+    /// Name of the trace the model was fitted on.
+    pub fitted_on: String,
+    /// Config hash of the producing `ModelKind`.
+    pub config_hash: String,
+    /// Artifact envelope schema version.
+    pub schema: u32,
+}
+
+/// A directory of model artifacts, addressed by id.
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Open (creating if missing) the registry at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create model registry dir {}: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn validate(id: &str) -> Result<(), RegistryError> {
+        let ok = !id.is_empty()
+            && id.len() <= 128
+            && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            && !id.starts_with('-');
+        if ok {
+            Ok(())
+        } else {
+            let shown: String = id.chars().take(64).collect();
+            Err(RegistryError::InvalidId(shown))
+        }
+    }
+
+    fn path_of(&self, id: &str) -> PathBuf {
+        ModelArtifact::registry_path(&self.dir, id)
+    }
+
+    /// Whether an artifact with this id exists (without loading it).
+    pub fn contains(&self, id: &str) -> bool {
+        Self::validate(id).is_ok() && self.path_of(id).is_file()
+    }
+
+    /// Load the artifact named `id`.
+    pub fn get(&self, id: &str) -> Result<ModelArtifact, RegistryError> {
+        Self::validate(id)?;
+        let path = self.path_of(id);
+        if !path.is_file() {
+            return Err(RegistryError::NotFound(id.to_string()));
+        }
+        ModelArtifact::load(&path).map_err(RegistryError::Artifact)
+    }
+
+    /// Store `artifact` under `id`, atomically (write-then-rename), so a
+    /// concurrent [`get`](Self::get) sees either nothing or the complete
+    /// file.
+    pub fn put(&self, id: &str, artifact: &ModelArtifact) -> Result<(), RegistryError> {
+        Self::validate(id)?;
+        let path = self.path_of(id);
+        let tmp = self.dir.join(format!(".{id}.tmp-{}", std::process::id()));
+        let write =
+            std::fs::write(&tmp, artifact.to_json()).and_then(|()| std::fs::rename(&tmp, &path));
+        write.map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            RegistryError::Artifact(ArtifactError::Io { path, detail: e.to_string() })
+        })
+    }
+
+    /// Summaries of every loadable artifact, sorted by id. Files that are
+    /// not artifact envelopes (e.g. raw fit-cache entries sharing the
+    /// directory) are skipped; envelopes that fail to load are skipped
+    /// with a warning rather than failing the whole listing.
+    pub fn list(&self) -> Vec<ModelSummary> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = name.strip_suffix(ARTIFACT_FILE_SUFFIX) else { continue };
+            match self.get(id) {
+                Ok(artifact) => out.push(ModelSummary {
+                    id: id.to_string(),
+                    kind: artifact.kind,
+                    fitted_on: artifact.fitted_on,
+                    config_hash: artifact.config_hash,
+                    schema: artifact.schema,
+                }),
+                Err(e) => ibox_obs::warn!("registry: skipping {name}: {e}"),
+            }
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibox::ModelKind;
+    use ibox_sim::SimTime;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ibox_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> ModelArtifact {
+        let train = ibox_testbed::run_protocol(
+            &ibox_testbed::Profile::Ethernet
+                .builder()
+                .seed(11)
+                .duration(SimTime::from_secs(3))
+                .sample(),
+            "cubic",
+            SimTime::from_secs(3),
+            11,
+        );
+        let kind = ModelKind::IBoxNet;
+        ModelArtifact::new(&kind, ibox::fit_model(&kind, &train))
+    }
+
+    #[test]
+    fn put_get_list_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(reg.list().is_empty());
+        let artifact = sample();
+        reg.put("fit-0011aabb", &artifact).unwrap();
+        assert!(reg.contains("fit-0011aabb"));
+        let back = reg.get("fit-0011aabb").unwrap();
+        assert_eq!(back.to_json(), artifact.to_json());
+        let listed = reg.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, "fit-0011aabb");
+        assert_eq!(listed[0].kind, "iBoxNet");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_invalid_ids_map_to_http_statuses() {
+        let dir = tmpdir("errors");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let missing = reg.get("fit-ffffffffffffffff").unwrap_err();
+        assert!(matches!(missing, RegistryError::NotFound(_)));
+        assert_eq!(missing.status(), 404);
+        for bad in ["", "../escape", "a/b", "x.y", &"a".repeat(200)] {
+            let err = reg.get(bad).unwrap_err();
+            assert!(matches!(err, RegistryError::InvalidId(_)), "{bad:?}");
+            assert_eq!(err.status(), 400);
+            assert!(!reg.contains(bad));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_skew_is_a_conflict_and_junk_is_skipped_in_listings() {
+        let dir = tmpdir("skew");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.put("fit-good", &sample()).unwrap();
+
+        let skewed = sample().to_json().replacen("\"schema\":1", "\"schema\":42", 1);
+        std::fs::write(dir.join(format!("fit-skew{ARTIFACT_FILE_SUFFIX}")), skewed).unwrap();
+        let err = reg.get("fit-skew").unwrap_err();
+        assert_eq!(err.status(), 409, "{err}");
+        assert!(err.to_string().contains("42"), "{err}");
+
+        // A raw fit-cache entry in the same dir is not listed as a model.
+        std::fs::write(dir.join("fit-cacheentry.json"), "{\"IBoxNet\":{}}").unwrap();
+        let ids: Vec<_> = reg.list().into_iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["fit-good"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

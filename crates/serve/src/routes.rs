@@ -1,0 +1,454 @@
+//! Endpoint handlers and the shared application state.
+//!
+//! Every handler is a pure `(App, Request) → Response` function over the
+//! JSON API; the transport loop lives in [`crate::server`]. Handlers are
+//! wrapped by [`handle`], which records the per-endpoint observability
+//! contract — `serve.requests.<ep>`, `serve.errors.<ep>`, a latency
+//! histogram, and p50/p95 streaming quantiles — and converts a handler
+//! panic into a 500 instead of killing the worker thread.
+//!
+//! Determinism: `/replay` answers with exactly
+//! `serde_json::to_string(&trace)` for the registered model — the same
+//! bytes the offline `ibox replay -o` path writes — and `/batch` answers
+//! with `BatchResult::to_json()`, which is jobs-invariant by the batch
+//! layer's contract.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use serde::{Deserialize, Value};
+
+use ibox::{BatchSpec, FitCache, FitCacheKey, ModelArtifact, ModelKind, PathModel};
+use ibox_sim::SimTime;
+use ibox_trace::FlowTrace;
+
+use crate::http::{Request, Response};
+use crate::registry::ModelRegistry;
+
+/// State of an asynchronous `/fit` job keyed by model id.
+enum FitJob {
+    /// A worker thread is fitting (or about to).
+    Pending,
+    /// The fit failed; the error is served once to the next `/fit`
+    /// request for the same id (which clears it, allowing a retry).
+    Failed(String),
+}
+
+/// Everything the handlers share: the fit cache, the artifact registry,
+/// and the async-fit job table.
+pub struct App {
+    /// Content-addressed fit cache, disk-backed on the registry dir.
+    pub cache: FitCache,
+    /// The artifact registry backing `GET /models`.
+    pub registry: ModelRegistry,
+    batch_jobs_cap: usize,
+    max_async_fits: usize,
+    stop: Arc<AtomicBool>,
+    addr: OnceLock<SocketAddr>,
+    started: Instant,
+    fit_jobs: Mutex<HashMap<String, FitJob>>,
+    fits_active: AtomicUsize,
+    fit_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl App {
+    /// Build the state for a daemon serving models out of `model_dir`.
+    /// `batch_jobs_cap` bounds `/batch` parallelism, `max_async_fits`
+    /// bounds concurrent background fit threads, and `stop` is the
+    /// shared shutdown flag the `/shutdown` endpoint trips.
+    pub fn new(
+        model_dir: PathBuf,
+        batch_jobs_cap: usize,
+        max_async_fits: usize,
+        stop: Arc<AtomicBool>,
+    ) -> Result<Self, String> {
+        Ok(Self {
+            cache: FitCache::with_dir(&model_dir)?,
+            registry: ModelRegistry::open(&model_dir)?,
+            batch_jobs_cap: batch_jobs_cap.max(1),
+            max_async_fits: max_async_fits.max(1),
+            stop,
+            addr: OnceLock::new(),
+            started: Instant::now(),
+            fit_jobs: Mutex::new(HashMap::new()),
+            fits_active: AtomicUsize::new(0),
+            fit_threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Record the bound listener address (used by `/shutdown` to wake
+    /// the blocking acceptor with a self-connection).
+    pub fn set_addr(&self, addr: SocketAddr) {
+        let _ = self.addr.set(addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Trip the shutdown flag and wake the acceptor.
+    pub fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr.get() {
+            // A throwaway connection unblocks the acceptor's accept().
+            let _ = std::net::TcpStream::connect_timeout(addr, std::time::Duration::from_secs(1));
+        }
+    }
+
+    /// Join every background fit thread (part of graceful drain).
+    pub fn drain_fits(&self) {
+        let threads: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.fit_threads.lock().expect("fit thread list lock"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    fn jobs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, FitJob>> {
+        self.fit_jobs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Stable label for per-endpoint metrics (bounded cardinality: hostile
+/// paths all fall into `other`).
+pub fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/models") => "models",
+        ("GET", _) if path.starts_with("/models/") => "models_id",
+        ("POST", "/fit") => "fit",
+        ("POST", "/replay") => "replay",
+        ("POST", "/batch") => "batch",
+        ("POST", "/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Route and execute `req`, recording the per-endpoint metrics contract.
+/// A panicking handler is caught and answered as a 500 — one bad request
+/// must not take a worker thread (and its queue slot) down with it.
+pub fn handle(app: &Arc<App>, req: &Request) -> Response {
+    let label = endpoint_label(&req.method, &req.path);
+    let t0 = Instant::now();
+    let resp = std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(app, req)))
+        .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"));
+    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let reg = ibox_obs::global();
+    reg.counter("serve.requests").inc();
+    reg.counter(&format!("serve.requests.{label}")).inc();
+    if resp.status >= 400 {
+        reg.counter("serve.errors").inc();
+        reg.counter(&format!("serve.errors.{label}")).inc();
+    }
+    reg.histogram(&format!("serve.latency_ms.{label}")).record(latency_ms);
+    for q in [0.5, 0.95] {
+        let est =
+            reg.streaming_quantile(&format!("serve.latency_ms.{label}.p{}", (q * 100.0) as u32), q);
+        est.lock().unwrap_or_else(|p| p.into_inner()).observe(latency_ms);
+    }
+    resp
+}
+
+fn dispatch(app: &Arc<App>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(app),
+        ("GET", "/metrics") => handle_metrics(),
+        ("GET", "/models") => handle_models(app),
+        ("GET", path) if path.starts_with("/models/") => {
+            handle_model_by_id(app, &path["/models/".len()..])
+        }
+        ("POST", "/fit") => handle_fit(app, req),
+        ("POST", "/replay") => handle_replay(app, req),
+        ("POST", "/batch") => handle_batch(app, req),
+        ("POST", "/shutdown") => handle_shutdown(app),
+        (_, path) if KNOWN_PATHS.contains(&path) || path.starts_with("/models/") => {
+            Response::error(405, &format!("method {} not allowed on {path}", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no such endpoint {path}")),
+    }
+}
+
+/// Paths that exist (under some method), for distinguishing 405 from 404.
+const KNOWN_PATHS: &[&str] =
+    &["/healthz", "/metrics", "/models", "/fit", "/replay", "/batch", "/shutdown"];
+
+/// Build a compact JSON object response from string pairs.
+fn object_response(status: u16, fields: &[(&str, &str)]) -> Response {
+    let value = Value::Object(
+        fields.iter().map(|(k, v)| (k.to_string(), Value::Str(v.to_string()))).collect(),
+    );
+    Response::json(status, serde_json::to_string(&value).expect("object body serializes"))
+}
+
+fn handle_healthz(app: &Arc<App>) -> Response {
+    let uptime = app.started.elapsed().as_secs().to_string();
+    object_response(200, &[("status", "ok"), ("uptime_s", &uptime)])
+}
+
+fn handle_metrics() -> Response {
+    let snapshot = ibox_obs::global().snapshot();
+    match serde_json::to_string(&snapshot) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("cannot serialize metrics: {e}")),
+    }
+}
+
+fn handle_models(app: &Arc<App>) -> Response {
+    let summaries = app.registry.list();
+    match serde_json::to_string(&summaries) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("cannot serialize model list: {e}")),
+    }
+}
+
+fn handle_model_by_id(app: &Arc<App>, id: &str) -> Response {
+    if let Some(job) = app.jobs_lock().get(id) {
+        return match job {
+            FitJob::Pending => object_response(202, &[("model", id), ("status", "pending")]),
+            FitJob::Failed(e) => {
+                object_response(500, &[("model", id), ("status", "failed"), ("error", e)])
+            }
+        };
+    }
+    match app.registry.get(id) {
+        Ok(artifact) => Response::json(200, artifact.to_json()),
+        Err(e) => Response::error(e.status(), &e.to_string()),
+    }
+}
+
+/// Parse a request body as a JSON object, mapping failures to 400s.
+fn body_object(req: &Request) -> Result<Value, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body is not valid utf-8"))?;
+    let value = serde_json::parse_value(text)
+        .map_err(|e| Response::error(400, &format!("body is not valid json: {e}")))?;
+    if value.as_object().is_none() {
+        return Err(Response::error(400, "body must be a json object"));
+    }
+    Ok(value)
+}
+
+/// Extract an optional typed field, mapping type errors to 400s.
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, Response> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => T::from_value(x)
+            .map(Some)
+            .map_err(|e| Response::error(400, &format!("field {name:?}: {e}"))),
+    }
+}
+
+/// Extract a required typed field.
+fn required<T: Deserialize>(v: &Value, name: &str) -> Result<T, Response> {
+    field(v, name)?.ok_or_else(|| Response::error(400, &format!("missing field {name:?}")))
+}
+
+fn checked_duration(duration_s: f64) -> Result<SimTime, Response> {
+    if !duration_s.is_finite() || duration_s <= 0.0 || duration_s > 3600.0 {
+        return Err(Response::error(
+            400,
+            &format!("duration_s must be in (0, 3600], got {duration_s}"),
+        ));
+    }
+    Ok(SimTime::from_secs_f64(duration_s))
+}
+
+fn checked_protocol(name: &str) -> Result<(), Response> {
+    if ibox_cc::by_name(name).is_none() {
+        return Err(Response::error(400, &format!("unknown protocol {name:?}")));
+    }
+    Ok(())
+}
+
+/// Resolve the training trace of a `/fit` request: either an inline
+/// `"trace"` (a serialized `FlowTrace`) or a `"synth"` spec naming a
+/// testbed profile.
+fn training_trace(body: &Value) -> Result<FlowTrace, Response> {
+    if let Some(t) = body.get("trace") {
+        return FlowTrace::from_value(t)
+            .map_err(|e| Response::error(400, &format!("field \"trace\": {e}")));
+    }
+    let Some(synth) = body.get("synth") else {
+        return Err(Response::error(400, "fit request needs \"trace\" or \"synth\""));
+    };
+    let profile: String = required(synth, "profile")?;
+    let protocol: String = field(synth, "protocol")?.unwrap_or_else(|| "cubic".to_string());
+    let seed: u64 = field(synth, "seed")?.unwrap_or(1);
+    let duration = checked_duration(field(synth, "duration_s")?.unwrap_or(10.0))?;
+    checked_protocol(&protocol)?;
+    let inst = ibox_testbed::Profile::from_name(&profile)
+        .map_err(|e| Response::error(400, &e))?
+        .builder()
+        .seed(seed)
+        .duration(duration)
+        .sample();
+    Ok(ibox_testbed::run_protocol(&inst, &protocol, duration, seed))
+}
+
+/// Fit through the single-flight cache and publish the artifact under
+/// its content-addressed id.
+fn fit_and_register(
+    app: &App,
+    kind: &ModelKind,
+    train: &FlowTrace,
+    id: &str,
+) -> Result<(), String> {
+    let (key, model) = app.cache.fit_path_model_keyed(kind, train);
+    debug_assert_eq!(key.id(), id);
+    let artifact = ModelArtifact::new(kind, model);
+    app.registry.put(id, &artifact).map_err(|e| e.to_string())
+}
+
+fn handle_fit(app: &Arc<App>, req: &Request) -> Response {
+    let body = match body_object(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let kind: ModelKind = field(&body, "model")?.unwrap_or(ModelKind::IBoxNet);
+        let wait: bool = field(&body, "wait")?.unwrap_or(false);
+        let train = training_trace(&body)?;
+        Ok((kind, wait, train))
+    })();
+    let (kind, wait, train) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+
+    let id = FitCacheKey::for_fit(&kind, &train).id();
+    if app.registry.contains(&id) {
+        return object_response(200, &[("model", &id), ("status", "ready")]);
+    }
+
+    if wait {
+        return match fit_and_register(app, &kind, &train, &id) {
+            Ok(()) => object_response(200, &[("model", &id), ("status", "ready")]),
+            Err(e) => Response::error(500, &format!("fit failed: {e}")),
+        };
+    }
+
+    // Async path: claim the job slot under the table lock, then spawn.
+    {
+        let mut jobs = app.jobs_lock();
+        match jobs.get(&id) {
+            Some(FitJob::Pending) => {
+                return object_response(202, &[("model", &id), ("status", "pending")]);
+            }
+            Some(FitJob::Failed(_)) => {
+                let Some(FitJob::Failed(e)) = jobs.remove(&id) else { unreachable!() };
+                return object_response(
+                    500,
+                    &[("model", &id), ("status", "failed"), ("error", &e)],
+                );
+            }
+            None => {
+                if app.fits_active.load(Ordering::SeqCst) >= app.max_async_fits {
+                    ibox_obs::global().counter("serve.shed.fit").inc();
+                    return Response::overloaded("fit queue full, retry later");
+                }
+                jobs.insert(id.clone(), FitJob::Pending);
+                app.fits_active.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    let app2 = Arc::clone(app);
+    let id2 = id.clone();
+    let handle = std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fit_and_register(&app2, &kind, &train, &id2)
+        }))
+        .unwrap_or_else(|_| Err("fit panicked".to_string()));
+        let mut jobs = app2.jobs_lock();
+        match outcome {
+            Ok(()) => {
+                jobs.remove(&id2);
+            }
+            Err(e) => {
+                ibox_obs::warn!("async fit {id2} failed: {e}");
+                jobs.insert(id2.clone(), FitJob::Failed(e));
+            }
+        }
+        drop(jobs);
+        app2.fits_active.fetch_sub(1, Ordering::SeqCst);
+    });
+    {
+        // Keep the handle for graceful drain; reap finished threads so
+        // the list stays bounded by max_async_fits in steady state.
+        let mut threads = app.fit_threads.lock().expect("fit thread list lock");
+        let (done, running): (Vec<_>, Vec<_>) = threads.drain(..).partition(|t| t.is_finished());
+        for t in done {
+            let _ = t.join();
+        }
+        *threads = running;
+        threads.push(handle);
+    }
+    object_response(202, &[("model", &id), ("status", "pending")])
+}
+
+fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
+    let body = match body_object(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let model_id: String = required(&body, "model")?;
+        let protocol: String = required(&body, "protocol")?;
+        let duration = checked_duration(field(&body, "duration_s")?.unwrap_or(30.0))?;
+        let seed: u64 = field(&body, "seed")?.unwrap_or(1);
+        checked_protocol(&protocol)?;
+        Ok((model_id, protocol, duration, seed))
+    })();
+    let (model_id, protocol, duration, seed) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let artifact = match app.registry.get(&model_id) {
+        Ok(a) => a,
+        Err(e) => return Response::error(e.status(), &e.to_string()),
+    };
+    let trace = artifact.model.simulate(&protocol, duration, seed);
+    ibox_obs::global().counter("serve.replay.packets").add(trace.len() as u64);
+    // Exactly the bytes `ibox replay -o out.json` writes for this model:
+    // the replay path is byte-identical online and offline.
+    match serde_json::to_string(&trace) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("cannot serialize trace: {e}")),
+    }
+}
+
+fn handle_batch(app: &Arc<App>, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not valid utf-8"),
+    };
+    let batch: BatchSpec = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &format!("bad batch spec: {e}")),
+    };
+    // The spec's own `jobs` applies, capped by the server's budget; the
+    // result bytes are identical at any value by the batch contract.
+    let jobs =
+        if batch.jobs == 0 { app.batch_jobs_cap } else { batch.jobs.min(app.batch_jobs_cap) };
+    match ibox::run_batch_with_cache(&batch, jobs, &app.cache) {
+        Ok(result) => Response::json(200, result.to_json()),
+        Err(e) => Response::error(500, &format!("batch failed: {e}")),
+    }
+}
+
+fn handle_shutdown(app: &Arc<App>) -> Response {
+    ibox_obs::info!("shutdown requested over http");
+    app.begin_shutdown();
+    let mut resp = object_response(200, &[("status", "draining")]);
+    resp.close = true;
+    resp
+}

@@ -1,0 +1,188 @@
+//! Property tests for the HTTP request parser: hostile bytes must come
+//! back as typed errors (which the server answers as 4xx), never as a
+//! panic, and never as a silently wrong `Request`.
+
+use proptest::prelude::*;
+
+use ibox_serve::http::{parse_request, HttpError, HttpLimits, Request};
+
+/// Parse a byte buffer the way the server does (a `BufRead` over the
+/// socket); a slice never blocks, so every test is hang-free by
+/// construction — socket-level timeout behaviour is covered in the
+/// end-to-end suite.
+fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+    parse_request(&mut &bytes[..], &HttpLimits::default())
+}
+
+/// Statuses the parser is allowed to produce for bad input. `None`
+/// means "no answerable request on the wire" (clean close / truncation).
+fn assert_typed(err: &HttpError) {
+    match err.status() {
+        None => {}
+        Some(s) => {
+            assert!((400..=599).contains(&s), "parser produced non-error status {s} for {err}")
+        }
+    }
+}
+
+/// Strategy: arbitrary bytes, biased toward ASCII so request-line and
+/// header paths actually get exercised (pure noise dies at byte one).
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        (0u32..256, prop::bool::weighted(0.7)).prop_map(|(b, ascii)| {
+            if ascii {
+                // printable ASCII plus the framing bytes CR LF SP
+                match b % 100 {
+                    0 => b'\r',
+                    1 => b'\n',
+                    2 => b' ',
+                    n => (32 + (n % 95)) as u8,
+                }
+            } else {
+                b as u8
+            }
+        }),
+        0..2048,
+    )
+}
+
+/// Strategy: a syntactically valid POST with random path / body bytes.
+fn arb_valid_post() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        prop::collection::vec((0u32..94).prop_map(|c| (33 + c) as u8), 1..64),
+        prop::collection::vec((0u32..256).prop_map(|b| b as u8), 0..512),
+    )
+        .prop_map(|(mut path, body)| {
+            // A path must start with '/'; strip bytes that would break
+            // the request-line framing.
+            path.retain(|b| *b != b' ' && *b != b'\r' && *b != b'\n');
+            let mut req =
+                format!("POST /{} HTTP/1.1\r\n", String::from_utf8_lossy(&path)).into_bytes();
+            req.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+            req.extend_from_slice(&body);
+            (req, body)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic the parser, and every failure is a
+    /// typed error mapping to a 4xx/5xx (or a clean no-response close).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in arb_bytes()) {
+        match parse(&bytes) {
+            Ok(req) => {
+                // Anything accepted satisfies the parsed invariants.
+                prop_assert!(req.method == "GET" || req.method == "POST");
+                prop_assert!(req.path.starts_with('/'));
+            }
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Malformed request lines (random tokens, wrong arity, bad
+    /// versions) are rejected with a request-line-shaped error.
+    #[test]
+    fn malformed_request_lines_are_rejected(
+        words in prop::collection::vec(
+            prop::collection::vec((0u32..94).prop_map(|c| (33 + c) as u8), 1..12),
+            0..5,
+        ),
+    ) {
+        let line = words
+            .iter()
+            .map(|w| String::from_utf8_lossy(w).into_owned())
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Skip the rare draw that is a genuinely valid request line.
+        let mut parts = line.split(' ');
+        let valid = matches!(parts.next(), Some("GET" | "POST"))
+            && parts.next().is_some_and(|p| p.starts_with('/'))
+            && parts.next().is_some_and(|v| v.starts_with("HTTP/1."))
+            && parts.next().is_none();
+        prop_assume!(!valid);
+        let bytes = format!("{line}\r\n\r\n").into_bytes();
+        let err = parse(&bytes).expect_err("malformed request line must not parse");
+        assert_typed(&err);
+        prop_assert!(
+            matches!(err.status(), Some(400 | 405 | 505) | None),
+            "unexpected mapping {err:?} for line {line:?}"
+        );
+    }
+
+    /// A header line longer than the limit is a 431, regardless of
+    /// content — the parser never buffers it whole.
+    #[test]
+    fn oversized_header_is_431(extra in 1usize..4096) {
+        let limits = HttpLimits::default();
+        let mut bytes = b"GET / HTTP/1.1\r\nx-big: ".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', limits.max_header_line + extra));
+        bytes.extend_from_slice(b"\r\n\r\n");
+        let err = parse(&bytes).expect_err("oversized header must not parse");
+        prop_assert_eq!(err.status(), Some(431), "{}", err);
+    }
+
+    /// A declared body beyond the limit is a 413 — rejected from the
+    /// Content-Length header alone, without reading the body.
+    #[test]
+    fn oversized_body_is_413(extra in 1u64..1_000_000) {
+        let limits = HttpLimits::default();
+        let declared = limits.max_body as u64 + extra;
+        // No body bytes follow: acceptance would hang on read_exact, so
+        // a 413 here proves the check precedes the read.
+        let bytes = format!("POST /fit HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let err = parse(bytes.as_bytes()).expect_err("oversized body must not parse");
+        prop_assert_eq!(err.status(), Some(413), "{}", err);
+    }
+
+    /// Any strict prefix of a valid request parses as a typed error
+    /// (truncation), never as a shorter valid request.
+    #[test]
+    fn truncated_requests_never_parse((req, _body) in arb_valid_post(), cut in 0.0f64..1.0) {
+        let full = parse(&req).expect("the untruncated request parses");
+        prop_assert_eq!(&full.method, "POST");
+        let keep = (req.len() as f64 * cut) as usize;
+        prop_assume!(keep < req.len());
+        match parse(&req[..keep]) {
+            Ok(short) => {
+                // Only acceptable if the prefix happens to still frame a
+                // complete request — impossible once a body is declared.
+                prop_assert_eq!(short.body.len(), full.body.len());
+            }
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Valid POSTs roundtrip: method, path, and body come back exactly.
+    #[test]
+    fn valid_posts_roundtrip((req, body) in arb_valid_post()) {
+        let parsed = parse(&req).expect("valid request parses");
+        prop_assert_eq!(parsed.method, "POST");
+        prop_assert!(parsed.path.starts_with('/'));
+        prop_assert_eq!(parsed.body, body);
+    }
+}
+
+/// Deterministic spot checks that the proptest strategies may not hit.
+#[test]
+fn too_many_headers_is_431() {
+    let limits = HttpLimits::default();
+    let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..=limits.max_headers {
+        bytes.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+    }
+    bytes.extend_from_slice(b"\r\n");
+    let err = parse_request(&mut &bytes[..], &limits).expect_err("too many headers");
+    assert_eq!(err.status(), Some(431), "{err}");
+}
+
+#[test]
+fn oversized_request_line_is_414() {
+    let limits = HttpLimits::default();
+    let mut bytes = b"GET /".to_vec();
+    bytes.extend(std::iter::repeat_n(b'a', limits.max_request_line + 1));
+    bytes.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let err = parse_request(&mut &bytes[..], &limits).expect_err("oversized request line");
+    assert_eq!(err.status(), Some(414), "{err}");
+}

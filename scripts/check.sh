@@ -85,6 +85,43 @@ EOF
     diff <(grep 'trace digest' "$tmp/log1.txt") <(grep 'trace digest' "$tmp/log2.txt") \
         || { echo "FAIL: replay digests diverged across reloads" >&2; exit 1; }
     echo "artifact smoke passed"
+
+    echo "==> serve smoke: fit + replay over HTTP, byte-identical to offline replay"
+    ./target/release/ibox serve --addr 127.0.0.1:0 --jobs 2 --model-cache "$tmp/mcache" \
+        > "$tmp/serve.log" 2>&1 &
+    serve_pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base="$(sed -n 's|^listening on \(http://.*\)$|\1|p' "$tmp/serve.log" | head -1)"
+        [[ -n "$base" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$base" ]] || { echo "FAIL: serve never printed its address" >&2; cat "$tmp/serve.log" >&2; kill "$serve_pid"; exit 1; }
+
+    # Fit the artifact-smoke training trace over HTTP (synchronously).
+    printf '{"wait": true, "model": "IBoxNet", "trace": %s}' "$(cat "$tmp/train.json")" > "$tmp/fit-req.json"
+    run ./target/release/ibox call --data "$tmp/fit-req.json" "$base/fit" -o "$tmp/fit-resp.json"
+    model_id="$(sed -n 's/.*"model":[[:space:]]*"\([^"]*\)".*/\1/p' "$tmp/fit-resp.json")"
+    [[ -n "$model_id" ]] || { echo "FAIL: /fit answered without a model id" >&2; cat "$tmp/fit-resp.json" >&2; kill "$serve_pid"; exit 1; }
+    run ./target/release/ibox call "$base/models" -o "$tmp/models.json"
+    grep -q "$model_id" "$tmp/models.json" \
+        || { echo "FAIL: fitted model $model_id missing from /models" >&2; kill "$serve_pid"; exit 1; }
+
+    # Replay over HTTP vs the offline CLI replay of the same registry
+    # artifact: the bytes must be identical.
+    printf '{"model": "%s", "protocol": "vegas", "duration_s": 4, "seed": 9}' "$model_id" > "$tmp/replay-req.json"
+    run ./target/release/ibox call --data "$tmp/replay-req.json" "$base/replay" -o "$tmp/replay-http.json"
+    run ./target/release/ibox replay "$tmp/mcache/${model_id}.artifact.json" \
+        --protocol vegas --duration 4 --seed 9 -o "$tmp/replay-offline.json"
+    cmp "$tmp/replay-http.json" "$tmp/replay-offline.json" \
+        || { echo "FAIL: HTTP replay bytes differ from the offline replay" >&2; kill "$serve_pid"; exit 1; }
+
+    run ./target/release/ibox call --post "$base/shutdown" > /dev/null
+    wait "$serve_pid" \
+        || { echo "FAIL: serve exited nonzero after graceful shutdown" >&2; exit 1; }
+    test -f "$tmp/mcache/serve.manifest.json" \
+        || { echo "FAIL: serve wrote no run manifest on exit" >&2; exit 1; }
+    echo "serve smoke passed"
 fi
 
 if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then

@@ -9,6 +9,7 @@ pub mod prelude {
     pub use ibox::{self};
     pub use ibox_cc as cc;
     pub use ibox_ml as ml;
+    pub use ibox_serve as serve;
     pub use ibox_sim as sim;
     pub use ibox_stats as stats;
     pub use ibox_testbed as testbed;
