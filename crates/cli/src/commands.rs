@@ -102,15 +102,26 @@ const CALL: CmdSpec = CmdSpec {
         OptSpec::value("--data", "body.json"),
         OptSpec::flag("--post"),
         OptSpec::value("--timeout", "S"),
+        OptSpec::value("--trace-id", "id"),
         OUTPUT,
     ],
+};
+
+const TRACE: CmdSpec = CmdSpec {
+    name: "trace",
+    positionals: &[
+        PosSpec { name: "export", required: true, variadic: false },
+        PosSpec { name: "batch.json", required: true, variadic: false },
+    ],
+    opts: &[JOBS, MODEL_CACHE, OptSpec::flag("--timeline"), OUTPUT],
 };
 
 const VERSION: CmdSpec = CmdSpec { name: "version", positionals: &[], opts: &[] };
 
 /// Every subcommand grammar, in help order.
-const COMMANDS: [&CmdSpec; 10] =
-    [&FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH, &SERVE, &CALL, &VERSION];
+const COMMANDS: [&CmdSpec; 11] = [
+    &FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH, &SERVE, &CALL, &TRACE, &VERSION,
+];
 
 /// Usage text shown on errors — generated from the [`CmdSpec`] tables.
 pub fn usage() -> String {
@@ -153,6 +164,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
         "call" => cmd_call(rest),
+        "trace" => cmd_trace(rest),
         "version" | "--version" | "-V" => {
             println!("{}", version_line());
             Ok(())
@@ -447,9 +459,17 @@ fn cmd_call(argv: &[String]) -> Result<(), String> {
         None => None,
     };
     let method = if body.is_some() || p.flag("--post") { "POST" } else { "GET" };
-    let (status, resp) = ibox_serve::request_url(
+    // `--trace-id <id>` names the request's causal trace so the caller
+    // can fetch GET /trace/<id> afterwards (hex, or any token — the
+    // daemon hashes non-hex ids deterministically).
+    let headers: Vec<(String, String)> = match p.opt("--trace-id") {
+        Some(id) => vec![("x-ibox-trace-id".to_string(), id.to_string())],
+        None => Vec::new(),
+    };
+    let (status, resp) = ibox_serve::request_url_with_headers(
         url,
         method,
+        &headers,
         body.as_deref(),
         std::time::Duration::from_secs(timeout_s.max(1)),
     )?;
@@ -461,6 +481,53 @@ fn cmd_call(argv: &[String]) -> Result<(), String> {
         Some(out) => save_text(&text, out)?,
         None => println!("{text}"),
     }
+    Ok(())
+}
+
+/// `ibox trace export <batch.json> -o trace.json`: run a batch with
+/// causal tracing on and write the span tree as Chrome trace-event JSON
+/// — load the file at <https://ui.perfetto.dev> to see the fit/replay
+/// phases and per-job lanes on a timeline. `--timeline` additionally
+/// records the simulator's queue-depth counter track and drop/RTO
+/// instants for every sim-backed run.
+fn cmd_trace(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &TRACE)?;
+    let action = p.positional(0, "trace action")?;
+    if action != "export" {
+        return Err(format!("unknown trace action {action:?} (expected \"export\")"));
+    }
+    let spec_path = p.positional(1, "batch spec file")?;
+    let out = p.required("--output")?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let mut batch = BatchSpec::from_json(&text)?;
+    if let Some(jobs) = p.opt("--jobs") {
+        batch.jobs = jobs.parse().map_err(|_| format!("invalid value for --jobs: {jobs:?}"))?;
+    }
+    let cache = model_cache(&p)?;
+
+    ibox_obs::trace::set_enabled(true);
+    if p.flag("--timeline") {
+        ibox_obs::trace::set_timeline(true);
+    }
+    let trace_id = ibox_obs::trace::next_trace_id();
+    let scope =
+        ibox_obs::trace::start_root(trace_id, "trace-export").expect("tracing was just enabled");
+    let result = ibox::run_batch_with_cache(&batch, batch.jobs, &cache)?;
+    drop(scope);
+
+    let (name, events) = ibox_obs::trace::collector()
+        .get(trace_id)
+        .ok_or("trace was not recorded (collector ring too small for this batch?)")?;
+    save_text(&ibox_obs::trace::to_chrome_json(trace_id, &name, &events), out)?;
+    print_records(&result.records);
+    println!(
+        "trace {} ({} events) written to {out}",
+        ibox_obs::trace::format_trace_id(trace_id),
+        events.len()
+    );
+    println!("open https://ui.perfetto.dev and load the file to view the timeline");
+    write_manifest(RunManifestBuilder::new("trace").config(&batch), out)?;
     Ok(())
 }
 
@@ -548,7 +615,7 @@ mod tests {
         let u = usage();
         for cmd in [
             "fit", "replay", "simulate", "metrics", "synth", "validity", "batch", "serve", "call",
-            "version",
+            "trace", "version",
         ] {
             assert!(u.contains(&format!("ibox {cmd}")), "usage must mention {cmd}:\n{u}");
         }
@@ -853,6 +920,53 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&cache_dir);
         for p in [&spec_path, &out1, &out2] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
+    }
+
+    #[test]
+    fn trace_export_writes_perfetto_loadable_json() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("ibox_cli_trace_spec.json").to_string_lossy().into_owned();
+        let out_path = dir.join("ibox_cli_trace_out.json").to_string_lossy().into_owned();
+
+        let batch = BatchSpec::builder()
+            .jobs(2)
+            .run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 71)
+                    .protocol("vegas")
+                    .duration_s(3.0)
+                    .build()
+                    .unwrap(),
+            )
+            .run(
+                RunSpec::builder()
+                    .synth("ethernet", "cubic", 72)
+                    .protocol("reno")
+                    .duration_s(3.0)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        std::fs::write(&spec_path, batch.to_json()).unwrap();
+
+        dispatch(&argv(&["trace", "export", &spec_path, "--timeline", "-o", &out_path])).unwrap();
+
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let value = serde_json::parse_value(&text).unwrap();
+        assert!(value.get("traceEvents").and_then(|v| v.as_array()).is_some_and(|a| !a.is_empty()));
+        for span in ["trace-export", "batch-run", "fit-cache", "model-fit", "job-0", "job-1"] {
+            assert!(text.contains(&format!("\"{span}\"")), "span {span:?} missing");
+        }
+        // --timeline recorded the sim's counter track.
+        assert!(text.contains("sim.queue_depth_bytes"), "timeline counter track missing");
+
+        assert!(dispatch(&argv(&["trace", "import", &spec_path, "-o", &out_path])).is_err());
+
+        for p in [&spec_path, &out_path] {
             let _ = std::fs::remove_file(p);
             let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
         }

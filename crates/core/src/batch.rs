@@ -163,6 +163,7 @@ pub fn run_batch_with_cache(
         // The per-run span totals add up to the batch's serial wall time,
         // which is what the CLI divides by to report the actual speedup.
         let _span = ibox_obs::span!("batch.run");
+        let _trace = ibox_obs::trace_span!("batch-run");
         execute_run_cached(&batch.runs[i], cache).map(|(record, _trace)| record)
     })
     .map_err(|e| e.to_string())?;
@@ -224,6 +225,34 @@ mod tests {
         assert_eq!(r1.to_json(), r4.to_json(), "results must not depend on jobs");
         assert_eq!(m1.counters, m4.counters, "folded metric counters must not depend on jobs");
         assert_eq!(m1.histograms, m4.histograms, "folded histograms must not depend on jobs");
+    }
+
+    /// Satellite: the causal span tree — IDs, parentage, event order —
+    /// is identical at `--jobs 1` and `--jobs 4`, in the style of the
+    /// byte-identity tests above. Only timestamps may differ.
+    #[test]
+    fn trace_span_trees_identical_at_any_jobs() {
+        let batch = small_batch();
+        let run = |jobs: usize| {
+            let collector = ibox_obs::TraceCollector::new(1 << 14);
+            let trace = 0x1bad_b002;
+            {
+                let _root =
+                    ibox_obs::trace::start_root_in(collector.clone(), trace, "batch").unwrap();
+                run_batch_jobs(&batch, jobs).unwrap();
+            }
+            let (_, events) = collector.get(trace).unwrap();
+            events
+                .iter()
+                .map(|e| (e.lane, e.span, e.parent, e.phase.clone(), e.name.clone()))
+                .collect::<Vec<_>>()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert_eq!(t1, t4, "span trees must not depend on the jobs value");
+        for phase in ["job-0", "job-3", "batch-run", "fit-cache", "model-fit", "model-replay"] {
+            assert!(t1.iter().any(|e| e.4 == phase), "span tree is missing {phase:?}");
+        }
     }
 
     #[test]

@@ -159,6 +159,7 @@ impl FitCache {
         kind: &ModelKind,
         train: &FlowTrace,
     ) -> (FitCacheKey, FittedModel) {
+        let _trace = ibox_obs::trace_span!("fit-cache");
         let key = FitCacheKey::for_fit(kind, train);
         let model = self
             .get_or_insert_with(&key.id(), || fit_model(kind, train))

@@ -133,6 +133,7 @@ pub enum FittedModel {
 
 impl PathModel for FittedModel {
     fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        let _trace = ibox_obs::trace_span!("model-replay");
         match self {
             FittedModel::IBoxNet(m) => PathModel::simulate(m, protocol, duration, seed),
             FittedModel::StatisticalLoss(m) => PathModel::simulate(m, protocol, duration, seed),
@@ -182,6 +183,7 @@ fn ml_config(spec: &IBoxMlSpec) -> IBoxMlConfig {
 /// most one call per distinct (trace, kind, config, seed).
 pub fn fit_model(kind: &ModelKind, train: &FlowTrace) -> FittedModel {
     let _span = ibox_obs::span!("model.fit");
+    let _trace = ibox_obs::trace_span!("model-fit");
     ibox_obs::global().counter("model.fit").inc();
     match kind {
         ModelKind::IBoxNet => FittedModel::IBoxNet(IBoxNet::fit(train)),

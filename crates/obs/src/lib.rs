@@ -13,6 +13,10 @@
 //!   update on the hot path.
 //! * span timers — `let _g = span!("estimate.crosstraffic");` aggregates
 //!   wall time per label via RAII ([`Registry::span`]).
+//! * [`trace`] — causal per-request tracing: `trace_span!` records span
+//!   begin/end events (with SplitMix64-derived trace/span IDs) into a
+//!   fixed-capacity [`TraceCollector`] ring, exportable as Chrome
+//!   trace-event JSON; a no-op branch when sampling is off.
 //! * [`manifest`] — a JSON run manifest (seed, config hash, git rev,
 //!   duration, metrics snapshot) written next to every command's output.
 
@@ -20,12 +24,15 @@ pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod quantile;
+pub mod trace;
 
 pub use manifest::{config_hash, git_rev, RunManifest, RunManifestBuilder};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SpanGuard, SpanStat,
+    Stopwatch,
 };
 pub use quantile::StreamingQuantile;
+pub use trace::{TraceCollector, TraceEvent, TraceLink, TracePhase, TraceSummary};
 
 use std::cell::RefCell;
 use std::sync::OnceLock;

@@ -286,6 +286,38 @@ impl Drop for SpanGuard {
     }
 }
 
+/// A plain wall-clock stopwatch. This is the sanctioned way for the
+/// serving and runner layers to measure elapsed time when the duration
+/// feeds a metric (raw `Instant::now()` timing outside this crate is
+/// grep-gated by `scripts/check.sh`), keeping every timing source in
+/// one place.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds since [`start`](Stopwatch::start).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Elapsed milliseconds, fractional.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e6
+    }
+
+    /// Elapsed seconds, fractional.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -504,11 +536,130 @@ impl MetricsSnapshot {
             stat.max_ns = stat.max_ns.max(v.max_ns);
         }
     }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges verbatim, histograms as
+    /// `summary` series (quantile labels + `_sum`/`_count`), streaming
+    /// quantiles as gauges, and span aggregates as
+    /// `ibox_span_<label>_{count,seconds_total,max_seconds}`. Metric
+    /// names are sanitized to `[a-zA-Z0-9_:]` and prefixed `ibox_`.
+    pub fn to_prometheus(&self) -> String {
+        fn name(raw: &str) -> String {
+            let mut out = String::with_capacity(raw.len() + 5);
+            out.push_str("ibox_");
+            for c in raw.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn num(v: f64) -> String {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = name(k);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let n = name(k);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", num(*v)));
+        }
+        for (k, v) in &self.quantiles {
+            let n = name(k);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", num(*v)));
+        }
+        for (k, h) in &self.histograms {
+            let n = name(k);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, est) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", num(est)));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", num(h.sum), h.count));
+        }
+        for (k, s) in &self.spans {
+            let n = name(&format!("span.{k}"));
+            out.push_str(&format!("# TYPE {n}_count counter\n{n}_count {}\n", s.count));
+            out.push_str(&format!(
+                "# TYPE {n}_seconds_total counter\n{n}_seconds_total {}\n",
+                num(s.total_ns as f64 / 1e9)
+            ));
+            out.push_str(&format!(
+                "# TYPE {n}_max_seconds gauge\n{n}_max_seconds {}\n",
+                num(s.max_ns as f64 / 1e9)
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal exposition-format check: every line is a `# TYPE`
+    /// comment or `name[{labels}] value` with a legal metric name and a
+    /// parseable float value.
+    fn assert_prometheus_grammar(text: &str) {
+        fn legal_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_ascii_whitespace();
+                let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+                assert!(legal_name(name), "bad TYPE name in {line:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary" | "histogram"),
+                    "bad TYPE kind in {line:?}"
+                );
+                continue;
+            }
+            let (series, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+            let name = series.split('{').next().unwrap();
+            assert!(legal_name(name), "bad metric name in {line:?}");
+            if let Some(labels) = series.strip_prefix(name) {
+                if !labels.is_empty() {
+                    assert!(
+                        labels.starts_with('{') && labels.ends_with('}'),
+                        "bad labels in {line:?}"
+                    );
+                }
+            }
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_metric_kind() {
+        let reg = Registry::new();
+        reg.counter("fitcache.hit").add(3);
+        reg.gauge("serve.uptime_s").set(12.5);
+        reg.histogram("serve.latency.fit_ms").record(4.0);
+        reg.streaming_quantile("serve.latency.fit.p50", 0.5).lock().unwrap().observe(4.0);
+        {
+            let _g = reg.span("model.fit");
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert_prometheus_grammar(&text);
+        assert!(text.contains("# TYPE ibox_fitcache_hit counter\nibox_fitcache_hit 3\n"));
+        assert!(text.contains("ibox_serve_uptime_s 12.5\n"));
+        assert!(text.contains("# TYPE ibox_serve_latency_fit_ms summary\n"));
+        assert!(text.contains("ibox_serve_latency_fit_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("ibox_serve_latency_fit_ms_count 1\n"));
+        assert!(text.contains("# TYPE ibox_span_model_fit_count counter\n"));
+        assert!(text.contains("ibox_span_model_fit_seconds_total"));
+    }
 
     #[test]
     fn counters_and_gauges_record() {

@@ -153,15 +153,26 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // Trace propagation mirrors the metrics discipline: reserve n child
+    // span slots of the caller's active span (None when tracing is off),
+    // record each job into a private buffer on its worker thread, and
+    // fold the buffers back in index order below — so the span tree is
+    // identical at any `jobs` value.
+    let link = ibox_obs::trace::link(n);
     let pairs = run_indexed_checked(n, jobs, |i| {
         let scope = ibox_obs::scoped();
+        let tracing = link.as_ref().map(|l| l.job_scope(i));
         let value = f(i);
-        (value, scope.finish())
+        let events = tracing.map(ibox_obs::trace::JobScope::finish);
+        (value, scope.finish(), events)
     })?;
     let target = ibox_obs::global();
     let mut out = Vec::with_capacity(pairs.len());
-    for (value, registry) in pairs {
+    for (value, registry, events) in pairs {
         target.absorb_registry(&registry);
+        if let Some(events) = events {
+            ibox_obs::trace::fold(events);
+        }
         out.push(value);
     }
     Ok(out)
@@ -228,12 +239,12 @@ mod tests {
         // Sleep-bound jobs overlap even on a single-core host, so this
         // catches any accidental lock serializing the pool: 4 sleeps of
         // 100 ms at jobs=4 must take ~100 ms, not ~400 ms.
-        let t0 = std::time::Instant::now();
+        let watch = ibox_obs::Stopwatch::start();
         run_indexed(4, 4, |_| std::thread::sleep(std::time::Duration::from_millis(100)));
-        let wall = t0.elapsed();
+        let wall_ms = watch.elapsed_ms();
         assert!(
-            wall < std::time::Duration::from_millis(250),
-            "4 overlapping 100 ms sleeps took {wall:?} — the pool is serialized"
+            wall_ms < 250.0,
+            "4 overlapping 100 ms sleeps took {wall_ms:.0} ms — the pool is serialized"
         );
     }
 
@@ -259,6 +270,28 @@ mod tests {
         assert_eq!(m1.counters["pool.test.weight"], 66);
         assert_eq!(m1.gauges["pool.test.last_index"], 11.0);
         assert_eq!(m1.histograms["pool.test.h"].count, 12);
+    }
+
+    #[test]
+    fn trace_span_trees_fold_identically_at_any_jobs() {
+        let run = |jobs: usize| {
+            let collector = ibox_obs::TraceCollector::new(4096);
+            let trace = 0x7e57 + jobs as u64; // distinct ids, same structure
+            {
+                let _root =
+                    ibox_obs::trace::start_root_in(collector.clone(), trace, "pool-test").unwrap();
+                run_scoped(6, jobs, |i| {
+                    let _inner = ibox_obs::trace::span("work");
+                    i
+                });
+            }
+            let (_, events) = collector.get(trace).unwrap();
+            // Strip the trace-dependent ids down to structure: lane,
+            // phase, name, and parent-relative shape survive comparison
+            // across different trace ids.
+            events.iter().map(|e| (e.lane, e.phase.clone(), e.name.clone())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4), "span trees must not depend on the jobs value");
     }
 
     #[test]

@@ -142,6 +142,8 @@ pub struct Request {
     pub method: String,
     /// Request path with any `?query` suffix stripped.
     pub path: String,
+    /// Raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Headers in arrival order; names lowercased, values trimmed.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (`Content-Length`-delimited; empty when absent).
@@ -152,6 +154,16 @@ impl Request {
     /// First header named `name` (lowercase), if any.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `name` (`?name=value&...`), if present.
+    /// No percent-decoding — this API's parameter values are plain
+    /// tokens (`format=chrome`).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 
     /// Whether the client asked to close the connection after this
@@ -232,7 +244,10 @@ pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<R
     if !target.starts_with('/') {
         return Err(HttpError::BadRequestLine(truncate_for_display(&line)));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -275,7 +290,7 @@ pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<R
     let mut body = vec![0u8; body_len];
     reader.read_exact(&mut body).map_err(|e| io_error(&e))?;
 
-    Ok(Request { method: method.to_string(), path, headers, body })
+    Ok(Request { method: method.to_string(), path, query, headers, body })
 }
 
 /// Clip hostile input to a displayable length for error messages.
@@ -309,13 +324,17 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// A response ready to serialize: status, JSON body, connection handling.
+/// A response ready to serialize: status, body, content type,
+/// connection handling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always `application/json` in this server).
+    /// Body bytes.
     pub body: Vec<u8>,
+    /// `Content-Type` header value (`application/json` unless built via
+    /// [`Response::text`]).
+    pub content_type: String,
     /// `Retry-After` seconds, set on load-shedding 503s.
     pub retry_after_s: Option<u32>,
     /// Whether to close the connection after writing this response.
@@ -325,7 +344,19 @@ pub struct Response {
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Self { status, body: body.into(), retry_after_s: None, close: false }
+        Self {
+            status,
+            body: body.into(),
+            content_type: "application/json".to_string(),
+            retry_after_s: None,
+            close: false,
+        }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus
+    /// exposition format's `text/plain; version=0.0.4`).
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self { content_type: content_type.to_string(), ..Self::json(status, body) }
     }
 
     /// An error response with a `{"error": message}` body (message
@@ -349,9 +380,10 @@ impl Response {
     /// Serialize status line, headers, and body to `w`.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         );
         if let Some(s) = self.retry_after_s {
@@ -400,12 +432,28 @@ impl HttpClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<(u16, Vec<u8>), String> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`request`](Self::request) with extra headers (e.g.
+    /// `x-ibox-trace-id`) sent after `host`/`content-length`.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(String, String)],
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
         let body = body.unwrap_or(&[]);
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n",
             self.host,
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes()).map_err(|e| format!("send failed: {e}"))?;
         self.writer.write_all(body).map_err(|e| format!("send failed: {e}"))?;
         self.writer.flush().map_err(|e| format!("send failed: {e}"))?;
@@ -459,6 +507,18 @@ pub fn request_url(
     body: Option<&[u8]>,
     timeout: Duration,
 ) -> Result<(u16, Vec<u8>), String> {
+    request_url_with_headers(url, method, &[], body, timeout)
+}
+
+/// [`request_url`] with extra request headers — how `ibox call
+/// --trace-id` sends `x-ibox-trace-id`.
+pub fn request_url_with_headers(
+    url: &str,
+    method: &str,
+    headers: &[(String, String)],
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| format!("unsupported url {url:?} (only http:// is supported)"))?;
@@ -470,7 +530,7 @@ pub fn request_url(
         return Err(format!("unsupported url {url:?}: missing host"));
     }
     let mut client = HttpClient::connect(addr, timeout)?;
-    client.request(method, path, body)
+    client.request_with_headers(method, path, headers, body)
 }
 
 #[cfg(test)]
@@ -492,10 +552,21 @@ mod tests {
     }
 
     #[test]
-    fn parses_post_with_body_and_strips_query() {
+    fn parses_post_with_body_and_splits_query() {
         let req = parse(b"POST /fit?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
         assert_eq!(req.path, "/fit");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.body, b"abcd");
+
+        let req = parse(b"GET /metrics?format=prometheus&x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("format"), None);
     }
 
     #[test]
@@ -556,5 +627,21 @@ mod tests {
         let text = String::from_utf8(wire).unwrap();
         assert!(text.contains("retry-after: 1\r\n"), "{text}");
         assert!(text.contains("connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn content_type_is_json_by_default_and_overridable() {
+        let json = Response::json(200, "{}");
+        let mut wire = Vec::new();
+        json.write_to(&mut wire).unwrap();
+        assert!(String::from_utf8(wire).unwrap().contains("content-type: application/json\r\n"));
+
+        let prom = Response::text(200, "text/plain; version=0.0.4", "x 1\n");
+        assert_eq!(prom.content_type, "text/plain; version=0.0.4");
+        let mut wire = Vec::new();
+        prom.write_to(&mut wire).unwrap();
+        assert!(String::from_utf8(wire)
+            .unwrap()
+            .contains("content-type: text/plain; version=0.0.4\r\n"));
     }
 }

@@ -16,9 +16,22 @@
 //! | `POST /batch` | Run a `BatchSpec` over the runner pool; answers with the jobs-invariant `BatchResult` JSON. |
 //! | `GET /models` | List registered artifacts (id, kind, provenance). |
 //! | `GET /models/<id>` | Fetch one artifact envelope; `202` while its fit is pending, typed `404`/`409`/`500` errors otherwise. |
-//! | `GET /metrics` | Obs registry snapshot as JSON. |
+//! | `GET /metrics` | Obs registry snapshot as JSON; `?format=prometheus` for text exposition (content type `text/plain; version=0.0.4`). |
+//! | `GET /trace/<id>` | One request's causal span tree (see below); `?format=chrome` for Perfetto-loadable Chrome trace-event JSON. |
+//! | `GET /traces` | Bounded most-recent-first listing of traces still in the ring. |
 //! | `GET /healthz` | Liveness. |
 //! | `POST /shutdown` | Begin graceful drain. |
+//!
+//! ## Tracing
+//!
+//! Every non-observability request runs under a causal trace
+//! ([`ibox_obs::trace`]): a `request.<endpoint>` root span with the
+//! fit-cache / model-fit / batch / per-job child spans recorded beneath
+//! it, flushed to the process-global bounded ring when the response is
+//! written. The trace ID is taken from the `x-ibox-trace-id` header
+//! (16-hex-digit, or any token — non-hex IDs hash deterministically) or
+//! server-assigned; either way `GET /trace/<same-id>` returns the tree.
+//! Set `IBOX_TRACE=off` in the daemon's environment to disable capture.
 //!
 //! ## Robustness invariants
 //!
@@ -44,7 +57,9 @@ pub mod registry;
 pub mod routes;
 pub mod server;
 
-pub use http::{request_url, HttpClient, HttpError, HttpLimits, Request, Response};
+pub use http::{
+    request_url, request_url_with_headers, HttpClient, HttpError, HttpLimits, Request, Response,
+};
 pub use registry::{ModelRegistry, ModelSummary, RegistryError};
 pub use routes::App;
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -20,9 +20,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use serde::{Deserialize, Value};
+
+use ibox_obs::Stopwatch;
 
 use ibox::{BatchSpec, FitCache, FitCacheKey, ModelArtifact, ModelKind, PathModel};
 use ibox_sim::SimTime;
@@ -51,7 +52,7 @@ pub struct App {
     max_async_fits: usize,
     stop: Arc<AtomicBool>,
     addr: OnceLock<SocketAddr>,
-    started: Instant,
+    started: Stopwatch,
     fit_jobs: Mutex<HashMap<String, FitJob>>,
     fits_active: AtomicUsize,
     fit_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -75,7 +76,7 @@ impl App {
             max_async_fits: max_async_fits.max(1),
             stop,
             addr: OnceLock::new(),
-            started: Instant::now(),
+            started: Stopwatch::start(),
             fit_jobs: Mutex::new(HashMap::new()),
             fits_active: AtomicUsize::new(0),
             fit_threads: Mutex::new(Vec::new()),
@@ -124,6 +125,8 @@ pub fn endpoint_label(method: &str, path: &str) -> &'static str {
         ("GET", "/metrics") => "metrics",
         ("GET", "/models") => "models",
         ("GET", _) if path.starts_with("/models/") => "models_id",
+        ("GET", "/traces") => "traces",
+        ("GET", _) if path.starts_with("/trace/") => "trace",
         ("POST", "/fit") => "fit",
         ("POST", "/replay") => "replay",
         ("POST", "/batch") => "batch",
@@ -132,15 +135,38 @@ pub fn endpoint_label(method: &str, path: &str) -> &'static str {
     }
 }
 
+/// Whether requests to this endpoint get a causal trace of their own.
+/// Observability read endpoints are exempt: tracing the act of reading
+/// traces would pollute the collector with noise, and `other` covers
+/// hostile paths whose traces nobody will ever look up.
+fn traced_endpoint(label: &str) -> bool {
+    !matches!(label, "healthz" | "metrics" | "trace" | "traces" | "other")
+}
+
 /// Route and execute `req`, recording the per-endpoint metrics contract.
 /// A panicking handler is caught and answered as a 500 — one bad request
 /// must not take a worker thread (and its queue slot) down with it.
 pub fn handle(app: &Arc<App>, req: &Request) -> Response {
     let label = endpoint_label(&req.method, &req.path);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
+    // Each traced request becomes a root span `request.<label>` under its
+    // own trace ID — the caller's via `x-ibox-trace-id` (hex, or any
+    // token: non-hex hashes deterministically), otherwise server-assigned.
+    let scope = if traced_endpoint(label) {
+        let trace = req
+            .header("x-ibox-trace-id")
+            .and_then(ibox_obs::trace::parse_trace_id)
+            .unwrap_or_else(ibox_obs::trace::next_trace_id);
+        ibox_obs::trace::start_root(trace, &format!("request.{label}"))
+    } else {
+        None
+    };
     let resp = std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(app, req)))
         .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"));
-    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Flush the trace before the metrics block so `/trace/<id>` reflects
+    // a request as soon as its response is on the wire.
+    drop(scope);
+    let latency_ms = t0.elapsed_ms();
 
     let reg = ibox_obs::global();
     reg.counter("serve.requests").inc();
@@ -161,16 +187,24 @@ pub fn handle(app: &Arc<App>, req: &Request) -> Response {
 fn dispatch(app: &Arc<App>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(app),
-        ("GET", "/metrics") => handle_metrics(),
+        ("GET", "/metrics") => handle_metrics(req),
         ("GET", "/models") => handle_models(app),
         ("GET", path) if path.starts_with("/models/") => {
             handle_model_by_id(app, &path["/models/".len()..])
+        }
+        ("GET", "/traces") => handle_traces(),
+        ("GET", path) if path.starts_with("/trace/") => {
+            handle_trace_by_id(&path["/trace/".len()..], req)
         }
         ("POST", "/fit") => handle_fit(app, req),
         ("POST", "/replay") => handle_replay(app, req),
         ("POST", "/batch") => handle_batch(app, req),
         ("POST", "/shutdown") => handle_shutdown(app),
-        (_, path) if KNOWN_PATHS.contains(&path) || path.starts_with("/models/") => {
+        (_, path)
+            if KNOWN_PATHS.contains(&path)
+                || path.starts_with("/models/")
+                || path.starts_with("/trace/") =>
+        {
             Response::error(405, &format!("method {} not allowed on {path}", req.method))
         }
         (_, path) => Response::error(404, &format!("no such endpoint {path}")),
@@ -179,7 +213,7 @@ fn dispatch(app: &Arc<App>, req: &Request) -> Response {
 
 /// Paths that exist (under some method), for distinguishing 405 from 404.
 const KNOWN_PATHS: &[&str] =
-    &["/healthz", "/metrics", "/models", "/fit", "/replay", "/batch", "/shutdown"];
+    &["/healthz", "/metrics", "/models", "/traces", "/fit", "/replay", "/batch", "/shutdown"];
 
 /// Build a compact JSON object response from string pairs.
 fn object_response(status: u16, fields: &[(&str, &str)]) -> Response {
@@ -190,15 +224,46 @@ fn object_response(status: u16, fields: &[(&str, &str)]) -> Response {
 }
 
 fn handle_healthz(app: &Arc<App>) -> Response {
-    let uptime = app.started.elapsed().as_secs().to_string();
+    let uptime = (app.started.elapsed_s() as u64).to_string();
     object_response(200, &[("status", "ok"), ("uptime_s", &uptime)])
 }
 
-fn handle_metrics() -> Response {
+fn handle_metrics(req: &Request) -> Response {
     let snapshot = ibox_obs::global().snapshot();
-    match serde_json::to_string(&snapshot) {
+    match req.query_param("format") {
+        Some("prometheus") => {
+            Response::text(200, "text/plain; version=0.0.4", snapshot.to_prometheus())
+        }
+        Some(other) => Response::error(400, &format!("unknown metrics format {other:?}")),
+        None => match serde_json::to_string(&snapshot) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("cannot serialize metrics: {e}")),
+        },
+    }
+}
+
+/// Bounded most-recent-first listing of traces still in the ring.
+fn handle_traces() -> Response {
+    let summaries = ibox_obs::trace::collector().list(32);
+    match serde_json::to_string(&summaries) {
         Ok(json) => Response::json(200, json),
-        Err(e) => Response::error(500, &format!("cannot serialize metrics: {e}")),
+        Err(e) => Response::error(500, &format!("cannot serialize trace list: {e}")),
+    }
+}
+
+fn handle_trace_by_id(id: &str, req: &Request) -> Response {
+    let Some(trace) = ibox_obs::trace::parse_trace_id(id) else {
+        return Response::error(400, &format!("bad trace id {id:?}"));
+    };
+    let Some((name, events)) = ibox_obs::trace::collector().get(trace) else {
+        return Response::error(404, &format!("no trace {id:?} (not recorded, or evicted)"));
+    };
+    match req.query_param("format") {
+        Some("chrome") => {
+            Response::json(200, ibox_obs::trace::to_chrome_json(trace, &name, &events))
+        }
+        Some(other) => Response::error(400, &format!("unknown trace format {other:?}")),
+        None => Response::json(200, ibox_obs::trace::to_json(trace, &name, &events)),
     }
 }
 
@@ -363,7 +428,12 @@ fn handle_fit(app: &Arc<App>, req: &Request) -> Response {
 
     let app2 = Arc::clone(app);
     let id2 = id.clone();
+    // The background fit outlives this request's root scope, so it gets a
+    // detached child span that flushes straight to the collector: the
+    // request's trace grows an `async-fit` subtree when the fit lands.
+    let link = ibox_obs::trace::link(1);
     let handle = std::thread::spawn(move || {
+        let _tracing = link.as_ref().map(|l| l.thread_scope(0, "async-fit"));
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             fit_and_register(&app2, &kind, &train, &id2)
         }))
@@ -451,4 +521,89 @@ fn handle_shutdown(app: &Arc<App>) -> Response {
     let mut resp = object_response(200, &[("status", "draining")]);
     resp.close = true;
     resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_app(tag: &str) -> (Arc<App>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("ibox_routes_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = App::new(dir.clone(), 2, 1, Arc::new(AtomicBool::new(false)))
+            .expect("app state builds");
+        (Arc::new(app), dir)
+    }
+
+    fn get(target: &str) -> Request {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn body_text(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).expect("utf-8 body")
+    }
+
+    #[test]
+    fn metrics_content_type_switches_with_format() {
+        let (app, dir) = test_app("metrics_ct");
+
+        let json = handle(&app, &get("/metrics"));
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, "application/json");
+        assert!(body_text(&json).starts_with('{'), "json snapshot body");
+
+        let prom = handle(&app, &get("/metrics?format=prometheus"));
+        assert_eq!(prom.status, 200);
+        assert_eq!(prom.content_type, "text/plain; version=0.0.4");
+        let text = body_text(&prom);
+        assert!(text.contains("# TYPE "), "exposition has TYPE lines:\n{text}");
+        assert!(!text.starts_with('{'), "prometheus body must not be json");
+
+        assert_eq!(handle(&app, &get("/metrics?format=xml")).status, 400);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_fit_exposes_its_span_tree_over_http() {
+        ibox_obs::trace::set_enabled(true);
+        let (app, dir) = test_app("traced_fit");
+
+        let mut fit = get("/fit");
+        fit.method = "POST".to_string();
+        fit.headers.push(("x-ibox-trace-id".to_string(), "routes-test-fit".to_string()));
+        fit.body = br#"{"wait":true,"model":"IBoxNet",
+            "synth":{"profile":"ethernet","protocol":"cubic","seed":417,"duration_s":2}}"#
+            .to_vec();
+        let resp = handle(&app, &fit);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+
+        // The caller-supplied (non-hex, hence hashed) id resolves to the
+        // same trace on the read side.
+        let trace = handle(&app, &get("/trace/routes-test-fit"));
+        assert_eq!(trace.status, 200, "{}", body_text(&trace));
+        let body = body_text(&trace);
+        for span in ["request.fit", "fit-cache", "model-fit"] {
+            assert!(body.contains(span), "span {span:?} missing from:\n{body}");
+        }
+
+        let chrome = handle(&app, &get("/trace/routes-test-fit?format=chrome"));
+        assert_eq!(chrome.status, 200);
+        assert!(body_text(&chrome).contains("traceEvents"));
+        assert_eq!(handle(&app, &get("/trace/routes-test-fit?format=xml")).status, 400);
+
+        // Listing includes the request trace; unknown traces 404.
+        let listing = body_text(&handle(&app, &get("/traces")));
+        assert!(listing.contains("request.fit"), "{listing}");
+        assert_eq!(handle(&app, &get("/trace/ffffffffffffff01")).status, 404);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

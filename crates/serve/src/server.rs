@@ -146,6 +146,12 @@ impl Server {
     /// return the running server. The registry/cache directory is
     /// created if missing.
     pub fn bind(config: ServeConfig) -> Result<Server, String> {
+        // Tracing is on by default for a daemon — the collector is a
+        // bounded ring and untraced requests pay one atomic load. Set
+        // IBOX_TRACE=off to run dark.
+        if !matches!(std::env::var("IBOX_TRACE").as_deref(), Ok("off") | Ok("0")) {
+            ibox_obs::trace::set_enabled(true);
+        }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;

@@ -183,6 +183,14 @@ pub struct Simulation {
     wake_at: Vec<Option<SimTime>>,
     sample_every: Option<SimTime>,
     samples: Vec<LinkSample>,
+    /// Opt-in trace timeline mode (defaults to the process-wide
+    /// [`ibox_obs::trace::timeline`] knob): emit queue-depth counter
+    /// tracks and drop/RTO instants into the active trace scope.
+    timeline: bool,
+    /// Effective timeline flag for this run: `timeline` AND a trace
+    /// scope actually active — computed once in [`run`](Self::run) so
+    /// the per-event hot path pays one plain-bool test.
+    tl: bool,
     /// Per-run metrics registry; snapshotted into [`SimOutput::metrics`].
     /// Hot-path tallies are plain fields below (the simulation is
     /// single-threaded) and flushed into the registry in `finish`.
@@ -227,6 +235,8 @@ impl Simulation {
             wake_at: Vec::new(),
             sample_every: Some(SimTime::from_millis(100)),
             samples: Vec::new(),
+            timeline: ibox_obs::trace::timeline(),
+            tl: false,
             metrics,
             m_sent: 0,
             m_delivered: 0,
@@ -252,6 +262,14 @@ impl Simulation {
     /// Ground-truth sampling period (`None` disables sampling).
     pub fn set_sample_every(&mut self, every: Option<SimTime>) {
         self.sample_every = every;
+    }
+
+    /// Opt into (or out of) trace timeline mode for this run,
+    /// overriding the process-wide [`ibox_obs::trace::timeline`]
+    /// default. Timeline events only record when a trace scope is
+    /// active on the running thread.
+    pub fn set_timeline(&mut self, on: bool) {
+        self.timeline = on;
     }
 
     /// Add a congestion-controlled flow; returns its index.
@@ -299,6 +317,11 @@ impl Simulation {
 
     /// Run to completion and return traces and statistics.
     pub fn run(mut self) -> SimOutput {
+        // One begin/end pair per run in the active causal trace (a
+        // single thread-local branch when tracing is off). Timeline
+        // events additionally require the opt-in flag.
+        let _run_span = ibox_obs::trace_span!("sim-run");
+        self.tl = self.timeline && ibox_obs::trace::active();
         self.reserve_buffers();
         // Seed initial events.
         for i in 0..self.flows.len() {
@@ -396,6 +419,9 @@ impl Simulation {
                             self.kick_link();
                         }
                         EnqueueResult::Dropped => {
+                            if self.tl {
+                                ibox_obs::trace::instant("sim.drop.buffer");
+                            }
                             self.recorders[i].record_fate(seq, PacketFate::Dropped(self.now));
                         }
                     }
@@ -434,6 +460,9 @@ impl Simulation {
                 self.schedule(deadline, Ev::RtoCheck(i));
             }
             Some(_) => {
+                if self.tl {
+                    ibox_obs::trace::instant("sim.rto");
+                }
                 let _flushed = self.flows[i].on_rto_fire(self.now);
                 // Flushed packets' network fates resolve independently;
                 // the window is open again.
@@ -466,6 +495,9 @@ impl Simulation {
         // Egress random loss.
         if self.path.random_loss > 0.0 && rng::coin(&mut self.rng_loss, self.path.random_loss) {
             self.m_dropped_random += 1;
+            if self.tl {
+                ibox_obs::trace::instant("sim.drop.random");
+            }
             self.record_fate(&pkt, PacketFate::Dropped(self.now));
         } else {
             let mut arrival = self.now + self.path.prop_delay;
@@ -519,6 +551,8 @@ impl Simulation {
         if self.queue.enqueue(pkt, self.now) == EnqueueResult::Queued {
             self.m_queue_hwm = self.m_queue_hwm.max(self.queue.occupied_bytes() as f64);
             self.kick_link();
+        } else if self.tl {
+            ibox_obs::trace::instant("sim.drop.buffer");
         }
         if let Some(t) = self.cross[i].next_emission() {
             if t < self.end {
@@ -531,6 +565,9 @@ impl Simulation {
     fn collect_dequeue_drops(&mut self) {
         while let Some(pkt) = self.queue.pop_dequeue_drop() {
             self.m_dropped_aqm += 1;
+            if self.tl {
+                ibox_obs::trace::instant("sim.drop.aqm");
+            }
             self.record_fate(&pkt, PacketFate::Dropped(self.now));
         }
     }
@@ -538,6 +575,9 @@ impl Simulation {
     fn handle_sample(&mut self) {
         let Some(every) = self.sample_every else { return };
         let queue_bytes = self.queue.occupied_bytes();
+        if self.tl {
+            ibox_obs::trace::counter("sim.queue_depth_bytes", queue_bytes as f64);
+        }
         self.metrics.histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
         // Also into the process-wide registry: histogram buckets don't
         // survive `absorb`, so the global distribution is fed directly.
@@ -874,6 +914,87 @@ mod codel_tests {
         assert_eq!(stats.sent, stats.delivered + stats.lost);
         assert!(stats.lost > 0, "overload must drop under CoDel");
         assert_eq!(out.traces[0].lost_count() as u64, stats.lost);
+    }
+
+    /// Satellite: the `sim.packets_dropped_aqm` counter actually
+    /// increments when an AQM discipline head-drops — it must not rot
+    /// as a plumbed-but-always-zero metric.
+    #[test]
+    fn aqm_drops_increment_the_dropped_aqm_counter() {
+        let mut path = PathConfig::simple(5e6, SimTime::from_millis(10), 200_000);
+        path.scheduler = SchedulerKind::Codel {
+            target: SimTime::from_millis(5),
+            interval: SimTime::from_millis(100),
+        };
+        let mut sim = Simulation::new(path, SimTime::from_secs(8), 3);
+        sim.add_flow(
+            FlowConfig::bulk("cbr", SimTime::from_secs(8)),
+            Box::new(FixedRate::new(6.5e6)),
+        );
+        let out = sim.run();
+        let aqm = out.metrics.counters["sim.packets_dropped_aqm"];
+        assert!(aqm > 0, "CoDel under persistent overload must head-drop");
+        // AQM drops are a subset of the flow's total losses.
+        assert!(aqm <= out.flow_stats[0].lost, "aqm={aqm} > lost={}", out.flow_stats[0].lost);
+        // And without an AQM discipline the counter stays zero.
+        let mut fifo = PathConfig::simple(5e6, SimTime::from_millis(10), 200_000);
+        fifo.scheduler = SchedulerKind::Fifo;
+        let mut sim = Simulation::new(fifo, SimTime::from_secs(8), 3);
+        sim.add_flow(
+            FlowConfig::bulk("cbr", SimTime::from_secs(8)),
+            Box::new(FixedRate::new(6.5e6)),
+        );
+        assert_eq!(sim.run().metrics.counters["sim.packets_dropped_aqm"], 0);
+    }
+
+    /// Timeline mode: with a trace scope active and the opt-in flag
+    /// set, the engine emits queue-depth counter samples and drop
+    /// instants; without the flag it emits only the sim-run span.
+    #[test]
+    fn timeline_mode_emits_counters_and_drop_instants() {
+        let build = || {
+            let mut path = PathConfig::simple(5e6, SimTime::from_millis(10), 200_000);
+            path.scheduler = SchedulerKind::Codel {
+                target: SimTime::from_millis(5),
+                interval: SimTime::from_millis(100),
+            };
+            let mut sim = Simulation::new(path, SimTime::from_secs(8), 3);
+            sim.add_flow(
+                FlowConfig::bulk("cbr", SimTime::from_secs(8)),
+                Box::new(FixedRate::new(6.5e6)),
+            );
+            sim
+        };
+        let capture = |timeline: bool| {
+            let collector = ibox_obs::TraceCollector::new(1 << 16);
+            let trace = if timeline { 0x51 } else { 0x52 };
+            {
+                let _root =
+                    ibox_obs::trace::start_root_in(collector.clone(), trace, "sim").unwrap();
+                let mut sim = build();
+                sim.set_timeline(timeline);
+                sim.run();
+            }
+            collector.get(trace).unwrap().1
+        };
+        let on = capture(true);
+        assert!(on.iter().any(|e| e.name == "sim-run"));
+        assert!(
+            on.iter()
+                .any(|e| e.phase == ibox_obs::TracePhase::Counter
+                    && e.name == "sim.queue_depth_bytes"),
+            "timeline mode must emit queue-depth counter samples"
+        );
+        assert!(
+            on.iter().any(|e| e.phase == ibox_obs::TracePhase::Instant && e.name == "sim.drop.aqm"),
+            "timeline mode must emit AQM drop instants"
+        );
+        let off = capture(false);
+        assert!(off.iter().any(|e| e.name == "sim-run"));
+        assert!(
+            !off.iter().any(|e| e.phase == ibox_obs::TracePhase::Counter),
+            "without the opt-in flag no timeline events may record"
+        );
     }
 }
 

@@ -6,8 +6,12 @@
 # 5-spec batch file (every model kind, incl. a tiny iBoxML) through
 # `ibox batch --jobs 2 --model-cache`, then a fit → save → reload →
 # replay loop asserting byte-identical traces.
-# --perf additionally runs the release `perf` binary in quick mode and
-# fails on a >20% throughput regression vs the committed BENCH_perf.json.
+# --quick also smoke-tests the serving daemon, including a causally
+# traced fit (`--trace-id` → `GET /trace/<id>`) and the prometheus
+# metrics exposition.
+# --perf additionally runs the release `perf` and `trace` binaries in
+# quick mode and fails on a >20% throughput regression vs the committed
+# BENCH_perf.json / BENCH_trace.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +52,12 @@ gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/abtest.rs \
     "direct model fit in the A/B harness — route through ibox::fit_model / FitCache"
 gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/batch.rs \
     "direct model fit in the batch executor — route through ibox::fit_model / FitCache"
+# Timing in the serving/runner layers goes through the obs facade so it
+# always lands in metrics/traces — no invisible raw clock reads.
+gate 'Instant::now\(' crates/serve/src \
+    "raw Instant::now() timing in ibox-serve — use ibox_obs::Stopwatch or span! so the timing is observable"
+gate 'Instant::now\(' crates/runner/src \
+    "raw Instant::now() timing in ibox-runner — use ibox_obs::Stopwatch or span! so the timing is observable"
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
@@ -116,6 +126,26 @@ EOF
     cmp "$tmp/replay-http.json" "$tmp/replay-offline.json" \
         || { echo "FAIL: HTTP replay bytes differ from the offline replay" >&2; kill "$serve_pid"; exit 1; }
 
+    echo "==> trace smoke: request-scoped causal trace + prometheus exposition"
+    # A fresh synth source (not train.json, whose model is already
+    # registered) so the fit-cache and model-fit phases actually run.
+    tid="00000000deadbeef"
+    printf '{"wait": true, "model": "IBoxNet", "synth": {"profile": "ethernet", "protocol": "cubic", "seed": 91, "duration_s": 4}}' \
+        > "$tmp/trace-fit-req.json"
+    run ./target/release/ibox call --data "$tmp/trace-fit-req.json" --trace-id "$tid" "$base/fit" > /dev/null
+    run ./target/release/ibox call "$base/trace/$tid" -o "$tmp/trace.json"
+    for span in request.fit fit-cache model-fit; do
+        grep -q "\"$span\"" "$tmp/trace.json" \
+            || { echo "FAIL: span $span missing from /trace/$tid" >&2; cat "$tmp/trace.json" >&2; kill "$serve_pid"; exit 1; }
+    done
+    run ./target/release/ibox call "$base/trace/$tid?format=chrome" -o "$tmp/trace-chrome.json"
+    grep -q '"traceEvents"' "$tmp/trace-chrome.json" \
+        || { echo "FAIL: chrome export missing traceEvents" >&2; kill "$serve_pid"; exit 1; }
+    run ./target/release/ibox call "$base/metrics?format=prometheus" -o "$tmp/metrics.prom"
+    grep -q '^# TYPE ' "$tmp/metrics.prom" \
+        || { echo "FAIL: prometheus exposition missing TYPE lines" >&2; kill "$serve_pid"; exit 1; }
+    echo "trace smoke passed"
+
     run ./target/release/ibox call --post "$base/shutdown" > /dev/null
     wait "$serve_pid" \
         || { echo "FAIL: serve exited nonzero after graceful shutdown" >&2; exit 1; }
@@ -135,6 +165,9 @@ if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
     trap 'rm -rf ${tmp:+"$tmp"} "$perf_tmp"' EXIT
     (cd "$perf_tmp" && run "$repo/target/release/perf" --quick --baseline "$repo/BENCH_perf.json")
     echo "perf smoke passed"
+    echo "==> trace overhead smoke: quick benchmarks vs committed BENCH_trace.json"
+    (cd "$perf_tmp" && run "$repo/target/release/trace" --quick --baseline "$repo/BENCH_trace.json")
+    echo "trace overhead smoke passed"
 fi
 
 echo "all checks passed"
