@@ -39,7 +39,7 @@ const FIT: CmdSpec = CmdSpec {
 const REPLAY: CmdSpec = CmdSpec {
     name: "replay",
     positionals: &[PosSpec { name: "model.json", required: true, variadic: false }],
-    opts: &[PROTOCOL, DURATION, SEED, OUTPUT],
+    opts: &[PROTOCOL, DURATION, SEED, OptSpec::flag("--per-stream"), OUTPUT],
 };
 
 const SIMULATE: CmdSpec = CmdSpec {
@@ -270,7 +270,10 @@ fn cmd_replay(argv: &[String]) -> Result<(), String> {
     }
     let duration = SimTime::from_secs_f64(p.num("--duration", 30.0f64)?);
     let seed = p.num("--seed", 1u64)?;
-    let trace = artifact.model.simulate(protocol, duration, seed);
+    // --per-stream selects the legacy unroll for ML models; the batched
+    // session is the default and produces byte-identical traces.
+    let opts = ibox::ReplayOpts { batch_streams: !p.flag("--per-stream") };
+    let trace = artifact.model.simulate_with(protocol, duration, seed, opts);
     println!("model         : {} (fitted on {})", artifact.kind, artifact.fitted_on);
     print_metrics(&trace);
     println!("trace digest  : {}", trace.digest());

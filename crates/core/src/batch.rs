@@ -23,7 +23,7 @@ use ibox_trace::{from_csv, FlowMeta, FlowTrace};
 
 use crate::artifact::ModelArtifact;
 use crate::cache::FitCache;
-use crate::model::PathModel;
+use crate::model::ReplayOpts;
 
 /// Outcome of one [`RunSpec`]: identity plus the replay's summary metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,19 +105,25 @@ pub fn execute_run_cached(
                 Profile::from_name(profile)?.builder().seed(*seed).duration(duration).sample();
             let train = run_protocol(&inst, protocol, duration, *seed);
             let fitted = cache.fit_path_model(&spec.model, &train);
-            (spec.model.name(), fitted.simulate(&spec.protocol, duration, spec.seed))
+            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::TraceFile { path } => {
             let train = load_trace(path)?;
             let fitted = cache.fit_path_model(&spec.model, &train);
-            (spec.model.name(), fitted.simulate(&spec.protocol, duration, spec.seed))
+            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::ProfileFile { path } => {
             // Accepts both versioned model artifacts (any kind) and
             // legacy bare iBoxNet profiles.
             let artifact = ModelArtifact::load_flexible(std::path::Path::new(path))
                 .map_err(|e| e.to_string())?;
-            ("profile replay", artifact.model.simulate(&spec.protocol, duration, spec.seed))
+            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            (
+                "profile replay",
+                artifact.model.simulate_with(&spec.protocol, duration, spec.seed, opts),
+            )
         }
     };
     let record = RunRecord {
@@ -365,5 +371,53 @@ mod tests {
         assert_eq!(m1.counters["fitcache.miss"], 1);
         assert_eq!(m1.counters["fitcache.hit"], 1);
         assert_ne!(r1.records[0].metrics, r1.records[1].metrics, "replay seeds differ");
+    }
+
+    /// Satellite: ML replays through the batched session stay
+    /// jobs-invariant — a 4-run iBoxML batch produces byte-identical
+    /// results at `--jobs 1` and `--jobs 4` — and flipping
+    /// `batch_streams` off (the legacy per-stream unroll) changes nothing
+    /// but the code path.
+    #[test]
+    fn ml_replay_is_deterministic_across_jobs_and_session_paths() {
+        let ml = ModelKind::IBoxMl(ibox_runner::IBoxMlSpec {
+            hidden_sizes: vec![5],
+            epochs: 1,
+            lr: 5e-3,
+            tbptt: 32,
+            with_cross_traffic: false,
+            seed: 9,
+        });
+        let batch_with = |batch_streams: bool| {
+            let mut b = BatchSpec::builder();
+            for i in 0..4u64 {
+                b = b.run(
+                    RunSpec::builder()
+                        .synth("ethernet", "cubic", 51)
+                        .protocol("vegas")
+                        .duration_s(2.0)
+                        .seed(20 + i)
+                        .model(ml.clone())
+                        .batch_streams(batch_streams)
+                        .build()
+                        .unwrap(),
+                );
+            }
+            b.build().unwrap()
+        };
+
+        let batched = batch_with(true);
+        let r1 = run_batch_jobs(&batched, 1).unwrap();
+        let r4 = run_batch_jobs(&batched, 4).unwrap();
+        assert_eq!(r1.to_json(), r4.to_json(), "ML replay must not depend on jobs");
+
+        // The acceptance criterion: the session-batched path replays
+        // byte-identically to the pre-redesign per-stream path.
+        let per_stream = run_batch_jobs(&batch_with(false), 4).unwrap();
+        assert_eq!(
+            r1.to_json(),
+            per_stream.to_json(),
+            "batched and per-stream ML replay must agree bit-for-bit"
+        );
     }
 }

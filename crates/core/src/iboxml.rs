@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use ibox_ml::{SeqExample, SequenceModel, SequenceModelConfig, StandardScaler, TrainConfig};
+use ibox_ml::{
+    ClosedLoopStream, SeqExample, SequenceModel, SequenceModelConfig, StandardScaler, TrainConfig,
+};
 use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
 
 use crate::estimator::{CrossTrafficEstimate, StaticParams, DEFAULT_BIN_SECS};
@@ -219,17 +221,59 @@ impl IBoxMl {
     /// *tails*; distribution-level experiments (Fig. 7, Table 1) should
     /// use [`IBoxMl::predict_trace_sampled`].
     pub fn predict_trace(&self, trace: &FlowTrace) -> FlowTrace {
-        self.predict_impl(trace, None)
+        self.predict_impl(trace, None, true)
     }
 
     /// Generative prediction: delays are **sampled** per packet from the
     /// predicted `N(μ, σ²)` (and fed back through the unroll), seeded for
     /// determinism — the model used as a simulator.
+    ///
+    /// Runs through the batched [`ibox_ml::InferenceSession`] path
+    /// (bitwise identical to the per-stream unroll — see
+    /// [`IBoxMl::predict_trace_sampled_per_stream`]).
     pub fn predict_trace_sampled(&self, trace: &FlowTrace, seed: u64) -> FlowTrace {
-        self.predict_impl(trace, Some(seed))
+        self.predict_impl(trace, Some(seed), true)
     }
 
-    fn predict_impl(&self, trace: &FlowTrace, sample_seed: Option<u64>) -> FlowTrace {
+    /// [`IBoxMl::predict_trace_sampled`] via the legacy per-stream
+    /// closed-loop unroll (one matvec per packet). Kept as the reference
+    /// implementation for the `batch_streams` replay knob; deprecated for
+    /// hot paths.
+    pub fn predict_trace_sampled_per_stream(&self, trace: &FlowTrace, seed: u64) -> FlowTrace {
+        self.predict_impl(trace, Some(seed), false)
+    }
+
+    /// Batched generative prediction: drive many traces through **one**
+    /// [`ibox_ml::InferenceSession`] of at most `max_streams` stream
+    /// slots — one matmul per layer per packet wave instead of one matvec
+    /// per trace. Results are bitwise identical to calling
+    /// [`IBoxMl::predict_trace_sampled`] per `(trace, seed)` pair in
+    /// order.
+    pub fn predict_traces_sampled(
+        &self,
+        requests: &[(&FlowTrace, u64)],
+        max_streams: usize,
+    ) -> Vec<FlowTrace> {
+        let prev_idx = self.feature_config().prev_delay_idx();
+        let inputs: Vec<Vec<Vec<f32>>> =
+            requests.iter().map(|(t, _)| self.scaled_inputs(t)).collect();
+        let streams: Vec<ClosedLoopStream<'_>> = inputs
+            .iter()
+            .zip(requests)
+            .map(|(i, (_, seed))| ClosedLoopStream { inputs: i, sample_seed: Some(*seed) })
+            .collect();
+        let preds = self.model.predict_closed_loop_batch(
+            &streams,
+            prev_idx,
+            self.target_range,
+            max_streams,
+        );
+        requests.iter().zip(&preds).map(|((t, _), p)| self.trace_from_preds(t, p)).collect()
+    }
+
+    /// Extract and standardize `trace`'s feature rows (previous-delay
+    /// column through the target scaler, as at fit time).
+    fn scaled_inputs(&self, trace: &FlowTrace) -> Vec<Vec<f32>> {
         let fcfg = self.feature_config();
         let ct = self.cfg.with_cross_traffic.then(|| {
             let params = self.cfg.known_params.unwrap_or_else(|| StaticParams::estimate(trace));
@@ -237,7 +281,7 @@ impl IBoxMl {
         });
         let feats = extract(trace, &fcfg, ct.as_ref());
         let prev_idx = fcfg.prev_delay_idx();
-        let inputs: Vec<Vec<f32>> = feats
+        feats
             .rows
             .iter()
             .map(|r| {
@@ -245,19 +289,17 @@ impl IBoxMl {
                 z[prev_idx] = self.y_scaler.transform_scalar(r[prev_idx]) as f32;
                 z
             })
-            .collect();
-        let preds = match sample_seed {
-            None => self.model.predict_closed_loop_clamped(&inputs, prev_idx, self.target_range),
-            Some(seed) => {
-                self.model.predict_closed_loop_sampled(&inputs, prev_idx, self.target_range, seed)
-            }
-        };
+            .collect()
+    }
 
+    /// Rebuild a trace from per-packet predictions over `trace`'s send
+    /// pattern.
+    fn trace_from_preds(&self, trace: &FlowTrace, preds: &[ibox_ml::Prediction]) -> FlowTrace {
         let min_delay = 1e-4; // physical floor: delays cannot be ≤ 0
         let records = trace
             .records()
             .iter()
-            .zip(&preds)
+            .zip(preds)
             .map(|(r, p)| {
                 if p.p_loss > 0.5 {
                     PacketRecord::lost(r.seq, r.send_ns, r.size)
@@ -280,6 +322,37 @@ impl IBoxMl {
             ),
             records,
         )
+    }
+
+    fn predict_impl(
+        &self,
+        trace: &FlowTrace,
+        sample_seed: Option<u64>,
+        batch_streams: bool,
+    ) -> FlowTrace {
+        let prev_idx = self.feature_config().prev_delay_idx();
+        let inputs = self.scaled_inputs(trace);
+        let preds = if batch_streams {
+            // Session path: a one-slot batch (recycled per worker thread).
+            let streams = [ClosedLoopStream { inputs: &inputs, sample_seed }];
+            self.model
+                .predict_closed_loop_batch(&streams, prev_idx, self.target_range, 1)
+                .pop()
+                .expect("one stream in, one stream out")
+        } else {
+            match sample_seed {
+                None => {
+                    self.model.predict_closed_loop_clamped(&inputs, prev_idx, self.target_range)
+                }
+                Some(seed) => self.model.predict_closed_loop_sampled(
+                    &inputs,
+                    prev_idx,
+                    self.target_range,
+                    seed,
+                ),
+            }
+        };
+        self.trace_from_preds(trace, &preds)
     }
 
     /// Predicted delays (seconds) for a trace, without building records —
@@ -440,6 +513,22 @@ mod sampled_tests {
         assert_eq!(a, b);
         let c = model.predict_trace_sampled(&traces[1], 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batched_session_replay_is_byte_identical_to_per_stream() {
+        let traces = [gt(1), gt(2), gt(3)];
+        let model = IBoxMl::fit(&traces[..1], quick());
+        // Single trace: session path vs legacy per-stream unroll.
+        let batched = model.predict_trace_sampled(&traces[1], 7);
+        let per_stream = model.predict_trace_sampled_per_stream(&traces[1], 7);
+        assert_eq!(batched, per_stream);
+        // Many traces through one slot-starved session vs one at a time.
+        let requests = [(&traces[0], 4u64), (&traces[1], 5), (&traces[2], 6)];
+        let many = model.predict_traces_sampled(&requests, 2);
+        for ((t, seed), got) in requests.iter().zip(&many) {
+            assert_eq!(got, &model.predict_trace_sampled_per_stream(t, *seed));
+        }
     }
 
     #[test]

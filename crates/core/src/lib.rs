@@ -106,7 +106,7 @@ pub use cache::{FitCache, FitCacheKey};
 pub use estimator::{CrossTrafficEstimate, StaticParams};
 pub use iboxml::{IBoxMl, IBoxMlConfig, IBoxMlConfigBuilder};
 pub use iboxnet::IBoxNet;
-pub use model::{fit_model, FittedIBoxMl, FittedModel, PathModel};
+pub use model::{fit_model, FittedIBoxMl, FittedModel, PathModel, ReplayOpts};
 pub use realism::{realism_of_model_jobs, realism_test, realism_test_jobs, RealismReport};
 pub use validity::{ValidityRegion, ValidityReport};
 

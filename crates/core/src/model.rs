@@ -94,15 +94,52 @@ pub struct FittedIBoxMl {
     pub driver: IBoxNet,
 }
 
-impl PathModel for FittedIBoxMl {
-    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+/// Replay options threaded from `RunSpec`/`POST /replay` down to the
+/// model. Only the ML family reacts to them today; the packet-level
+/// models are batched at the engine layer already.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOpts {
+    /// Drive ML inference through the batched
+    /// [`ibox_ml::InferenceSession`] (default). `false` selects the
+    /// legacy per-stream closed-loop unroll — bitwise identical output,
+    /// one matvec per packet instead of one matmul per wave.
+    pub batch_streams: bool,
+}
+
+impl Default for ReplayOpts {
+    fn default() -> Self {
+        Self { batch_streams: true }
+    }
+}
+
+impl FittedIBoxMl {
+    /// [`PathModel::simulate`] with explicit [`ReplayOpts`]; the trait
+    /// method is this with the defaults.
+    pub fn simulate_with(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        opts: ReplayOpts,
+    ) -> FlowTrace {
         let pattern = self.driver.simulate(protocol, duration, seed);
         // Decorrelate the sampling seed from the driver seed (SplitMix64):
         // the two stages must not reuse one RNG stream.
         let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.ml.predict_trace_sampled(&pattern, z ^ (z >> 31))
+        let sample_seed = z ^ (z >> 31);
+        if opts.batch_streams {
+            self.ml.predict_trace_sampled(&pattern, sample_seed)
+        } else {
+            self.ml.predict_trace_sampled_per_stream(&pattern, sample_seed)
+        }
+    }
+}
+
+impl PathModel for FittedIBoxMl {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        self.simulate_with(protocol, duration, seed, ReplayOpts::default())
     }
 
     fn kind_tag(&self) -> &'static str {
@@ -131,14 +168,28 @@ pub enum FittedModel {
     IBoxMl(Box<FittedIBoxMl>),
 }
 
-impl PathModel for FittedModel {
-    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+impl FittedModel {
+    /// [`PathModel::simulate`] with explicit [`ReplayOpts`] (only the ML
+    /// family reacts to them; the other families ignore the options).
+    pub fn simulate_with(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        opts: ReplayOpts,
+    ) -> FlowTrace {
         let _trace = ibox_obs::trace_span!("model-replay");
         match self {
             FittedModel::IBoxNet(m) => PathModel::simulate(m, protocol, duration, seed),
             FittedModel::StatisticalLoss(m) => PathModel::simulate(m, protocol, duration, seed),
-            FittedModel::IBoxMl(m) => PathModel::simulate(m.as_ref(), protocol, duration, seed),
+            FittedModel::IBoxMl(m) => m.simulate_with(protocol, duration, seed, opts),
         }
+    }
+}
+
+impl PathModel for FittedModel {
+    fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        self.simulate_with(protocol, duration, seed, ReplayOpts::default())
     }
 
     fn kind_tag(&self) -> &'static str {

@@ -47,6 +47,19 @@ impl Dense {
         add_assign(y, &self.b);
     }
 
+    /// Batched forward pass over `[n_streams × in]` / `[n_streams × out]`
+    /// planes: `ys[s] = W·xs[s] + b` for every active stream, bitwise
+    /// identical per stream to [`Dense::forward_into`] (no allocation).
+    pub fn forward_batch_into(&self, xs: &[f32], ys: &mut [f32], active: &[bool]) {
+        self.w.matmul_into(xs, ys, active);
+        let out = self.w.rows();
+        for (s, row) in ys.chunks_exact_mut(out).enumerate() {
+            if active[s] {
+                add_assign(row, &self.b);
+            }
+        }
+    }
+
     /// Zero the gradient buffers (re-shaping them first if the layer was
     /// just deserialized, since `#[serde(skip)]` leaves them empty).
     pub fn zero_grad(&mut self) {
@@ -96,6 +109,26 @@ mod tests {
         d.w = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         d.b = vec![10.0, 20.0];
         assert_eq!(d.forward(&[1.0, 1.0]), vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_stream_bitwise() {
+        let mut rng = seeded(3);
+        let d = Dense::new(3, 2, &mut rng);
+        let n = 3;
+        let xs: Vec<f32> = (0..n * 3).map(|i| (i as f32 * 0.41).sin()).collect();
+        let active = [true, false, true];
+        let mut ys = vec![f32::NAN; n * 2];
+        d.forward_batch_into(&xs, &mut ys, &active);
+        for s in 0..n {
+            if active[s] {
+                let mut y = [0.0f32; 2];
+                d.forward_into(&xs[s * 3..(s + 1) * 3], &mut y);
+                assert_eq!(&ys[s * 2..(s + 1) * 2], &y, "stream {s}");
+            } else {
+                assert!(ys[s * 2..(s + 1) * 2].iter().all(|v| v.is_nan()));
+            }
+        }
     }
 
     #[test]

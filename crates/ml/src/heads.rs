@@ -49,6 +49,26 @@ impl GaussianHead {
         GaussianOut { mu: mu[0], var: softplus(raw[0]) + VAR_FLOOR, raw: raw[0] }
     }
 
+    /// Batched forward over a `[n_streams × hidden]` plane: writes `μ` and
+    /// `σ²` (post-softplus, floored) per active stream into `[n_streams]`
+    /// planes. Per stream bitwise identical to [`GaussianHead::forward`];
+    /// no allocation.
+    pub fn forward_batch_into(
+        &self,
+        hs: &[f32],
+        mus: &mut [f32],
+        vars: &mut [f32],
+        active: &[bool],
+    ) {
+        self.mu.forward_batch_into(hs, mus, active);
+        self.raw_var.forward_batch_into(hs, vars, active);
+        for (s, v) in vars.iter_mut().enumerate() {
+            if active[s] {
+                *v = softplus(*v) + VAR_FLOOR;
+            }
+        }
+    }
+
     /// Gaussian negative log-likelihood of target `y`.
     pub fn nll(out: &GaussianOut, y: f32) -> f32 {
         let var = out.var;
@@ -122,6 +142,18 @@ impl BernoulliHead {
         let mut logit = [0.0f32; 1];
         self.logit.forward_into(h, &mut logit);
         sigmoid(logit[0])
+    }
+
+    /// Batched forward over a `[n_streams × hidden]` plane: writes
+    /// `P(lost)` per active stream into a `[n_streams]` plane. Per stream
+    /// bitwise identical to [`BernoulliHead::forward`]; no allocation.
+    pub fn forward_batch_into(&self, hs: &[f32], ps: &mut [f32], active: &[bool]) {
+        self.logit.forward_batch_into(hs, ps, active);
+        for (s, p) in ps.iter_mut().enumerate() {
+            if active[s] {
+                *p = sigmoid(*p);
+            }
+        }
     }
 
     /// Binary cross-entropy of prediction `p` against label `y ∈ {0, 1}`.
@@ -204,6 +236,29 @@ mod tests {
                 "dh[{k}] = {} vs numeric {numeric}",
                 dh[k]
             );
+        }
+    }
+
+    #[test]
+    fn batched_heads_match_single_stream_bitwise() {
+        let mut rng = seeded(7);
+        let gauss = GaussianHead::new(4, &mut rng);
+        let bern = BernoulliHead::new(4, &mut rng);
+        let n = 3;
+        let hs: Vec<f32> = (0..n * 4).map(|i| (i as f32 * 0.61).sin()).collect();
+        let active = [true, false, true];
+        let (mut mus, mut vars, mut ps) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        gauss.forward_batch_into(&hs, &mut mus, &mut vars, &active);
+        bern.forward_batch_into(&hs, &mut ps, &active);
+        for s in 0..n {
+            if !active[s] {
+                continue;
+            }
+            let h = &hs[s * 4..(s + 1) * 4];
+            let out = gauss.forward(h);
+            assert_eq!(mus[s], out.mu, "mu stream {s}");
+            assert_eq!(vars[s], out.var, "var stream {s}");
+            assert_eq!(ps[s], bern.forward(h), "p stream {s}");
         }
     }
 

@@ -19,6 +19,10 @@
 //! * [`model`] — [`model::SequenceModel`]: the assembled iBoxML network
 //!   with TBPTT training, teacher-forced (open-loop) and self-fed
 //!   (closed-loop) inference.
+//! * [`session`] — [`session::InferenceSession`]: batched multi-stream
+//!   inference over struct-of-arrays state planes — one matmul per layer
+//!   per packet wave instead of one matvec per stream, bitwise identical
+//!   to single-stream stepping.
 //! * [`logistic`] — the "lightweight and much faster" linear logistic
 //!   regression of §5.1 for reordering prediction.
 //! * [`scaler`] — feature/target standardization stored with the model.
@@ -38,7 +42,9 @@ pub mod matrix;
 pub mod model;
 pub mod optim;
 pub mod scaler;
+pub mod session;
 
 pub use logistic::{Logistic, LogisticConfig};
 pub use model::{Prediction, SeqExample, SequenceModel, SequenceModelConfig, TrainConfig};
 pub use scaler::StandardScaler;
+pub use session::{ClosedLoopStream, InferenceSession};

@@ -166,6 +166,69 @@ impl Mat {
         }
     }
 
+    /// `ys[s] = W · xs[s]` for every active stream `s` — the batched
+    /// counterpart of [`Mat::matvec_into`].
+    ///
+    /// `xs` is a `[n_streams × cols]` plane and `ys` a `[n_streams × rows]`
+    /// plane, both row-major by stream; streams with `active[s] == false`
+    /// are skipped and their output rows left untouched. Weight rows are
+    /// the outer loop so each row is streamed once across all active
+    /// states. Every output element is one [`dot4`] over the same operands
+    /// as the single-stream kernel, so results are bitwise identical to N
+    /// independent `matvec_into` calls regardless of stream count or mask.
+    pub fn matmul_into(&self, xs: &[f32], ys: &mut [f32], active: &[bool]) {
+        let n = active.len();
+        assert_eq!(xs.len(), n * self.cols, "matmul input plane mismatch");
+        assert_eq!(ys.len(), n * self.rows, "matmul output plane mismatch");
+        for (r, row) in self.data.chunks_exact(self.cols).enumerate() {
+            for s in 0..n {
+                if active[s] {
+                    ys[s * self.rows + r] = dot4(row, &xs[s * self.cols..(s + 1) * self.cols]);
+                }
+            }
+        }
+    }
+
+    /// `ys[s] += W · xs[s]` — fused accumulate variant of
+    /// [`Mat::matmul_into`], the batched [`Mat::matvec_acc`].
+    pub fn matmul_acc(&self, xs: &[f32], ys: &mut [f32], active: &[bool]) {
+        let n = active.len();
+        assert_eq!(xs.len(), n * self.cols, "matmul input plane mismatch");
+        assert_eq!(ys.len(), n * self.rows, "matmul output plane mismatch");
+        for (r, row) in self.data.chunks_exact(self.cols).enumerate() {
+            for s in 0..n {
+                if active[s] {
+                    ys[s * self.rows + r] += dot4(row, &xs[s * self.cols..(s + 1) * self.cols]);
+                }
+            }
+        }
+    }
+
+    /// `ys[s][r - rows.start] = W[rows] · xs[s]` for a contiguous row
+    /// block — the batched [`Mat::matvec_rows_into`]. Output rows are
+    /// `rows.len()` wide per stream.
+    pub fn matmul_rows_into(
+        &self,
+        rows: Range<usize>,
+        xs: &[f32],
+        ys: &mut [f32],
+        active: &[bool],
+    ) {
+        assert!(rows.end <= self.rows, "row block out of range");
+        let n = active.len();
+        let width = rows.len();
+        assert_eq!(xs.len(), n * self.cols, "matmul input plane mismatch");
+        assert_eq!(ys.len(), n * width, "matmul output plane mismatch");
+        let block = &self.data[rows.start * self.cols..rows.end * self.cols];
+        for (r, row) in block.chunks_exact(self.cols).enumerate() {
+            for s in 0..n {
+                if active[s] {
+                    ys[s * width + r] = dot4(row, &xs[s * self.cols..(s + 1) * self.cols]);
+                }
+            }
+        }
+    }
+
     /// `y = Wᵀ · u` — allocating shim over [`Mat::matvec_t_into`].
     pub fn matvec_t(&self, u: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f32; self.cols];
@@ -339,6 +402,60 @@ mod tests {
         for (a, b) in t_block.iter().zip(&t_full) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn matmul_matches_per_stream_matvec_bitwise() {
+        let w = Mat::from_vec(3, 5, (0..15).map(|i| (i as f32).sin()).collect());
+        let n = 4;
+        let xs: Vec<f32> = (0..n * 5).map(|i| (i as f32 * 0.7).cos()).collect();
+        let active = [true, false, true, true];
+        let mut ys = vec![f32::NAN; n * 3];
+        w.matmul_into(&xs, &mut ys, &active);
+        for s in 0..n {
+            if active[s] {
+                let mut y = [0.0f32; 3];
+                w.matvec_into(&xs[s * 5..(s + 1) * 5], &mut y);
+                assert_eq!(&ys[s * 3..(s + 1) * 3], &y, "stream {s}");
+            } else {
+                assert!(ys[s * 3..(s + 1) * 3].iter().all(|v| v.is_nan()), "inactive touched");
+            }
+        }
+        // The accumulate variant matches matvec_acc bitwise too.
+        let mut acc = vec![0.25f32; n * 3];
+        w.matmul_acc(&xs, &mut acc, &active);
+        for s in 0..n {
+            let mut y = [0.25f32; 3];
+            if active[s] {
+                w.matvec_acc(&xs[s * 5..(s + 1) * 5], &mut y);
+            }
+            assert_eq!(&acc[s * 3..(s + 1) * 3], &y, "acc stream {s}");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_matches_row_block_kernel() {
+        let w = Mat::from_vec(4, 3, (0..12).map(|i| i as f32 - 5.5).collect());
+        let n = 3;
+        let xs: Vec<f32> = (0..n * 3).map(|i| 0.5 - i as f32 * 0.3).collect();
+        let active = [true, true, false];
+        let mut ys = vec![0.0f32; n * 2];
+        w.matmul_rows_into(1..3, &xs, &mut ys, &active);
+        for s in 0..n {
+            let mut block = [0.0f32; 2];
+            if active[s] {
+                w.matvec_rows_into(1..3, &xs[s * 3..(s + 1) * 3], &mut block);
+            }
+            assert_eq!(&ys[s * 2..(s + 1) * 2], &block, "stream {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul input plane mismatch")]
+    fn matmul_plane_mismatch_panics() {
+        let w = Mat::zeros(2, 3);
+        let mut ys = [0.0f32; 4];
+        w.matmul_into(&[0.0; 5], &mut ys, &[true, true]);
     }
 
     #[test]

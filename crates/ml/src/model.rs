@@ -184,6 +184,22 @@ impl SequenceModel {
             + self.loss_head.as_ref().map_or(0, BernoulliHead::param_count)
     }
 
+    /// The LSTM stack (read-only; [`crate::InferenceSession`] drives its
+    /// layers in batch).
+    pub fn stack(&self) -> &LstmStack {
+        &self.stack
+    }
+
+    /// The Gaussian delay head.
+    pub fn delay_head(&self) -> &GaussianHead {
+        &self.delay_head
+    }
+
+    /// The optional Bernoulli loss head.
+    pub fn loss_head(&self) -> Option<&BernoulliHead> {
+        self.loss_head.as_ref()
+    }
+
     /// Train on a set of sequences; returns the mean per-step loss per
     /// epoch (for convergence checks).
     pub fn train(&mut self, data: &[SeqExample], tc: &TrainConfig) -> Vec<f64> {
@@ -501,13 +517,22 @@ impl SequenceModel {
         out
     }
 
-    /// Streaming single-step inference (used by the speed benchmark):
-    /// advances `states` in place and returns the prediction.
+    /// Streaming single-step inference: advances `states` in place and
+    /// returns the prediction.
+    ///
+    /// **Deprecated for hot paths.** This is a thin single-stream shim
+    /// over [`crate::InferenceSession`]: it builds a one-slot session per
+    /// call (allocating), loads `states`, steps, and stores the slot back.
+    /// Replay and batch paths must hold a session across packets instead —
+    /// one `step_batch` per packet wave amortizes the per-layer matmuls
+    /// across every live connection and never allocates once warm.
     pub fn step_inference(&self, x: &[f32], states: &mut [LstmState]) -> Prediction {
-        let mut ws = self.stack.workspace();
-        let mut cache = self.stack.new_cache();
-        self.stack.step_into(x, states, &mut ws, &mut cache);
-        self.head_outputs(&states.last().expect("nonempty").h)
+        let mut session = crate::InferenceSession::new(self, 1);
+        let slot = session.acquire_slot().expect("fresh session has a free slot");
+        session.load_state(slot, states);
+        let p = session.step_batch(self, x)[slot];
+        session.store_state(slot, states);
+        p
     }
 
     /// Fresh zero recurrent state.

@@ -304,6 +304,98 @@ proptest! {
         }
     }
 
+    /// `InferenceSession::step_batch` with K active streams is bitwise
+    /// identical to K independent `step_inference` sequences — including
+    /// across a mid-run slot release and reuse, where the reacquired slot
+    /// must restart from the zero state exactly like a fresh sequence.
+    #[test]
+    fn session_step_batch_matches_independent_streams_bitwise(
+        k in 1usize..5,
+        hidden in 1usize..9,
+        steps in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        use ibox_ml::{InferenceSession, Prediction};
+        use rand::Rng;
+        let model = SequenceModel::new(SequenceModelConfig {
+            input_size: 3,
+            hidden_sizes: vec![hidden, hidden],
+            predict_loss: seed % 2 == 0,
+            seed,
+        });
+        let mut rng = seeded(seed ^ 0xABCD);
+        let mut session = InferenceSession::new(&model, k);
+        let mut states: Vec<Vec<LstmState>> = (0..k).map(|_| model.zero_state()).collect();
+        for s in 0..k {
+            prop_assert_eq!(session.acquire_slot(), Some(s));
+        }
+        let mut xs = vec![0.0f32; k * 3];
+        let released = seed as usize % k;
+        for phase in 0..2 {
+            if phase == 1 {
+                // Mid-run release/reacquire: the slot restarts from zero,
+                // so its reference sequence restarts from zero too.
+                session.release_slot(released);
+                prop_assert_eq!(session.acquire_slot(), Some(released));
+                states[released] = model.zero_state();
+            }
+            for t in 0..steps {
+                for v in xs.iter_mut() {
+                    *v = rng.random::<f32>() * 4.0 - 2.0;
+                }
+                let batched: Vec<Prediction> = session.step_batch(&model, &xs).to_vec();
+                for s in 0..k {
+                    let row = xs[s * 3..(s + 1) * 3].to_vec();
+                    let single = model.step_inference(&row, &mut states[s]);
+                    prop_assert_eq!(batched[s], single, "stream {} step {}/{}", s, phase, t);
+                }
+            }
+        }
+    }
+
+    /// Batched closed-loop prediction over a slot-starved session (more
+    /// streams than slots, forcing release/reacquire churn) matches the
+    /// sequential per-stream unroll exactly, sampled and clamped alike.
+    #[test]
+    fn closed_loop_batch_matches_sequential_bitwise(
+        n_streams in 1usize..6,
+        max_streams in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        use ibox_ml::ClosedLoopStream;
+        use rand::Rng;
+        let model = SequenceModel::new(SequenceModelConfig {
+            input_size: 2,
+            hidden_sizes: vec![5],
+            predict_loss: true,
+            seed,
+        });
+        let mut rng = seeded(seed ^ 0x5E55);
+        let inputs: Vec<Vec<Vec<f32>>> = (0..n_streams)
+            .map(|_| {
+                let len = (rng.random::<u32>() % 9) as usize;
+                (0..len).map(|_| vec![rng.random::<f32>() * 2.0 - 1.0, 0.0]).collect()
+            })
+            .collect();
+        let streams: Vec<ClosedLoopStream<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(s, i)| ClosedLoopStream {
+                inputs: i,
+                sample_seed: (s % 2 == 0).then_some(seed ^ s as u64),
+            })
+            .collect();
+        let clamp = (-2.0f32, 2.0);
+        let batch = model.predict_closed_loop_batch(&streams, 1, clamp, max_streams);
+        for (s, stream) in streams.iter().enumerate() {
+            let seq = match stream.sample_seed {
+                Some(sd) => model.predict_closed_loop_sampled(stream.inputs, 1, clamp, sd),
+                None => model.predict_closed_loop_clamped(stream.inputs, 1, clamp),
+            };
+            prop_assert_eq!(&batch[s], &seq, "stream {}", s);
+        }
+    }
+
     /// GRU: workspace kernels match the allocating per-step API
     /// bit-for-bit, forward and backward.
     #[test]

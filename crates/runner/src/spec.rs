@@ -171,7 +171,7 @@ pub enum RunSource {
 /// Construct with [`RunSpec::builder`]. All randomness in a run derives
 /// from the spec itself (`seed`, and `source` seeds), which is what makes
 /// batches reproducible at any parallelism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunSpec {
     /// Optional human-readable label echoed into results (empty = none).
     pub id: String,
@@ -185,6 +185,41 @@ pub struct RunSpec {
     pub seed: u64,
     /// Model family to fit (ignored for [`RunSource::ProfileFile`]).
     pub model: ModelKind,
+    /// Drive ML replays through the batched [`InferenceSession`] path
+    /// (default). `false` selects the legacy per-stream unroll — same
+    /// bytes out, kept as an escape hatch / reference arm.
+    ///
+    /// [`InferenceSession`]: https://docs.rs/ibox-ml
+    pub batch_streams: bool,
+}
+
+// Hand-written so batch files written before `batch_streams` existed (the
+// field is absent) keep parsing with the default of `true`; every other
+// field stays required, matching the previous derive.
+impl Deserialize for RunSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("a RunSpec object", v));
+        }
+        fn req<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            match v.get(name) {
+                Some(x) => T::from_value(x),
+                None => Err(serde::Error::missing("RunSpec", name)),
+            }
+        }
+        Ok(Self {
+            id: req(v, "id")?,
+            source: req(v, "source")?,
+            protocol: req(v, "protocol")?,
+            duration_s: req(v, "duration_s")?,
+            seed: req(v, "seed")?,
+            model: req(v, "model")?,
+            batch_streams: match v.get("batch_streams") {
+                Some(x) => bool::from_value(x)?,
+                None => true,
+            },
+        })
+    }
 }
 
 impl RunSpec {
@@ -213,6 +248,7 @@ pub struct RunSpecBuilder {
     duration_s: Option<f64>,
     seed: Option<u64>,
     model: Option<ModelKind>,
+    batch_streams: Option<bool>,
 }
 
 impl RunSpecBuilder {
@@ -270,6 +306,13 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Batched-session ML replay (default `true`); `false` selects the
+    /// legacy per-stream unroll.
+    pub fn batch_streams(mut self, on: bool) -> Self {
+        self.batch_streams = Some(on);
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<RunSpec, String> {
         let source = self.source.ok_or("RunSpec needs a source (synth/trace_file/profile_file)")?;
@@ -288,6 +331,7 @@ impl RunSpecBuilder {
             duration_s,
             seed: self.seed.unwrap_or(1),
             model: self.model.unwrap_or(ModelKind::IBoxNet),
+            batch_streams: self.batch_streams.unwrap_or(true),
         })
     }
 }
@@ -377,6 +421,7 @@ mod tests {
         assert_eq!(spec.duration_s, 30.0);
         assert_eq!(spec.seed, 1);
         assert_eq!(spec.model, ModelKind::IBoxNet);
+        assert!(spec.batch_streams, "batched replay is the default");
         assert!(spec.id.is_empty());
 
         assert!(RunSpec::builder().protocol("cubic").build().is_err(), "source required");
@@ -396,6 +441,30 @@ mod tests {
         assert_eq!(back, batch);
         // And the serialized form is byte-stable.
         assert_eq!(back.to_json(), batch.to_json());
+    }
+
+    #[test]
+    fn runspec_without_batch_streams_field_still_parses() {
+        // Batch files written before the field existed must keep working.
+        let mut json = sample_spec().to_value();
+        if let serde::Value::Object(fields) = &mut json {
+            fields.retain(|(k, _)| k != "batch_streams");
+        }
+        let spec = RunSpec::from_value(&json).unwrap();
+        assert!(spec.batch_streams, "absent field defaults to batched");
+        assert_eq!(spec, sample_spec());
+        // But every pre-existing field is still required.
+        let err =
+            RunSpec::from_value(&serde_json::parse_value(r#"{"id": "x"}"#).unwrap()).unwrap_err();
+        assert!(err.0.contains("missing field"), "{}", err.0);
+
+        let off = RunSpec::builder()
+            .trace_file("t.json")
+            .protocol("cubic")
+            .batch_streams(false)
+            .build()
+            .unwrap();
+        assert!(!off.batch_streams);
     }
 
     #[test]

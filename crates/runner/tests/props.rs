@@ -50,6 +50,7 @@ fn arb_spec() -> impl Strategy<Value = RunSpec> {
             duration_s,
             seed,
             model: model_from(a),
+            batch_streams: b % 2 == 0,
         },
     )
 }

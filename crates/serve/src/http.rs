@@ -304,6 +304,26 @@ fn truncate_for_display(s: &str) -> String {
     }
 }
 
+/// Canonical machine-readable error code for the statuses this server
+/// emits — the `error.code` field of the JSON error envelope. Stable API:
+/// clients dispatch on these slugs, not on message text.
+pub fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "request_timeout",
+        409 => "conflict",
+        413 => "payload_too_large",
+        414 => "uri_too_long",
+        431 => "headers_too_large",
+        500 => "internal",
+        503 => "overloaded",
+        505 => "http_version_unsupported",
+        _ => "error",
+    }
+}
+
 /// Canonical reason phrase for the statuses this server emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -359,13 +379,28 @@ impl Response {
         Self { content_type: content_type.to_string(), ..Self::json(status, body) }
     }
 
-    /// An error response with a `{"error": message}` body (message
-    /// JSON-escaped via the serde layer).
+    /// An error response with the API's one typed envelope,
+    /// `{"error": {"code", "message"}}`, where `code` is the canonical
+    /// machine-readable slug for `status` ([`error_code`]). Use
+    /// [`Response::error_with`] to override the code or attach detail.
     pub fn error(status: u16, message: &str) -> Self {
-        let body = serde::Value::Object(vec![(
-            "error".to_string(),
-            serde::Value::Str(message.to_string()),
-        )]);
+        Self::error_with(status, error_code(status), message, None)
+    }
+
+    /// [`Response::error`] with an explicit `code` and optional `detail`
+    /// field — `{"error": {"code", "message", "detail"?}}`. `detail`
+    /// carries structured context (e.g. the offending field or limit);
+    /// it is omitted, not null, when absent, so clients can match on
+    /// presence. All fields are JSON-escaped via the serde layer.
+    pub fn error_with(status: u16, code: &str, message: &str, detail: Option<&str>) -> Self {
+        let mut inner = vec![
+            ("code".to_string(), serde::Value::Str(code.to_string())),
+            ("message".to_string(), serde::Value::Str(message.to_string())),
+        ];
+        if let Some(d) = detail {
+            inner.push(("detail".to_string(), serde::Value::Str(d.to_string())));
+        }
+        let body = serde::Value::Object(vec![("error".to_string(), serde::Value::Object(inner))]);
         Self::json(status, serde_json::to_string(&body).expect("error body serializes"))
     }
 

@@ -25,7 +25,7 @@ use serde::{Deserialize, Value};
 
 use ibox_obs::Stopwatch;
 
-use ibox::{BatchSpec, FitCache, FitCacheKey, ModelArtifact, ModelKind, PathModel};
+use ibox::{BatchSpec, FitCache, FitCacheKey, ModelArtifact, ModelKind, ReplayOpts};
 use ibox_sim::SimTime;
 use ibox_trace::FlowTrace;
 
@@ -279,9 +279,12 @@ fn handle_model_by_id(app: &Arc<App>, id: &str) -> Response {
     if let Some(job) = app.jobs_lock().get(id) {
         return match job {
             FitJob::Pending => object_response(202, &[("model", id), ("status", "pending")]),
-            FitJob::Failed(e) => {
-                object_response(500, &[("model", id), ("status", "failed"), ("error", e)])
-            }
+            FitJob::Failed(e) => Response::error_with(
+                500,
+                "fit_failed",
+                &format!("fit failed for model {id}"),
+                Some(e),
+            ),
         };
     }
     match app.registry.get(id) {
@@ -397,7 +400,12 @@ fn handle_fit(app: &Arc<App>, req: &Request) -> Response {
     if wait {
         return match fit_and_register(app, &kind, &train, &id) {
             Ok(()) => object_response(200, &[("model", &id), ("status", "ready")]),
-            Err(e) => Response::error(500, &format!("fit failed: {e}")),
+            Err(e) => Response::error_with(
+                500,
+                "fit_failed",
+                &format!("fit failed for model {id}"),
+                Some(&e),
+            ),
         };
     }
 
@@ -410,9 +418,11 @@ fn handle_fit(app: &Arc<App>, req: &Request) -> Response {
             }
             Some(FitJob::Failed(_)) => {
                 let Some(FitJob::Failed(e)) = jobs.remove(&id) else { unreachable!() };
-                return object_response(
+                return Response::error_with(
                     500,
-                    &[("model", &id), ("status", "failed"), ("error", &e)],
+                    "fit_failed",
+                    &format!("fit failed for model {id}"),
+                    Some(&e),
                 );
             }
             None => {
@@ -475,10 +485,13 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         let protocol: String = required(&body, "protocol")?;
         let duration = checked_duration(field(&body, "duration_s")?.unwrap_or(30.0))?;
         let seed: u64 = field(&body, "seed")?.unwrap_or(1);
+        // Batched-session ML replay is the default; `false` selects the
+        // legacy per-stream unroll (same bytes out, reference arm).
+        let batch_streams: bool = field(&body, "batch_streams")?.unwrap_or(true);
         checked_protocol(&protocol)?;
-        Ok((model_id, protocol, duration, seed))
+        Ok((model_id, protocol, duration, seed, batch_streams))
     })();
-    let (model_id, protocol, duration, seed) = match parsed {
+    let (model_id, protocol, duration, seed, batch_streams) = match parsed {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -486,7 +499,8 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         Ok(a) => a,
         Err(e) => return Response::error(e.status(), &e.to_string()),
     };
-    let trace = artifact.model.simulate(&protocol, duration, seed);
+    let trace =
+        artifact.model.simulate_with(&protocol, duration, seed, ReplayOpts { batch_streams });
     ibox_obs::global().counter("serve.replay.packets").add(trace.len() as u64);
     // Exactly the bytes `ibox replay -o out.json` writes for this model:
     // the replay path is byte-identical online and offline.
@@ -603,6 +617,119 @@ mod tests {
         let listing = body_text(&handle(&app, &get("/traces")));
         assert!(listing.contains("request.fit"), "{listing}");
         assert_eq!(handle(&app, &get("/trace/ffffffffffffff01")).status, 404);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let mut req = get(path);
+        req.method = "POST".to_string();
+        req.body = body.as_bytes().to_vec();
+        req
+    }
+
+    /// Parse `{"error": {"code", "message", "detail"?}}` out of an error
+    /// response, failing the test on any other shape.
+    fn envelope(resp: &Response) -> (String, String, Option<String>) {
+        let v = serde_json::parse_value(&body_text(resp)).expect("error body is json");
+        let err = v.get("error").expect("body has an \"error\" field");
+        assert!(err.as_object().is_some(), "\"error\" must be an object, got {err:?}");
+        let text = |field: &str| match err.get(field) {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("error.{field} must be a string, got {other:?}"),
+        };
+        let detail = err.get("detail").map(|_| text("detail"));
+        (text("code"), text("message"), detail)
+    }
+
+    /// Satellite: every error, on every route, is the one typed envelope —
+    /// status-appropriate `code`, human `message`, optional `detail`.
+    #[test]
+    fn error_responses_share_one_typed_envelope() {
+        let (app, dir) = test_app("error_envelope");
+
+        // 404: unknown endpoint.
+        let resp = handle(&app, &get("/nope"));
+        assert_eq!(resp.status, 404);
+        let (code, message, detail) = envelope(&resp);
+        assert_eq!(code, "not_found");
+        assert!(message.contains("/nope"), "{message}");
+        assert_eq!(detail, None);
+
+        // 405: known path, wrong method.
+        let mut resp = handle(&app, &post("/healthz", ""));
+        assert_eq!(resp.status, 405);
+        assert_eq!(envelope(&resp).0, "method_not_allowed");
+
+        // 400s: bad body, bad field type, unknown protocol, bad format.
+        for (req, needle) in [
+            (post("/replay", "not json"), "not valid json"),
+            (post("/replay", r#"{"protocol": "cubic"}"#), "missing field \"model\""),
+            (
+                post("/replay", r#"{"model": "m", "protocol": "cubic", "batch_streams": 3}"#),
+                "batch_streams",
+            ),
+            (post("/replay", r#"{"model": "m", "protocol": "warp"}"#), "unknown protocol"),
+            (post("/batch", r#"{"jobs": []}"#), "bad batch spec"),
+            (get("/metrics?format=xml"), "unknown metrics format"),
+            (get("/trace/"), "bad trace id"),
+        ] {
+            resp = handle(&app, &req);
+            assert_eq!(resp.status, 400, "{} {}", req.method, req.path);
+            let (code, message, _) = envelope(&resp);
+            assert_eq!(code, "bad_request");
+            assert!(message.contains(needle), "{message:?} missing {needle:?}");
+        }
+
+        // 404: replaying a model that is not registered.
+        resp = handle(&app, &post("/replay", r#"{"model": "absent", "protocol": "cubic"}"#));
+        assert_eq!(resp.status, 404);
+        assert_eq!(envelope(&resp).0, "not_found");
+
+        // 500: a failed async fit reports the typed envelope with detail.
+        app.jobs_lock().insert("m1".to_string(), FitJob::Failed("boom".to_string()));
+        resp = handle(&app, &get("/models/m1"));
+        assert_eq!(resp.status, 500);
+        let (code, message, detail) = envelope(&resp);
+        assert_eq!(code, "fit_failed");
+        assert!(message.contains("m1"), "{message}");
+        assert_eq!(detail.as_deref(), Some("boom"));
+
+        // 503: the load-shedding response carries the overloaded code.
+        resp = Response::overloaded("server at capacity");
+        assert_eq!(envelope(&resp).0, "overloaded");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `/replay` accepts the `batch_streams` knob; both settings return
+    /// byte-identical traces (here with an emulator model — the ML
+    /// byte-identity is proven at the core layer).
+    #[test]
+    fn replay_batch_streams_knob_is_accepted_and_byte_invariant() {
+        let (app, dir) = test_app("replay_knob");
+        let fit = post(
+            "/fit",
+            r#"{"wait":true,"model":"IBoxNet",
+                "synth":{"profile":"ethernet","protocol":"cubic","seed":11,"duration_s":2}}"#,
+        );
+        let resp = handle(&app, &fit);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let fit_body = serde_json::parse_value(&body_text(&resp)).unwrap();
+        let Some(Value::Str(id)) = fit_body.get("model").cloned() else { panic!("model id") };
+
+        let replay = |extra: &str| {
+            let body =
+                format!(r#"{{"model":"{id}","protocol":"vegas","duration_s":2,"seed":5{extra}}}"#);
+            let resp = handle(&app, &post("/replay", &body));
+            assert_eq!(resp.status, 200, "{}", body_text(&resp));
+            resp.body
+        };
+        let default = replay("");
+        let batched = replay(r#","batch_streams":true"#);
+        let per_stream = replay(r#","batch_streams":false"#);
+        assert_eq!(default, batched, "default is the batched path");
+        assert_eq!(batched, per_stream, "knob must not change replay bytes");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

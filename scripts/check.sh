@@ -9,9 +9,9 @@
 # --quick also smoke-tests the serving daemon, including a causally
 # traced fit (`--trace-id` → `GET /trace/<id>`) and the prometheus
 # metrics exposition.
-# --perf additionally runs the release `perf` and `trace` binaries in
-# quick mode and fails on a >20% throughput regression vs the committed
-# BENCH_perf.json / BENCH_trace.json.
+# --perf additionally runs the release `perf`, `trace`, and `infer`
+# binaries in quick mode and fails on a >20% throughput regression vs
+# the committed BENCH_perf.json / BENCH_trace.json / BENCH_infer.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +52,11 @@ gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/abtest.rs \
     "direct model fit in the A/B harness — route through ibox::fit_model / FitCache"
 gate '(IBoxNet|StatisticalLossModel)::fit' crates/core/src/batch.rs \
     "direct model fit in the batch executor — route through ibox::fit_model / FitCache"
+# Replay inference is batched: core drives ML models through an
+# InferenceSession (step_batch), never per-packet step_inference — the
+# deprecated shim allocates a throwaway one-slot session per call.
+gate 'step_inference\(' crates/core/src \
+    "per-packet step_inference in a core hot path — drive an ibox_ml::InferenceSession via step_batch instead"
 # Timing in the serving/runner layers goes through the obs facade so it
 # always lands in metrics/traces — no invisible raw clock reads.
 gate 'Instant::now\(' crates/serve/src \
@@ -168,6 +173,9 @@ if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
     echo "==> trace overhead smoke: quick benchmarks vs committed BENCH_trace.json"
     (cd "$perf_tmp" && run "$repo/target/release/trace" --quick --baseline "$repo/BENCH_trace.json")
     echo "trace overhead smoke passed"
+    echo "==> inference smoke: quick benchmarks vs committed BENCH_infer.json"
+    (cd "$perf_tmp" && run "$repo/target/release/infer" --quick --baseline "$repo/BENCH_infer.json")
+    echo "inference smoke passed"
 fi
 
 echo "all checks passed"
