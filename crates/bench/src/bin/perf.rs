@@ -28,7 +28,9 @@ use ibox_bench::{cell, render_table, Scale};
 use ibox_ml::lstm::{Lstm, LstmState, LstmWorkspace, StepCache};
 use ibox_ml::matrix::Mat;
 use ibox_ml::TrainConfig;
-use ibox_sim::{FixedWindow, FlowConfig, PathConfig, SimTime, Simulation};
+use ibox_sim::{
+    CrossTrafficCfg, FixedWindow, FlowConfig, PathConfig, ReorderCfg, SimTime, Simulation,
+};
 use ibox_trace::FlowTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -324,7 +326,7 @@ fn bench_train_steps(c: &mut Criterion) -> (f64, f64) {
     (steps_per_sec(&naive), steps_per_sec(&workspace))
 }
 
-fn bench_sim(c: &mut Criterion) -> f64 {
+fn bench_sim(c: &mut Criterion) -> (f64, f64) {
     let secs = Scale::from_args().pick(2, 10) as u64;
     let build = |seed: u64| {
         let mut sim = Simulation::new(
@@ -338,16 +340,53 @@ fn bench_sim(c: &mut Criterion) -> f64 {
         );
         sim
     };
+    // Impaired variant: Poisson cross traffic plus random loss and
+    // reordering, so the bench — and the committed manifest's
+    // `sim.cross_packets_emitted` / `sim.packets_dropped_random` /
+    // `sim.packets_reordered` counters — exercises every per-packet
+    // code path, not just clean FIFO forwarding.
+    let build_impaired = |seed: u64| {
+        let mut path = PathConfig::simple(20e6, SimTime::from_millis(20), 100_000);
+        path.random_loss = 0.002;
+        path.reorder = Some(ReorderCfg {
+            probability: 0.005,
+            extra_min: SimTime::from_millis(1),
+            extra_max: SimTime::from_millis(6),
+        });
+        let mut sim = Simulation::new(path, SimTime::from_secs(secs), seed);
+        sim.add_cross_traffic(CrossTrafficCfg::Poisson {
+            mean_rate_bps: 2e6,
+            pkt_size: 1200,
+            start: SimTime::ZERO,
+            stop: SimTime::from_secs(secs),
+        });
+        sim.add_flow(
+            FlowConfig::bulk("main", SimTime::from_secs(secs)),
+            Box::new(FixedWindow::new(200.0)),
+        );
+        sim
+    };
     let packets = build(1).run().flow_stats[0].sent;
     assert!(packets > 0, "saturated flow must send packets");
+    let impaired = build_impaired(1).run();
+    let packets_impaired = impaired.flow_stats[0].sent;
+    for counter in
+        ["sim.cross_packets_emitted", "sim.packets_dropped_random", "sim.packets_reordered"]
+    {
+        let n = impaired.metrics.counters.get(counter).copied().unwrap_or(0);
+        assert!(n > 0, "impaired scenario must drive {counter}, got 0");
+    }
 
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(Scale::from_args().pick(5, 10));
     let stats = group
         .bench_function_timed("saturated_20mbps", |b| b.iter(|| black_box(build(1).run())))
         .expect("measured");
+    let stats_impaired = group
+        .bench_function_timed("impaired_20mbps", |b| b.iter(|| black_box(build_impaired(1).run())))
+        .expect("measured");
     group.finish();
-    packets as f64 * best_per_sec(&stats)
+    (packets as f64 * best_per_sec(&stats), packets_impaired as f64 * best_per_sec(&stats_impaired))
 }
 
 fn bench_fit(c: &mut Criterion) -> f64 {
@@ -438,7 +477,7 @@ fn main() {
 
     let (naive_sps, ws_sps) = bench_train_steps(&mut criterion);
     let speedup = ws_sps / naive_sps.max(1e-9);
-    let sim_pps = bench_sim(&mut criterion);
+    let (sim_pps, sim_pps_impaired) = bench_sim(&mut criterion);
     let fit_ms = bench_fit(&mut criterion);
 
     let registry = ibox_obs::global();
@@ -446,6 +485,7 @@ fn main() {
     registry.gauge("perf.lstm_train_steps_per_sec_naive").set(naive_sps);
     registry.gauge("perf.lstm_speedup_x").set(speedup);
     registry.gauge("perf.sim_packets_per_sec").set(sim_pps);
+    registry.gauge("perf.sim_packets_per_sec_impaired").set(sim_pps_impaired);
     registry.gauge("perf.fit_wall_ms").set(fit_ms);
 
     print!(
@@ -458,6 +498,7 @@ fn main() {
                 vec!["lstm train steps/s (naive)".into(), cell(naive_sps, 0)],
                 vec!["speedup".into(), format!("{speedup:.2}x")],
                 vec!["sim packets/s".into(), cell(sim_pps, 0)],
+                vec!["sim packets/s (cross+loss+reorder)".into(), cell(sim_pps_impaired, 0)],
                 vec!["IBoxMl::fit wall ms".into(), cell(fit_ms, 1)],
             ],
         )
@@ -468,7 +509,11 @@ fn main() {
         .map(|p| {
             check_baseline(
                 &p,
-                &[("perf.lstm_train_steps_per_sec", ws_sps), ("perf.sim_packets_per_sec", sim_pps)],
+                &[
+                    ("perf.lstm_train_steps_per_sec", ws_sps),
+                    ("perf.sim_packets_per_sec", sim_pps),
+                    ("perf.sim_packets_per_sec_impaired", sim_pps_impaired),
+                ],
             )
         })
         .unwrap_or_default();

@@ -39,7 +39,14 @@ const FIT: CmdSpec = CmdSpec {
 const REPLAY: CmdSpec = CmdSpec {
     name: "replay",
     positionals: &[PosSpec { name: "model.json", required: true, variadic: false }],
-    opts: &[PROTOCOL, DURATION, SEED, OptSpec::flag("--per-stream"), OUTPUT],
+    opts: &[
+        PROTOCOL,
+        DURATION,
+        SEED,
+        OptSpec::flag("--per-stream"),
+        OptSpec::value("--fidelity", "packet|flow|hybrid"),
+        OUTPUT,
+    ],
 };
 
 const SIMULATE: CmdSpec = CmdSpec {
@@ -272,7 +279,8 @@ fn cmd_replay(argv: &[String]) -> Result<(), String> {
     let seed = p.num("--seed", 1u64)?;
     // --per-stream selects the legacy unroll for ML models; the batched
     // session is the default and produces byte-identical traces.
-    let opts = ibox::ReplayOpts { batch_streams: !p.flag("--per-stream") };
+    let fidelity = p.opt("--fidelity").unwrap_or("packet").parse::<ibox::Fidelity>()?;
+    let opts = ibox::ReplayOpts { batch_streams: !p.flag("--per-stream"), fidelity };
     let trace = artifact.model.simulate_with(protocol, duration, seed, opts);
     println!("model         : {} (fitted on {})", artifact.kind, artifact.fitted_on);
     print_metrics(&trace);

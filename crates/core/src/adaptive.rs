@@ -93,7 +93,7 @@ impl AdaptiveCross {
             ));
         }
         let out = emu.run_senders(senders, seed);
-        out.traces.into_iter().next().expect("one recorded flow").normalized()
+        out.traces.into_iter().next().expect("one recorded flow").into_normalized()
     }
 }
 

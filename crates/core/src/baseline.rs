@@ -12,7 +12,8 @@
 use serde::{Deserialize, Serialize};
 
 use ibox_cc::by_name;
-use ibox_sim::{PathConfig, PathEmulator, SimTime};
+use ibox_runner::Fidelity;
+use ibox_sim::{FluidLaw, FluidSim, PathConfig, PathEmulator, SimTime};
 use ibox_trace::FlowTrace;
 
 use crate::estimator::StaticParams;
@@ -51,12 +52,31 @@ impl StatisticalLossModel {
 
     /// Run `protocol` over the baseline for `duration`.
     pub fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
-        let cc = by_name(protocol)
-            .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
+        self.simulate_fidelity(protocol, duration, seed, Fidelity::Packet)
+    }
+
+    /// [`StatisticalLossModel::simulate`] at an explicit [`Fidelity`]
+    /// (same contract as `IBoxNet::simulate_fidelity`: unsupported
+    /// protocols/paths degrade to the packet engine).
+    pub fn simulate_fidelity(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        fidelity: Fidelity,
+    ) -> FlowTrace {
         let emu = PathEmulator::new(self.path_config(), duration)
             .with_name(format!("statistical({})", self.fitted_on));
+        if fidelity != Fidelity::Packet && FluidSim::supports(&emu.path) {
+            if let Some(law) = FluidLaw::by_name(protocol) {
+                let out = emu.run_sender_fluid(law, protocol, seed, fidelity == Fidelity::Hybrid);
+                return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
+            }
+        }
+        let cc = by_name(protocol)
+            .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
         let out = emu.run_sender(cc, protocol, seed);
-        out.traces.into_iter().next().expect("one recorded flow").normalized()
+        out.traces.into_iter().next().expect("one recorded flow").into_normalized()
     }
 }
 

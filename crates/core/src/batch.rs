@@ -105,13 +105,13 @@ pub fn execute_run_cached(
                 Profile::from_name(profile)?.builder().seed(*seed).duration(duration).sample();
             let train = run_protocol(&inst, protocol, duration, *seed);
             let fitted = cache.fit_path_model(&spec.model, &train);
-            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
             (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::TraceFile { path } => {
             let train = load_trace(path)?;
             let fitted = cache.fit_path_model(&spec.model, &train);
-            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
             (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::ProfileFile { path } => {
@@ -119,7 +119,7 @@ pub fn execute_run_cached(
             // legacy bare iBoxNet profiles.
             let artifact = ModelArtifact::load_flexible(std::path::Path::new(path))
                 .map_err(|e| e.to_string())?;
-            let opts = ReplayOpts { batch_streams: spec.batch_streams };
+            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
             (
                 "profile replay",
                 artifact.model.simulate_with(&spec.protocol, duration, spec.seed, opts),
@@ -329,6 +329,69 @@ mod tests {
         assert!(trace.len() > 100);
         assert!(!metrics.counters.contains_key("model.fit"), "artifact replay must not fit");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: flow mode is exactly as deterministic as packet mode —
+    /// at every fidelity level a mixed batch is byte-identical at
+    /// `--jobs 1` and `--jobs 4`, and a spec that never mentions
+    /// `fidelity` behaves exactly like an explicit `packet` one.
+    #[test]
+    fn every_fidelity_level_is_jobs_invariant() {
+        use ibox_runner::Fidelity;
+        let batch_at = |fidelity: Fidelity| {
+            let mut b = BatchSpec::builder();
+            for (i, model) in [ModelKind::IBoxNet, ModelKind::StatisticalLoss, ModelKind::IBoxNet]
+                .into_iter()
+                .enumerate()
+            {
+                b = b.run(
+                    RunSpec::builder()
+                        .synth("ethernet", "cubic", 200 + i as u64)
+                        .protocol(if i % 2 == 0 { "cubic" } else { "reno" })
+                        .duration_s(3.0)
+                        .seed(30 + i as u64)
+                        .model(model)
+                        .fidelity(fidelity)
+                        .build()
+                        .unwrap(),
+                );
+            }
+            b.build().unwrap()
+        };
+        for fidelity in Fidelity::ALL {
+            let batch = batch_at(fidelity);
+            let r1 = run_batch_jobs(&batch, 1).unwrap();
+            let r4 = run_batch_jobs(&batch, 4).unwrap();
+            assert_eq!(r1.to_json(), r4.to_json(), "{fidelity} results must not depend on jobs");
+        }
+        // Default == packet, byte for byte: a legacy batch file with no
+        // `fidelity` field anywhere replays identically to an explicit
+        // packet-fidelity batch.
+        let packet = run_batch_jobs(&batch_at(Fidelity::Packet), 1).unwrap();
+        let legacy = {
+            let mut v = serde_json::parse_value(&batch_at(Fidelity::Packet).to_json()).unwrap();
+            if let serde::Value::Object(fields) = &mut v {
+                for (key, val) in fields.iter_mut() {
+                    if key != "runs" {
+                        continue;
+                    }
+                    if let serde::Value::Array(runs) = val {
+                        for run in runs.iter_mut() {
+                            if let serde::Value::Object(rf) = run {
+                                rf.retain(|(k, _)| k != "fidelity");
+                            }
+                        }
+                    }
+                }
+            }
+            let json = serde_json::to_string(&v).expect("value serializes");
+            run_batch_jobs(&BatchSpec::from_json(&json).unwrap(), 1).unwrap()
+        };
+        assert_eq!(packet.to_json(), legacy.to_json());
+        // And flow mode genuinely takes the fluid path: its records differ
+        // from packet mode's (distributionally close, not bit-equal).
+        let flow = run_batch_jobs(&batch_at(Fidelity::Flow), 1).unwrap();
+        assert_ne!(packet.to_json(), flow.to_json());
     }
 
     /// Satellite: batch runs an `IBoxMl` spec like any other kind, and the

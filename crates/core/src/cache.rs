@@ -31,6 +31,12 @@ use ibox_trace::FlowTrace;
 use crate::model::{fit_model, FittedModel};
 
 /// The full provenance of one fit — everything that can change its result.
+///
+/// Replay-time options are deliberately **not** part of the key: the
+/// `fidelity` knob (packet/flow/hybrid) selects the *replay engine*, not
+/// the fit, so one fitted model serves every fidelity level (see
+/// `runs_share_one_fit_across_fidelity_levels`). If a future option ever
+/// changes fitted state, it must be folded into `config_hash`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FitCacheKey {
     /// Content digest of the training trace ([`FlowTrace::digest`]).
@@ -277,6 +283,24 @@ mod tests {
             b.simulate("cubic", SimTime::from_secs(3), 2),
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runs_share_one_fit_across_fidelity_levels() {
+        // `fidelity` is a replay knob: replaying the same fitted model at
+        // packet, flow, and hybrid fidelity must reuse one cached fit.
+        let t = train(9);
+        let cache = FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        for fidelity in ibox_runner::Fidelity::ALL {
+            let model = cache.fit_path_model(&ModelKind::IBoxNet, &t);
+            let opts = crate::ReplayOpts { fidelity, ..Default::default() };
+            let trace = model.simulate_with("cubic", SimTime::from_secs(2), 3, opts);
+            assert!(trace.len() > 20, "{fidelity}: {} packets", trace.len());
+        }
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["model.fit"], 1, "one fit serves all fidelities");
+        assert_eq!(metrics.counters["fitcache.hit"], 2);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use serde::{Deserialize, Serialize};
 
 use ibox_cc::by_name;
-use ibox_sim::{PathConfig, PathEmulator, ReorderCfg, SimTime, CT_PACKET_SIZE};
+use ibox_runner::Fidelity;
+use ibox_sim::{FluidLaw, FluidSim, PathConfig, PathEmulator, ReorderCfg, SimTime, CT_PACKET_SIZE};
 use ibox_trace::FlowTrace;
 
 use crate::estimator::{CrossTrafficEstimate, StaticParams, DEFAULT_BIN_SECS};
@@ -111,10 +112,32 @@ impl IBoxNet {
     /// Run `protocol` over the fitted model for `duration`, returning its
     /// normalized input-output trace — the counterfactual prediction.
     pub fn simulate(&self, protocol: &str, duration: SimTime, seed: u64) -> FlowTrace {
+        self.simulate_fidelity(protocol, duration, seed, Fidelity::Packet)
+    }
+
+    /// [`IBoxNet::simulate`] at an explicit [`Fidelity`]: `Packet` is the
+    /// reference engine, `Flow` the fluid fast path (10–100x faster,
+    /// bounded distributional error), `Hybrid` the fluid path with
+    /// packet-level fallback around congestion episodes. Protocols or
+    /// paths the fluid engine cannot model degrade to `Packet`.
+    pub fn simulate_fidelity(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        fidelity: Fidelity,
+    ) -> FlowTrace {
+        let emu = self.emulator(duration);
+        if fidelity != Fidelity::Packet && FluidSim::supports(&emu.path) {
+            if let Some(law) = FluidLaw::by_name(protocol) {
+                let out = emu.run_sender_fluid(law, protocol, seed, fidelity == Fidelity::Hybrid);
+                return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
+            }
+        }
         let cc = by_name(protocol)
             .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
-        let out = self.emulator(duration).run_sender(cc, protocol, seed);
-        out.traces.into_iter().next().expect("one recorded flow").normalized()
+        let out = emu.run_sender(cc, protocol, seed);
+        out.traces.into_iter().next().expect("one recorded flow").into_normalized()
     }
 
     /// Serialize the profile to JSON.

@@ -112,5 +112,6 @@ pub use validity::{ValidityRegion, ValidityReport};
 
 // The typed batch API, re-exported so downstream users need only `ibox`.
 pub use ibox_runner::{
-    suggested_jobs, BatchSpec, BatchSpecBuilder, IBoxMlSpec, RunSource, RunSpec, RunSpecBuilder,
+    suggested_jobs, BatchSpec, BatchSpecBuilder, Fidelity, IBoxMlSpec, RunSource, RunSpec,
+    RunSpecBuilder,
 };

@@ -23,7 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use ibox_runner::{IBoxMlSpec, ModelKind};
+use ibox_runner::{Fidelity, IBoxMlSpec, ModelKind};
 use ibox_sim::SimTime;
 use ibox_trace::FlowTrace;
 
@@ -95,8 +95,7 @@ pub struct FittedIBoxMl {
 }
 
 /// Replay options threaded from `RunSpec`/`POST /replay` down to the
-/// model. Only the ML family reacts to them today; the packet-level
-/// models are batched at the engine layer already.
+/// model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayOpts {
     /// Drive ML inference through the batched
@@ -104,11 +103,16 @@ pub struct ReplayOpts {
     /// legacy per-stream closed-loop unroll — bitwise identical output,
     /// one matvec per packet instead of one matmul per wave.
     pub batch_streams: bool,
+    /// Simulation fidelity of the replay engine: `Packet` (default,
+    /// reference), `Flow` (fluid fast path), or `Hybrid` (fluid with
+    /// packet-level congestion episodes). Models/protocols the fluid
+    /// engine cannot express silently degrade to `Packet`.
+    pub fidelity: Fidelity,
 }
 
 impl Default for ReplayOpts {
     fn default() -> Self {
-        Self { batch_streams: true }
+        Self { batch_streams: true, fidelity: Fidelity::Packet }
     }
 }
 
@@ -122,7 +126,7 @@ impl FittedIBoxMl {
         seed: u64,
         opts: ReplayOpts,
     ) -> FlowTrace {
-        let pattern = self.driver.simulate(protocol, duration, seed);
+        let pattern = self.driver.simulate_fidelity(protocol, duration, seed, opts.fidelity);
         // Decorrelate the sampling seed from the driver seed (SplitMix64):
         // the two stages must not reuse one RNG stream.
         let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
@@ -180,8 +184,10 @@ impl FittedModel {
     ) -> FlowTrace {
         let _trace = ibox_obs::trace_span!("model-replay");
         match self {
-            FittedModel::IBoxNet(m) => PathModel::simulate(m, protocol, duration, seed),
-            FittedModel::StatisticalLoss(m) => PathModel::simulate(m, protocol, duration, seed),
+            FittedModel::IBoxNet(m) => m.simulate_fidelity(protocol, duration, seed, opts.fidelity),
+            FittedModel::StatisticalLoss(m) => {
+                m.simulate_fidelity(protocol, duration, seed, opts.fidelity)
+            }
             FittedModel::IBoxMl(m) => m.simulate_with(protocol, duration, seed, opts),
         }
     }

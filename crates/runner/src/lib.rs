@@ -33,5 +33,6 @@ pub use pool::{
     run_indexed, run_indexed_checked, run_scoped, run_scoped_checked, suggested_jobs, PoolError,
 };
 pub use spec::{
-    BatchSpec, BatchSpecBuilder, IBoxMlSpec, ModelKind, RunSource, RunSpec, RunSpecBuilder,
+    BatchSpec, BatchSpecBuilder, Fidelity, IBoxMlSpec, ModelKind, RunSource, RunSpec,
+    RunSpecBuilder,
 };

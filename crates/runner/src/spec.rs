@@ -14,6 +14,87 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Replay fidelity: how the bottleneck is simulated during a replay.
+///
+/// Serializes as a lowercase string (`"packet"` | `"flow"` | `"hybrid"`),
+/// which is also the spelling accepted by `ibox replay --fidelity` and the
+/// `/replay` HTTP body. Absent spec fields deserialize to
+/// [`Fidelity::Packet`] (see the hand-written [`Deserialize`] on
+/// [`RunSpec`]), so every pre-existing batch file keeps its exact
+/// behavior.
+///
+/// Fidelity never enters the fit-cache key: fitting consumes the training
+/// trace only, so a fitted artifact is shared across fidelity levels and
+/// only the replay step changes engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Per-packet discrete-event simulation — bit-exact reference, the
+    /// default everywhere.
+    #[default]
+    Packet,
+    /// Flow-level fluid integration: per-flow rates and queue occupancy
+    /// advance across piecewise-constant intervals. 10–100x faster,
+    /// distributionally (not per-packet) accurate.
+    Flow,
+    /// Fluid fast path that falls back to the packet engine inside
+    /// congestion episodes (queue near capacity, loss onset), splicing
+    /// congestion-control state across the boundary.
+    Hybrid,
+}
+
+impl Fidelity {
+    /// The canonical lowercase spelling (serde/CLI/HTTP form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Packet => "packet",
+            Fidelity::Flow => "flow",
+            Fidelity::Hybrid => "hybrid",
+        }
+    }
+
+    /// All fidelity levels, in increasing-approximation order.
+    pub const ALL: [Fidelity; 3] = [Fidelity::Packet, Fidelity::Flow, Fidelity::Hybrid];
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packet" => Ok(Fidelity::Packet),
+            "flow" => Ok(Fidelity::Flow),
+            "hybrid" => Ok(Fidelity::Hybrid),
+            other => Err(format!(
+                "unknown fidelity {other:?} (expected \"packet\", \"flow\", or \"hybrid\")"
+            )),
+        }
+    }
+}
+
+impl Serialize for Fidelity {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Fidelity {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => s.parse().map_err(serde::Error),
+            other => Err(serde::Error::expected(
+                "a fidelity string (\"packet\" | \"flow\" | \"hybrid\")",
+                other,
+            )),
+        }
+    }
+}
+
 /// Training configuration for [`ModelKind::IBoxMl`], kept domain-light
 /// (plain numbers, no `crates/ml` types) so the runner stays dependency-free.
 /// The executor in `ibox::model` translates it into an `IBoxMlConfig`.
@@ -191,11 +272,14 @@ pub struct RunSpec {
     ///
     /// [`InferenceSession`]: https://docs.rs/ibox-ml
     pub batch_streams: bool,
+    /// Replay engine fidelity (default [`Fidelity::Packet`]). `flow` and
+    /// `hybrid` trade per-packet exactness for 10–100x replay throughput.
+    pub fidelity: Fidelity,
 }
 
-// Hand-written so batch files written before `batch_streams` existed (the
-// field is absent) keep parsing with the default of `true`; every other
-// field stays required, matching the previous derive.
+// Hand-written so batch files written before `batch_streams` / `fidelity`
+// existed (the fields are absent) keep parsing with their defaults; every
+// other field stays required, matching the previous derive.
 impl Deserialize for RunSpec {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         if !matches!(v, serde::Value::Object(_)) {
@@ -217,6 +301,10 @@ impl Deserialize for RunSpec {
             batch_streams: match v.get("batch_streams") {
                 Some(x) => bool::from_value(x)?,
                 None => true,
+            },
+            fidelity: match v.get("fidelity") {
+                Some(x) => Fidelity::from_value(x)?,
+                None => Fidelity::Packet,
             },
         })
     }
@@ -249,6 +337,7 @@ pub struct RunSpecBuilder {
     seed: Option<u64>,
     model: Option<ModelKind>,
     batch_streams: Option<bool>,
+    fidelity: Option<Fidelity>,
 }
 
 impl RunSpecBuilder {
@@ -313,6 +402,12 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Replay engine fidelity (default [`Fidelity::Packet`]).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = Some(fidelity);
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<RunSpec, String> {
         let source = self.source.ok_or("RunSpec needs a source (synth/trace_file/profile_file)")?;
@@ -332,6 +427,7 @@ impl RunSpecBuilder {
             seed: self.seed.unwrap_or(1),
             model: self.model.unwrap_or(ModelKind::IBoxNet),
             batch_streams: self.batch_streams.unwrap_or(true),
+            fidelity: self.fidelity.unwrap_or_default(),
         })
     }
 }
@@ -465,6 +561,40 @@ mod tests {
             .build()
             .unwrap();
         assert!(!off.batch_streams);
+    }
+
+    #[test]
+    fn runspec_without_fidelity_field_still_parses() {
+        // Batch files written before the knob existed must keep working,
+        // and must mean the exact pre-knob behavior: packet fidelity.
+        let mut json = sample_spec().to_value();
+        if let serde::Value::Object(fields) = &mut json {
+            fields.retain(|(k, _)| k != "fidelity");
+        }
+        let spec = RunSpec::from_value(&json).unwrap();
+        assert_eq!(spec.fidelity, Fidelity::Packet, "absent field defaults to packet");
+        assert_eq!(spec, sample_spec());
+    }
+
+    #[test]
+    fn fidelity_parses_and_rejects_unknown_strings() {
+        for f in Fidelity::ALL {
+            assert_eq!(f.as_str().parse::<Fidelity>().unwrap(), f);
+            assert_eq!(Fidelity::from_value(&f.to_value()).unwrap(), f);
+            assert_eq!(format!("{f}"), f.as_str());
+        }
+        assert!("Packet".parse::<Fidelity>().is_err(), "spelling is lowercase");
+        let err = Fidelity::from_value(&serde::Value::Str("fluid".into())).unwrap_err();
+        assert!(err.0.contains("unknown fidelity"), "{}", err.0);
+        assert!(Fidelity::from_value(&serde::Value::U64(1)).is_err());
+
+        let spec = RunSpec::builder()
+            .trace_file("t.json")
+            .protocol("cubic")
+            .fidelity(Fidelity::Hybrid)
+            .build()
+            .unwrap();
+        assert_eq!(spec.fidelity, Fidelity::Hybrid);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ibox_runner::{BatchSpec, IBoxMlSpec, ModelKind, RunSource, RunSpec};
+use ibox_runner::{BatchSpec, Fidelity, IBoxMlSpec, ModelKind, RunSource, RunSpec};
 
 /// Deterministically expand a `u64` into a short printable token, so
 /// names/paths exercise serialization without a string strategy.
@@ -51,6 +51,7 @@ fn arb_spec() -> impl Strategy<Value = RunSpec> {
             seed,
             model: model_from(a),
             batch_streams: b % 2 == 0,
+            fidelity: Fidelity::ALL[(a % Fidelity::ALL.len() as u64) as usize],
         },
     )
 }
@@ -88,5 +89,24 @@ proptest! {
             .unwrap();
         let batch = BatchSpec::builder().jobs(3).run(spec).build().unwrap();
         prop_assert_eq!(BatchSpec::from_json(&batch.to_json()).unwrap(), batch);
+    }
+
+    /// `fidelity` round-trips through JSON at every level, and its string
+    /// form parses back to the same variant.
+    #[test]
+    fn fidelity_roundtrips_through_json(seed in any::<u64>(), idx in 0usize..3) {
+        let fidelity = Fidelity::ALL[idx];
+        let spec = RunSpec::builder()
+            .synth("ethernet", "cubic", seed)
+            .protocol("cubic")
+            .seed(seed)
+            .fidelity(fidelity)
+            .build()
+            .unwrap();
+        let batch = BatchSpec::builder().run(spec).build().unwrap();
+        let back = BatchSpec::from_json(&batch.to_json()).unwrap();
+        prop_assert_eq!(back.runs[0].fidelity, fidelity);
+        prop_assert_eq!(&back, &batch);
+        prop_assert_eq!(fidelity.as_str().parse::<Fidelity>().unwrap(), fidelity);
     }
 }

@@ -488,10 +488,13 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         // Batched-session ML replay is the default; `false` selects the
         // legacy per-stream unroll (same bytes out, reference arm).
         let batch_streams: bool = field(&body, "batch_streams")?.unwrap_or(true);
+        // Replay engine fidelity; absent means the exact pre-knob packet
+        // engine, so existing clients see byte-identical responses.
+        let fidelity: ibox::Fidelity = field(&body, "fidelity")?.unwrap_or_default();
         checked_protocol(&protocol)?;
-        Ok((model_id, protocol, duration, seed, batch_streams))
+        Ok((model_id, protocol, duration, seed, batch_streams, fidelity))
     })();
-    let (model_id, protocol, duration, seed, batch_streams) = match parsed {
+    let (model_id, protocol, duration, seed, batch_streams, fidelity) = match parsed {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -499,8 +502,12 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         Ok(a) => a,
         Err(e) => return Response::error(e.status(), &e.to_string()),
     };
-    let trace =
-        artifact.model.simulate_with(&protocol, duration, seed, ReplayOpts { batch_streams });
+    let trace = artifact.model.simulate_with(
+        &protocol,
+        duration,
+        seed,
+        ReplayOpts { batch_streams, fidelity },
+    );
     ibox_obs::global().counter("serve.replay.packets").add(trace.len() as u64);
     // Exactly the bytes `ibox replay -o out.json` writes for this model:
     // the replay path is byte-identical online and offline.
@@ -669,6 +676,10 @@ mod tests {
                 post("/replay", r#"{"model": "m", "protocol": "cubic", "batch_streams": 3}"#),
                 "batch_streams",
             ),
+            (
+                post("/replay", r#"{"model": "m", "protocol": "cubic", "fidelity": "fluid"}"#),
+                "unknown fidelity",
+            ),
             (post("/replay", r#"{"model": "m", "protocol": "warp"}"#), "unknown protocol"),
             (post("/batch", r#"{"jobs": []}"#), "bad batch spec"),
             (get("/metrics?format=xml"), "unknown metrics format"),
@@ -730,6 +741,44 @@ mod tests {
         let per_stream = replay(r#","batch_streams":false"#);
         assert_eq!(default, batched, "default is the batched path");
         assert_eq!(batched, per_stream, "knob must not change replay bytes");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `/replay` accepts the `fidelity` knob: omitting it and spelling
+    /// `"packet"` are byte-identical (existing clients are untouched),
+    /// while `"flow"` and `"hybrid"` select the fluid engine and return
+    /// valid — but engine-distinct — traces.
+    #[test]
+    fn replay_fidelity_knob_is_accepted_and_defaults_to_packet() {
+        let (app, dir) = test_app("replay_fidelity");
+        let fit = post(
+            "/fit",
+            r#"{"wait":true,"model":"IBoxNet",
+                "synth":{"profile":"ethernet","protocol":"cubic","seed":11,"duration_s":2}}"#,
+        );
+        let resp = handle(&app, &fit);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let fit_body = serde_json::parse_value(&body_text(&resp)).unwrap();
+        let Some(Value::Str(id)) = fit_body.get("model").cloned() else { panic!("model id") };
+
+        let replay = |extra: &str| {
+            let body =
+                format!(r#"{{"model":"{id}","protocol":"cubic","duration_s":2,"seed":5{extra}}}"#);
+            let resp = handle(&app, &post("/replay", &body));
+            assert_eq!(resp.status, 200, "{}", body_text(&resp));
+            resp.body
+        };
+        let default = replay("");
+        let packet = replay(r#","fidelity":"packet""#);
+        assert_eq!(default, packet, "absent fidelity must mean the packet engine");
+        for fidelity in ["flow", "hybrid"] {
+            let fluid = replay(&format!(r#","fidelity":"{fidelity}""#));
+            assert_ne!(fluid, packet, "{fidelity} must route to the fluid engine");
+            let trace = serde_json::parse_value(std::str::from_utf8(&fluid).unwrap())
+                .expect("fluid replay returns a json trace");
+            assert!(trace.get("records").is_some(), "{fidelity} trace has records");
+        }
 
         let _ = std::fs::remove_dir_all(&dir);
     }

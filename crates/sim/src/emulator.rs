@@ -10,6 +10,7 @@ use crate::cc::CongestionControl;
 use crate::config::{FlowConfig, PathConfig};
 use crate::crosstraffic::CrossTrafficCfg;
 use crate::engine::Simulation;
+use crate::fluid::{FluidLaw, FluidSim};
 use crate::output::SimOutput;
 use crate::time::SimTime;
 
@@ -58,6 +59,32 @@ impl PathEmulator {
             sim.add_cross_traffic(c.clone());
         }
         sim.add_flow(FlowConfig::bulk(label, self.duration), cc);
+        sim.run()
+    }
+
+    /// Run a single sender over the path on the flow-level fast path
+    /// (see [`crate::fluid::FluidSim`]): same path, cross traffic, and
+    /// metadata as [`PathEmulator::run_sender`], but the congestion
+    /// behaviour comes from a continuous [`FluidLaw`] instead of a
+    /// per-ack controller. With `hybrid`, congestion episodes fall back
+    /// to the packet engine and are spliced into the output.
+    ///
+    /// Panics if [`FluidSim::supports`] is false for the path; callers
+    /// should check and degrade to [`PathEmulator::run_sender`].
+    pub fn run_sender_fluid(
+        &self,
+        law: FluidLaw,
+        label: impl Into<String>,
+        seed: u64,
+        hybrid: bool,
+    ) -> SimOutput {
+        let mut sim = FluidSim::new(self.path.clone(), self.duration, seed);
+        sim.set_path_name(self.name.clone());
+        sim.set_hybrid(hybrid);
+        for c in &self.cross {
+            sim.add_cross_traffic(c.clone());
+        }
+        sim.add_flow(FlowConfig::bulk(label, self.duration), law);
         sim.run()
     }
 

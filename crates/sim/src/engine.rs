@@ -22,7 +22,7 @@ use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
 
 use crate::cc::CongestionControl;
 use crate::config::{FlowConfig, PathConfig};
-use crate::crosstraffic::{CrossSource, CrossTrafficCfg};
+use crate::crosstraffic::{CrossSource, CrossTrafficCfg, CT_PACKET_SIZE};
 use crate::flow::{FlowState, SendDecision};
 use crate::output::{FlowStats, LinkSample, SimOutput};
 use crate::packet::{Packet, PacketFate, StreamId};
@@ -183,6 +183,12 @@ pub struct Simulation {
     wake_at: Vec<Option<SimTime>>,
     sample_every: Option<SimTime>,
     samples: Vec<LinkSample>,
+    /// Bytes of anonymous backlog seeded into the queue at t = 0
+    /// (hybrid-fidelity episode splicing; see [`Simulation::preload_queue`]).
+    preload_bytes: u64,
+    /// Whether `finish` folds this run's metrics into the process-wide
+    /// registry (off for nested episode runs, which would double-count).
+    report_global: bool,
     /// Opt-in trace timeline mode (defaults to the process-wide
     /// [`ibox_obs::trace::timeline`] knob): emit queue-depth counter
     /// tracks and drop/RTO instants into the active trace scope.
@@ -235,6 +241,8 @@ impl Simulation {
             wake_at: Vec::new(),
             sample_every: Some(SimTime::from_millis(100)),
             samples: Vec::new(),
+            preload_bytes: 0,
+            report_global: true,
             timeline: ibox_obs::trace::timeline(),
             tl: false,
             metrics,
@@ -270,6 +278,25 @@ impl Simulation {
     /// active on the running thread.
     pub fn set_timeline(&mut self, on: bool) {
         self.timeline = on;
+    }
+
+    /// Seed the bottleneck queue with `bytes` of anonymous backlog at
+    /// t = 0 (clamped to the buffer size), modelled as cross-traffic-sized
+    /// packets that drain ahead of everything else. This is how the hybrid
+    /// fluid engine splices its queue occupancy into a packet-level
+    /// congestion episode: the warm-started run sees the fluid queue's
+    /// delay immediately instead of starting from an empty bottleneck.
+    /// The synthetic packets are not counted as cross-traffic emissions.
+    pub fn preload_queue(&mut self, bytes: u64) {
+        self.preload_bytes = bytes;
+    }
+
+    /// Whether `run` folds this simulation's metrics into the process-wide
+    /// `ibox_obs::global()` registry (default `true`). Episode simulations
+    /// nested inside a hybrid fluid run disable this so the ambient
+    /// registry isn't double-counted.
+    pub fn set_report_global(&mut self, on: bool) {
+        self.report_global = on;
     }
 
     /// Add a congestion-controlled flow; returns its index.
@@ -342,6 +369,30 @@ impl Simulation {
         }
         if self.sample_every.is_some() {
             self.schedule(SimTime::ZERO, Ev::Sample);
+        }
+        if self.preload_bytes > 0 {
+            // Anonymous backlog from a spliced fluid state: fill the queue
+            // with synthetic packets (a reserved Cross stream id, so no
+            // flow recorder or cross log ever sees them) and start the
+            // link on the head of the backlog.
+            let mut remaining = self.preload_bytes.min(self.path.buffer_bytes);
+            let mut seq = 0u64;
+            while remaining > 0 {
+                let size = remaining.min(u64::from(CT_PACKET_SIZE)) as u32;
+                let pkt = Packet {
+                    stream: StreamId::Cross(usize::MAX),
+                    seq,
+                    size,
+                    sent_at: SimTime::ZERO,
+                };
+                if self.queue.enqueue(pkt, SimTime::ZERO) == EnqueueResult::Dropped {
+                    break;
+                }
+                remaining -= u64::from(size);
+                seq += 1;
+            }
+            self.m_queue_hwm = self.m_queue_hwm.max(self.queue.occupied_bytes() as f64);
+            self.kick_link();
         }
 
         // Main loop: process every event; post-`end` events only drain
@@ -581,7 +632,9 @@ impl Simulation {
         self.metrics.histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
         // Also into the process-wide registry: histogram buckets don't
         // survive `absorb`, so the global distribution is fed directly.
-        ibox_obs::global().histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
+        if self.report_global {
+            ibox_obs::global().histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
+        }
         self.samples.push(LinkSample {
             t: self.now,
             queue_bytes,
@@ -613,7 +666,9 @@ impl Simulation {
         // manifests written by the CLI and bench binaries see simulator
         // activity without holding on to every SimOutput.
         let metrics = self.metrics.snapshot();
-        ibox_obs::global().absorb(&metrics);
+        if self.report_global {
+            ibox_obs::global().absorb(&metrics);
+        }
         let mut traces = Vec::new();
         let mut flow_stats = Vec::new();
         for (i, flow) in self.flows.iter().enumerate() {

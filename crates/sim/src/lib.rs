@@ -52,6 +52,7 @@ pub mod crosstraffic;
 pub mod emulator;
 pub mod engine;
 pub mod flow;
+pub mod fluid;
 pub mod output;
 pub mod packet;
 pub mod queue;
@@ -64,6 +65,7 @@ pub use config::{FlowConfig, PathConfig, ReorderCfg, DEFAULT_PACKET_SIZE};
 pub use crosstraffic::{CrossTrafficCfg, CT_PACKET_SIZE};
 pub use emulator::PathEmulator;
 pub use engine::Simulation;
+pub use fluid::{FluidLaw, FluidSim};
 pub use output::{FlowStats, LinkSample, SimOutput};
 pub use packet::{Packet, PacketFate, StreamId};
 pub use queue::SchedulerKind;

@@ -64,7 +64,10 @@ impl FlowTrace {
     /// assert_eq!(trace.loss_rate(), 0.5);
     /// ```
     pub fn from_records(meta: FlowMeta, mut records: Vec<PacketRecord>) -> Self {
-        records.sort_by_key(|r| (r.send_ns, r.seq));
+        // Simulators emit in send order; a linear scan beats re-sorting.
+        if !records.windows(2).all(|w| (w[0].send_ns, w[0].seq) <= (w[1].send_ns, w[1].seq)) {
+            records.sort_by_key(|r| (r.send_ns, r.seq));
+        }
         Self { meta, records }
     }
 
@@ -224,6 +227,23 @@ impl FlowTrace {
             })
             .collect();
         Self { meta: self.meta.clone(), records }
+    }
+
+    /// [`FlowTrace::normalized`] without the copy: shifts the timestamps
+    /// in place. Free when the trace already starts at zero (every
+    /// simulator flow that starts at t = 0 does).
+    pub fn into_normalized(mut self) -> FlowTrace {
+        let Some(first) = self.records.first() else { return self };
+        let t0 = first.send_ns;
+        if t0 != 0 {
+            for r in &mut self.records {
+                r.send_ns -= t0;
+                if let Some(recv) = &mut r.recv_ns {
+                    *recv -= t0;
+                }
+            }
+        }
+        self
     }
 }
 

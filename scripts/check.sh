@@ -8,10 +8,12 @@
 # replay loop asserting byte-identical traces.
 # --quick also smoke-tests the serving daemon, including a causally
 # traced fit (`--trace-id` → `GET /trace/<id>`) and the prometheus
-# metrics exposition.
-# --perf additionally runs the release `perf`, `trace`, and `infer`
-# binaries in quick mode and fails on a >20% throughput regression vs
-# the committed BENCH_perf.json / BENCH_trace.json / BENCH_infer.json.
+# metrics exposition, plus a `--fidelity flow` replay smoke (explicit
+# `--fidelity packet` must stay byte-identical to the default).
+# --perf additionally runs the release `perf`, `trace`, `infer`, and
+# `flow` binaries in quick mode and fails on a >20% throughput
+# regression vs the committed BENCH_perf.json / BENCH_trace.json /
+# BENCH_infer.json / BENCH_flow.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,6 +103,20 @@ EOF
         || { echo "FAIL: replay digests diverged across reloads" >&2; exit 1; }
     echo "artifact smoke passed"
 
+    echo "==> fidelity smoke: --fidelity flow replays, packet stays the default"
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 -o "$tmp/replay-pkt.json"
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 --fidelity packet -o "$tmp/replay-pkt2.json"
+    cmp "$tmp/replay-pkt.json" "$tmp/replay-pkt2.json" \
+        || { echo "FAIL: explicit --fidelity packet differs from the default replay" >&2; exit 1; }
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 --fidelity flow -o "$tmp/replay-flow.json"
+    grep -q '"records"' "$tmp/replay-flow.json" \
+        || { echo "FAIL: flow-fidelity replay wrote no trace records" >&2; exit 1; }
+    # Same schema, different engine: flow output must be a real trace
+    # and must not be the packet engine's bytes.
+    cmp -s "$tmp/replay-pkt.json" "$tmp/replay-flow.json" \
+        && { echo "FAIL: --fidelity flow returned the packet engine's bytes" >&2; exit 1; }
+    echo "fidelity smoke passed"
+
     echo "==> serve smoke: fit + replay over HTTP, byte-identical to offline replay"
     ./target/release/ibox serve --addr 127.0.0.1:0 --jobs 2 --model-cache "$tmp/mcache" \
         > "$tmp/serve.log" 2>&1 &
@@ -176,6 +192,9 @@ if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
     echo "==> inference smoke: quick benchmarks vs committed BENCH_infer.json"
     (cd "$perf_tmp" && run "$repo/target/release/infer" --quick --baseline "$repo/BENCH_infer.json")
     echo "inference smoke passed"
+    echo "==> fidelity smoke: quick flow-vs-packet bench vs committed BENCH_flow.json"
+    (cd "$perf_tmp" && run "$repo/target/release/flow" --quick --baseline "$repo/BENCH_flow.json")
+    echo "fidelity bench smoke passed"
 fi
 
 echo "all checks passed"
