@@ -19,8 +19,8 @@ use ibox_sim::{CrossTrafficCfg, PathConfig, PathEmulator, SimTime};
 use ibox_trace::FlowTrace;
 
 fn training_trace() -> FlowTrace {
-    let emu = PathEmulator::new(
-        PathConfig::simple(8e6, SimTime::from_millis(25), 100_000),
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(25), 100_000)),
         SimTime::from_secs(20),
     )
     .with_cross_traffic(CrossTrafficCfg::cbr(

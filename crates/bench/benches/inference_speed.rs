@@ -69,8 +69,12 @@ fn bench_iboxnet_step(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("one_second_8mbps_path", |b| {
         b.iter(|| {
-            let emu = PathEmulator::new(
-                PathConfig::simple(8e6, SimTime::from_millis(20), 100_000),
+            let emu = PathEmulator::from_spec(
+                ibox_sim::PathSpec::single(PathConfig::simple(
+                    8e6,
+                    SimTime::from_millis(20),
+                    100_000,
+                )),
                 SimTime::from_secs(1),
             );
             black_box(emu.run_sender(Box::new(FixedWindow::new(64.0)), "p", 1))

@@ -24,7 +24,10 @@ fn bench_paths(c: &mut Criterion) {
 
     group.bench_function("fifo_constant_cubic", |b| {
         b.iter(|| {
-            let emu = PathEmulator::new(base_path(), SimTime::from_secs(10));
+            let emu = PathEmulator::from_spec(
+                ibox_sim::PathSpec::single(base_path()),
+                SimTime::from_secs(10),
+            );
             black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
         })
     });
@@ -36,7 +39,8 @@ fn bench_paths(c: &mut Criterion) {
                 states: vec![4e6, 8e6, 12e6],
                 mean_dwell: SimTime::from_millis(500),
             };
-            let emu = PathEmulator::new(path, SimTime::from_secs(10));
+            let emu =
+                PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(10));
             black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
         })
     });
@@ -45,16 +49,23 @@ fn bench_paths(c: &mut Criterion) {
         b.iter(|| {
             let mut path = base_path();
             path.scheduler = SchedulerKind::ProportionalFair { fading: 0.3 };
-            let emu = PathEmulator::new(path, SimTime::from_secs(10)).with_cross_traffic(
-                CrossTrafficCfg::cbr(3e6, SimTime::ZERO, SimTime::from_secs(10)),
-            );
+            let emu =
+                PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(10))
+                    .with_cross_traffic(CrossTrafficCfg::cbr(
+                        3e6,
+                        SimTime::ZERO,
+                        SimTime::from_secs(10),
+                    ));
             black_box(emu.run_sender(Box::new(Cubic::new()), "m", 1))
         })
     });
 
     group.bench_function("fixed_window_saturation", |b| {
         b.iter(|| {
-            let emu = PathEmulator::new(base_path(), SimTime::from_secs(10));
+            let emu = PathEmulator::from_spec(
+                ibox_sim::PathSpec::single(base_path()),
+                SimTime::from_secs(10),
+            );
             black_box(emu.run_sender(Box::new(FixedWindow::new(128.0)), "m", 1))
         })
     });

@@ -20,8 +20,8 @@ use ibox_trace::FlowTrace;
 
 /// Ground truth: known 8 Mbps path with a 2 Mbps CBR burst in [5, 15) s.
 fn gt_trace(seed: u64) -> FlowTrace {
-    let emu = PathEmulator::new(
-        PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
         SimTime::from_secs(20),
     )
     .with_cross_traffic(CrossTrafficCfg::cbr(
@@ -93,8 +93,11 @@ fn main() {
     let reference = ibox::IBoxNet::fit(&traces[0]);
     for pkt in [400u32, 800, 1200, 1500] {
         // Re-simulate with this packet size for the replay source.
-        let emu = ibox_sim::PathEmulator::new(reference.path_config(), SimTime::from_secs(20))
-            .with_cross_traffic(reference.cross.to_replay(pkt));
+        let emu = ibox_sim::PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(reference.path_config()),
+            SimTime::from_secs(20),
+        )
+        .with_cross_traffic(reference.cross.to_replay(pkt));
         let out = emu.run_sender(Box::new(Cubic::new()), "m", 77);
         let m = ibox_trace::metrics::TraceMetrics::of(&out.traces[0]);
         rows.push(vec![

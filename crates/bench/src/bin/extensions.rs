@@ -62,22 +62,28 @@ fn main() {
     ibox_obs::info!("extensions: realism discriminator…");
     let n = scale.pick(3, 8);
     let gt: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| {
-        PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
-            .run_sender(Box::new(Cubic::new()), "m", i as u64)
-            .traces
-            .into_iter()
-            .next()
-            .expect("one recorded flow")
-            .normalized()
+        PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000)),
+            dur,
+        )
+        .run_sender(Box::new(Cubic::new()), "m", i as u64)
+        .traces
+        .into_iter()
+        .next()
+        .expect("one recorded flow")
+        .normalized()
     });
     let crude: Vec<FlowTrace> = ibox_runner::run_scoped(n, jobs, |i| {
-        PathEmulator::new(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000), dur)
-            .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i as u64)
-            .traces
-            .into_iter()
-            .next()
-            .expect("one recorded flow")
-            .normalized()
+        PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(7e6, SimTime::from_millis(25), 100_000)),
+            dur,
+        )
+        .run_sender(Box::new(FixedRate::new(5e6)), "m", 70 + i as u64)
+        .traces
+        .into_iter()
+        .next()
+        .expect("one recorded flow")
+        .normalized()
     });
     let cache = FitCache::in_memory();
     let r_net = realism_of_model_jobs(&ModelKind::IBoxNet, &gt, "cubic", dur, 40, jobs, &cache);

@@ -8,8 +8,12 @@ use ibox_sim::{PathConfig, PathEmulator, SimTime};
 use ibox_trace::metrics::{avg_rate_mbps, delay_percentile_ms};
 
 fn emulator(rate_mbps: f64, delay_ms: u64, buffer_bytes: u64) -> PathEmulator {
-    PathEmulator::new(
-        PathConfig::simple(rate_mbps * 1e6, SimTime::from_millis(delay_ms), buffer_bytes),
+    PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(
+            rate_mbps * 1e6,
+            SimTime::from_millis(delay_ms),
+            buffer_bytes,
+        )),
         SimTime::from_secs(15),
     )
 }

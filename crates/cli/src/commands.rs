@@ -45,6 +45,7 @@ const REPLAY: CmdSpec = CmdSpec {
         SEED,
         OptSpec::flag("--per-stream"),
         OptSpec::value("--fidelity", "packet|flow|hybrid"),
+        OptSpec::value("--path", "path.json"),
         OUTPUT,
     ],
 };
@@ -65,7 +66,10 @@ const SYNTH: CmdSpec = CmdSpec {
     name: "synth",
     positionals: &[],
     opts: &[
-        OptSpec::value("--profile", "india-cellular|india-cellular-pf|ethernet|token-bucket-wifi"),
+        OptSpec::value(
+            "--profile",
+            "india-cellular|india-cellular-pf|ethernet|token-bucket-wifi|wifi|satellite|cellular-handover",
+        ),
         PROTOCOL,
         DURATION,
         SEED,
@@ -280,7 +284,31 @@ fn cmd_replay(argv: &[String]) -> Result<(), String> {
     // --per-stream selects the legacy unroll for ML models; the batched
     // session is the default and produces byte-identical traces.
     let fidelity = p.opt("--fidelity").unwrap_or("packet").parse::<ibox::Fidelity>()?;
-    let opts = ibox::ReplayOpts { batch_streams: !p.flag("--per-stream"), fidelity };
+    // --path <file.json> replays the model through a composed chain of
+    // bottleneck stages (a PathSpec: a bare stage array or
+    // `{"stages": [...]}`) instead of its fitted single-stage path.
+    let path = match p.opt("--path") {
+        Some(file) => {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let spec: ibox_sim::PathSpec =
+                serde_json::from_str(&text).map_err(|e| format!("bad path spec {file}: {e}"))?;
+            if spec.is_empty() {
+                return Err(format!("path spec {file} needs at least one stage"));
+            }
+            Some(spec)
+        }
+        None => None,
+    };
+    if let Some(spec) = &path {
+        println!(
+            "path          : {} stage(s), bottleneck {:.3} Mbps, prop {:.2} ms",
+            spec.len(),
+            spec.bottleneck_rate_bps() / 1e6,
+            spec.total_prop_delay().as_millis_f64()
+        );
+    }
+    let opts = ibox::ReplayOpts { batch_streams: !p.flag("--per-stream"), fidelity, path };
     let trace = artifact.model.simulate_with(protocol, duration, seed, opts);
     println!("model         : {} (fitted on {})", artifact.kind, artifact.fitted_on);
     print_metrics(&trace);
@@ -887,6 +915,78 @@ mod tests {
         assert_eq!(t1, t2, "saved-then-loaded model must replay byte-identically");
 
         for p in [&trace_path, &model_path, &out1, &out2] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
+        }
+    }
+
+    #[test]
+    fn replay_path_flag_replays_through_a_composed_chain() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ibox_cli_path_trace.json").to_string_lossy().into_owned();
+        let model_path = dir.join("ibox_cli_path_model.json").to_string_lossy().into_owned();
+        let chain_path = dir.join("ibox_cli_path_chain.json").to_string_lossy().into_owned();
+        let out_flat = dir.join("ibox_cli_path_flat.json").to_string_lossy().into_owned();
+        let out_chain = dir.join("ibox_cli_path_chain_out.json").to_string_lossy().into_owned();
+        let out_chain2 = dir.join("ibox_cli_path_chain_out2.json").to_string_lossy().into_owned();
+
+        dispatch(&argv(&[
+            "synth",
+            "--profile",
+            "ethernet",
+            "--protocol",
+            "cubic",
+            "--duration",
+            "3",
+            "-o",
+            &trace_path,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["fit", &trace_path, "-o", &model_path])).unwrap();
+        std::fs::write(
+            &chain_path,
+            r#"[{"rate_bps":20e6,"prop_delay_ms":5,"buffer_bytes":80000},
+                {"rate_bps":8e6,"prop_delay_ms":12,"buffer_bytes":60000}]"#,
+        )
+        .unwrap();
+
+        let replay = |out: &str, extra: &[&str]| {
+            let mut args =
+                vec!["replay", &model_path, "--protocol", "cubic", "--duration", "3", "-o", out];
+            args.extend_from_slice(extra);
+            dispatch(&argv(&args)).unwrap();
+        };
+        replay(&out_flat, &[]);
+        replay(&out_chain, &["--path", &chain_path]);
+        replay(&out_chain2, &["--path", &chain_path]);
+
+        let flat = std::fs::read_to_string(&out_flat).unwrap();
+        let chain = std::fs::read_to_string(&out_chain).unwrap();
+        assert_ne!(flat, chain, "the composed path must change the replay");
+        assert_eq!(
+            chain,
+            std::fs::read_to_string(&out_chain2).unwrap(),
+            "composed replay must be deterministic"
+        );
+
+        // Bad path files are typed errors, not panics.
+        let err = dispatch(&argv(&[
+            "replay",
+            &model_path,
+            "--protocol",
+            "cubic",
+            "--path",
+            "/nope/chain.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nope/chain.json"), "{err}");
+        std::fs::write(&chain_path, "[]").unwrap();
+        let err =
+            dispatch(&argv(&["replay", &model_path, "--protocol", "cubic", "--path", &chain_path]))
+                .unwrap_err();
+        assert!(err.contains("at least one stage"), "{err}");
+
+        for p in [&trace_path, &model_path, &chain_path, &out_flat, &out_chain, &out_chain2] {
             let _ = std::fs::remove_file(p);
             let _ = std::fs::remove_file(RunManifest::path_for_output(Path::new(p)));
         }

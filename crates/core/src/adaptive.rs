@@ -82,8 +82,11 @@ impl AdaptiveCross {
         let main = ibox_cc::by_name(protocol)
             .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
         // The emulator without the replay source: path parameters only.
-        let emu = ibox_sim::PathEmulator::new(model.path_config(), duration)
-            .with_name(format!("iboxnet-adaptive({})", model.fitted_on));
+        let emu = ibox_sim::PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(model.path_config()),
+            duration,
+        )
+        .with_name(format!("iboxnet-adaptive({})", model.fitted_on));
         let mut senders: Vec<(FlowConfig, Box<dyn CongestionControl>)> =
             vec![(FlowConfig::bulk(protocol, duration), main)];
         for k in 0..self.n_flows {
@@ -151,8 +154,8 @@ mod tests {
     fn clean_model_yields_no_adaptive_cross() {
         use ibox_cc::Cubic;
         use ibox_sim::{PathConfig, PathEmulator};
-        let emu = PathEmulator::new(
-            PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000)),
             SimTime::from_secs(10),
         );
         let gt = emu

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use ibox_runner::ModelKind;
+use ibox_sim::PathSpec;
 
 use crate::iboxnet::IBoxNet;
 use crate::model::{FittedModel, PathModel};
@@ -25,7 +26,13 @@ use crate::model::{FittedModel, PathModel};
 /// Artifact envelope schema version. Bump on any breaking change to the
 /// envelope *or* to the serialized form of a fitted model; loaders reject
 /// any other version by name rather than misinterpreting the payload.
-pub const MODEL_ARTIFACT_SCHEMA: u32 = 1;
+///
+/// History: v1 had no `path` field (the model always replayed its fitted
+/// single-bottleneck spec); v2 records the replay path as an explicit
+/// [`PathSpec`] stage chain. v1 artifacts still load — see
+/// [`ModelArtifact::parse`] — upgraded in memory to a 1-stage chain that
+/// replays byte-identically.
+pub const MODEL_ARTIFACT_SCHEMA: u32 = 2;
 
 /// Filename suffix for registry-managed artifacts (`<id>.artifact.json`).
 /// Distinct from the fit cache's bare `<id>.json` entries (which hold a
@@ -106,17 +113,25 @@ pub struct ModelArtifact {
     pub fitted_on: String,
     /// The fitted model itself.
     pub model: FittedModel,
+    /// The replay path as an explicit stage chain (schema ≥ 2). Fresh
+    /// fits record the model's own 1-stage spec; editing this field (or
+    /// fitting with a composed-path option) replays the same fitted model
+    /// through a different chain. Upgraded v1 artifacts get the model's
+    /// 1-stage spec, which replays byte-identically to v1 behavior.
+    pub path: Option<PathSpec>,
 }
 
 impl ModelArtifact {
     /// Wrap a freshly fitted model in the current envelope.
     pub fn new(kind: &ModelKind, model: FittedModel) -> Self {
+        let path = Some(model.path_spec());
         Self {
             schema: MODEL_ARTIFACT_SCHEMA,
             kind: kind.name().to_string(),
             config_hash: ibox_obs::config_hash(kind),
             fitted_on: model.fitted_on().to_string(),
             model,
+            path,
         }
     }
 
@@ -135,16 +150,23 @@ impl ModelArtifact {
                 path: origin.to_path_buf(),
                 detail: "missing \"schema\" field — not a model artifact".into(),
             }),
-            Some(v) if v != u64::from(MODEL_ARTIFACT_SCHEMA) => {
-                Err(ArtifactError::SchemaMismatch {
-                    path: origin.to_path_buf(),
-                    found: v,
-                    supported: MODEL_ARTIFACT_SCHEMA,
-                })
+            Some(v @ (1 | 2)) => {
+                let mut artifact: Self = serde_json::from_str(json).map_err(|e| {
+                    ArtifactError::Parse { path: origin.to_path_buf(), detail: e.to_string() }
+                })?;
+                if v == 1 {
+                    // v1 predates path composition: upgrade in memory to
+                    // an explicit 1-stage chain, which replays
+                    // byte-identically to the v1 behavior.
+                    artifact.schema = MODEL_ARTIFACT_SCHEMA;
+                    artifact.path = Some(artifact.model.path_spec());
+                }
+                Ok(artifact)
             }
-            Some(_) => serde_json::from_str(json).map_err(|e| ArtifactError::Parse {
+            Some(v) => Err(ArtifactError::SchemaMismatch {
                 path: origin.to_path_buf(),
-                detail: e.to_string(),
+                found: v,
+                supported: MODEL_ARTIFACT_SCHEMA,
             }),
         }
     }
@@ -173,6 +195,7 @@ impl ModelArtifact {
                     kind: "iBoxNet".to_string(),
                     config_hash: ibox_obs::config_hash(&ModelKind::IBoxNet),
                     fitted_on: net.fitted_on.clone(),
+                    path: Some(net.path_spec()),
                     model: FittedModel::IBoxNet(net),
                 }),
                 Err(_) => Err(err),
@@ -236,7 +259,7 @@ mod tests {
     #[test]
     fn schema_mismatch_names_both_versions() {
         let mut doc = sample_artifact().to_json();
-        doc = doc.replacen("\"schema\":1", "\"schema\":999", 1);
+        doc = doc.replacen("\"schema\":2", "\"schema\":999", 1);
         let err = ModelArtifact::parse(&doc, Path::new("future.json")).unwrap_err();
         let ArtifactError::SchemaMismatch { found, supported, .. } = &err else {
             panic!("expected SchemaMismatch, got {err:?}");
@@ -244,7 +267,36 @@ mod tests {
         assert_eq!(*found, 999);
         assert_eq!(*supported, MODEL_ARTIFACT_SCHEMA);
         let msg = err.to_string();
-        assert!(msg.contains("future.json") && msg.contains("999") && msg.contains("1"), "{msg}");
+        assert!(msg.contains("future.json") && msg.contains("999") && msg.contains("2"), "{msg}");
+    }
+
+    /// Satellite: a schema-1 artifact (no `path` field) loads as a 1-stage
+    /// chain and replays byte-identically to its v2 form.
+    #[test]
+    fn schema_1_artifacts_upgrade_to_a_one_stage_chain() {
+        let artifact = sample_artifact();
+        // Reconstruct the exact v1 serialization: version 1, no `path`.
+        let mut v = serde_json::parse_value(&artifact.to_json()).unwrap();
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "path");
+            for (k, val) in fields.iter_mut() {
+                if k == "schema" {
+                    *val = serde::Value::U64(1);
+                }
+            }
+        }
+        let v1_json = serde_json::to_string(&v).unwrap();
+        let loaded = ModelArtifact::parse(&v1_json, Path::new("legacy.json")).unwrap();
+        assert_eq!(loaded.schema, MODEL_ARTIFACT_SCHEMA);
+        let spec = loaded.path.as_ref().expect("upgrade synthesizes a path");
+        assert!(spec.is_single(), "v1 upgrades to a 1-stage chain");
+        assert_eq!(*spec, loaded.model.path_spec());
+        // And the replay is byte-identical to the v2 artifact's.
+        let dur = ibox_sim::SimTime::from_secs(3);
+        assert_eq!(
+            loaded.model.simulate("vegas", dur, 7),
+            artifact.model.simulate("vegas", dur, 7)
+        );
     }
 
     #[test]

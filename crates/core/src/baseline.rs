@@ -13,10 +13,11 @@ use serde::{Deserialize, Serialize};
 
 use ibox_cc::by_name;
 use ibox_runner::Fidelity;
-use ibox_sim::{FluidLaw, FluidSim, PathConfig, PathEmulator, SimTime};
+use ibox_sim::{PathConfig, PathEmulator, PathSpec, SimTime};
 use ibox_trace::FlowTrace;
 
 use crate::estimator::StaticParams;
+use crate::model::fluid_plan;
 
 /// A calibrated-emulator baseline: static parameters + statistical loss.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,9 +56,16 @@ impl StatisticalLossModel {
         self.simulate_fidelity(protocol, duration, seed, Fidelity::Packet)
     }
 
+    /// The fitted path (with its calibrated random loss) as a 1-stage
+    /// chain.
+    pub fn path_spec(&self) -> PathSpec {
+        PathSpec::single(self.path_config())
+    }
+
     /// [`StatisticalLossModel::simulate`] at an explicit [`Fidelity`]
     /// (same contract as `IBoxNet::simulate_fidelity`: unsupported
-    /// protocols/paths degrade to the packet engine).
+    /// protocols/paths degrade to the packet engine, counted in
+    /// `fidelity.fallback`).
     pub fn simulate_fidelity(
         &self,
         protocol: &str,
@@ -65,13 +73,27 @@ impl StatisticalLossModel {
         seed: u64,
         fidelity: Fidelity,
     ) -> FlowTrace {
-        let emu = PathEmulator::new(self.path_config(), duration)
+        self.simulate_fidelity_over(protocol, duration, seed, fidelity, None)
+    }
+
+    /// [`StatisticalLossModel::simulate_fidelity`] through an arbitrary
+    /// composed path (same contract as
+    /// `IBoxNet::simulate_fidelity_over`). `None` replays the fitted
+    /// single-bottleneck spec.
+    pub fn simulate_fidelity_over(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        fidelity: Fidelity,
+        path: Option<&PathSpec>,
+    ) -> FlowTrace {
+        let spec = path.cloned().unwrap_or_else(|| self.path_spec());
+        let emu = PathEmulator::from_spec(spec, duration)
             .with_name(format!("statistical({})", self.fitted_on));
-        if fidelity != Fidelity::Packet && FluidSim::supports(&emu.path) {
-            if let Some(law) = FluidLaw::by_name(protocol) {
-                let out = emu.run_sender_fluid(law, protocol, seed, fidelity == Fidelity::Hybrid);
-                return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
-            }
+        if let Some((law, hybrid)) = fluid_plan(&emu.spec, protocol, fidelity, &emu.name) {
+            let out = emu.run_sender_fluid(law, protocol, seed, hybrid);
+            return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
         }
         let cc = by_name(protocol)
             .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
@@ -87,8 +109,8 @@ mod tests {
     use ibox_sim::CrossTrafficCfg;
 
     fn gt_trace() -> FlowTrace {
-        let emu = PathEmulator::new(
-            PathConfig::simple(6e6, SimTime::from_millis(25), 60_000),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 60_000)),
             SimTime::from_secs(15),
         )
         .with_name("gt")

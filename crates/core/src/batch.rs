@@ -96,6 +96,20 @@ pub fn execute_run_cached(
         return Err(format!("unknown protocol {:?}", spec.protocol));
     }
     let duration = SimTime::from_secs_f64(spec.duration_s);
+    // Parse the (optional) composed replay path once, up front: the spec
+    // carries it as raw JSON so `ibox-runner` stays domain-light.
+    let path = match &spec.path {
+        Some(raw) => {
+            let p = ibox_sim::PathSpec::from_value(raw)
+                .map_err(|e| format!("bad path spec: {}", e.0))?;
+            if p.is_empty() {
+                return Err("path spec needs at least one stage".into());
+            }
+            Some(p)
+        }
+        None => None,
+    };
+    let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity, path };
     let (model_name, sim) = match &spec.source {
         RunSource::Synth { profile, protocol, seed } => {
             if ibox_cc::by_name(protocol).is_none() {
@@ -105,21 +119,29 @@ pub fn execute_run_cached(
                 Profile::from_name(profile)?.builder().seed(*seed).duration(duration).sample();
             let train = run_protocol(&inst, protocol, duration, *seed);
             let fitted = cache.fit_path_model(&spec.model, &train);
-            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
             (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::TraceFile { path } => {
             let train = load_trace(path)?;
             let fitted = cache.fit_path_model(&spec.model, &train);
-            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
             (spec.model.name(), fitted.simulate_with(&spec.protocol, duration, spec.seed, opts))
         }
         RunSource::ProfileFile { path } => {
             // Accepts both versioned model artifacts (any kind) and
-            // legacy bare iBoxNet profiles.
+            // legacy bare iBoxNet profiles. A multi-stage chain recorded
+            // in the artifact applies unless the spec overrides it; a
+            // recorded 1-stage chain is the model's own fitted path, so
+            // skipping it keeps the replay byte-identical to pre-chain
+            // builds.
             let artifact = ModelArtifact::load_flexible(std::path::Path::new(path))
                 .map_err(|e| e.to_string())?;
-            let opts = ReplayOpts { batch_streams: spec.batch_streams, fidelity: spec.fidelity };
+            let opts = ReplayOpts {
+                path: opts
+                    .path
+                    .clone()
+                    .or_else(|| artifact.path.clone().filter(|spec| !spec.is_single())),
+                ..opts
+            };
             (
                 "profile replay",
                 artifact.model.simulate_with(&spec.protocol, duration, spec.seed, opts),
@@ -392,6 +414,86 @@ mod tests {
         // from packet mode's (distributionally close, not bit-equal).
         let flow = run_batch_jobs(&batch_at(Fidelity::Flow), 1).unwrap();
         assert_ne!(packet.to_json(), flow.to_json());
+    }
+
+    /// Acceptance: a 3-stage composed path replays deterministically at
+    /// every fidelity level and any `--jobs` value, and actually changes
+    /// the replay (it is not silently ignored). Hybrid fidelity degrades
+    /// to the packet engine on multi-stage chains — counted, and still
+    /// jobs-invariant.
+    #[test]
+    fn composed_paths_are_jobs_invariant_at_every_fidelity() {
+        use ibox_runner::Fidelity;
+        let chain = serde_json::parse_value(
+            r#"[
+                {"rate_bps": 20e6, "prop_delay_ms": 5, "buffer_bytes": 80000},
+                {"rate_bps": 8e6, "prop_delay_ms": 12, "buffer_bytes": 60000},
+                {"rate_bps": 30e6, "prop_delay_ms": 3, "buffer_bytes": 120000}
+            ]"#,
+        )
+        .unwrap();
+        let batch_at = |fidelity: Fidelity, path: Option<serde::Value>| {
+            let mut b = BatchSpec::builder();
+            for i in 0..2u64 {
+                let mut run = RunSpec::builder()
+                    .synth("ethernet", "cubic", 300 + i)
+                    .protocol(if i == 0 { "cubic" } else { "reno" })
+                    .duration_s(3.0)
+                    .seed(40 + i)
+                    .fidelity(fidelity);
+                if let Some(p) = &path {
+                    run = run.path(p.clone());
+                }
+                b = b.run(run.build().unwrap());
+            }
+            b.build().unwrap()
+        };
+        for fidelity in Fidelity::ALL {
+            let composed = batch_at(fidelity, Some(chain.clone()));
+            let scope = ibox_obs::scoped();
+            let r1 = run_batch_jobs(&composed, 1).unwrap();
+            let metrics = scope.finish().snapshot();
+            let r4 = run_batch_jobs(&composed, 4).unwrap();
+            assert_eq!(
+                r1.to_json(),
+                r4.to_json(),
+                "{fidelity} composed-path results must not depend on jobs"
+            );
+            let flat = run_batch_jobs(&batch_at(fidelity, None), 1).unwrap();
+            assert_ne!(r1.to_json(), flat.to_json(), "{fidelity} replay must honor the path");
+            if fidelity == Fidelity::Hybrid {
+                // The flow-level warmup cannot model a multi-stage chain,
+                // so hybrid degrades to packet — visibly.
+                assert!(
+                    metrics.counters.get("fidelity.fallback").copied().unwrap_or(0) >= 2,
+                    "hybrid over a chain must count its packet fallback"
+                );
+            }
+        }
+        // Hybrid's fallback is the packet engine, byte for byte.
+        let hybrid = run_batch_jobs(&batch_at(Fidelity::Hybrid, Some(chain.clone())), 1).unwrap();
+        let packet = run_batch_jobs(&batch_at(Fidelity::Packet, Some(chain)), 1).unwrap();
+        assert_eq!(hybrid.to_json(), packet.to_json());
+    }
+
+    /// A malformed or empty `path` is rejected with the run index, not a
+    /// panic deep inside the engine.
+    #[test]
+    fn bad_path_specs_are_rejected_by_name() {
+        let run_with = |raw: &str| {
+            let spec = RunSpec::builder()
+                .synth("ethernet", "cubic", 1)
+                .protocol("cubic")
+                .duration_s(2.0)
+                .path(serde_json::parse_value(raw).unwrap())
+                .build()
+                .unwrap();
+            run_batch(&BatchSpec::builder().run(spec).build().unwrap()).unwrap_err()
+        };
+        let err = run_with("[]");
+        assert!(err.contains("at least one stage"), "{err}");
+        let err = run_with(r#"[{"prop_delay_ms": 5}]"#);
+        assert!(err.contains("bad path spec"), "{err}");
     }
 
     /// Satellite: batch runs an `IBoxMl` spec like any other kind, and the

@@ -195,8 +195,8 @@ mod tests {
     /// Run Cubic over a known path with the given cross traffic; return
     /// (trace-derived estimate, ground-truth output).
     fn run_and_estimate(cross: Option<CrossTrafficCfg>) -> (CrossTrafficEstimate, SimOutput) {
-        let mut emu = PathEmulator::new(
-            PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
+        let mut emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
             SimTime::from_secs(20),
         );
         if let Some(c) = cross {

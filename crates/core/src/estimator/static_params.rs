@@ -68,8 +68,12 @@ mod tests {
     use ibox_trace::PacketRecord;
 
     fn measured(rate_bps: f64, delay_ms: u64, buffer: u64, window: f64) -> StaticParams {
-        let emu = PathEmulator::new(
-            PathConfig::simple(rate_bps, SimTime::from_millis(delay_ms), buffer),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(
+                rate_bps,
+                SimTime::from_millis(delay_ms),
+                buffer,
+            )),
             SimTime::from_secs(20),
         );
         let out = emu.run_sender(Box::new(FixedWindow::new(window)), "probe", 1);

@@ -382,8 +382,12 @@ mod tests {
     fn gt_traces(n: usize, secs: u64) -> Vec<FlowTrace> {
         (0..n)
             .map(|i| {
-                let emu = PathEmulator::new(
-                    PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+                let emu = PathEmulator::from_spec(
+                    ibox_sim::PathSpec::single(PathConfig::simple(
+                        6e6,
+                        SimTime::from_millis(25),
+                        80_000,
+                    )),
                     SimTime::from_secs(secs),
                 )
                 .with_name("ml-gt");
@@ -474,8 +478,8 @@ mod sampled_tests {
     use ibox_sim::{PathConfig, PathEmulator, SimTime};
 
     fn gt(seed: u64) -> FlowTrace {
-        let emu = PathEmulator::new(
-            PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000)),
             SimTime::from_secs(6),
         );
         emu.run_sender(Box::new(Cubic::new()), "m", seed)

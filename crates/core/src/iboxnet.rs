@@ -12,10 +12,11 @@ use serde::{Deserialize, Serialize};
 
 use ibox_cc::by_name;
 use ibox_runner::Fidelity;
-use ibox_sim::{FluidLaw, FluidSim, PathConfig, PathEmulator, ReorderCfg, SimTime, CT_PACKET_SIZE};
+use ibox_sim::{PathConfig, PathEmulator, PathSpec, ReorderCfg, SimTime, CT_PACKET_SIZE};
 use ibox_trace::FlowTrace;
 
 use crate::estimator::{CrossTrafficEstimate, StaticParams, DEFAULT_BIN_SECS};
+use crate::model::fluid_plan;
 
 /// A fitted iBoxNet model — the paper's promised, shareable "iBox profile".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,8 +42,8 @@ impl IBoxNet {
     /// use ibox_sim::{FixedWindow, PathConfig, PathEmulator, SimTime};
     ///
     /// // Measure a sender on some network…
-    /// let emu = PathEmulator::new(
-    ///     PathConfig::simple(8e6, SimTime::from_millis(20), 100_000),
+    /// let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(
+    ///     PathConfig::simple(8e6, SimTime::from_millis(20), 100_000)),
     ///     SimTime::from_secs(5),
     /// );
     /// let trace = emu
@@ -99,9 +100,24 @@ impl IBoxNet {
         p
     }
 
+    /// The fitted path as a 1-stage chain — what replays run through when
+    /// no composed-path override is given.
+    pub fn path_spec(&self) -> PathSpec {
+        PathSpec::single(self.path_config())
+    }
+
     /// Build the NetEm-like emulator: fitted path + replayed cross traffic.
     pub fn emulator(&self, duration: SimTime) -> PathEmulator {
-        let mut emu = PathEmulator::new(self.path_config(), duration)
+        self.emulator_over(self.path_spec(), duration)
+    }
+
+    /// Build the emulator over an arbitrary stage chain. The model's
+    /// estimated cross traffic `C` competes at stage 0 (the sender-side
+    /// bottleneck), whatever the chain's shape; each stage of `spec`
+    /// additionally carries its own configured cross traffic. With
+    /// `spec == self.path_spec()` this is exactly [`IBoxNet::emulator`].
+    pub fn emulator_over(&self, spec: PathSpec, duration: SimTime) -> PathEmulator {
+        let mut emu = PathEmulator::from_spec(spec, duration)
             .with_name(format!("iboxnet({})", self.fitted_on));
         if self.cross.total_bytes() >= 1.0 {
             emu = emu.with_cross_traffic(self.cross.to_replay(CT_PACKET_SIZE));
@@ -127,12 +143,28 @@ impl IBoxNet {
         seed: u64,
         fidelity: Fidelity,
     ) -> FlowTrace {
-        let emu = self.emulator(duration);
-        if fidelity != Fidelity::Packet && FluidSim::supports(&emu.path) {
-            if let Some(law) = FluidLaw::by_name(protocol) {
-                let out = emu.run_sender_fluid(law, protocol, seed, fidelity == Fidelity::Hybrid);
-                return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
-            }
+        self.simulate_fidelity_over(protocol, duration, seed, fidelity, None)
+    }
+
+    /// [`IBoxNet::simulate_fidelity`] through an arbitrary composed path:
+    /// `path` (when given) replaces the fitted single-bottleneck spec, and
+    /// the model's estimated cross traffic still competes at stage 0. Non-
+    /// packet fidelities the fluid engine cannot express fall back to the
+    /// packet engine, incrementing `fidelity.fallback` and logging the
+    /// reason.
+    pub fn simulate_fidelity_over(
+        &self,
+        protocol: &str,
+        duration: SimTime,
+        seed: u64,
+        fidelity: Fidelity,
+        path: Option<&PathSpec>,
+    ) -> FlowTrace {
+        let spec = path.cloned().unwrap_or_else(|| self.path_spec());
+        let emu = self.emulator_over(spec, duration);
+        if let Some((law, hybrid)) = fluid_plan(&emu.spec, protocol, fidelity, &emu.name) {
+            let out = emu.run_sender_fluid(law, protocol, seed, hybrid);
+            return out.traces.into_iter().next().expect("one recorded flow").into_normalized();
         }
         let cc = by_name(protocol)
             .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
@@ -193,8 +225,8 @@ mod tests {
 
     /// Ground truth: Cubic over a known 8 Mbps / 30 ms / 120 KB path.
     fn gt_trace(cross: bool) -> FlowTrace {
-        let mut emu = PathEmulator::new(
-            PathConfig::simple(8e6, SimTime::from_millis(30), 120_000),
+        let mut emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
             SimTime::from_secs(20),
         )
         .with_name("gt-path");
@@ -275,7 +307,8 @@ mod reorder_extension_tests {
             extra_min: SimTime::from_millis(2),
             extra_max: SimTime::from_millis(8),
         });
-        let emu = PathEmulator::new(path, SimTime::from_secs(15)).with_name("re-gt");
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(15))
+            .with_name("re-gt");
         let out = emu.run_sender(Box::new(Cubic::new()), "m", 5);
         out.trace("m").unwrap().normalized()
     }
@@ -315,7 +348,7 @@ mod reorder_extension_tests {
     #[test]
     fn clean_trace_yields_no_reordering_stage() {
         let path = PathConfig::simple(7e6, SimTime::from_millis(30), 150_000);
-        let emu = PathEmulator::new(path, SimTime::from_secs(10));
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(10));
         let out = emu.run_sender(Box::new(Cubic::new()), "m", 5);
         let model = IBoxNet::fit_with_reordering(out.trace("m").unwrap());
         assert!(model.reorder.is_none());

@@ -281,7 +281,8 @@ mod tests {
             extra_min: SimTime::from_millis(3),
             extra_max: SimTime::from_millis(12),
         });
-        let emu = PathEmulator::new(path, SimTime::from_secs(15)).with_name("reorder-gt");
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(15))
+            .with_name("reorder-gt");
         let out = emu.run_sender(Box::new(Cubic::new()), "m", seed);
         out.trace("m").unwrap().normalized()
     }
@@ -289,7 +290,8 @@ mod tests {
     /// The same path without reordering (an iBoxNet-like output).
     fn smooth_trace(seed: u64) -> FlowTrace {
         let path = PathConfig::simple(7e6, SimTime::from_millis(25), 90_000);
-        let emu = PathEmulator::new(path, SimTime::from_secs(15)).with_name("smooth");
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(15))
+            .with_name("smooth");
         let out = emu.run_sender(Box::new(Cubic::new()), "m", seed);
         out.trace("m").unwrap().normalized()
     }

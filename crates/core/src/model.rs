@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 use ibox_runner::{Fidelity, IBoxMlSpec, ModelKind};
-use ibox_sim::SimTime;
+use ibox_sim::{FluidLaw, PathSpec, SimTime};
 use ibox_trace::FlowTrace;
 
 use crate::baseline::StatisticalLossModel;
@@ -96,7 +96,7 @@ pub struct FittedIBoxMl {
 
 /// Replay options threaded from `RunSpec`/`POST /replay` down to the
 /// model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayOpts {
     /// Drive ML inference through the batched
     /// [`ibox_ml::InferenceSession`] (default). `false` selects the
@@ -106,14 +106,54 @@ pub struct ReplayOpts {
     /// Simulation fidelity of the replay engine: `Packet` (default,
     /// reference), `Flow` (fluid fast path), or `Hybrid` (fluid with
     /// packet-level congestion episodes). Models/protocols the fluid
-    /// engine cannot express silently degrade to `Packet`.
+    /// engine cannot express degrade to `Packet` (counted in the
+    /// `fidelity.fallback` metric, with a warning naming the reason).
     pub fidelity: Fidelity,
+    /// Composed path to replay through instead of the model's own fitted
+    /// single-bottleneck spec. The model still contributes its estimated
+    /// cross traffic at stage 0 (the sender-side bottleneck). `None` —
+    /// the default — replays through the fitted path, byte-identically
+    /// to builds that predate path composition.
+    pub path: Option<PathSpec>,
 }
 
 impl Default for ReplayOpts {
     fn default() -> Self {
-        Self { batch_streams: true, fidelity: Fidelity::Packet }
+        Self { batch_streams: true, fidelity: Fidelity::Packet, path: None }
     }
+}
+
+/// Decide whether a replay at `fidelity` over `spec` can take the fluid
+/// fast path: returns the law and hybrid flag when it can, `None` for a
+/// packet-fidelity request. A non-packet request the fluid engine cannot
+/// express falls back to `None` **and is counted**: the
+/// `fidelity.fallback` counter increments and a warning names the
+/// emulator and the reason, so silent fidelity downgrades show up in the
+/// metrics story instead of only in wall time.
+pub(crate) fn fluid_plan(
+    spec: &PathSpec,
+    protocol: &str,
+    fidelity: Fidelity,
+    emulator: &str,
+) -> Option<(FluidLaw, bool)> {
+    if fidelity == Fidelity::Packet {
+        return None;
+    }
+    let hybrid = fidelity == Fidelity::Hybrid;
+    let Some(law) = FluidLaw::by_name(protocol) else {
+        fidelity_fallback(emulator, fidelity, &format!("protocol {protocol:?} has no fluid law"));
+        return None;
+    };
+    if let Some(reason) = spec.fluid_unsupported_reason(hybrid) {
+        fidelity_fallback(emulator, fidelity, &reason);
+        return None;
+    }
+    Some((law, hybrid))
+}
+
+fn fidelity_fallback(emulator: &str, fidelity: Fidelity, reason: &str) {
+    ibox_obs::global().counter("fidelity.fallback").inc();
+    ibox_obs::warn!("{fidelity} fidelity fell back to packet for {emulator}: {reason}");
 }
 
 impl FittedIBoxMl {
@@ -126,7 +166,13 @@ impl FittedIBoxMl {
         seed: u64,
         opts: ReplayOpts,
     ) -> FlowTrace {
-        let pattern = self.driver.simulate_fidelity(protocol, duration, seed, opts.fidelity);
+        let pattern = self.driver.simulate_fidelity_over(
+            protocol,
+            duration,
+            seed,
+            opts.fidelity,
+            opts.path.as_ref(),
+        );
         // Decorrelate the sampling seed from the driver seed (SplitMix64):
         // the two stages must not reuse one RNG stream.
         let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
@@ -184,11 +230,32 @@ impl FittedModel {
     ) -> FlowTrace {
         let _trace = ibox_obs::trace_span!("model-replay");
         match self {
-            FittedModel::IBoxNet(m) => m.simulate_fidelity(protocol, duration, seed, opts.fidelity),
-            FittedModel::StatisticalLoss(m) => {
-                m.simulate_fidelity(protocol, duration, seed, opts.fidelity)
-            }
+            FittedModel::IBoxNet(m) => m.simulate_fidelity_over(
+                protocol,
+                duration,
+                seed,
+                opts.fidelity,
+                opts.path.as_ref(),
+            ),
+            FittedModel::StatisticalLoss(m) => m.simulate_fidelity_over(
+                protocol,
+                duration,
+                seed,
+                opts.fidelity,
+                opts.path.as_ref(),
+            ),
             FittedModel::IBoxMl(m) => m.simulate_with(protocol, duration, seed, opts),
+        }
+    }
+
+    /// The path this model replays through when no override is given: its
+    /// fitted single-bottleneck spec as a 1-stage chain. This is what
+    /// schema-2 artifacts record in their `path` field.
+    pub fn path_spec(&self) -> PathSpec {
+        match self {
+            FittedModel::IBoxNet(m) => m.path_spec(),
+            FittedModel::StatisticalLoss(m) => m.path_spec(),
+            FittedModel::IBoxMl(m) => m.driver.path_spec(),
         }
     }
 }
@@ -264,8 +331,8 @@ mod tests {
     use ibox_sim::{PathConfig, PathEmulator};
 
     fn train_trace(secs: u64, seed: u64) -> FlowTrace {
-        PathEmulator::new(
-            PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+        PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000)),
             SimTime::from_secs(secs),
         )
         .with_name("model-gt")

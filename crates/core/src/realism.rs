@@ -177,8 +177,8 @@ mod tests {
     use ibox_sim::{PathConfig, PathEmulator, SimTime};
 
     fn gt(seed: u64, rate: f64) -> FlowTrace {
-        let emu = PathEmulator::new(
-            PathConfig::simple(rate, SimTime::from_millis(25), 100_000),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(rate, SimTime::from_millis(25), 100_000)),
             SimTime::from_secs(15),
         );
         emu.run_sender(Box::new(Cubic::new()), "m", seed)

@@ -156,8 +156,8 @@ mod tests {
     use ibox_sim::{FixedRate, PathConfig, PathEmulator, SimTime};
 
     fn run(cc: Box<dyn ibox_sim::CongestionControl>, seed: u64) -> FlowTrace {
-        let emu = PathEmulator::new(
-            PathConfig::simple(6e6, SimTime::from_millis(25), 100_000),
+        let emu = PathEmulator::from_spec(
+            ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 100_000)),
             SimTime::from_secs(10),
         );
         emu.run_sender(cc, "m", seed).traces.into_iter().next().unwrap().normalized()

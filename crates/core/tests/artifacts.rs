@@ -84,6 +84,56 @@ proptest! {
             );
         }
     }
+
+    /// Satellite: every schema-1 single-bottleneck artifact (no `path`
+    /// field) loads via `load_flexible` as a 1-stage chain and replays
+    /// byte-identically to its schema-2 form, under arbitrary protocols,
+    /// seeds, and durations.
+    #[test]
+    fn schema_1_artifacts_load_as_one_stage_chains_and_replay_identically(
+        seed in any::<u64>(),
+        proto_idx in 0usize..3,
+        dur_s in 2u64..5,
+    ) {
+        let protocol = ["cubic", "vegas", "reno"][proto_idx];
+        let duration = SimTime::from_secs(dur_s);
+        let dir = std::env::temp_dir();
+        for (kind, original) in artifacts() {
+            // Reconstruct the exact v1 serialization: version 1, no `path`.
+            let mut v = serde_json::parse_value(&original.to_json()).unwrap();
+            if let serde::Value::Object(fields) = &mut v {
+                fields.retain(|(k, _)| k != "path");
+                for (k, val) in fields.iter_mut() {
+                    if k == "schema" {
+                        *val = serde::Value::U64(1);
+                    }
+                }
+            }
+            let file = dir.join(format!(
+                "ibox_v1_prop_{}_{}.json",
+                std::process::id(),
+                kind.name().replace(['/', ' '], "_")
+            ));
+            std::fs::write(&file, serde_json::to_string(&v).unwrap()).unwrap();
+            let loaded = ModelArtifact::load_flexible(&file).unwrap();
+            let _ = std::fs::remove_file(&file);
+
+            prop_assert_eq!(
+                loaded.schema, MODEL_ARTIFACT_SCHEMA,
+                "{}: v1 must upgrade in place", kind.name()
+            );
+            let spec = loaded.path.as_ref().expect("upgrade synthesizes a path");
+            prop_assert!(spec.is_single(), "{}: v1 upgrades to a 1-stage chain", kind.name());
+            prop_assert_eq!(spec, &loaded.model.path_spec());
+            let fresh = original.model.simulate(protocol, duration, seed);
+            let replayed = loaded.model.simulate(protocol, duration, seed);
+            prop_assert_eq!(
+                &fresh,
+                &replayed,
+                "{}: a schema-1 artifact must replay byte-identically", kind.name()
+            );
+        }
+    }
 }
 
 #[test]
@@ -93,7 +143,7 @@ fn version_mismatch_is_rejected_at_the_file_level() {
     let (_, artifact) = &artifacts()[0];
     let skewed = artifact.to_json().replacen(
         &format!("\"schema\":{MODEL_ARTIFACT_SCHEMA}"),
-        "\"schema\":2",
+        "\"schema\":99",
         1,
     );
     std::fs::write(&path, &skewed).unwrap();
@@ -105,7 +155,7 @@ fn version_mismatch_is_rejected_at_the_file_level() {
             msg.contains(path.display().to_string().as_str()),
             "must name the offending file: {msg}"
         );
-        assert!(msg.contains("schema version 2"), "must name the file's version: {msg}");
+        assert!(msg.contains("schema version 99"), "must name the file's version: {msg}");
         assert!(
             msg.contains(&format!("version {MODEL_ARTIFACT_SCHEMA}")),
             "must name the supported version: {msg}"

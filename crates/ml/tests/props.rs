@@ -110,7 +110,7 @@ proptest! {
         let labels: Vec<f64> = rows
             .iter()
             .enumerate()
-            .map(|(i, _)| f64::from((i + seed as usize) % 3 == 0))
+            .map(|(i, _)| f64::from((i + seed as usize).is_multiple_of(3)))
             .collect();
         let m = Logistic::train(&rows, &labels, &LogisticConfig { epochs: 30, ..Default::default() });
         for r in &rows {

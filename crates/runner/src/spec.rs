@@ -275,6 +275,13 @@ pub struct RunSpec {
     /// Replay engine fidelity (default [`Fidelity::Packet`]). `flow` and
     /// `hybrid` trade per-packet exactness for 10–100x replay throughput.
     pub fidelity: Fidelity,
+    /// Optional composed path to replay through — raw JSON in the shape
+    /// of `ibox_sim::PathSpec` (an array of stages, or `{"stages":
+    /// [...]}`). Kept as an opaque [`serde::Value`] so this crate stays
+    /// domain-light; the executor in `ibox::batch` parses and validates
+    /// it. `None` (the default) replays through the model's own fitted
+    /// single-bottleneck path.
+    pub path: Option<serde::Value>,
 }
 
 // Hand-written so batch files written before `batch_streams` / `fidelity`
@@ -305,6 +312,10 @@ impl Deserialize for RunSpec {
             fidelity: match v.get("fidelity") {
                 Some(x) => Fidelity::from_value(x)?,
                 None => Fidelity::Packet,
+            },
+            path: match v.get("path") {
+                Some(serde::Value::Null) | None => None,
+                Some(x) => Some(x.clone()),
             },
         })
     }
@@ -338,6 +349,7 @@ pub struct RunSpecBuilder {
     model: Option<ModelKind>,
     batch_streams: Option<bool>,
     fidelity: Option<Fidelity>,
+    path: Option<serde::Value>,
 }
 
 impl RunSpecBuilder {
@@ -408,6 +420,13 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Composed path to replay through, as raw `PathSpec`-shaped JSON
+    /// (default: the model's own fitted single-bottleneck path).
+    pub fn path(mut self, path: serde::Value) -> Self {
+        self.path = Some(path);
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<RunSpec, String> {
         let source = self.source.ok_or("RunSpec needs a source (synth/trace_file/profile_file)")?;
@@ -428,6 +447,7 @@ impl RunSpecBuilder {
             model: self.model.unwrap_or(ModelKind::IBoxNet),
             batch_streams: self.batch_streams.unwrap_or(true),
             fidelity: self.fidelity.unwrap_or_default(),
+            path: self.path,
         })
     }
 }
@@ -574,6 +594,38 @@ mod tests {
         let spec = RunSpec::from_value(&json).unwrap();
         assert_eq!(spec.fidelity, Fidelity::Packet, "absent field defaults to packet");
         assert_eq!(spec, sample_spec());
+    }
+
+    #[test]
+    fn runspec_without_path_field_still_parses() {
+        // Batch files written before composed paths existed keep working,
+        // and `"path": null` means the same as an absent field.
+        let mut json = sample_spec().to_value();
+        if let serde::Value::Object(fields) = &mut json {
+            fields.retain(|(k, _)| k != "path");
+        }
+        let spec = RunSpec::from_value(&json).unwrap();
+        assert!(spec.path.is_none(), "absent field defaults to the fitted path");
+        assert_eq!(spec, sample_spec());
+        if let serde::Value::Object(fields) = &mut json {
+            fields.push(("path".into(), serde::Value::Null));
+        }
+        assert_eq!(RunSpec::from_value(&json).unwrap(), sample_spec());
+
+        // A composed path rides along verbatim (the executor parses it).
+        let raw = serde_json::parse_value(
+            r#"[{"rate_bps": 5e6, "prop_delay_ms": 10, "buffer_bytes": 60000}]"#,
+        )
+        .unwrap();
+        let spec = RunSpec::builder()
+            .trace_file("t.json")
+            .protocol("cubic")
+            .path(raw.clone())
+            .build()
+            .unwrap();
+        assert_eq!(spec.path.as_ref(), Some(&raw));
+        let back = RunSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn model_from(idx: u64) -> ModelKind {
             epochs: 1 + (idx % 4) as usize,
             lr: 1e-3 + (idx % 7) as f64 * 1e-4,
             tbptt: 16 + (idx % 5) as usize,
-            with_cross_traffic: idx % 2 == 0,
+            with_cross_traffic: idx.is_multiple_of(2),
             seed: idx,
         }),
         i => all[i as usize].clone(),
@@ -52,6 +52,15 @@ fn arb_spec() -> impl Strategy<Value = RunSpec> {
             model: model_from(a),
             batch_streams: b % 2 == 0,
             fidelity: Fidelity::ALL[(a % Fidelity::ALL.len() as u64) as usize],
+            path: if a % 3 == 0 {
+                Some(serde::Value::Array(vec![serde::Value::Object(vec![
+                    ("rate_bps".into(), serde::Value::F64((1 + b % 50) as f64 * 1e6)),
+                    ("prop_delay_ms".into(), serde::Value::U64(1 + a % 200)),
+                    ("buffer_bytes".into(), serde::Value::U64(10_000 + b % 100_000)),
+                ])]))
+            } else {
+                None
+            },
         },
     )
 }

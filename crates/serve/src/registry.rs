@@ -229,7 +229,11 @@ mod tests {
         let reg = ModelRegistry::open(&dir).unwrap();
         reg.put("fit-good", &sample()).unwrap();
 
-        let skewed = sample().to_json().replacen("\"schema\":1", "\"schema\":42", 1);
+        let skewed = sample().to_json().replacen(
+            &format!("\"schema\":{}", ibox::MODEL_ARTIFACT_SCHEMA),
+            "\"schema\":42",
+            1,
+        );
         std::fs::write(dir.join(format!("fit-skew{ARTIFACT_FILE_SUFFIX}")), skewed).unwrap();
         let err = reg.get("fit-skew").unwrap_err();
         assert_eq!(err.status(), 409, "{err}");

@@ -491,10 +491,18 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         // Replay engine fidelity; absent means the exact pre-knob packet
         // engine, so existing clients see byte-identical responses.
         let fidelity: ibox::Fidelity = field(&body, "fidelity")?.unwrap_or_default();
+        // Optional composed path: replay the model through this chain of
+        // bottleneck stages instead of its fitted single-stage spec.
+        let path: Option<ibox_sim::PathSpec> = field(&body, "path")?;
+        if let Some(p) = &path {
+            if p.is_empty() {
+                return Err(Response::error(400, "field \"path\": needs at least one stage"));
+            }
+        }
         checked_protocol(&protocol)?;
-        Ok((model_id, protocol, duration, seed, batch_streams, fidelity))
+        Ok((model_id, protocol, duration, seed, batch_streams, fidelity, path))
     })();
-    let (model_id, protocol, duration, seed, batch_streams, fidelity) = match parsed {
+    let (model_id, protocol, duration, seed, batch_streams, fidelity, path) = match parsed {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -506,7 +514,7 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         &protocol,
         duration,
         seed,
-        ReplayOpts { batch_streams, fidelity },
+        ReplayOpts { batch_streams, fidelity, path },
     );
     ibox_obs::global().counter("serve.replay.packets").add(trace.len() as u64);
     // Exactly the bytes `ibox replay -o out.json` writes for this model:
@@ -779,6 +787,63 @@ mod tests {
                 .expect("fluid replay returns a json trace");
             assert!(trace.get("records").is_some(), "{fidelity} trace has records");
         }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `/replay` accepts a composed `path` (a chain of bottleneck stages):
+    /// the chain changes the replay, an empty chain is a 400, and a
+    /// fidelity the chain cannot support falls back to the packet engine
+    /// with the `fidelity.fallback` counter incremented (satellite).
+    #[test]
+    fn replay_accepts_a_composed_path_and_counts_fallbacks() {
+        let (app, dir) = test_app("replay_path");
+        let fit = post(
+            "/fit",
+            r#"{"wait":true,"model":"IBoxNet",
+                "synth":{"profile":"ethernet","protocol":"cubic","seed":11,"duration_s":2}}"#,
+        );
+        let resp = handle(&app, &fit);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let fit_body = serde_json::parse_value(&body_text(&resp)).unwrap();
+        let Some(Value::Str(id)) = fit_body.get("model").cloned() else { panic!("model id") };
+
+        let chain = r#","path":[
+            {"rate_bps":20e6,"prop_delay_ms":5,"buffer_bytes":80000},
+            {"rate_bps":8e6,"prop_delay_ms":12,"buffer_bytes":60000}]"#;
+        let replay = |extra: &str| {
+            let body =
+                format!(r#"{{"model":"{id}","protocol":"cubic","duration_s":2,"seed":5{extra}}}"#);
+            let resp = handle(&app, &post("/replay", &body));
+            assert_eq!(resp.status, 200, "{}", body_text(&resp));
+            resp.body
+        };
+        let flat = replay("");
+        let composed = replay(chain);
+        assert_ne!(flat, composed, "the composed path must change the replay");
+
+        // Determinism: the same composed request answers the same bytes.
+        assert_eq!(composed, replay(chain));
+
+        // Flow fidelity runs the chained fluid engine; hybrid cannot model
+        // a multi-stage chain, so it degrades to packet — counted.
+        let flow = replay(&format!(r#"{chain},"fidelity":"flow""#));
+        assert_ne!(flow, composed, "flow over a chain must use the fluid engine");
+        let scope = ibox_obs::scoped();
+        let hybrid = replay(&format!(r#"{chain},"fidelity":"hybrid""#));
+        let metrics = scope.finish().snapshot();
+        assert_eq!(hybrid, composed, "hybrid's chain fallback is the packet engine");
+        assert!(
+            metrics.counters.get("fidelity.fallback").copied().unwrap_or(0) >= 1,
+            "the fallback must be counted: {:?}",
+            metrics.counters
+        );
+
+        // An empty chain is a client error, not a panic.
+        let body = format!(r#"{{"model":"{id}","protocol":"cubic","path":[]}}"#);
+        let resp = handle(&app, &post("/replay", &body));
+        assert_eq!(resp.status, 400, "{}", body_text(&resp));
+        assert!(body_text(&resp).contains("at least one stage"));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::crosstraffic::CrossTrafficCfg;
 use crate::queue::SchedulerKind;
 use crate::rate::RateModelCfg;
 use crate::time::SimTime;
@@ -85,6 +86,250 @@ impl PathConfig {
         if let Some(r) = &self.reorder {
             r.validate();
         }
+    }
+}
+
+/// One stage of a composed path: a bottleneck plus the cross traffic that
+/// competes at *this* stage's queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStage {
+    /// The stage's bottleneck configuration (`(b, d, B)` plus AQM, loss,
+    /// jitter, reordering).
+    pub config: PathConfig,
+    /// Cross traffic injected at this stage's queue.
+    pub cross: Vec<CrossTrafficCfg>,
+}
+
+impl PathStage {
+    /// A stage with no cross traffic.
+    pub fn new(config: PathConfig) -> Self {
+        Self { config, cross: Vec::new() }
+    }
+
+    /// Validate invariants; panics on configuration bugs.
+    pub fn validate(&self) {
+        self.config.validate();
+        for c in &self.cross {
+            c.validate();
+        }
+    }
+}
+
+/// An ordered chain of 1..N bottleneck stages. Departure from stage `k` is
+/// arrival at stage `k + 1`; each stage owns its queue, AQM, loss, jitter
+/// and cross-traffic state. A 1-stage spec is exactly the classic iBox
+/// single-bottleneck path and behaves byte-identically to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    /// The stages, in path order (sender side first).
+    pub stages: Vec<PathStage>,
+}
+
+impl PathSpec {
+    /// The classic single-bottleneck path as a 1-stage chain.
+    pub fn single(config: PathConfig) -> Self {
+        Self { stages: vec![PathStage::new(config)] }
+    }
+
+    /// Build a spec from an explicit stage list.
+    pub fn from_stages(stages: Vec<PathStage>) -> Self {
+        Self { stages }
+    }
+
+    /// Number of stages in the chain.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the chain has no stages (invalid; rejected by
+    /// [`PathSpec::validate`]).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// True for a classic single-bottleneck path.
+    pub fn is_single(&self) -> bool {
+        self.stages.len() == 1
+    }
+
+    /// The first stage's bottleneck config (the chain is validated
+    /// non-empty everywhere it is consumed).
+    pub fn first(&self) -> &PathConfig {
+        &self.stages[0].config
+    }
+
+    /// Validate invariants; panics on configuration bugs.
+    pub fn validate(&self) {
+        assert!(!self.stages.is_empty(), "path spec needs at least one stage");
+        for s in &self.stages {
+            s.validate();
+        }
+    }
+
+    /// Sum of per-stage one-way propagation delays.
+    pub fn total_prop_delay(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for s in &self.stages {
+            t = t.saturating_add(s.config.prop_delay);
+        }
+        t
+    }
+
+    /// Sum of per-stage ack-path delays (the return path crosses every
+    /// stage's ack leg).
+    pub fn total_ack_delay(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for s in &self.stages {
+            t = t.saturating_add(s.config.ack_delay);
+        }
+        t
+    }
+
+    /// Mean rate of the slowest stage — the end-to-end bottleneck.
+    pub fn bottleneck_rate_bps(&self) -> f64 {
+        self.stages.iter().map(|s| s.config.rate.mean_rate_bps()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Why the fluid fast path cannot run this spec, if it cannot.
+    ///
+    /// `None` means a fluid replay is possible. `hybrid` episodes splice
+    /// packet-level simulations and are only wired up for single-stage
+    /// paths.
+    pub fn fluid_unsupported_reason(&self, hybrid: bool) -> Option<String> {
+        for (k, s) in self.stages.iter().enumerate() {
+            if !matches!(s.config.rate, RateModelCfg::Constant { .. }) {
+                return Some(format!("stage {k} has a non-constant rate model"));
+            }
+            if !matches!(s.config.scheduler, SchedulerKind::Fifo) {
+                return Some(format!("stage {k} uses a non-FIFO scheduler"));
+            }
+        }
+        if hybrid && self.stages.len() > 1 {
+            return Some("hybrid episodes are unsupported on multi-stage paths".into());
+        }
+        None
+    }
+}
+
+// PathStage/PathSpec serde is hand-written so the wire format is both
+// byte-stable (canonical integer-nanosecond keys, fixed field order) and
+// friendly to hand-authored path files (`rate_bps`, `prop_delay_ms`, ...
+// aliases with defaults).
+impl Serialize for PathStage {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let c = &self.config;
+        Value::Object(vec![
+            ("rate".into(), c.rate.to_value()),
+            ("prop_delay_ns".into(), Value::U64(c.prop_delay.as_nanos())),
+            ("buffer_bytes".into(), Value::U64(c.buffer_bytes)),
+            ("scheduler".into(), c.scheduler.to_value()),
+            ("ack_delay_ns".into(), Value::U64(c.ack_delay.as_nanos())),
+            ("random_loss".into(), Value::F64(c.random_loss)),
+            ("reorder".into(), c.reorder.to_value()),
+            (
+                "jitter_ns".into(),
+                match c.jitter {
+                    Some(j) => Value::U64(j.as_nanos()),
+                    None => Value::Null,
+                },
+            ),
+            ("cross".into(), self.cross.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PathStage {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::{Error, Value};
+        let obj = v.as_object().ok_or_else(|| Error::expected("path stage object", v))?;
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, val)| val);
+
+        // Accept a SimTime from either a `_ns` integer key or a `_ms`
+        // float key; `_ns` wins when both are present.
+        let time_field = |ns_key: &str, ms_key: &str| -> Result<Option<SimTime>, Error> {
+            if let Some(val) = get(ns_key) {
+                if matches!(val, Value::Null) {
+                    return Ok(None);
+                }
+                return Ok(Some(SimTime::from_value(val)?));
+            }
+            if let Some(val) = get(ms_key) {
+                if matches!(val, Value::Null) {
+                    return Ok(None);
+                }
+                let ms = val.as_f64().ok_or_else(|| Error::expected("number", val))?;
+                return Ok(Some(SimTime::from_secs_f64(ms / 1e3)));
+            }
+            Ok(None)
+        };
+
+        let rate = if let Some(val) = get("rate") {
+            RateModelCfg::from_value(val)?
+        } else if let Some(val) = get("rate_bps") {
+            let bps = val.as_f64().ok_or_else(|| Error::expected("number", val))?;
+            RateModelCfg::constant(bps)
+        } else {
+            return Err(Error::missing("PathStage", "rate"));
+        };
+        let prop_delay = time_field("prop_delay_ns", "prop_delay_ms")?
+            .ok_or_else(|| Error::missing("PathStage", "prop_delay_ns"))?;
+        let buffer_bytes = match get("buffer_bytes") {
+            Some(val) => u64::from_value(val)?,
+            None => return Err(Error::missing("PathStage", "buffer_bytes")),
+        };
+        let scheduler = match get("scheduler") {
+            Some(val) => SchedulerKind::from_value(val)?,
+            None => SchedulerKind::Fifo,
+        };
+        let ack_delay = time_field("ack_delay_ns", "ack_delay_ms")?.unwrap_or(prop_delay);
+        let random_loss = match get("random_loss") {
+            Some(val) => val.as_f64().ok_or_else(|| Error::expected("number", val))?,
+            None => 0.0,
+        };
+        let reorder = match get("reorder") {
+            Some(val) => Option::<ReorderCfg>::from_value(val)?,
+            None => None,
+        };
+        let jitter = time_field("jitter_ns", "jitter_ms")?;
+        let cross = match get("cross") {
+            Some(val) => Vec::<CrossTrafficCfg>::from_value(val)?,
+            None => Vec::new(),
+        };
+        Ok(Self {
+            config: PathConfig {
+                rate,
+                prop_delay,
+                buffer_bytes,
+                scheduler,
+                ack_delay,
+                random_loss,
+                reorder,
+                jitter,
+            },
+            cross,
+        })
+    }
+}
+
+impl Serialize for PathSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("stages".into(), self.stages.to_value())])
+    }
+}
+
+impl Deserialize for PathSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::{Error, Value};
+        // A bare stage array is accepted as shorthand for `{"stages": [...]}`.
+        let stages_val = match v {
+            Value::Array(_) => v,
+            Value::Object(_) => {
+                v.get("stages").ok_or_else(|| Error::missing("PathSpec", "stages"))?
+            }
+            other => return Err(Error::expected("path spec object or stage array", other)),
+        };
+        Ok(Self { stages: Vec::<PathStage>::from_value(stages_val)? })
     }
 }
 
@@ -178,5 +423,97 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: PathConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn path_spec_single_matches_config() {
+        let cfg = PathConfig::simple(8e6, SimTime::from_millis(15), 90_000);
+        let spec = PathSpec::single(cfg.clone());
+        spec.validate();
+        assert!(spec.is_single());
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.first(), &cfg);
+        assert_eq!(spec.total_prop_delay(), cfg.prop_delay);
+        assert_eq!(spec.total_ack_delay(), cfg.ack_delay);
+        assert_eq!(spec.bottleneck_rate_bps(), 8e6);
+    }
+
+    #[test]
+    fn path_spec_chain_aggregates() {
+        let spec = PathSpec::from_stages(vec![
+            PathStage::new(PathConfig::simple(20e6, SimTime::from_millis(5), 100_000)),
+            PathStage::new(PathConfig::simple(5e6, SimTime::from_millis(30), 60_000)),
+            PathStage::new(PathConfig::simple(50e6, SimTime::from_millis(2), 250_000)),
+        ]);
+        spec.validate();
+        assert_eq!(spec.len(), 3);
+        assert!(!spec.is_single());
+        assert_eq!(spec.total_prop_delay(), SimTime::from_millis(37));
+        assert_eq!(spec.bottleneck_rate_bps(), 5e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_path_spec_rejected() {
+        PathSpec { stages: Vec::new() }.validate();
+    }
+
+    #[test]
+    fn path_spec_serde_roundtrip_is_byte_stable() {
+        let mut stage = PathStage::new(PathConfig::simple(5e6, SimTime::from_millis(30), 60_000));
+        stage.config.random_loss = 0.01;
+        stage.config.jitter = Some(SimTime::from_micros(500));
+        stage.cross.push(crate::crosstraffic::CrossTrafficCfg::cbr(
+            1e6,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+        ));
+        let spec = PathSpec::from_stages(vec![
+            stage,
+            PathStage::new(PathConfig::simple(20e6, SimTime::from_millis(5), 100_000)),
+        ]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PathSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Canonical form re-serializes byte-identically.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn path_spec_accepts_friendly_aliases() {
+        let json = r#"[
+            {"rate_bps": 5e6, "prop_delay_ms": 30.0, "buffer_bytes": 60000},
+            {"rate_bps": 2e7, "prop_delay_ms": 5.0, "buffer_bytes": 100000,
+             "jitter_ms": 0.5, "random_loss": 0.01}
+        ]"#;
+        let spec: PathSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(
+            spec.stages[0].config,
+            PathConfig::simple(5e6, SimTime::from_millis(30), 60_000)
+        );
+        assert_eq!(spec.stages[1].config.jitter, Some(SimTime::from_micros(500)));
+        assert_eq!(spec.stages[1].config.random_loss, 0.01);
+        assert_eq!(spec.stages[1].config.ack_delay, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn fluid_unsupported_reason_covers_stage_features() {
+        let ok = PathSpec::from_stages(vec![
+            PathStage::new(PathConfig::simple(5e6, SimTime::from_millis(10), 60_000)),
+            PathStage::new(PathConfig::simple(9e6, SimTime::from_millis(4), 80_000)),
+        ]);
+        assert!(ok.fluid_unsupported_reason(false).is_none());
+        assert!(ok.fluid_unsupported_reason(true).unwrap().contains("hybrid"));
+
+        let mut aqm = ok.clone();
+        aqm.stages[1].config.scheduler = SchedulerKind::Codel {
+            target: SimTime::from_millis(5),
+            interval: SimTime::from_millis(100),
+        };
+        assert!(aqm.fluid_unsupported_reason(false).unwrap().contains("stage 1"));
+
+        let single = PathSpec::single(PathConfig::simple(5e6, SimTime::from_millis(10), 60_000));
+        assert!(single.fluid_unsupported_reason(true).is_none());
     }
 }

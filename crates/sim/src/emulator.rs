@@ -4,23 +4,25 @@
 //! parameters from data and sets them on the NetEm emulator". A fitted
 //! model produces a [`PathConfig`] plus replayed cross traffic; this module
 //! runs an arbitrary congestion-controlled sender over it and returns the
-//! resulting input-output trace.
+//! resulting input-output trace. Since the chain refactor the emulator
+//! carries a full [`PathSpec`], so the same surface drives 1-stage classic
+//! paths and composed multi-stage pipelines.
 
 use crate::cc::CongestionControl;
-use crate::config::{FlowConfig, PathConfig};
+use crate::config::{FlowConfig, PathConfig, PathSpec};
 use crate::crosstraffic::CrossTrafficCfg;
 use crate::engine::Simulation;
 use crate::fluid::{FluidLaw, FluidSim};
+use crate::fluid_chain::FluidChainSim;
 use crate::output::SimOutput;
 use crate::time::SimTime;
 
-/// A reusable path emulation setup: path + cross traffic + duration.
+/// A reusable path emulation setup: stage chain + duration + name.
 #[derive(Debug, Clone)]
 pub struct PathEmulator {
-    /// The path (bottleneck) configuration.
-    pub path: PathConfig,
-    /// Cross-traffic sources replayed on every run.
-    pub cross: Vec<CrossTrafficCfg>,
+    /// The path as an ordered chain of bottleneck stages (each with its
+    /// own cross traffic).
+    pub spec: PathSpec,
     /// Run duration.
     pub duration: SimTime,
     /// Name recorded in trace metadata.
@@ -28,14 +30,25 @@ pub struct PathEmulator {
 }
 
 impl PathEmulator {
-    /// An emulator over `path` for `duration`, without cross traffic.
+    /// An emulator over a classic single-bottleneck `path` for `duration`,
+    /// without cross traffic. Outside `crates/sim`, construct through a
+    /// fitted model's `emulator()`/`emulator_over()` or
+    /// [`PathEmulator::from_spec`] — single-bottleneck construction is the
+    /// one-stage special case, not the API.
     pub fn new(path: PathConfig, duration: SimTime) -> Self {
-        Self { path, cross: Vec::new(), duration, name: "emulator".into() }
+        Self::from_spec(PathSpec::single(path), duration)
     }
 
-    /// Attach a cross-traffic source.
+    /// An emulator over an arbitrary stage chain.
+    pub fn from_spec(spec: PathSpec, duration: SimTime) -> Self {
+        Self { spec, duration, name: "emulator".into() }
+    }
+
+    /// Attach a cross-traffic source at stage 0 (the sender-side
+    /// bottleneck — where a fitted model's replayed cross traffic
+    /// competes).
     pub fn with_cross_traffic(mut self, cfg: CrossTrafficCfg) -> Self {
-        self.cross.push(cfg);
+        self.spec.stages[0].cross.push(cfg);
         self
     }
 
@@ -45,7 +58,7 @@ impl PathEmulator {
         self
     }
 
-    /// Run a single sender over the path and return the full output.
+    /// Run a single sender over the chain and return the full output.
     /// The flow runs for the whole duration with the given label.
     pub fn run_sender(
         &self,
@@ -53,24 +66,22 @@ impl PathEmulator {
         label: impl Into<String>,
         seed: u64,
     ) -> SimOutput {
-        let mut sim = Simulation::new(self.path.clone(), self.duration, seed);
+        let mut sim = Simulation::new_chain(self.spec.clone(), self.duration, seed);
         sim.set_path_name(self.name.clone());
-        for c in &self.cross {
-            sim.add_cross_traffic(c.clone());
-        }
         sim.add_flow(FlowConfig::bulk(label, self.duration), cc);
         sim.run()
     }
 
-    /// Run a single sender over the path on the flow-level fast path
-    /// (see [`crate::fluid::FluidSim`]): same path, cross traffic, and
-    /// metadata as [`PathEmulator::run_sender`], but the congestion
-    /// behaviour comes from a continuous [`FluidLaw`] instead of a
-    /// per-ack controller. With `hybrid`, congestion episodes fall back
-    /// to the packet engine and are spliced into the output.
+    /// Run a single sender over the chain on the flow-level fast path:
+    /// same path, cross traffic, and metadata as
+    /// [`PathEmulator::run_sender`], but the congestion behaviour comes
+    /// from a continuous [`FluidLaw`] instead of a per-ack controller.
+    /// Single-stage chains use [`FluidSim`] (with `hybrid` episode
+    /// splicing available); multi-stage chains use [`FluidChainSim`].
     ///
-    /// Panics if [`FluidSim::supports`] is false for the path; callers
-    /// should check and degrade to [`PathEmulator::run_sender`].
+    /// Panics if [`PathSpec::fluid_unsupported_reason`] is `Some` for the
+    /// chain; callers should check and degrade to
+    /// [`PathEmulator::run_sender`].
     pub fn run_sender_fluid(
         &self,
         law: FluidLaw,
@@ -78,14 +89,25 @@ impl PathEmulator {
         seed: u64,
         hybrid: bool,
     ) -> SimOutput {
-        let mut sim = FluidSim::new(self.path.clone(), self.duration, seed);
-        sim.set_path_name(self.name.clone());
-        sim.set_hybrid(hybrid);
-        for c in &self.cross {
-            sim.add_cross_traffic(c.clone());
+        if let Some(reason) = self.spec.fluid_unsupported_reason(hybrid) {
+            panic!("fluid fast path unsupported: {reason}");
         }
-        sim.add_flow(FlowConfig::bulk(label, self.duration), law);
-        sim.run()
+        if self.spec.is_single() {
+            let stage = &self.spec.stages[0];
+            let mut sim = FluidSim::new(stage.config.clone(), self.duration, seed);
+            sim.set_path_name(self.name.clone());
+            sim.set_hybrid(hybrid);
+            for c in &stage.cross {
+                sim.add_cross_traffic(c.clone());
+            }
+            sim.add_flow(FlowConfig::bulk(label, self.duration), law);
+            sim.run()
+        } else {
+            let mut sim = FluidChainSim::new(self.spec.clone(), self.duration, seed);
+            sim.set_path_name(self.name.clone());
+            sim.add_flow(FlowConfig::bulk(label, self.duration), law);
+            sim.run()
+        }
     }
 
     /// Run several senders concurrently (e.g. a main flow plus adaptive
@@ -96,11 +118,8 @@ impl PathEmulator {
         senders: Vec<(FlowConfig, Box<dyn CongestionControl>)>,
         seed: u64,
     ) -> SimOutput {
-        let mut sim = Simulation::new(self.path.clone(), self.duration, seed);
+        let mut sim = Simulation::new_chain(self.spec.clone(), self.duration, seed);
         sim.set_path_name(self.name.clone());
-        for c in &self.cross {
-            sim.add_cross_traffic(c.clone());
-        }
         for (cfg, cc) in senders {
             sim.add_flow(cfg, cc);
         }
@@ -112,6 +131,7 @@ impl PathEmulator {
 mod tests {
     use super::*;
     use crate::cc::FixedWindow;
+    use crate::config::PathStage;
 
     #[test]
     fn emulator_runs_and_labels_traces() {
@@ -150,5 +170,20 @@ mod tests {
         );
         assert_eq!(out.traces.len(), 2);
         assert!(out.trace("a").is_some() && out.trace("b").is_some());
+    }
+
+    #[test]
+    fn multi_stage_emulator_runs() {
+        let spec = PathSpec::from_stages(vec![
+            PathStage::new(PathConfig::simple(20e6, SimTime::from_millis(5), 120_000)),
+            PathStage::new(PathConfig::simple(8e6, SimTime::from_millis(15), 80_000)),
+        ]);
+        let emu = PathEmulator::from_spec(spec, SimTime::from_secs(5)).with_name("two-hop");
+        let out = emu.run_sender(Box::new(FixedWindow::new(32.0)), "probe", 1);
+        let t = out.trace("probe").unwrap();
+        assert_eq!(t.meta.path, "two-hop");
+        // Min delay crosses both stages: at least the summed propagation.
+        assert!(t.min_delay_ns().unwrap() >= 20_000_000);
+        assert!(t.len() > 100);
     }
 }

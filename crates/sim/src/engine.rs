@@ -1,11 +1,15 @@
 //! The discrete-event simulation engine.
 //!
-//! One [`Simulation`] owns a single bottleneck path (per iBox's problem
-//! formulation: the end-to-end behaviour of *a network path*), any number
-//! of congestion-controlled flows, and any number of cross-traffic sources.
-//! Events are processed from a binary heap keyed by `(time, insertion
-//! sequence)` — ties resolve in insertion order, so runs are bit-for-bit
-//! deterministic for a given seed.
+//! One [`Simulation`] owns a chain of one or more bottleneck stages (per
+//! iBox's problem formulation a path is *one* stochastic bottleneck; a
+//! [`PathSpec`] generalizes that to a pipeline where departure from stage
+//! `k` is arrival at stage `k + 1`), any number of congestion-controlled
+//! flows, and any number of cross-traffic sources, each attached to one
+//! stage's queue. Events are processed from a binary heap keyed by
+//! `(time, insertion sequence)` — ties resolve in insertion order, so runs
+//! are bit-for-bit deterministic for a given seed. Single-stage chains are
+//! byte-identical to the pre-chain engine: stage 0 consumes exactly the
+//! same derived RNG streams, and chain-only event types never fire.
 //!
 //! Flows stop *sending* at their configured stop time (clamped to the run's
 //! end), but the event loop drains in-flight packets and acks to
@@ -21,7 +25,7 @@ use ibox_obs::Registry;
 use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
 
 use crate::cc::CongestionControl;
-use crate::config::{FlowConfig, PathConfig};
+use crate::config::{FlowConfig, PathConfig, PathSpec};
 use crate::crosstraffic::{CrossSource, CrossTrafficCfg, CT_PACKET_SIZE};
 use crate::flow::{FlowState, SendDecision};
 use crate::output::{FlowStats, LinkSample, SimOutput};
@@ -44,19 +48,22 @@ enum Ev {
     RtoCheck(usize),
     /// An ack reaches the sender.
     AckArrive { flow: usize, seq: u64 },
-    /// The bottleneck finishes serializing a packet.
-    TxComplete { pkt: Packet },
-    /// A packet reaches the receiver.
+    /// Stage `stage` finishes serializing a packet.
+    TxComplete { stage: usize, pkt: Packet },
+    /// A packet reaches the receiver (past the last stage).
     Deliver { pkt: Packet },
     /// A cross-traffic source emits its next packet.
     CrossEmit(usize),
     /// Periodic ground-truth link sample.
     Sample,
+    /// A packet propagating off stage `stage - 1` reaches stage `stage`'s
+    /// queue. Never fires on single-stage chains.
+    StageArrive { stage: usize, pkt: Packet },
 }
 
 /// Metric names for the per-event-type counters, indexed by
 /// [`ev_type_index`].
-const EV_TYPE_NAMES: [&str; 9] = [
+const EV_TYPE_NAMES: [&str; 10] = [
     "sim.events.flow_start",
     "sim.events.flow_stop",
     "sim.events.flow_wake",
@@ -66,6 +73,7 @@ const EV_TYPE_NAMES: [&str; 9] = [
     "sim.events.deliver",
     "sim.events.cross_emit",
     "sim.events.sample",
+    "sim.events.stage_arrive",
 ];
 
 fn ev_type_index(ev: &Ev) -> usize {
@@ -79,6 +87,7 @@ fn ev_type_index(ev: &Ev) -> usize {
         Ev::Deliver { .. } => 6,
         Ev::CrossEmit(_) => 7,
         Ev::Sample => 8,
+        Ev::StageArrive { .. } => 9,
     }
 }
 
@@ -159,24 +168,42 @@ impl FlowRecorder {
     }
 }
 
-/// A single-bottleneck network simulation (Fig. 1 of the paper).
+/// Runtime state of one bottleneck stage: its config plus the queue, rate
+/// process and RNG streams that the single-bottleneck engine used to hold
+/// directly. Stage 0's streams are seeded exactly as before the chain
+/// refactor, so 1-stage runs stay byte-identical.
+struct StageState {
+    cfg: PathConfig,
+    queue: BottleneckQueue,
+    rate: RateModel,
+    link_busy: bool,
+    rng_loss: StdRng,
+    rng_reorder: StdRng,
+}
+
+/// Salt namespace for stage `k >= 1` RNG streams; stage 0 keeps the
+/// historical salts 1..=4 and cross sources keep `100 + index`, so the
+/// chain namespace starts far above both.
+const STAGE_SEED_BASE: u64 = 0x5747_0000;
+
+/// A network simulation over a chain of bottleneck stages (Fig. 1 of the
+/// paper when the chain has one stage).
 pub struct Simulation {
-    path: PathConfig,
+    stages: Vec<StageState>,
+    /// Sum of per-stage ack-path delays: the return path's one-way delay.
+    ack_delay: SimTime,
     path_name: String,
     seed: u64,
     end: SimTime,
     flows: Vec<FlowState>,
     recorders: Vec<FlowRecorder>,
     cross: Vec<CrossSource>,
+    /// Stage whose queue each cross source feeds, parallel to `cross`.
+    cross_stage: Vec<usize>,
     cross_log: Vec<Vec<(f64, u32)>>,
-    queue: BottleneckQueue,
-    rate: RateModel,
-    link_busy: bool,
     heap: BinaryHeap<Reverse<QueuedEvent>>,
     tie: u64,
     now: SimTime,
-    rng_loss: StdRng,
-    rng_reorder: StdRng,
     rto_armed: Vec<bool>,
     /// Time of the pending pacing wake per flow (dedupes redundant wakes
     /// scheduled from every ack).
@@ -211,32 +238,58 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Create a simulation over `path` running for `duration`, seeded for
-    /// full determinism.
+    /// Create a simulation over a classic single-bottleneck `path` running
+    /// for `duration`, seeded for full determinism. Equivalent to
+    /// [`Simulation::new_chain`] with a 1-stage [`PathSpec`].
     pub fn new(path: PathConfig, duration: SimTime, seed: u64) -> Self {
-        path.validate();
+        Self::new_chain(PathSpec::single(path), duration, seed)
+    }
+
+    /// Create a simulation over a chain of bottleneck stages. Cross traffic
+    /// declared on the spec's stages is registered here, stage order first
+    /// (so a 1-stage spec with stage-0 cross draws the same per-source seeds
+    /// as the legacy `new` + `add_cross_traffic` sequence).
+    pub fn new_chain(spec: PathSpec, duration: SimTime, seed: u64) -> Self {
+        spec.validate();
         assert!(duration.as_nanos() > 0, "simulation needs a positive duration");
-        let queue =
-            BottleneckQueue::new(path.scheduler, path.buffer_bytes, rng::derive_seed(seed, 1));
-        let rate = RateModel::new(&path.rate, rng::derive_seed(seed, 2));
+        let stages: Vec<StageState> = spec
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(k, st)| {
+                // Stage 0 keeps the pre-chain salts so single-stage runs
+                // replay byte-identically; later stages get their own
+                // namespaced streams.
+                let base = if k == 0 { 0 } else { STAGE_SEED_BASE + 16 * k as u64 };
+                StageState {
+                    queue: BottleneckQueue::new(
+                        st.config.scheduler,
+                        st.config.buffer_bytes,
+                        rng::derive_seed(seed, base + 1),
+                    ),
+                    rate: RateModel::new(&st.config.rate, rng::derive_seed(seed, base + 2)),
+                    link_busy: false,
+                    rng_loss: rng::seeded(rng::derive_seed(seed, base + 3)),
+                    rng_reorder: rng::seeded(rng::derive_seed(seed, base + 4)),
+                    cfg: st.config.clone(),
+                }
+            })
+            .collect();
         let metrics = Registry::new();
-        Self {
-            path,
+        let mut sim = Self {
+            stages,
+            ack_delay: spec.total_ack_delay(),
             path_name: "path".to_string(),
             seed,
             end: duration,
             flows: Vec::new(),
             recorders: Vec::new(),
             cross: Vec::new(),
+            cross_stage: Vec::new(),
             cross_log: Vec::new(),
-            queue,
-            rate,
-            link_busy: false,
             heap: BinaryHeap::from(HEAP_POOL.with(|p| std::mem::take(&mut *p.borrow_mut()))),
             tie: 0,
             now: SimTime::ZERO,
-            rng_loss: rng::seeded(rng::derive_seed(seed, 3)),
-            rng_reorder: rng::seeded(rng::derive_seed(seed, 4)),
             rto_armed: Vec::new(),
             wake_at: Vec::new(),
             sample_every: Some(SimTime::from_millis(100)),
@@ -253,7 +306,13 @@ impl Simulation {
             m_reordered: 0,
             m_cross_packets: 0,
             m_queue_hwm: 0.0,
+        };
+        for (k, st) in spec.stages.iter().enumerate() {
+            for cfg in &st.cross {
+                sim.add_cross_traffic_at(k, cfg.clone());
+            }
         }
+        sim
     }
 
     /// The run's metrics registry (e.g. for attaching extra counters before
@@ -308,10 +367,21 @@ impl Simulation {
         self.flows.len() - 1
     }
 
-    /// Add a non-adaptive cross-traffic source; returns its index.
+    /// Add a non-adaptive cross-traffic source competing at stage 0's
+    /// queue; returns its index.
     pub fn add_cross_traffic(&mut self, cfg: CrossTrafficCfg) -> usize {
+        self.add_cross_traffic_at(0, cfg)
+    }
+
+    /// Add a non-adaptive cross-traffic source competing at `stage`'s
+    /// queue; returns its index. Seeds derive from the global add order
+    /// (not the stage), so stage-0 sources added first keep their legacy
+    /// streams.
+    pub fn add_cross_traffic_at(&mut self, stage: usize, cfg: CrossTrafficCfg) -> usize {
+        assert!(stage < self.stages.len(), "cross-traffic stage out of range");
         let seed = rng::derive_seed(self.seed, 100 + self.cross.len() as u64);
         self.cross.push(CrossSource::new(cfg, seed));
+        self.cross_stage.push(stage);
         self.cross_log.push(Vec::new());
         self.cross.len() - 1
     }
@@ -331,7 +401,8 @@ impl Simulation {
             let n = self.end.as_nanos() / every.as_nanos().max(1) + 2;
             self.samples.reserve(n.min(1 << 20) as usize);
         }
-        let mean_rate = self.path.rate.mean_rate_bps();
+        let mean_rate =
+            self.stages.iter().map(|s| s.cfg.rate.mean_rate_bps()).fold(f64::INFINITY, f64::min);
         for (flow, rec) in self.flows.iter().zip(self.recorders.iter_mut()) {
             let active = flow.cfg.stop.min(self.end).saturating_sub(flow.cfg.start).as_secs_f64();
             let n = mean_rate * active / (8.0 * f64::from(flow.cfg.packet_size.max(1)));
@@ -371,11 +442,11 @@ impl Simulation {
             self.schedule(SimTime::ZERO, Ev::Sample);
         }
         if self.preload_bytes > 0 {
-            // Anonymous backlog from a spliced fluid state: fill the queue
-            // with synthetic packets (a reserved Cross stream id, so no
-            // flow recorder or cross log ever sees them) and start the
+            // Anonymous backlog from a spliced fluid state: fill stage 0's
+            // queue with synthetic packets (a reserved Cross stream id, so
+            // no flow recorder or cross log ever sees them) and start the
             // link on the head of the backlog.
-            let mut remaining = self.preload_bytes.min(self.path.buffer_bytes);
+            let mut remaining = self.preload_bytes.min(self.stages[0].cfg.buffer_bytes);
             let mut seq = 0u64;
             while remaining > 0 {
                 let size = remaining.min(u64::from(CT_PACKET_SIZE)) as u32;
@@ -385,14 +456,14 @@ impl Simulation {
                     size,
                     sent_at: SimTime::ZERO,
                 };
-                if self.queue.enqueue(pkt, SimTime::ZERO) == EnqueueResult::Dropped {
+                if self.stages[0].queue.enqueue(pkt, SimTime::ZERO) != EnqueueResult::Queued {
                     break;
                 }
                 remaining -= u64::from(size);
                 seq += 1;
             }
-            self.m_queue_hwm = self.m_queue_hwm.max(self.queue.occupied_bytes() as f64);
-            self.kick_link();
+            self.m_queue_hwm = self.m_queue_hwm.max(self.stages[0].queue.occupied_bytes() as f64);
+            self.kick_link(0);
         }
 
         // Main loop: process every event; post-`end` events only drain
@@ -401,7 +472,7 @@ impl Simulation {
         // after the loop, keeping the loop body free of even atomic traffic.
         let wall_start = std::time::Instant::now();
         let mut events_total: u64 = 0;
-        let mut events_by_type = [0u64; 9];
+        let mut events_by_type = [0u64; 10];
         while let Some(Reverse(item)) = self.heap.pop() {
             self.now = item.time;
             events_total += 1;
@@ -423,10 +494,11 @@ impl Simulation {
                     let _outcome = self.flows[flow].on_ack(self.now, seq);
                     self.try_send(flow);
                 }
-                Ev::TxComplete { pkt } => self.handle_tx_complete(pkt),
+                Ev::TxComplete { stage, pkt } => self.handle_tx_complete(stage, pkt),
                 Ev::Deliver { pkt } => self.handle_deliver(pkt),
                 Ev::CrossEmit(i) => self.handle_cross_emit(i),
                 Ev::Sample => self.handle_sample(),
+                Ev::StageArrive { stage, pkt } => self.admit(stage, pkt),
             }
         }
 
@@ -463,19 +535,7 @@ impl Simulation {
                     self.m_sent += 1;
                     let pkt = Packet { stream: StreamId::Flow(i), seq, size, sent_at: self.now };
                     self.arm_rto(i);
-                    match self.queue.enqueue(pkt, self.now) {
-                        EnqueueResult::Queued => {
-                            self.m_queue_hwm =
-                                self.m_queue_hwm.max(self.queue.occupied_bytes() as f64);
-                            self.kick_link();
-                        }
-                        EnqueueResult::Dropped => {
-                            if self.tl {
-                                ibox_obs::trace::instant("sim.drop.buffer");
-                            }
-                            self.recorders[i].record_fate(seq, PacketFate::Dropped(self.now));
-                        }
-                    }
+                    self.admit(0, pkt);
                 }
                 SendDecision::WaitUntil(t) => {
                     // Skip if an equal-or-earlier wake is already pending.
@@ -522,62 +582,105 @@ impl Simulation {
         }
     }
 
-    fn kick_link(&mut self) {
-        if self.link_busy {
-            return;
-        }
-        let Some(grant) = self.queue.dequeue(self.now) else {
-            self.collect_dequeue_drops();
-            return;
-        };
-        self.collect_dequeue_drops();
-        self.link_busy = true;
-        let finish = match &self.path.rate {
-            RateModelCfg::TokenBucket { .. } => self.rate.tx_finish(self.now, grant.packet.size),
-            _ => {
-                let rate_bps = self.rate.rate_at(self.now) * grant.rate_multiplier;
-                self.now + tx_time(grant.packet.size, rate_bps)
+    /// Offer `pkt` to `stage`'s queue, handling every enqueue outcome:
+    /// buffer overflow, AQM enqueue-time drop (PIE), or admission + link
+    /// kick. This is the single admission path for flow sends (stage 0),
+    /// cross emissions, and chain hand-offs.
+    fn admit(&mut self, stage: usize, pkt: Packet) {
+        match self.stages[stage].queue.enqueue(pkt, self.now) {
+            EnqueueResult::Queued => {
+                self.m_queue_hwm =
+                    self.m_queue_hwm.max(self.stages[stage].queue.occupied_bytes() as f64);
+                self.kick_link(stage);
             }
-        };
-        self.schedule(finish, Ev::TxComplete { pkt: grant.packet });
+            EnqueueResult::Dropped => {
+                if self.tl {
+                    ibox_obs::trace::instant("sim.drop.buffer");
+                }
+                self.record_fate(&pkt, PacketFate::Dropped(self.now));
+            }
+            EnqueueResult::DroppedAqm => {
+                self.m_dropped_aqm += 1;
+                if self.tl {
+                    ibox_obs::trace::instant("sim.drop.aqm");
+                }
+                self.record_fate(&pkt, PacketFate::Dropped(self.now));
+            }
+        }
     }
 
-    fn handle_tx_complete(&mut self, pkt: Packet) {
-        // Egress random loss.
-        if self.path.random_loss > 0.0 && rng::coin(&mut self.rng_loss, self.path.random_loss) {
+    fn kick_link(&mut self, stage: usize) {
+        if self.stages[stage].link_busy {
+            return;
+        }
+        let grant = self.stages[stage].queue.dequeue(self.now);
+        self.collect_dequeue_drops(stage);
+        let Some(grant) = grant else {
+            return;
+        };
+        let now = self.now;
+        let s = &mut self.stages[stage];
+        s.link_busy = true;
+        let finish = match &s.cfg.rate {
+            RateModelCfg::TokenBucket { .. } => s.rate.tx_finish(now, grant.packet.size),
+            _ => {
+                let rate_bps = s.rate.rate_at(now) * grant.rate_multiplier;
+                now + tx_time(grant.packet.size, rate_bps)
+            }
+        };
+        self.schedule(finish, Ev::TxComplete { stage, pkt: grant.packet });
+    }
+
+    fn handle_tx_complete(&mut self, stage: usize, pkt: Packet) {
+        // Egress random loss at this stage.
+        let loss_p = self.stages[stage].cfg.random_loss;
+        if loss_p > 0.0 && rng::coin(&mut self.stages[stage].rng_loss, loss_p) {
             self.m_dropped_random += 1;
             if self.tl {
                 ibox_obs::trace::instant("sim.drop.random");
             }
             self.record_fate(&pkt, PacketFate::Dropped(self.now));
         } else {
-            let mut arrival = self.now + self.path.prop_delay;
-            if let Some(j) = self.path.jitter {
-                let extra = rng::uniform(&mut self.rng_reorder, 0.0, j.as_secs_f64());
-                arrival += SimTime::from_secs_f64(extra);
-            }
-            if let Some(r) = &self.path.reorder {
-                if rng::coin(&mut self.rng_reorder, r.probability) {
-                    self.m_reordered += 1;
-                    let extra = rng::uniform(
-                        &mut self.rng_reorder,
-                        r.extra_min.as_secs_f64(),
-                        r.extra_max.as_secs_f64(),
-                    );
+            let now = self.now;
+            let (arrival, reordered) = {
+                let s = &mut self.stages[stage];
+                let mut arrival = now + s.cfg.prop_delay;
+                if let Some(j) = s.cfg.jitter {
+                    let extra = rng::uniform(&mut s.rng_reorder, 0.0, j.as_secs_f64());
                     arrival += SimTime::from_secs_f64(extra);
                 }
+                let mut reordered = false;
+                if let Some(r) = &s.cfg.reorder {
+                    if rng::coin(&mut s.rng_reorder, r.probability) {
+                        reordered = true;
+                        let extra = rng::uniform(
+                            &mut s.rng_reorder,
+                            r.extra_min.as_secs_f64(),
+                            r.extra_max.as_secs_f64(),
+                        );
+                        arrival += SimTime::from_secs_f64(extra);
+                    }
+                }
+                (arrival, reordered)
+            };
+            if reordered {
+                self.m_reordered += 1;
             }
-            self.schedule(arrival, Ev::Deliver { pkt });
+            if stage + 1 == self.stages.len() {
+                self.schedule(arrival, Ev::Deliver { pkt });
+            } else {
+                self.schedule(arrival, Ev::StageArrive { stage: stage + 1, pkt });
+            }
         }
-        self.link_busy = false;
-        self.kick_link();
+        self.stages[stage].link_busy = false;
+        self.kick_link(stage);
     }
 
     fn handle_deliver(&mut self, pkt: Packet) {
         self.m_delivered += 1;
         self.record_fate(&pkt, PacketFate::Delivered(self.now));
         if let StreamId::Flow(i) = pkt.stream {
-            let ack_at = self.now + self.path.ack_delay;
+            let ack_at = self.now + self.ack_delay;
             self.schedule(ack_at, Ev::AckArrive { flow: i, seq: pkt.seq });
         }
     }
@@ -599,12 +702,7 @@ impl Simulation {
         self.cross_log[i].push((self.now.as_secs_f64(), size));
         let pkt = Packet { stream: StreamId::Cross(i), seq, size, sent_at: self.now };
         self.m_cross_packets += 1;
-        if self.queue.enqueue(pkt, self.now) == EnqueueResult::Queued {
-            self.m_queue_hwm = self.m_queue_hwm.max(self.queue.occupied_bytes() as f64);
-            self.kick_link();
-        } else if self.tl {
-            ibox_obs::trace::instant("sim.drop.buffer");
-        }
+        self.admit(self.cross_stage[i], pkt);
         if let Some(t) = self.cross[i].next_emission() {
             if t < self.end {
                 self.schedule(t, Ev::CrossEmit(i));
@@ -613,8 +711,8 @@ impl Simulation {
     }
 
     /// Record fates of packets an AQM discipline dropped at dequeue.
-    fn collect_dequeue_drops(&mut self) {
-        while let Some(pkt) = self.queue.pop_dequeue_drop() {
+    fn collect_dequeue_drops(&mut self, stage: usize) {
+        while let Some(pkt) = self.stages[stage].queue.pop_dequeue_drop() {
             self.m_dropped_aqm += 1;
             if self.tl {
                 ibox_obs::trace::instant("sim.drop.aqm");
@@ -625,7 +723,7 @@ impl Simulation {
 
     fn handle_sample(&mut self) {
         let Some(every) = self.sample_every else { return };
-        let queue_bytes = self.queue.occupied_bytes();
+        let queue_bytes: u64 = self.stages.iter().map(|s| s.queue.occupied_bytes()).sum();
         if self.tl {
             ibox_obs::trace::counter("sim.queue_depth_bytes", queue_bytes as f64);
         }
@@ -635,10 +733,11 @@ impl Simulation {
         if self.report_global {
             ibox_obs::global().histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
         }
+        let now = self.now;
         self.samples.push(LinkSample {
-            t: self.now,
+            t: now,
             queue_bytes,
-            rate_bps: self.rate.rate_at(self.now),
+            rate_bps: self.stages[0].rate.rate_at(now),
         });
         let next = self.now + every;
         if next < self.end {
@@ -659,9 +758,10 @@ impl Simulation {
         self.metrics.counter("sim.packets_reordered").add(self.m_reordered);
         self.metrics.counter("sim.cross_packets_emitted").add(self.m_cross_packets);
         self.metrics.gauge("sim.queue_depth_hwm_bytes").record_max(self.m_queue_hwm);
-        // The queue is authoritative for enqueue-time buffer drops (it also
-        // sees cross-traffic packets, which `try_send` never touches).
-        self.metrics.counter("sim.packets_dropped_buffer").add(self.queue.drop_count());
+        // The queues are authoritative for enqueue-time buffer drops (they
+        // also see cross-traffic packets, which `try_send` never touches).
+        let queue_drops: u64 = self.stages.iter().map(|s| s.queue.drop_count()).sum();
+        self.metrics.counter("sim.packets_dropped_buffer").add(queue_drops);
         // Fold this run's totals into the process-wide registry, so
         // manifests written by the CLI and bench binaries see simulator
         // activity without holding on to every SimOutput.
@@ -693,7 +793,7 @@ impl Simulation {
             flow_stats,
             cross_emissions: self.cross_log,
             link_samples: self.samples,
-            queue_drops: self.queue.drop_count(),
+            queue_drops,
             metrics,
         }
     }
@@ -1166,5 +1266,215 @@ mod metrics_tests {
         // And a different seed genuinely changes the story.
         let c = lossy_reordering_run(10);
         assert_ne!(a.metrics.counters, c.metrics.counters);
+    }
+}
+
+#[cfg(test)]
+mod pie_tests {
+    use super::*;
+    use crate::cc::FixedRate;
+    use crate::queue::SchedulerKind;
+
+    /// Satellite: PIE's enqueue-time early drops hold a persistently
+    /// overloaded queue's delay well under DropTail — the PIE mirror of
+    /// `codel_controls_standing_queue_delay`.
+    #[test]
+    fn pie_controls_standing_queue_delay() {
+        let run = |scheduler: SchedulerKind| {
+            let mut path = PathConfig::simple(5e6, SimTime::from_millis(10), 200_000);
+            path.scheduler = scheduler;
+            let mut sim = Simulation::new(path, SimTime::from_secs(10), 3);
+            sim.add_flow(
+                FlowConfig::bulk("cbr", SimTime::from_secs(10)),
+                Box::new(FixedRate::new(6e6)), // 20% overload
+            );
+            let out = sim.run();
+            ibox_trace::metrics::delay_percentile_ms(&out.traces[0], 0.5).unwrap()
+        };
+        let droptail = run(SchedulerKind::Fifo);
+        let pie = run(SchedulerKind::Pie {
+            target: SimTime::from_millis(15),
+            update_interval: SimTime::from_millis(16),
+        });
+        // DropTail: standing queue = 200 KB at 5 Mbps = 320 ms.
+        assert!(droptail > 200.0, "droptail median = {droptail} ms");
+        assert!(pie < droptail / 3.0, "pie median = {pie} ms");
+    }
+
+    /// PIE early drops land in both the AQM counter and packet fates.
+    #[test]
+    fn pie_drops_are_counted_and_fated() {
+        let mut path = PathConfig::simple(5e6, SimTime::from_millis(10), 200_000);
+        path.scheduler = SchedulerKind::Pie {
+            target: SimTime::from_millis(15),
+            update_interval: SimTime::from_millis(16),
+        };
+        let mut sim = Simulation::new(path, SimTime::from_secs(10), 3);
+        sim.add_flow(
+            FlowConfig::bulk("cbr", SimTime::from_secs(10)),
+            Box::new(FixedRate::new(6.5e6)),
+        );
+        let out = sim.run();
+        let aqm = out.metrics.counters["sim.packets_dropped_aqm"];
+        assert!(aqm > 0, "PIE under persistent overload must early-drop");
+        let stats = &out.flow_stats[0];
+        assert_eq!(stats.sent, stats.delivered + stats.lost);
+        assert!(aqm <= stats.lost);
+        assert_eq!(out.traces[0].lost_count() as u64, stats.lost);
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::cc::{FixedRate, FixedWindow};
+    use crate::config::{PathSpec, PathStage};
+    use ibox_trace::metrics::avg_rate_mbps;
+
+    fn stage(rate_bps: f64, delay_ms: u64, buffer: u64) -> PathStage {
+        PathStage::new(PathConfig::simple(rate_bps, SimTime::from_millis(delay_ms), buffer))
+    }
+
+    /// The byte-identity contract: a 1-stage chain IS the classic
+    /// single-bottleneck path — identical traces, counters, histograms,
+    /// link samples, and cross emissions for the same seed, even with
+    /// cross traffic, loss, jitter, and reordering in play.
+    #[test]
+    fn single_stage_chain_is_byte_identical_to_classic_path() {
+        let mut path = PathConfig::simple(6e6, SimTime::from_millis(25), 50_000);
+        path.random_loss = 0.01;
+        path.jitter = Some(SimTime::from_micros(400));
+        path.reorder = Some(crate::config::ReorderCfg {
+            probability: 0.02,
+            extra_min: SimTime::from_millis(2),
+            extra_max: SimTime::from_millis(6),
+        });
+        let ct = CrossTrafficCfg::cbr(1e6, SimTime::from_secs(1), SimTime::from_secs(7));
+
+        let mut classic = Simulation::new(path.clone(), SimTime::from_secs(8), 42);
+        classic.add_cross_traffic(ct.clone());
+        classic.add_flow(
+            FlowConfig::bulk("m", SimTime::from_secs(8)),
+            Box::new(FixedWindow::new(96.0)),
+        );
+        let a = classic.run();
+
+        let mut st = PathStage::new(path);
+        st.cross.push(ct);
+        let mut chained =
+            Simulation::new_chain(PathSpec::from_stages(vec![st]), SimTime::from_secs(8), 42);
+        chained.add_flow(
+            FlowConfig::bulk("m", SimTime::from_secs(8)),
+            Box::new(FixedWindow::new(96.0)),
+        );
+        let b = chained.run();
+
+        assert_eq!(a.traces, b.traces);
+        assert_eq!(a.flow_stats, b.flow_stats);
+        assert_eq!(a.link_samples, b.link_samples);
+        assert_eq!(a.cross_emissions, b.cross_emissions);
+        assert_eq!(a.queue_drops, b.queue_drops);
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.histograms, b.metrics.histograms);
+    }
+
+    /// The slowest stage is the end-to-end bottleneck.
+    #[test]
+    fn chain_throughput_is_the_slowest_stage() {
+        let spec = PathSpec::from_stages(vec![
+            stage(20e6, 5, 150_000),
+            stage(8e6, 15, 100_000),
+            stage(30e6, 2, 150_000),
+        ]);
+        let mut sim = Simulation::new_chain(spec, SimTime::from_secs(10), 1);
+        // Offer 12 Mbps: the middle stage should drain a full queue at
+        // its 8 Mbps line rate regardless of the faster neighbours.
+        sim.add_flow(FlowConfig::bulk("m", SimTime::from_secs(10)), Box::new(FixedRate::new(12e6)));
+        let out = sim.run();
+        let rate = avg_rate_mbps(out.trace("m").unwrap());
+        assert!((rate - 8.0).abs() < 0.5, "rate = {rate} Mbps");
+    }
+
+    /// Uncongested chain delay = sum of per-stage propagation plus one
+    /// serialization per stage.
+    #[test]
+    fn chain_min_delay_sums_stages() {
+        let spec = PathSpec::from_stages(vec![stage(10e6, 30, 100_000), stage(10e6, 12, 100_000)]);
+        let mut sim = Simulation::new_chain(spec, SimTime::from_secs(5), 1);
+        sim.add_flow(
+            FlowConfig::bulk("m", SimTime::from_secs(5)),
+            Box::new(FixedWindow::new(1.0)), // one in flight: no queueing
+        );
+        let out = sim.run();
+        // 2 × (1400 B at 10 Mbps = 1.12 ms) + 30 + 12 ms = 44.24 ms.
+        let min_ms = out.trace("m").unwrap().min_delay_ns().unwrap() as f64 / 1e6;
+        assert!((min_ms - 44.24).abs() < 0.05, "min delay = {min_ms} ms");
+    }
+
+    /// Cross traffic attached mid-chain congests only its own stage.
+    #[test]
+    fn mid_chain_cross_traffic_inflates_delay() {
+        let mk = |loaded: bool| {
+            let mut s1 = stage(6e6, 10, 80_000);
+            if loaded {
+                s1.cross.push(CrossTrafficCfg::cbr(3.5e6, SimTime::ZERO, SimTime::from_secs(10)));
+            }
+            let spec = PathSpec::from_stages(vec![stage(50e6, 5, 200_000), s1]);
+            let mut sim = Simulation::new_chain(spec, SimTime::from_secs(10), 5);
+            sim.add_flow(
+                FlowConfig::bulk("m", SimTime::from_secs(10)),
+                Box::new(FixedRate::new(3e6)),
+            );
+            let out = sim.run();
+            ibox_trace::metrics::delay_percentile_ms(&out.traces[0], 0.95).unwrap()
+        };
+        let without = mk(false);
+        let with = mk(true);
+        assert!(with > without + 5.0, "expected stage-1 queueing: {without} -> {with}");
+    }
+
+    /// Multi-stage runs are deterministic per seed, including per-stage
+    /// loss, jitter, and AQM state.
+    #[test]
+    fn chain_deterministic_given_seed() {
+        let mk = || {
+            let mut s0 = stage(20e6, 5, 120_000);
+            s0.config.jitter = Some(SimTime::from_micros(300));
+            let mut s1 = stage(8e6, 15, 80_000);
+            s1.config.random_loss = 0.01;
+            s1.config.scheduler = crate::queue::SchedulerKind::Pie {
+                target: SimTime::from_millis(15),
+                update_interval: SimTime::from_millis(16),
+            };
+            s1.cross.push(CrossTrafficCfg::cbr(1e6, SimTime::ZERO, SimTime::from_secs(6)));
+            let spec = PathSpec::from_stages(vec![s0, s1]);
+            let mut sim = Simulation::new_chain(spec, SimTime::from_secs(6), 77);
+            sim.add_flow(
+                FlowConfig::bulk("m", SimTime::from_secs(6)),
+                Box::new(FixedWindow::new(64.0)),
+            );
+            sim.run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.traces, b.traces);
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.histograms, b.metrics.histograms);
+    }
+
+    /// Per-stage random loss compounds across the chain.
+    #[test]
+    fn per_stage_loss_compounds() {
+        let mut s0 = stage(10e6, 5, 100_000);
+        s0.config.random_loss = 0.05;
+        let mut s1 = stage(10e6, 5, 100_000);
+        s1.config.random_loss = 0.05;
+        let spec = PathSpec::from_stages(vec![s0, s1]);
+        let mut sim = Simulation::new_chain(spec, SimTime::from_secs(20), 3);
+        sim.add_flow(FlowConfig::bulk("m", SimTime::from_secs(20)), Box::new(FixedRate::new(2e6)));
+        let out = sim.run();
+        let loss = out.traces[0].loss_rate();
+        // 1 − 0.95² = 0.0975 end to end.
+        assert!((loss - 0.0975).abs() < 0.02, "loss = {loss}");
     }
 }

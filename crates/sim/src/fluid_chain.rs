@@ -1,0 +1,585 @@
+//! Flow-level fast path for composed multi-stage paths.
+//!
+//! [`crate::fluid::FluidSim`] models the classic single bottleneck as one
+//! piecewise-linear queue. A [`PathSpec`] chain needs one queue *per
+//! stage*: this module integrates the tandem of scalar queues on a fixed
+//! control tick, driving the same [`FluidLaw`] congestion laws and
+//! emitting the same per-packet [`PacketRecord`] synthesis, so multi-hop
+//! replay keeps flow-fidelity throughput instead of falling back to the
+//! packet engine.
+//!
+//! Model per tick: stage 0's inflow is the sum of flow send rates plus
+//! stage-0 cross traffic; stage `k`'s inflow is stage `k-1`'s departure
+//! rate plus stage-`k` cross traffic; each stage drains at its capacity
+//! while backlogged. Per-packet delay is the affine sum of per-stage
+//! `(queue + packet) / capacity + propagation`, with per-stage jitter,
+//! reordering, and random-loss draws. Buffer overflow at any stage feeds
+//! a fractional loss debt exactly like the single-queue fluid engine.
+//!
+//! Hybrid episode splicing is a single-stage feature; multi-stage hybrid
+//! requests fall back to the packet engine upstream (see
+//! [`PathSpec::fluid_unsupported_reason`]).
+
+use ibox_obs::Registry;
+use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
+
+use crate::config::{FlowConfig, PathSpec};
+use crate::crosstraffic::CrossSource;
+use crate::fluid::FluidLaw;
+use crate::output::{FlowStats, LinkSample, SimOutput};
+use crate::rate::RateModelCfg;
+use crate::rng;
+use crate::time::SimTime;
+
+/// Cross-traffic rate bin width (seconds) — matches [`crate::fluid`].
+const CROSS_BIN_S: f64 = 0.05;
+
+/// One sender inside the chain fluid engine (the single-queue engine's
+/// flow state minus the hybrid-splice fields).
+struct ChainFlow {
+    cfg: FlowConfig,
+    law: FluidLaw,
+    srtt: f64,
+    next_send: f64,
+    next_seq: u64,
+    records: Vec<PacketRecord>,
+    delivered: u64,
+    loss_debt: f64,
+    last_backoff: f64,
+}
+
+impl ChainFlow {
+    fn active(&self, t: f64) -> bool {
+        t >= self.cfg.start.as_secs_f64() && t < self.cfg.stop.as_secs_f64()
+    }
+
+    /// Current send rate in bytes/second at round-trip time `rtt`.
+    fn rate_bytes(&self, rtt: f64) -> f64 {
+        let pkt_bits = f64::from(self.cfg.packet_size) * 8.0;
+        let window_bps = self.law.window_packets(self.cfg.packet_size) * pkt_bits / rtt.max(1e-6);
+        let bps = match self.law.pacing_bps() {
+            Some(p) => p.min(window_bps),
+            None => window_bps,
+        };
+        bps / 8.0
+    }
+}
+
+/// Integration state of one stage: constants extracted from the spec plus
+/// the scalar queue.
+struct ChainStage {
+    cap_bytes: f64,
+    buffer: f64,
+    prop_s: f64,
+    random_loss: f64,
+    jitter_s: Option<f64>,
+    reorder: Option<(f64, f64, f64)>,
+    /// Per-bin cross arrival rate (bytes/s) at this stage.
+    cross_bins: Vec<f64>,
+    /// Queue depth (bytes) at the current tick start.
+    q: f64,
+    /// Queue slope (bytes/s) over the current tick.
+    slope: f64,
+    /// Fraction of this stage's inflow lost to overflow this tick.
+    drop_frac: f64,
+}
+
+impl ChainStage {
+    fn cross_rate_at(&self, t: f64) -> f64 {
+        if self.cross_bins.is_empty() {
+            return 0.0;
+        }
+        self.cross_bins[((t / CROSS_BIN_S) as usize).min(self.cross_bins.len() - 1)]
+    }
+}
+
+/// The multi-stage flow-level simulator: same call shape and
+/// [`SimOutput`] schema as [`crate::fluid::FluidSim`], over a
+/// [`PathSpec`] chain.
+pub struct FluidChainSim {
+    spec: PathSpec,
+    end: SimTime,
+    seed: u64,
+    path_name: String,
+    sample_every: Option<SimTime>,
+    report_global: bool,
+    flows: Vec<ChainFlow>,
+    metrics: Registry,
+}
+
+impl FluidChainSim {
+    /// Create a chain fluid simulation. Panics unless every stage is a
+    /// constant-rate FIFO bottleneck
+    /// ([`PathSpec::fluid_unsupported_reason`] returns `None` for
+    /// non-hybrid use).
+    pub fn new(spec: PathSpec, duration: SimTime, seed: u64) -> Self {
+        spec.validate();
+        assert!(duration.as_nanos() > 0, "simulation needs a positive duration");
+        if let Some(reason) = spec.fluid_unsupported_reason(false) {
+            panic!("fluid chain engine cannot model this spec: {reason}");
+        }
+        Self {
+            spec,
+            end: duration,
+            seed,
+            path_name: "sim".to_string(),
+            sample_every: None,
+            report_global: true,
+            flows: Vec::new(),
+            metrics: Registry::new(),
+        }
+    }
+
+    /// Set the path name recorded in trace metadata.
+    pub fn set_path_name(&mut self, name: impl Into<String>) {
+        self.path_name = name.into();
+    }
+
+    /// Enable periodic ground-truth link sampling.
+    pub fn set_sample_every(&mut self, every: Option<SimTime>) {
+        self.sample_every = every;
+    }
+
+    /// Whether `run` folds this run's metrics into the process-wide
+    /// registry (mirrors [`crate::engine::Simulation::set_report_global`]).
+    pub fn set_report_global(&mut self, on: bool) {
+        self.report_global = on;
+    }
+
+    /// Add a flow governed by `law`; returns its index.
+    pub fn add_flow(&mut self, cfg: FlowConfig, law: FluidLaw) -> usize {
+        assert!(cfg.packet_size > 0, "packet size must be positive");
+        let start = cfg.start.as_secs_f64();
+        self.flows.push(ChainFlow {
+            cfg,
+            law,
+            srtt: 0.0,
+            next_send: start,
+            next_seq: 0,
+            records: Vec::new(),
+            delivered: 0,
+            loss_debt: 0.0,
+            last_backoff: f64::NEG_INFINITY,
+        });
+        self.flows.len() - 1
+    }
+
+    /// Run the chain fluid simulation to completion.
+    pub fn run(mut self) -> SimOutput {
+        let _run_span = ibox_obs::trace_span!("fluid-chain-run");
+        let wall = std::time::Instant::now();
+        let end_s = self.end.as_secs_f64();
+        let n_bins = (end_s / CROSS_BIN_S).ceil() as usize + 1;
+
+        // Enumerate every cross emission up front, per stage, with the
+        // same global-add-order seeds as the packet engine building the
+        // same spec (stage order, `derive_seed(seed, 100 + i)`).
+        let mut cross_log: Vec<Vec<(f64, u32)>> = Vec::new();
+        let mut cross_total = 0u64;
+        let mut stages: Vec<ChainStage> = Vec::new();
+        let mut global_idx = 0u64;
+        for st in &self.spec.stages {
+            let cap_bps = match st.config.rate {
+                RateModelCfg::Constant { rate_bps } => rate_bps,
+                _ => unreachable!("checked in FluidChainSim::new"),
+            };
+            let mut bins = vec![0.0f64; n_bins];
+            let mut any = false;
+            for cfg in &st.cross {
+                let mut src =
+                    CrossSource::new(cfg.clone(), rng::derive_seed(self.seed, 100 + global_idx));
+                global_idx += 1;
+                let mut log = Vec::new();
+                while let Some(ts) = src.next_emission() {
+                    if ts >= self.end {
+                        break;
+                    }
+                    let size = src.emit(ts);
+                    let secs = ts.as_secs_f64();
+                    log.push((secs, size));
+                    bins[((secs / CROSS_BIN_S) as usize).min(n_bins - 1)] +=
+                        f64::from(size) / CROSS_BIN_S;
+                    any = true;
+                    cross_total += 1;
+                }
+                cross_log.push(log);
+            }
+            stages.push(ChainStage {
+                cap_bytes: cap_bps / 8.0,
+                buffer: st.config.buffer_bytes as f64,
+                prop_s: st.config.prop_delay.as_secs_f64(),
+                random_loss: st.config.random_loss,
+                jitter_s: st.config.jitter.map(|j| j.as_secs_f64()),
+                reorder: st
+                    .config
+                    .reorder
+                    .as_ref()
+                    .map(|r| (r.probability, r.extra_min.as_secs_f64(), r.extra_max.as_secs_f64())),
+                cross_bins: if any { bins } else { Vec::new() },
+                q: 0.0,
+                slope: 0.0,
+                drop_frac: 0.0,
+            });
+        }
+        let mut rng_loss = rng::seeded(rng::derive_seed(self.seed, 3));
+        let mut rng_reorder = rng::seeded(rng::derive_seed(self.seed, 4));
+
+        // End-to-end constants: the ack path crosses every stage; the
+        // uncongested RTT adds every propagation leg plus a nominal
+        // serialization at the slowest stage.
+        let ack_s = self.spec.total_ack_delay().as_secs_f64();
+        let prop_sum_s: f64 = stages.iter().map(|s| s.prop_s).sum();
+        let bneck_bytes = stages.iter().map(|s| s.cap_bytes).fold(f64::INFINITY, f64::min);
+        let base_rtt = prop_sum_s + ack_s + 1.5e3 / bneck_bytes;
+        let tick_dt = (base_rtt / 2.0).clamp(5e-4, 1e-2);
+        // Combined per-packet egress loss across the chain.
+        let loss_total = 1.0 - stages.iter().map(|s| 1.0 - s.random_loss).product::<f64>();
+        let any_jitter = stages.iter().any(|s| s.jitter_s.is_some() || s.reorder.is_some());
+
+        // Pre-size the record buffers like the single-queue engine.
+        let nflows = self.flows.len().max(1) as f64;
+        for f in &mut self.flows {
+            let span = (f.cfg.stop.as_secs_f64().min(end_s) - f.cfg.start.as_secs_f64()).max(0.0);
+            let est = bneck_bytes * span / f64::from(f.cfg.packet_size) / nflows * 1.1;
+            f.records.reserve((est as usize).min(1 << 21));
+        }
+
+        let mut t = 0.0f64;
+        let mut next_sample = 0.0f64;
+        let mut samples: Vec<LinkSample> = Vec::new();
+        let mut tallies = ChainTallies { cross: cross_total, ..Default::default() };
+        let mut cross_drop_bytes = 0.0f64;
+        let cross_pkt_bytes = if cross_total > 0 {
+            cross_log.iter().flatten().map(|&(_, s)| f64::from(s)).sum::<f64>() / cross_total as f64
+        } else {
+            0.0
+        };
+
+        while t < end_s {
+            let dt = tick_dt.min(end_s - t);
+            tallies.ticks += 1;
+            if let Some(every) = self.sample_every {
+                while next_sample <= t + 1e-12 && next_sample < end_s {
+                    let q_total: f64 = stages.iter().map(|s| s.q).sum();
+                    self.record_sample(&mut samples, next_sample, q_total, bneck_bytes * 8.0);
+                    next_sample += every.as_secs_f64();
+                }
+            }
+
+            // --- Tandem queue integration over [t, t + dt) ---------------
+            let q_delay: f64 = stages.iter().map(|s| s.q / s.cap_bytes).sum();
+            let rtt_base = base_rtt + q_delay;
+            let flow_bytes: f64 =
+                self.flows.iter().filter(|f| f.active(t)).map(|f| f.rate_bytes(rtt_base)).sum();
+            let mut inflow = flow_bytes;
+            let mut delivered_share = 1.0f64;
+            let mut saturated = false;
+            for s in stages.iter_mut() {
+                inflow += s.cross_rate_at(t);
+                let departs = if s.q > 1e-9 || inflow > s.cap_bytes { s.cap_bytes } else { inflow };
+                let raw_slope = inflow - departs;
+                let q_next = s.q + raw_slope * dt;
+                if q_next > s.buffer {
+                    // Overflow: the excess drops at this stage's tail.
+                    s.drop_frac = if inflow > 0.0 {
+                        ((q_next - s.buffer) / dt / inflow).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    s.slope = (s.buffer - s.q) / dt;
+                    saturated = true;
+                } else {
+                    s.drop_frac = 0.0;
+                    s.slope = if q_next < 0.0 { -s.q / dt } else { raw_slope };
+                }
+                if inflow > s.cap_bytes {
+                    delivered_share = delivered_share.min(s.cap_bytes / inflow);
+                }
+                // Downstream sees what this stage actually serves.
+                inflow = departs.min(inflow * (1.0 - s.drop_frac));
+            }
+            let drop_frac_total = 1.0 - stages.iter().map(|s| 1.0 - s.drop_frac).product::<f64>();
+
+            // --- Law advance ---------------------------------------------
+            for f in self.flows.iter_mut() {
+                if !f.active(t) {
+                    continue;
+                }
+                let pkt_bits = f64::from(f.cfg.packet_size) * 8.0;
+                let rtt = rtt_base + pkt_bits / (bneck_bytes * 8.0);
+                f.srtt = if f.srtt == 0.0 { rtt } else { 0.875 * f.srtt + 0.125 * rtt };
+                let r_bits = f.rate_bytes(rtt) * 8.0;
+                let delivered = r_bits * delivered_share;
+                let srtt = f.srtt;
+                f.law.advance(dt, srtt, delivered);
+            }
+
+            // --- Emit packet records across [t, t + dt) ------------------
+            // Per-packet delay is affine in the send time: the sum over
+            // stages of (q_k + slope_k·(ts − t) + size) / cap_k + prop_k.
+            let delay_a: f64 = stages.iter().map(|s| s.q / s.cap_bytes).sum::<f64>() + prop_sum_s;
+            let delay_b: f64 = stages.iter().map(|s| s.slope / s.cap_bytes).sum();
+            let size_factor: f64 = stages.iter().map(|s| 1.0 / s.cap_bytes).sum();
+            let seg_end = t + dt;
+            for f in self.flows.iter_mut() {
+                if !f.active(t) {
+                    continue;
+                }
+                let pkt_bits = f64::from(f.cfg.packet_size) * 8.0;
+                let rtt = rtt_base + pkt_bits / (bneck_bytes * 8.0);
+                let rate = f.rate_bytes(rtt);
+                let spacing = f64::from(f.cfg.packet_size) / rate;
+                let stop = f.cfg.stop.as_secs_f64();
+                let size = f.cfg.packet_size;
+                let sizef = f64::from(size);
+                let base_delay_ns = (delay_a + sizef * size_factor) * 1e9;
+                while f.next_send < seg_end && f.next_send < stop {
+                    let ts = f.next_send;
+                    f.next_send += spacing;
+                    let seq = f.next_seq;
+                    f.next_seq += 1;
+                    let send_ns = (ts * 1e9).round() as u64;
+                    if saturated {
+                        f.loss_debt += drop_frac_total;
+                        if f.loss_debt >= 1.0 {
+                            f.loss_debt -= 1.0;
+                            tallies.queue_drops += 1;
+                            f.records.push(PacketRecord::lost(seq, send_ns, size));
+                            if ts - f.last_backoff >= f.srtt {
+                                f.law.on_loss();
+                                f.last_backoff = ts;
+                            }
+                            continue;
+                        }
+                    }
+                    if loss_total > 0.0 && rng::coin(&mut rng_loss, loss_total) {
+                        tallies.dropped_random += 1;
+                        f.records.push(PacketRecord::lost(seq, send_ns, size));
+                        continue;
+                    }
+                    let mut delay_ns = base_delay_ns + delay_b * (ts - t) * 1e9;
+                    if any_jitter {
+                        let mut reordered = false;
+                        for s in &stages {
+                            if let Some(j) = s.jitter_s {
+                                delay_ns += rng::uniform(&mut rng_reorder, 0.0, j) * 1e9;
+                            }
+                            if let Some((p, lo, hi)) = s.reorder {
+                                if rng::coin(&mut rng_reorder, p) {
+                                    delay_ns += rng::uniform(&mut rng_reorder, lo, hi) * 1e9;
+                                    reordered = true;
+                                }
+                            }
+                        }
+                        if reordered {
+                            tallies.reordered += 1;
+                        }
+                    }
+                    let recv_ns = send_ns + delay_ns.round() as u64;
+                    f.records.push(PacketRecord::delivered(seq, send_ns, size, recv_ns));
+                    f.delivered += 1;
+                }
+            }
+            if saturated && cross_pkt_bytes > 0.0 {
+                for s in &stages {
+                    cross_drop_bytes += s.cross_rate_at(t) * dt * s.drop_frac;
+                }
+            }
+
+            // --- Advance queues and the clock ----------------------------
+            for s in stages.iter_mut() {
+                s.q = (s.q + s.slope * dt).clamp(0.0, s.buffer);
+            }
+            let q_total: f64 = stages.iter().map(|s| s.q).sum();
+            tallies.hwm = tallies.hwm.max(q_total);
+            t = seg_end;
+        }
+
+        if cross_pkt_bytes > 0.0 {
+            tallies.queue_drops += (cross_drop_bytes / cross_pkt_bytes).round() as u64;
+        }
+        self.finish(cross_log, samples, tallies, wall.elapsed().as_secs_f64())
+    }
+
+    fn record_sample(&self, samples: &mut Vec<LinkSample>, ts: f64, q: f64, rate_bps: f64) {
+        let queue_bytes = q.round().max(0.0) as u64;
+        samples.push(LinkSample { t: SimTime::from_secs_f64(ts), queue_bytes, rate_bps });
+        self.metrics.histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
+        if self.report_global {
+            ibox_obs::global().histogram("sim.queue_depth_bytes").record(queue_bytes as f64);
+        }
+    }
+
+    fn finish(
+        self,
+        cross_log: Vec<Vec<(f64, u32)>>,
+        samples: Vec<LinkSample>,
+        tallies: ChainTallies,
+        elapsed_s: f64,
+    ) -> SimOutput {
+        let mut traces = Vec::new();
+        let mut flow_stats = Vec::new();
+        let mut sent = 0u64;
+        let mut delivered = 0u64;
+        for f in self.flows {
+            let fsent = f.records.len() as u64;
+            let fdel = f.delivered;
+            sent += fsent;
+            delivered += fdel;
+            flow_stats.push(FlowStats {
+                label: f.cfg.label.clone(),
+                cc_name: f.law.name().to_string(),
+                sent: fsent,
+                delivered: fdel,
+                lost: fsent - fdel,
+            });
+            if f.cfg.record {
+                let meta = FlowMeta::new(self.path_name.clone(), f.law.name(), f.cfg.label);
+                traces.push(FlowTrace::from_records(meta, f.records));
+            }
+        }
+        self.metrics.counter("sim.packets_sent").add(sent);
+        self.metrics.counter("sim.packets_delivered").add(delivered);
+        self.metrics.counter("sim.packets_dropped_random").add(tallies.dropped_random);
+        self.metrics.counter("sim.packets_dropped_aqm").add(0);
+        self.metrics.counter("sim.packets_reordered").add(tallies.reordered);
+        self.metrics.counter("sim.cross_packets_emitted").add(tallies.cross);
+        self.metrics.counter("sim.packets_dropped_buffer").add(tallies.queue_drops);
+        self.metrics.gauge("sim.queue_depth_hwm_bytes").record_max(tallies.hwm);
+        self.metrics.counter("fluid.ticks").add(tallies.ticks);
+        self.metrics.counter("fluid.chain_stages").add(self.spec.len() as u64);
+        self.metrics.gauge("fluid.wall_time_ms").set(elapsed_s * 1e3);
+        self.metrics.gauge("fluid.packets_per_sec").set(sent as f64 / elapsed_s.max(1e-9));
+        let metrics = self.metrics.snapshot();
+        if self.report_global {
+            ibox_obs::global().absorb(&metrics);
+        }
+        SimOutput {
+            traces,
+            flow_stats,
+            cross_emissions: cross_log,
+            link_samples: samples,
+            queue_drops: tallies.queue_drops,
+            metrics,
+        }
+    }
+}
+
+/// Single-run tallies, flushed into the metrics registry at the end.
+#[derive(Default)]
+struct ChainTallies {
+    dropped_random: u64,
+    reordered: u64,
+    cross: u64,
+    queue_drops: u64,
+    hwm: f64,
+    ticks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PathConfig, PathStage};
+    use crate::crosstraffic::CrossTrafficCfg;
+    use ibox_trace::metrics::avg_rate_mbps;
+
+    fn two_stage(bneck_bps: f64) -> PathSpec {
+        PathSpec::from_stages(vec![
+            PathStage::new(PathConfig::simple(20e6, SimTime::from_millis(5), 150_000)),
+            PathStage::new(PathConfig::simple(bneck_bps, SimTime::from_millis(15), 80_000)),
+        ])
+    }
+
+    fn run(spec: PathSpec, law: FluidLaw, secs: u64, seed: u64) -> SimOutput {
+        let dur = SimTime::from_secs(secs);
+        let mut sim = FluidChainSim::new(spec, dur, seed);
+        sim.set_report_global(false);
+        sim.add_flow(FlowConfig::bulk("m", dur), law);
+        sim.run()
+    }
+
+    #[test]
+    fn saturates_the_slowest_stage() {
+        let out = run(two_stage(8e6), FluidLaw::by_name("cubic").unwrap(), 10, 1);
+        let rate = avg_rate_mbps(out.trace("m").unwrap());
+        assert!((rate - 8.0).abs() < 1.0, "rate = {rate} Mbps");
+    }
+
+    #[test]
+    fn min_delay_crosses_every_stage() {
+        let out = run(two_stage(8e6), FluidLaw::by_name("vegas").unwrap(), 5, 1);
+        let min_ms = out.trace("m").unwrap().min_delay_ns().unwrap() as f64 / 1e6;
+        // At least the 20 ms of summed propagation plus some serialization.
+        assert!(min_ms > 20.0, "min delay = {min_ms} ms");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut spec = two_stage(6e6);
+            spec.stages[0].config.jitter = Some(SimTime::from_micros(400));
+            spec.stages[1].config.random_loss = 0.01;
+            spec.stages[1].cross.push(CrossTrafficCfg::cbr(
+                1e6,
+                SimTime::from_secs(1),
+                SimTime::from_secs(5),
+            ));
+            run(spec, FluidLaw::by_name("cubic").unwrap(), 6, 42)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.traces, b.traces);
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+    }
+
+    #[test]
+    fn never_emits_packet_engine_event_counters() {
+        let out = run(two_stage(8e6), FluidLaw::by_name("cubic").unwrap(), 3, 1);
+        assert_eq!(out.metrics.counters.get("sim.events_processed").copied().unwrap_or(0), 0);
+        assert!(out.metrics.counters["sim.packets_sent"] > 0);
+    }
+
+    #[test]
+    fn cross_traffic_inflates_delay_at_its_stage() {
+        let base = run(two_stage(6e6), FluidLaw::fixed_rate(3e6), 10, 5);
+        let mut spec = two_stage(6e6);
+        // 3 + 3.5 Mbps demand on the 6 Mbps second stage: standing queue.
+        spec.stages[1].cross.push(CrossTrafficCfg::cbr(
+            3.5e6,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        ));
+        let loaded = run(spec, FluidLaw::fixed_rate(3e6), 10, 5);
+        let p95 = |o: &SimOutput| {
+            ibox_trace::metrics::delay_percentile_ms(o.trace("m").unwrap(), 0.95).unwrap()
+        };
+        assert!(
+            p95(&loaded) > p95(&base) + 5.0,
+            "cross traffic should add queueing delay: {} -> {}",
+            p95(&base),
+            p95(&loaded)
+        );
+    }
+
+    #[test]
+    fn overflow_drops_and_backs_off() {
+        // CBR at 2x the bottleneck into a small buffer: sustained loss.
+        let mut spec = two_stage(4e6);
+        spec.stages[1].config.buffer_bytes = 20_000;
+        let out = run(spec, FluidLaw::fixed_rate(8e6), 10, 3);
+        let loss = out.trace("m").unwrap().loss_rate();
+        assert!(loss > 0.3, "loss = {loss}");
+        assert!(out.queue_drops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot model")]
+    fn non_fifo_stage_rejected() {
+        let mut spec = two_stage(8e6);
+        spec.stages[0].config.scheduler = crate::queue::SchedulerKind::Codel {
+            target: SimTime::from_millis(5),
+            interval: SimTime::from_millis(100),
+        };
+        FluidChainSim::new(spec, SimTime::from_secs(1), 1);
+    }
+}

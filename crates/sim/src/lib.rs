@@ -34,7 +34,10 @@
 //! * [`rate::RateModel`] — constant / trace-driven / Markov-cellular /
 //!   token-bucket link capacity.
 //! * [`queue::BottleneckQueue`] — byte-accounted DropTail, FIFO or
-//!   proportional-fair with fading.
+//!   proportional-fair with fading, optionally AQM-managed (CoDel, PIE).
+//! * [`config::PathSpec`] — an ordered chain of bottleneck stages;
+//!   departure from stage `k` is arrival at stage `k + 1`. One-stage
+//!   chains are byte-identical to the classic single-bottleneck path.
 //! * [`crosstraffic::CrossSource`] — CBR, on-off, Poisson, and replayed
 //!   byte-series cross traffic (the latter carries iBoxNet's estimated `C`).
 //! * [`emulator::PathEmulator`] — "run sender X over path P" convenience.
@@ -53,19 +56,22 @@ pub mod emulator;
 pub mod engine;
 pub mod flow;
 pub mod fluid;
+pub mod fluid_chain;
 pub mod output;
 pub mod packet;
+pub mod pie;
 pub mod queue;
 pub mod rate;
 pub mod rng;
 pub mod time;
 
 pub use cc::{AckEvent, CongestionControl, CongestionSignal, FixedRate, FixedWindow};
-pub use config::{FlowConfig, PathConfig, ReorderCfg, DEFAULT_PACKET_SIZE};
+pub use config::{FlowConfig, PathConfig, PathSpec, PathStage, ReorderCfg, DEFAULT_PACKET_SIZE};
 pub use crosstraffic::{CrossTrafficCfg, CT_PACKET_SIZE};
 pub use emulator::PathEmulator;
 pub use engine::Simulation;
 pub use fluid::{FluidLaw, FluidSim};
+pub use fluid_chain::FluidChainSim;
 pub use output::{FlowStats, LinkSample, SimOutput};
 pub use packet::{Packet, PacketFate, StreamId};
 pub use queue::SchedulerKind;

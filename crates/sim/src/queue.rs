@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::codel::{Codel, CodelVerdict};
 use crate::packet::{Packet, StreamId};
+use crate::pie::Pie;
 use crate::rng;
 use crate::time::SimTime;
 
@@ -43,6 +44,15 @@ pub enum SchedulerKind {
         /// Control interval (classic value: 100 ms).
         interval: SimTime,
     },
+    /// FIFO order with PIE active queue management: arrivals are dropped
+    /// probabilistically, with the probability driven toward keeping the
+    /// estimated queueing delay at `target` (see [`crate::pie`]).
+    Pie {
+        /// Queueing-delay target (classic value: 15 ms).
+        target: SimTime,
+        /// Drop-probability update period (classic value: 16 ms).
+        update_interval: SimTime,
+    },
 }
 
 /// Outcome of an enqueue attempt.
@@ -52,6 +62,9 @@ pub enum EnqueueResult {
     Queued,
     /// Packet dropped: admitting it would exceed the byte buffer.
     Dropped,
+    /// Packet dropped by an enqueue-time AQM decision (PIE early drop)
+    /// while buffer space remained.
+    DroppedAqm,
 }
 
 /// A packet selected for service, with the rate multiplier the scheduler
@@ -74,6 +87,8 @@ pub struct BottleneckQueue {
     fifo: VecDeque<(Packet, SimTime)>,
     /// CoDel controller (present only under `SchedulerKind::Codel`).
     codel: Option<Codel>,
+    /// PIE controller (present only under `SchedulerKind::Pie`).
+    pie: Option<Pie>,
     /// Packets CoDel dropped at dequeue since the last collection — the
     /// engine pops and records their fates, so the buffer's capacity is
     /// reused for the whole run.
@@ -101,6 +116,12 @@ impl BottleneckQueue {
             SchedulerKind::Codel { target, interval } => Some(Codel::new(target, interval)),
             _ => None,
         };
+        let pie = match kind {
+            SchedulerKind::Pie { target, update_interval } => {
+                Some(Pie::new(target, update_interval))
+            }
+            _ => None,
+        };
         // Size the FIFO for a buffer full of default-sized packets so
         // steady-state enqueues never reallocate (smaller packets can still
         // grow it past this hint).
@@ -112,6 +133,7 @@ impl BottleneckQueue {
             occupied_bytes: 0,
             fifo: VecDeque::with_capacity(fifo_hint),
             codel,
+            pie,
             dequeue_drops: VecDeque::new(),
             pf_queues: Vec::new(),
             pf_avg_tput: Vec::new(),
@@ -123,16 +145,24 @@ impl BottleneckQueue {
     }
 
     /// Attempt to enqueue a packet at time `now` (DropTail on byte
-    /// overflow, all disciplines).
+    /// overflow, all disciplines; PIE may additionally early-drop while
+    /// space remains).
     pub fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueResult {
         if self.occupied_bytes + u64::from(packet.size) > self.buffer_bytes {
             self.drops += 1;
             return EnqueueResult::Dropped;
         }
+        if let Some(pie) = self.pie.as_mut() {
+            let p = pie.drop_probability(now, self.occupied_bytes);
+            if p > 0.0 && rng::coin(&mut self.rng, p) {
+                self.drops += 1;
+                return EnqueueResult::DroppedAqm;
+            }
+        }
         self.occupied_bytes += u64::from(packet.size);
         self.enqueued += 1;
         match self.kind {
-            SchedulerKind::Fifo | SchedulerKind::Codel { .. } => {
+            SchedulerKind::Fifo | SchedulerKind::Codel { .. } | SchedulerKind::Pie { .. } => {
                 self.fifo.push_back((packet, now));
             }
             SchedulerKind::ProportionalFair { .. } => {
@@ -154,6 +184,11 @@ impl BottleneckQueue {
                 ServiceGrant { packet, rate_multiplier: 1.0 }
             }),
             SchedulerKind::Codel { .. } => self.codel_dequeue(now),
+            SchedulerKind::Pie { .. } => self.fifo.pop_front().map(|(packet, _)| {
+                self.occupied_bytes -= u64::from(packet.size);
+                self.pie.as_mut().expect("pie state exists").on_dequeue(packet.size);
+                ServiceGrant { packet, rate_multiplier: 1.0 }
+            }),
             SchedulerKind::ProportionalFair { fading } => self.pf_dequeue(fading),
         }
     }
@@ -349,6 +384,52 @@ mod tests {
             }
             last = Some(g.packet.seq);
         }
+    }
+
+    #[test]
+    fn pie_early_drops_under_standing_backlog() {
+        let kind = SchedulerKind::Pie {
+            target: SimTime::from_millis(15),
+            update_interval: SimTime::from_millis(16),
+        };
+        // Deep enough that tail drop never engages: the thinning must all
+        // come from PIE's early drops.
+        let mut q = BottleneckQueue::new(kind, 10_000_000, 5);
+        // Arrivals at 2x the service rate: a standing queue PIE must
+        // start thinning with early drops (space never runs out).
+        let mut aqm_drops = 0u64;
+        let mut t = SimTime::ZERO;
+        let mut seq = 0u64;
+        for _ in 0..20_000 {
+            for _ in 0..2 {
+                match q.enqueue(pkt(StreamId::Flow(0), seq, 1000), t) {
+                    EnqueueResult::Queued => {}
+                    EnqueueResult::DroppedAqm => aqm_drops += 1,
+                    EnqueueResult::Dropped => panic!("buffer must not overflow"),
+                }
+                seq += 1;
+            }
+            let _ = q.dequeue(t);
+            t += SimTime::from_micros(500);
+        }
+        assert!(aqm_drops > 100, "aqm drops = {aqm_drops}");
+        assert_eq!(q.drop_count(), aqm_drops);
+    }
+
+    #[test]
+    fn pie_is_inert_without_congestion() {
+        let kind = SchedulerKind::Pie {
+            target: SimTime::from_millis(15),
+            update_interval: SimTime::from_millis(16),
+        };
+        let mut q = BottleneckQueue::new(kind, 100_000, 5);
+        let mut t = SimTime::ZERO;
+        for seq in 0..5_000 {
+            assert_eq!(q.enqueue(pkt(StreamId::Flow(0), seq, 1000), t), EnqueueResult::Queued);
+            assert_eq!(q.dequeue(t).unwrap().packet.seq, seq);
+            t += SimTime::from_millis(1);
+        }
+        assert_eq!(q.drop_count(), 0);
     }
 
     #[test]

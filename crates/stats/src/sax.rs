@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn constant_series_is_single_symbol() {
         let enc = SaxEncoder::classic(SaxConfig::default());
-        let symbols = enc.encode(&vec![5.0; 20]);
+        let symbols = enc.encode(&[5.0; 20]);
         assert!(symbols.windows(2).all(|w| w[0] == w[1]));
     }
 

@@ -13,7 +13,7 @@
 //! input-output trace alone.
 
 use ibox_cc::{by_name, Cubic};
-use ibox_sim::{CongestionControl, FlowConfig, PathConfig, PathEmulator, SimTime};
+use ibox_sim::{CongestionControl, FlowConfig, PathConfig, PathEmulator, PathSpec, SimTime};
 use ibox_trace::FlowTrace;
 
 /// The three cross-traffic timings: `(start, stop)` of the 10 s Cubic
@@ -58,7 +58,7 @@ impl InstanceScenario {
 /// in the emulator execution").
 pub fn run_instance(scenario: &InstanceScenario, protocol: &str, seed: u64) -> FlowTrace {
     let (ct_start, ct_stop) = scenario.cross_schedule();
-    let emu = PathEmulator::new(scenario.path.clone(), INSTANCE_DURATION)
+    let emu = PathEmulator::from_spec(PathSpec::single(scenario.path.clone()), INSTANCE_DURATION)
         .with_name(format!("instance-p{}", scenario.pattern));
     let main_cc = by_name(protocol)
         .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));

@@ -14,7 +14,10 @@
 //! * [`profile`] — randomized path profiles. `IndiaCellular` is a
 //!   Markov-modulated (optionally proportional-fair) bottleneck with
 //!   hidden cross traffic and mild reordering; `Ethernet` is a fast, clean
-//!   constant path; `TokenBucketWifi` is a burst-regulated link.
+//!   constant path; `TokenBucketWifi` is a burst-regulated link. The
+//!   composed profiles — `Wifi` (2 stages), `Satellite` (3 stages),
+//!   `CellularHandover` (2 stages) — sample multi-stage chains with
+//!   rate-step schedules instead of a single bottleneck.
 //! * [`pantheon`] — dataset generation: N runs of a protocol over
 //!   randomized instances of a profile, paired across protocols the way
 //!   Pantheon runs its A/B measurements on the same path.

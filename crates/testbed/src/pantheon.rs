@@ -29,10 +29,10 @@ pub fn run_protocol(
 ) -> FlowTrace {
     let cc = by_name(protocol)
         .unwrap_or_else(|| panic!("unknown congestion-control protocol {protocol:?}"));
-    let mut emu = PathEmulator::new(inst.path.clone(), duration).with_name(inst.name.clone());
-    for c in &inst.cross {
-        emu = emu.with_cross_traffic(c.clone());
-    }
+    // The instance's full stage chain: identical to the legacy
+    // single-bottleneck construction for 1-stage profiles, and the whole
+    // pipeline for composed ones.
+    let emu = PathEmulator::from_spec(inst.spec(), duration).with_name(inst.name.clone());
     let out = emu.run_sender(cc, format!("run{seed}"), seed);
     out.traces.into_iter().next().expect("one recorded flow").normalized()
 }
@@ -178,6 +178,26 @@ mod tests {
     fn unknown_protocol_panics() {
         let inst = Profile::Ethernet.sample(1, SHORT);
         run_protocol(&inst, "nope", SHORT, 1);
+    }
+
+    #[test]
+    fn composed_profiles_generate_multi_hop_traces_jobs_invariantly() {
+        for p in [Profile::Wifi, Profile::Satellite, Profile::CellularHandover] {
+            let serial = generate_dataset(p, "cubic", 3, SHORT, 40);
+            let parallel = generate_dataset_jobs(p, "cubic", 3, SHORT, 40, 3);
+            assert_eq!(serial, parallel, "{} must be jobs-invariant", p.name());
+            for t in &serial.traces {
+                assert!(t.len() > 200, "{}: packets = {}", p.name(), t.len());
+            }
+        }
+        // The GEO chain's delay floor is the summed propagation of all
+        // three stages — dominated by the ~270 ms space segment.
+        let sat = generate_dataset(Profile::Satellite, "cubic", 1, SHORT, 41);
+        let min_delay = sat.traces[0].min_delay_ns().unwrap();
+        assert!(
+            min_delay >= 250_000_000,
+            "satellite min delay must cross the GEO hop: {min_delay} ns"
+        );
     }
 
     #[test]

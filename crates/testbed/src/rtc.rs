@@ -3,7 +3,9 @@
 
 use ibox_cc::RtcController;
 use ibox_sim::rng::{self, uniform};
-use ibox_sim::{CrossTrafficCfg, FixedRate, PathConfig, PathEmulator, RateModelCfg, SimTime};
+use ibox_sim::{
+    CrossTrafficCfg, FixedRate, PathConfig, PathEmulator, PathSpec, RateModelCfg, SimTime,
+};
 use ibox_trace::{FlowTrace, TraceDataset};
 
 /// Length of one synthetic conference call.
@@ -48,7 +50,7 @@ pub fn generate_calls(n: usize, base_seed: u64) -> TraceDataset {
                 start: SimTime::from_secs_f64(uniform(&mut r, 0.0, 10.0)),
                 stop: CALL_DURATION,
             };
-            let emu = PathEmulator::new(path, CALL_DURATION)
+            let emu = PathEmulator::from_spec(PathSpec::single(path), CALL_DURATION)
                 .with_name(format!("rtc-call#{seed}"))
                 .with_cross_traffic(cross);
             let out =
@@ -106,7 +108,8 @@ fn run_bias(ct_fraction: f64, duration: SimTime, seed: u64, sender: BiasSender) 
     assert!((0.0..2.0).contains(&ct_fraction), "cross fraction out of range");
     let path = bias_topology();
     let link = path.rate.mean_rate_bps();
-    let mut emu = PathEmulator::new(path, duration).with_name(format!("bias-ct{ct_fraction:.2}"));
+    let mut emu = PathEmulator::from_spec(PathSpec::single(path), duration)
+        .with_name(format!("bias-ct{ct_fraction:.2}"));
     if ct_fraction > 0.0 {
         emu = emu.with_cross_traffic(CrossTrafficCfg::OnOff {
             rate_bps: ct_fraction * link,

@@ -20,14 +20,16 @@ fn main() {
     // --- 1. The "real" network: 8 Mbps, 30 ms, 120 KB buffer, plus a
     // 2 Mbps cross-traffic burst in the middle that iBox must discover.
     let duration = SimTime::from_secs(20);
-    let real_network =
-        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
-            .with_name("real-path")
-            .with_cross_traffic(CrossTrafficCfg::cbr(
-                2e6,
-                SimTime::from_secs(5),
-                SimTime::from_secs(15),
-            ));
+    let real_network = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
+        duration,
+    )
+    .with_name("real-path")
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        2e6,
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    ));
 
     println!("measuring cubic on the real network…");
     let out = real_network.run_sender(Box::new(Cubic::new()), "measure", 1);

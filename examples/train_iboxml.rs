@@ -18,14 +18,16 @@ use ibox_trace::metrics::delay_percentile_ms;
 use ibox_trace::FlowTrace;
 
 fn measure(seed: u64, duration: SimTime) -> FlowTrace {
-    let emu =
-        PathEmulator::new(PathConfig::simple(6e6, SimTime::from_millis(25), 90_000), duration)
-            .with_name("ml-demo")
-            .with_cross_traffic(CrossTrafficCfg::cbr(
-                1.5e6,
-                SimTime::from_secs(3),
-                SimTime::from_secs(9),
-            ));
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 90_000)),
+        duration,
+    )
+    .with_name("ml-demo")
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        1.5e6,
+        SimTime::from_secs(3),
+        SimTime::from_secs(9),
+    ));
     emu.run_sender(Box::new(Cubic::new()), "m", seed)
         .traces
         .into_iter()

@@ -10,10 +10,13 @@
 # traced fit (`--trace-id` → `GET /trace/<id>`) and the prometheus
 # metrics exposition, plus a `--fidelity flow` replay smoke (explicit
 # `--fidelity packet` must stay byte-identical to the default).
-# --perf additionally runs the release `perf`, `trace`, `infer`, and
-# `flow` binaries in quick mode and fails on a >20% throughput
-# regression vs the committed BENCH_perf.json / BENCH_trace.json /
-# BENCH_infer.json / BENCH_flow.json.
+# --quick also smoke-tests composed paths: a 2-stage `--path` replay at
+# packet and flow fidelity, plus a legacy schema-1 artifact replayed
+# byte-identically to its schema-2 default.
+# --perf additionally runs the release `perf`, `trace`, `infer`,
+# `flow`, and `path` binaries in quick mode and fails on a regression
+# vs the committed BENCH_perf.json / BENCH_trace.json /
+# BENCH_infer.json / BENCH_flow.json / BENCH_path.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +68,14 @@ gate 'Instant::now\(' crates/serve/src \
     "raw Instant::now() timing in ibox-serve — use ibox_obs::Stopwatch or span! so the timing is observable"
 gate 'Instant::now\(' crates/runner/src \
     "raw Instant::now() timing in ibox-runner — use ibox_obs::Stopwatch or span! so the timing is observable"
+# The chained-path refactor: outside the simulator, paths are composed
+# through PathSpec (PathEmulator::from_spec). Direct single-bottleneck
+# construction is a crates/sim implementation detail.
+if grep -rn --include='*.rs' --exclude-dir=sim -E 'PathEmulator::new\(' crates tests examples > /dev/null 2>&1; then
+    echo "FAIL: direct PathEmulator::new( outside crates/sim — build a PathSpec and use PathEmulator::from_spec" >&2
+    grep -rn --include='*.rs' --exclude-dir=sim -E 'PathEmulator::new\(' crates tests examples >&2
+    exit 1
+fi
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
@@ -116,6 +127,40 @@ EOF
     cmp -s "$tmp/replay-pkt.json" "$tmp/replay-flow.json" \
         && { echo "FAIL: --fidelity flow returned the packet engine's bytes" >&2; exit 1; }
     echo "fidelity smoke passed"
+
+    echo "==> path smoke: 2-stage composed replay at packet and flow fidelity"
+    cat > "$tmp/chain.json" << 'EOF'
+[
+  {"rate_bps": 12e6, "prop_delay_ms": 10, "buffer_bytes": 150000},
+  {"rate_bps": 40e6, "prop_delay_ms": 4, "buffer_bytes": 300000}
+]
+EOF
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 \
+        --path "$tmp/chain.json" -o "$tmp/replay-chain-pkt.json"
+    grep -q '"records"' "$tmp/replay-chain-pkt.json" \
+        || { echo "FAIL: composed-path replay wrote no trace records" >&2; exit 1; }
+    # The chain reshapes the replay: its bytes must differ from the flat
+    # single-bottleneck replay of the same (protocol, duration, seed).
+    cmp -s "$tmp/replay-pkt.json" "$tmp/replay-chain-pkt.json" \
+        && { echo "FAIL: --path replay returned the single-bottleneck bytes" >&2; exit 1; }
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 \
+        --path "$tmp/chain.json" -o "$tmp/replay-chain-pkt2.json"
+    cmp "$tmp/replay-chain-pkt.json" "$tmp/replay-chain-pkt2.json" \
+        || { echo "FAIL: composed-path replay is not deterministic" >&2; exit 1; }
+    run ./target/release/ibox replay "$tmp/model.json" --protocol cubic --duration 4 --seed 9 \
+        --path "$tmp/chain.json" --fidelity flow -o "$tmp/replay-chain-flow.json"
+    grep -q '"records"' "$tmp/replay-chain-flow.json" \
+        || { echo "FAIL: flow-fidelity composed replay wrote no trace records" >&2; exit 1; }
+    cmp -s "$tmp/replay-chain-pkt.json" "$tmp/replay-chain-flow.json" \
+        && { echo "FAIL: flow fidelity over the chain returned the packet engine's bytes" >&2; exit 1; }
+    # Legacy contract: a schema-1 single-bottleneck artifact replays
+    # byte-identically to the schema-2 default.
+    sed 's/"schema":2/"schema":1/' "$tmp/model.json" > "$tmp/model-v1.json"
+    run ./target/release/ibox replay "$tmp/model-v1.json" --protocol vegas --duration 4 --seed 9 \
+        -o "$tmp/replay-v1.json"
+    cmp "$tmp/replay1.json" "$tmp/replay-v1.json" \
+        || { echo "FAIL: a schema-1 artifact did not replay byte-identically to schema 2" >&2; exit 1; }
+    echo "path smoke passed"
 
     echo "==> serve smoke: fit + replay over HTTP, byte-identical to offline replay"
     ./target/release/ibox serve --addr 127.0.0.1:0 --jobs 2 --model-cache "$tmp/mcache" \
@@ -195,6 +240,9 @@ if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
     echo "==> fidelity smoke: quick flow-vs-packet bench vs committed BENCH_flow.json"
     (cd "$perf_tmp" && run "$repo/target/release/flow" --quick --baseline "$repo/BENCH_flow.json")
     echo "fidelity bench smoke passed"
+    echo "==> path smoke: quick per-stage-count bench vs committed BENCH_path.json"
+    (cd "$perf_tmp" && run "$repo/target/release/path" --quick --baseline "$repo/BENCH_path.json")
+    echo "path bench smoke passed"
 fi
 
 echo "all checks passed"

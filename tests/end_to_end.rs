@@ -14,14 +14,16 @@ use ibox_trace::metrics::{avg_rate_mbps, delay_percentile_ms};
 #[test]
 fn estimation_pipeline_recovers_known_path() {
     let duration = SimTime::from_secs(20);
-    let emu =
-        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
-            .with_name("known")
-            .with_cross_traffic(CrossTrafficCfg::cbr(
-                2e6,
-                SimTime::from_secs(5),
-                SimTime::from_secs(15),
-            ));
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
+        duration,
+    )
+    .with_name("known")
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        2e6,
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    ));
     let gt = emu.run_sender(Box::new(Cubic::new()), "m", 1).trace("m").unwrap().normalized();
     let model = IBoxNet::fit(&gt);
 
@@ -53,13 +55,15 @@ fn estimation_pipeline_recovers_known_path() {
 #[test]
 fn counterfactual_vegas_matches_reality() {
     let duration = SimTime::from_secs(20);
-    let emu =
-        PathEmulator::new(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000), duration)
-            .with_cross_traffic(CrossTrafficCfg::cbr(
-                2e6,
-                SimTime::from_secs(5),
-                SimTime::from_secs(15),
-            ));
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(8e6, SimTime::from_millis(30), 120_000)),
+        duration,
+    )
+    .with_cross_traffic(CrossTrafficCfg::cbr(
+        2e6,
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    ));
     let cubic_gt = emu.run_sender(Box::new(Cubic::new()), "m", 1).trace("m").unwrap().normalized();
     let vegas_gt =
         emu.run_sender(ibox_cc::by_name("vegas").unwrap(), "m", 1).trace("m").unwrap().normalized();
@@ -78,8 +82,10 @@ fn counterfactual_vegas_matches_reality() {
 #[test]
 fn profile_roundtrip_preserves_simulation() {
     let duration = SimTime::from_secs(10);
-    let emu =
-        PathEmulator::new(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000), duration);
+    let emu = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(6e6, SimTime::from_millis(25), 80_000)),
+        duration,
+    );
     let gt = emu.run_sender(Box::new(Cubic::new()), "m", 2).trace("m").unwrap().normalized();
     let model = IBoxNet::fit(&gt);
     let restored = IBoxNet::from_json(&model.to_json()).unwrap();
@@ -110,7 +116,7 @@ fn statistical_baseline_is_loss_calibrated() {
     let duration = SimTime::from_secs(12);
     let mut path = PathConfig::simple(6e6, SimTime::from_millis(25), 80_000);
     path.random_loss = 0.02;
-    let emu = PathEmulator::new(path, duration);
+    let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), duration);
     let gt = emu.run_sender(Box::new(Cubic::new()), "m", 3).trace("m").unwrap().normalized();
     let model = StatisticalLossModel::fit(&gt);
     assert!((model.loss_rate - gt.loss_rate()).abs() < 1e-9);

@@ -34,8 +34,12 @@ fn quick_ml_cfg() -> IBoxMlConfig {
 fn fixed_path_traces(n: usize, secs: u64) -> Vec<FlowTrace> {
     (0..n)
         .map(|i| {
-            let emu = PathEmulator::new(
-                PathConfig::simple(6e6, SimTime::from_millis(25), 80_000),
+            let emu = PathEmulator::from_spec(
+                ibox_sim::PathSpec::single(PathConfig::simple(
+                    6e6,
+                    SimTime::from_millis(25),
+                    80_000,
+                )),
                 SimTime::from_secs(secs),
             )
             .with_name("fixed");
@@ -111,17 +115,20 @@ fn reorder_rates_land_in_the_right_decade() {
     });
     let gt: Vec<FlowTrace> = (0..2)
         .map(|i| {
-            PathEmulator::new(path.clone(), SimTime::from_secs(12))
-                .run_sender(Box::new(Cubic::new()), "m", i)
-                .traces
-                .into_iter()
-                .next()
-                .unwrap()
-                .normalized()
+            PathEmulator::from_spec(
+                ibox_sim::PathSpec::single(path.clone()),
+                SimTime::from_secs(12),
+            )
+            .run_sender(Box::new(Cubic::new()), "m", i)
+            .traces
+            .into_iter()
+            .next()
+            .unwrap()
+            .normalized()
         })
         .collect();
-    let base = PathEmulator::new(
-        PathConfig::simple(7e6, SimTime::from_millis(25), 90_000),
+    let base = PathEmulator::from_spec(
+        ibox_sim::PathSpec::single(PathConfig::simple(7e6, SimTime::from_millis(25), 90_000)),
         SimTime::from_secs(12),
     )
     .run_sender(Box::new(Cubic::new()), "m", 9)

@@ -26,7 +26,7 @@ proptest! {
             SimTime::from_millis(delay_ms),
             buffer_kb * 1000,
         );
-        let emu = PathEmulator::new(path, SimTime::from_secs(4));
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(4));
         let out = emu.run_sender(Box::new(FixedWindow::new(window)), "p", seed);
         let stats = &out.flow_stats[0];
         prop_assert_eq!(stats.sent, stats.delivered + stats.lost);
@@ -58,7 +58,7 @@ proptest! {
     ) {
         let rate = rate_mbps * 1e6;
         let path = PathConfig::simple(rate, SimTime::from_millis(20), buffer_kb * 1000);
-        let emu = PathEmulator::new(path, SimTime::from_secs(4));
+        let emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(path), SimTime::from_secs(4));
         // Overdrive the link so the buffer pins.
         let out = emu.run_sender(Box::new(FixedRate::new(rate * send_factor)), "p", seed);
         let trace = &out.traces[0];
@@ -84,8 +84,8 @@ proptest! {
     ) {
         let rate = rate_mbps * 1e6;
         let mk = |with_ct: bool| {
-            let mut emu = PathEmulator::new(
-                PathConfig::simple(rate, SimTime::from_millis(20), 60_000),
+            let mut emu = PathEmulator::from_spec(ibox_sim::PathSpec::single(
+                PathConfig::simple(rate, SimTime::from_millis(20), 60_000)),
                 SimTime::from_secs(4),
             );
             if with_ct {
