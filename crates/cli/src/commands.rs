@@ -103,6 +103,9 @@ const SERVE: CmdSpec = CmdSpec {
         MODEL_CACHE,
         OptSpec::value("--max-inflight", "K"),
         OptSpec::value("--read-timeout", "S"),
+        OptSpec::value("--refit-chunks", "N"),
+        OptSpec::value("--registry-cap", "bytes"),
+        OptSpec::value("--fitcache-entries", "N"),
     ],
 };
 
@@ -127,11 +130,26 @@ const TRACE: CmdSpec = CmdSpec {
     opts: &[JOBS, MODEL_CACHE, OptSpec::flag("--timeline"), OUTPUT],
 };
 
+const INGEST: CmdSpec = CmdSpec {
+    name: "ingest",
+    positionals: &[
+        PosSpec { name: "append|finalize|status", required: true, variadic: false },
+        PosSpec { name: "trace.{json,csv}", required: false, variadic: false },
+    ],
+    opts: &[
+        OptSpec::value("--url", "http://host:port"),
+        OptSpec::value("--session", "id"),
+        OptSpec::value("--chunks", "N"),
+        OptSpec::value("--timeout", "S"),
+    ],
+};
+
 const VERSION: CmdSpec = CmdSpec { name: "version", positionals: &[], opts: &[] };
 
 /// Every subcommand grammar, in help order.
-const COMMANDS: [&CmdSpec; 11] = [
-    &FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH, &SERVE, &CALL, &TRACE, &VERSION,
+const COMMANDS: [&CmdSpec; 12] = [
+    &FIT, &REPLAY, &SIMULATE, &METRICS, &SYNTH, &VALIDITY, &BATCH, &SERVE, &CALL, &INGEST, &TRACE,
+    &VERSION,
 ];
 
 /// Usage text shown on errors — generated from the [`CmdSpec`] tables.
@@ -175,6 +193,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
         "call" => cmd_call(rest),
+        "ingest" => cmd_ingest(rest),
         "trace" => cmd_trace(rest),
         "version" | "--version" | "-V" => {
             println!("{}", version_line());
@@ -470,6 +489,11 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     config.max_inflight = p.num("--max-inflight", 64usize)?.max(1);
     let read_timeout_s: u64 = p.num("--read-timeout", 10u64)?;
     config.read_timeout = std::time::Duration::from_secs(read_timeout_s.max(1));
+    // Streaming-ingest knobs: re-fit cadence (0 = only on finalize),
+    // registry byte cap (0 = unbounded), fit-cache entry cap.
+    config.ingest.refit_every_chunks = p.num("--refit-chunks", 0u64)?;
+    config.registry_cap_bytes = p.num("--registry-cap", 0u64)?;
+    config.fitcache_max_entries = p.num("--fitcache-entries", 0usize)?;
 
     let server = ibox_serve::Server::bind(config)?;
     // The line scripts poll for; stdout, flushed, before blocking.
@@ -521,6 +545,83 @@ fn cmd_call(argv: &[String]) -> Result<(), String> {
         None => println!("{text}"),
     }
     Ok(())
+}
+
+/// `ibox ingest <append|finalize|status>`: the client side of the
+/// daemon's streaming-ingest API. `append` streams a local trace file
+/// to `POST /traces/<session>/append` in `--chunks` pieces (carrying
+/// the trace's own meta, so the finalized fit is byte-identical to a
+/// one-shot `fit` of the same file), `finalize` seals the session and
+/// registers the fitted model's next lineage version, and `status`
+/// reads `/ingest/sessions[/<session>]`.
+fn cmd_ingest(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv, &INGEST)?;
+    let action = p.positional(0, "ingest action")?;
+    let base = p.opt("--url").unwrap_or("http://127.0.0.1:7070").trim_end_matches('/').to_string();
+    let timeout_s: u64 = p.num("--timeout", 30u64)?;
+    let timeout = std::time::Duration::from_secs(timeout_s.max(1));
+    let session = p.opt("--session");
+    match action {
+        "append" => {
+            let session = session.ok_or("ingest append needs --session <id>")?;
+            let trace = load_trace(p.positional(1, "trace file")?)?;
+            let records = trace.records();
+            if records.is_empty() {
+                return Err("trace has no records to append".into());
+            }
+            let chunks: usize = p.num("--chunks", 8usize)?;
+            let per = records.len().div_ceil(chunks.clamp(1, records.len()));
+            let meta = serde_json::to_string(&trace.meta)
+                .map_err(|e| format!("cannot serialize trace meta: {e}"))?;
+            let url = format!("{base}/traces/{session}/append");
+            let mut last = String::new();
+            let mut done = 0;
+            while done < records.len() {
+                let end = (done + per).min(records.len());
+                let payload = serde_json::to_string(&records[done..end].to_vec())
+                    .map_err(|e| format!("cannot serialize records: {e}"))?;
+                let body = format!(r#"{{"offset": {done}, "meta": {meta}, "records": {payload}}}"#);
+                let (status, resp) =
+                    ibox_serve::request_url(&url, "POST", Some(body.as_bytes()), timeout)?;
+                let text = String::from_utf8_lossy(&resp).into_owned();
+                if status >= 400 {
+                    return Err(format!("append of records {done}..{end} failed {status}: {text}"));
+                }
+                ibox_obs::debug!("appended records {done}..{end}: {text}");
+                last = text;
+                done = end;
+            }
+            println!("{last}");
+            Ok(())
+        }
+        "finalize" => {
+            let session = session.ok_or("ingest finalize needs --session <id>")?;
+            let url = format!("{base}/traces/{session}/finalize");
+            let (status, resp) = ibox_serve::request_url(&url, "POST", Some(b"{}"), timeout)?;
+            let text = String::from_utf8_lossy(&resp);
+            if status >= 400 {
+                return Err(format!("finalize failed {status}: {text}"));
+            }
+            println!("{text}");
+            Ok(())
+        }
+        "status" => {
+            let url = match session {
+                Some(id) => format!("{base}/ingest/sessions/{id}"),
+                None => format!("{base}/ingest/sessions"),
+            };
+            let (status, resp) = ibox_serve::request_url(&url, "GET", None, timeout)?;
+            let text = String::from_utf8_lossy(&resp);
+            if status >= 400 {
+                return Err(format!("status failed {status}: {text}"));
+            }
+            println!("{text}");
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown ingest action {other:?} (expected append, finalize, or status)"))
+        }
+    }
 }
 
 /// `ibox trace export <batch.json> -o trace.json`: run a batch with
@@ -654,13 +755,26 @@ mod tests {
         let u = usage();
         for cmd in [
             "fit", "replay", "simulate", "metrics", "synth", "validity", "batch", "serve", "call",
-            "trace", "version",
+            "ingest", "trace", "version",
         ] {
             assert!(u.contains(&format!("ibox {cmd}")), "usage must mention {cmd}:\n{u}");
         }
         assert!(u.contains("--jobs <N>"), "{u}");
         assert!(u.contains("--model-cache <dir>"), "{u}");
         assert!(u.contains("--addr <host:port>"), "{u}");
+        assert!(u.contains("--session <id>"), "{u}");
+    }
+
+    #[test]
+    fn ingest_argument_errors_are_reported_without_a_daemon() {
+        // Grammar-level failures must not require a live server.
+        assert!(dispatch(&argv(&["ingest"])).is_err());
+        let err = dispatch(&argv(&["ingest", "shred"])).unwrap_err();
+        assert!(err.contains("unknown ingest action"), "{err}");
+        let err = dispatch(&argv(&["ingest", "append", "t.json"])).unwrap_err();
+        assert!(err.contains("--session"), "{err}");
+        let err = dispatch(&argv(&["ingest", "finalize"])).unwrap_err();
+        assert!(err.contains("--session"), "{err}");
     }
 
     #[test]

@@ -29,10 +29,11 @@ use crate::model::{FittedModel, PathModel};
 ///
 /// History: v1 had no `path` field (the model always replayed its fitted
 /// single-bottleneck spec); v2 records the replay path as an explicit
-/// [`PathSpec`] stage chain. v1 artifacts still load — see
-/// [`ModelArtifact::parse`] — upgraded in memory to a 1-stage chain that
-/// replays byte-identically.
-pub const MODEL_ARTIFACT_SCHEMA: u32 = 2;
+/// [`PathSpec`] stage chain; v3 adds optional lineage fields (`parent`,
+/// `trace_digest`, `fit_seq`) for registry versioning — absent in v1/v2
+/// artifacts, which still load (see [`ModelArtifact::parse`]) with the
+/// lineage fields defaulting to `None`/`0`.
+pub const MODEL_ARTIFACT_SCHEMA: u32 = 3;
 
 /// Filename suffix for registry-managed artifacts (`<id>.artifact.json`).
 /// Distinct from the fit cache's bare `<id>.json` entries (which hold a
@@ -119,6 +120,17 @@ pub struct ModelArtifact {
     /// through a different chain. Upgraded v1 artifacts get the model's
     /// 1-stage spec, which replays byte-identically to v1 behavior.
     pub path: Option<PathSpec>,
+    /// Lineage (schema ≥ 3): registry id of the version this fit
+    /// supersedes, e.g. `rtc-17-v2` for the third fit of an ingest
+    /// session. `None` for one-shot fits and pre-v3 artifacts.
+    pub parent: Option<String>,
+    /// Lineage (schema ≥ 3): [`ibox_trace::FlowTrace::digest`] of the
+    /// exact training trace, so replicas can verify they replay the same
+    /// fit. `None` for pre-v3 artifacts.
+    pub trace_digest: Option<String>,
+    /// Lineage (schema ≥ 3): 1-based fit counter within a versioned
+    /// lineage. `None` (treated as unversioned) for one-shot fits.
+    pub fit_seq: Option<u64>,
 }
 
 impl ModelArtifact {
@@ -132,7 +144,24 @@ impl ModelArtifact {
             fitted_on: model.fitted_on().to_string(),
             model,
             path,
+            parent: None,
+            trace_digest: None,
+            fit_seq: None,
         }
+    }
+
+    /// Attach lineage metadata (builder-style): the version id this fit
+    /// supersedes, the training-trace digest, and the fit counter.
+    pub fn with_lineage(
+        mut self,
+        parent: Option<String>,
+        trace_digest: String,
+        fit_seq: u64,
+    ) -> Self {
+        self.parent = parent;
+        self.trace_digest = Some(trace_digest);
+        self.fit_seq = Some(fit_seq);
+        self
     }
 
     /// Serialize to JSON (stable field order — byte-reproducible).
@@ -150,7 +179,7 @@ impl ModelArtifact {
                 path: origin.to_path_buf(),
                 detail: "missing \"schema\" field — not a model artifact".into(),
             }),
-            Some(v @ (1 | 2)) => {
+            Some(v @ 1..=3) => {
                 let mut artifact: Self = serde_json::from_str(json).map_err(|e| {
                     ArtifactError::Parse { path: origin.to_path_buf(), detail: e.to_string() }
                 })?;
@@ -197,6 +226,9 @@ impl ModelArtifact {
                     fitted_on: net.fitted_on.clone(),
                     path: Some(net.path_spec()),
                     model: FittedModel::IBoxNet(net),
+                    parent: None,
+                    trace_digest: None,
+                    fit_seq: None,
                 }),
                 Err(_) => Err(err),
             },
@@ -259,7 +291,7 @@ mod tests {
     #[test]
     fn schema_mismatch_names_both_versions() {
         let mut doc = sample_artifact().to_json();
-        doc = doc.replacen("\"schema\":2", "\"schema\":999", 1);
+        doc = doc.replacen(&format!("\"schema\":{MODEL_ARTIFACT_SCHEMA}"), "\"schema\":999", 1);
         let err = ModelArtifact::parse(&doc, Path::new("future.json")).unwrap_err();
         let ArtifactError::SchemaMismatch { found, supported, .. } = &err else {
             panic!("expected SchemaMismatch, got {err:?}");
@@ -267,7 +299,40 @@ mod tests {
         assert_eq!(*found, 999);
         assert_eq!(*supported, MODEL_ARTIFACT_SCHEMA);
         let msg = err.to_string();
-        assert!(msg.contains("future.json") && msg.contains("999") && msg.contains("2"), "{msg}");
+        assert!(
+            msg.contains("future.json")
+                && msg.contains("999")
+                && msg.contains(&MODEL_ARTIFACT_SCHEMA.to_string()),
+            "{msg}"
+        );
+    }
+
+    /// v2 artifacts predate lineage: the fields must default to `None`
+    /// rather than failing the parse, and fresh lineage must round-trip.
+    #[test]
+    fn lineage_defaults_and_roundtrips() {
+        let artifact = sample_artifact();
+        // Reconstruct a v2 document: schema 2, no lineage fields.
+        let mut v = serde_json::parse_value(&artifact.to_json()).unwrap();
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "parent" && k != "trace_digest" && k != "fit_seq");
+            for (k, val) in fields.iter_mut() {
+                if k == "schema" {
+                    *val = serde::Value::U64(2);
+                }
+            }
+        }
+        let v2_json = serde_json::to_string(&v).unwrap();
+        let loaded = ModelArtifact::parse(&v2_json, Path::new("v2.json")).unwrap();
+        assert_eq!(loaded.parent, None);
+        assert_eq!(loaded.trace_digest, None);
+        assert_eq!(loaded.fit_seq, None);
+
+        let lineaged = artifact.with_lineage(Some("m-v1".into()), "fnv1a:00".into(), 2);
+        let back = ModelArtifact::parse(&lineaged.to_json(), Path::new("mem")).unwrap();
+        assert_eq!(back.parent.as_deref(), Some("m-v1"));
+        assert_eq!(back.trace_digest.as_deref(), Some("fnv1a:00"));
+        assert_eq!(back.fit_seq, Some(2));
     }
 
     /// Satellite: a schema-1 artifact (no `path` field) loads as a 1-stage

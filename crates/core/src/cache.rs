@@ -86,17 +86,44 @@ impl FitCacheKey {
 /// block until the first finishes.
 type Cell = Arc<OnceLock<String>>;
 
+/// A cell plus its recency stamp (a monotone tick, not wall time, so
+/// eviction order is deterministic).
+struct Slot {
+    cell: Cell,
+    last_use: u64,
+}
+
+/// The guarded interior: the key map plus the recency clock.
+struct Entries {
+    map: HashMap<String, Slot>,
+    tick: u64,
+}
+
 /// A content-addressed cache of fitted models (and other fit-shaped
 /// results, e.g. validity regions), in memory with optional disk backing.
+///
+/// Capacity: by default the in-memory map is unbounded (matching the
+/// historical behaviour — batch sweeps rely on every fit staying warm).
+/// [`FitCache::with_max_entries`] bounds it with an LRU discipline:
+/// once the map exceeds the cap, the least-recently-used *completed*
+/// entry is dropped (in-flight fills and cells other threads still hold
+/// are never evicted, preserving single-flight). Evictions increment
+/// `fitcache.evicted`; a disk-backed cache refills evicted entries from
+/// disk, so eviction costs a `fitcache.disk_hit`, not a refit.
 pub struct FitCache {
-    entries: Mutex<HashMap<String, Cell>>,
+    entries: Mutex<Entries>,
     dir: Option<PathBuf>,
+    max_entries: usize,
 }
 
 impl FitCache {
     /// A process-local cache with no disk backing.
     pub fn in_memory() -> Self {
-        Self { entries: Mutex::new(HashMap::new()), dir: None }
+        Self {
+            entries: Mutex::new(Entries { map: HashMap::new(), tick: 0 }),
+            dir: None,
+            max_entries: usize::MAX,
+        }
     }
 
     /// A cache backed by `dir` (created if missing): entries persist
@@ -105,12 +132,29 @@ impl FitCache {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create model cache dir {}: {e}", dir.display()))?;
-        Ok(Self { entries: Mutex::new(HashMap::new()), dir: Some(dir) })
+        Ok(Self {
+            entries: Mutex::new(Entries { map: HashMap::new(), tick: 0 }),
+            dir: Some(dir),
+            max_entries: usize::MAX,
+        })
+    }
+
+    /// Bound the in-memory map to at most `cap` entries (LRU eviction,
+    /// builder-style). `0` is treated as `1` — a cache that can hold
+    /// nothing cannot satisfy single-flight.
+    pub fn with_max_entries(mut self, cap: usize) -> Self {
+        self.max_entries = cap.max(1);
+        self
+    }
+
+    /// The configured entry cap (`usize::MAX` when unbounded).
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
     }
 
     /// Number of in-memory entries (testing/introspection).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("fit cache lock").len()
+        self.entries.lock().expect("fit cache lock").map.len()
     }
 
     /// Whether the in-memory cache holds no entries.
@@ -128,7 +172,14 @@ impl FitCache {
     {
         let cell: Cell = {
             let mut entries = self.entries.lock().expect("fit cache lock");
-            Arc::clone(entries.entry(id.to_string()).or_default())
+            entries.tick += 1;
+            let tick = entries.tick;
+            let slot = entries
+                .map
+                .entry(id.to_string())
+                .or_insert_with(|| Slot { cell: Cell::default(), last_use: 0 });
+            slot.last_use = tick;
+            Arc::clone(&slot.cell)
         };
         let mut filled_here = false;
         let json = cell.get_or_init(|| {
@@ -146,7 +197,34 @@ impl FitCache {
         if !filled_here {
             ibox_obs::global().counter("fitcache.hit").inc();
         }
-        serde_json::from_str(json).map_err(|e| format!("corrupt cache entry {id}: {e}"))
+        let parsed =
+            serde_json::from_str(json).map_err(|e| format!("corrupt cache entry {id}: {e}"));
+        drop(cell); // release our handle so this entry is evictable below
+        self.enforce_cap();
+        parsed
+    }
+
+    /// Drop least-recently-used entries until the map fits the cap.
+    /// Only *completed* cells nobody else holds are candidates: an
+    /// in-flight fill (or a cell another thread is about to wait on) has
+    /// `strong_count > 1` and is skipped, so single-flight and the
+    /// deterministic hit/miss counts survive bounding.
+    fn enforce_cap(&self) {
+        if self.max_entries == usize::MAX {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("fit cache lock");
+        while entries.map.len() > self.max_entries {
+            let victim = entries
+                .map
+                .iter()
+                .filter(|(_, s)| s.cell.get().is_some() && Arc::strong_count(&s.cell) == 1)
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            entries.map.remove(&key);
+            ibox_obs::global().counter("fitcache.evicted").inc();
+        }
     }
 
     /// Fit `kind` on `train` through the cache: at most one
@@ -301,6 +379,44 @@ mod tests {
         let metrics = scope.finish().snapshot();
         assert_eq!(metrics.counters["model.fit"], 1, "one fit serves all fidelities");
         assert_eq!(metrics.counters["fitcache.hit"], 2);
+    }
+
+    /// Satellite: a bounded cache evicts the least-recently-used entry
+    /// (and only that one), counts it, and refills on the next request.
+    #[test]
+    fn bounded_cache_evicts_lru_and_counts() {
+        let cache = FitCache::in_memory().with_max_entries(2);
+        let scope = ibox_obs::scoped();
+        let get = |id: &str| cache.get_or_insert_with(id, || 1u64).unwrap();
+        get("a");
+        get("b");
+        get("a"); // refresh a: b is now the LRU
+        get("c"); // over cap: b evicted
+        assert_eq!(cache.len(), 2);
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["fitcache.evicted"], 1);
+        assert_eq!(metrics.counters["fitcache.miss"], 3);
+
+        // `a` survived (hit); `b` was evicted (miss again).
+        let scope = ibox_obs::scoped();
+        get("a");
+        get("b");
+        let metrics = scope.finish().snapshot();
+        assert_eq!(metrics.counters["fitcache.hit"], 1);
+        assert_eq!(metrics.counters["fitcache.miss"], 1);
+    }
+
+    /// An unbounded cache (the default) never evicts.
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = FitCache::in_memory();
+        let scope = ibox_obs::scoped();
+        for i in 0..64 {
+            cache.get_or_insert_with(&format!("k{i}"), || i as u64).unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        let metrics = scope.finish().snapshot();
+        assert!(!metrics.counters.contains_key("fitcache.evicted"));
     }
 
     #[test]

@@ -162,7 +162,11 @@ impl CrossTrafficEstimate {
 
 /// Byte-preserving centered moving average over `window` bins (edges use
 /// the available neighborhood, so mass near the boundaries stays put).
-fn moving_average(bins: &[f64], window: usize) -> Vec<f64> {
+///
+/// Public because the streaming estimator (`ibox-ingest`) applies the
+/// *same* smoothing at finalize so its result stays bit-identical to
+/// [`CrossTrafficEstimate::estimate`].
+pub fn moving_average(bins: &[f64], window: usize) -> Vec<f64> {
     assert!(window >= 1, "window must be positive");
     if bins.is_empty() || window == 1 {
         return bins.to_vec();

@@ -7,5 +7,5 @@
 pub mod crosstraffic;
 pub mod static_params;
 
-pub use crosstraffic::{CrossTrafficEstimate, DEFAULT_BIN_SECS};
+pub use crosstraffic::{moving_average, CrossTrafficEstimate, DEFAULT_BIN_SECS};
 pub use static_params::{StaticParams, BANDWIDTH_WINDOW_SECS};

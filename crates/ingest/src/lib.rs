@@ -1,0 +1,31 @@
+//! Streaming trace ingest and online fitting.
+//!
+//! The paper fits iBox models from a complete, offline corpus; the
+//! ROADMAP's north star is a service a fleet of RTC endpoints reports
+//! into — live and unbounded. This crate is that plumbing:
+//!
+//! * [`session`] — chunked ingest sessions: packet-record chunks arrive
+//!   (possibly out of order) with monotone record offsets, persist as
+//!   append-only chunk files under the artifact directory, survive a
+//!   daemon restart, and respect per-session and global byte budgets.
+//! * [`estimator`] — [`OnlineStaticParams`] and [`OnlineCrossTraffic`]
+//!   mirror the batch estimators (`StaticParams::estimate`,
+//!   `CrossTrafficEstimate::estimate`) but fold one chunk at a time in
+//!   O(chunk) with bounded state. At finalize the folded result is
+//!   **bit-identical** to running the batch estimator on the
+//!   concatenated trace (proptest-enforced in `tests/props.rs`); the
+//!   [`Watermark`] API exposes the current `(b, d, B, C)` mid-stream.
+//!
+//! The serving layer (`ibox-serve`) wires sessions to
+//! `POST /traces/{id}/append` / `finalize` and registers each re-fit as
+//! a new artifact *version* with lineage (`parent`, `trace_digest`,
+//! `fit_seq`) in the model registry.
+
+pub mod estimator;
+pub mod session;
+
+pub use estimator::{OnlineCrossTraffic, OnlineStaticParams, Watermark};
+pub use session::{
+    AppendOutcome, AppendResult, FinalizeOutput, IngestConfig, IngestError, SessionStatus,
+    SessionStore,
+};

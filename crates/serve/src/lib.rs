@@ -14,8 +14,13 @@
 //! | `POST /fit` | Fit a model on an inline trace or a synth spec. Keyed by the content-addressed fit identity; single-flight through the [`ibox::FitCache`]. Async by default (`202` + job id), synchronous with `"wait": true`. |
 //! | `POST /replay` | Replay a protocol through a registered model. The body is **byte-identical** to what offline `ibox replay` writes. |
 //! | `POST /batch` | Run a `BatchSpec` over the runner pool; answers with the jobs-invariant `BatchResult` JSON. |
+//! | `POST /traces/<id>/append` | Append one packet-record chunk to a streaming ingest session (creating it on first append). Out-of-order chunks buffer, duplicates are idempotent, budgets answer `413`. Returns the live watermark estimate; at the configured cadence, re-fits and registers a new model version. |
+//! | `POST /traces/<id>/finalize` | Seal a session, fit the concatenated trace (byte-identical to a one-shot `/fit` of the same records), register it as the next lineage version. |
+//! | `GET /ingest/sessions` | List ingest sessions (typed `404`s for unknown ids on the singular route). |
+//! | `GET /ingest/sessions/<id>` | One session's status: offsets, chunks, bytes, sealed, watermark. |
 //! | `GET /models` | List registered artifacts (id, kind, provenance). |
-//! | `GET /models/<id>` | Fetch one artifact envelope; `202` while its fit is pending, typed `404`/`409`/`500` errors otherwise. |
+//! | `GET /models/<id>` | Fetch one artifact envelope (the *latest* version for ingest-backed lineages); `202` while its fit is pending, typed `404`/`409`/`500` errors otherwise. |
+//! | `GET /models/<id>/versions` | The model's lineage: `fit_seq`, `parent`, `trace_digest` per version. |
 //! | `GET /metrics` | Obs registry snapshot as JSON; `?format=prometheus` for text exposition (content type `text/plain; version=0.0.4`). |
 //! | `GET /trace/<id>` | One request's causal span tree (see below); `?format=chrome` for Perfetto-loadable Chrome trace-event JSON. |
 //! | `GET /traces` | Bounded most-recent-first listing of traces still in the ring. |
@@ -60,6 +65,8 @@ pub mod server;
 pub use http::{
     request_url, request_url_with_headers, HttpClient, HttpError, HttpLimits, Request, Response,
 };
-pub use registry::{ModelRegistry, ModelSummary, RegistryError};
-pub use routes::App;
+pub use registry::{
+    split_version, ModelRegistry, ModelSummary, PinGuard, RegistryError, VersionSummary,
+};
+pub use routes::{App, AppOptions};
 pub use server::{ServeConfig, Server, ServerHandle};

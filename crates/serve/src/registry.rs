@@ -11,8 +11,23 @@
 //! a missing model is 404, a schema-skewed artifact (written by an
 //! incompatible build) is 409 with both versions named, and a corrupt
 //! file is 500 — never a panic, never a misread payload.
+//!
+//! ## Versioned lineage
+//!
+//! Streaming ingest re-fits a session's model as chunks arrive; each
+//! re-fit is stored via [`ModelRegistry::put_version`] as
+//! `<id>-v<fit_seq>.artifact.json` *plus* a latest pointer at the bare
+//! `<id>.artifact.json`, so `GET /models/<id>` always serves the newest
+//! fit while `GET /models/<id>/versions` walks the lineage. The
+//! directory can be capped ([`ModelRegistry::with_byte_cap`]): past the
+//! cap, least-recently-used *version* files are evicted (counter
+//! `registry.evicted`) — never a latest pointer, never the newest
+//! version of a lineage, and never a version currently pinned by a
+//! [`PinGuard`] (replays pin the version they resolve to).
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -70,18 +85,129 @@ pub struct ModelSummary {
     pub schema: u32,
 }
 
+/// One row of `GET /models/{id}/versions`: a lineage entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionSummary {
+    /// Full registry id of this version (`<id>-v<fit_seq>`).
+    pub version: String,
+    /// 1-based fit counter within the lineage.
+    pub fit_seq: u64,
+    /// The version this fit superseded (`None` for the first fit).
+    pub parent: Option<String>,
+    /// FNV digest of the trace this version was fitted on.
+    pub trace_digest: Option<String>,
+    /// Model-kind display name.
+    pub kind: String,
+}
+
+/// Recency + pin bookkeeping for eviction (in-memory; recency resets on
+/// restart, which only makes eviction order start from file order).
+struct RegState {
+    pins: HashMap<String, usize>,
+    last_use: HashMap<String, u64>,
+    tick: u64,
+}
+
+/// Holds a version pinned (un-evictable) for the guard's lifetime —
+/// taken by `/replay` so the version it resolved to cannot be evicted
+/// out from under the simulation.
+pub struct PinGuard<'a> {
+    reg: &'a ModelRegistry,
+    id: String,
+}
+
+impl PinGuard<'_> {
+    /// The pinned registry id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.reg.state_lock();
+        if let Some(n) = state.pins.get_mut(&self.id) {
+            *n -= 1;
+            if *n == 0 {
+                state.pins.remove(&self.id);
+            }
+        }
+    }
+}
+
+/// Split `<base>-v<seq>` version ids; `None` for plain ids.
+pub fn split_version(id: &str) -> Option<(&str, u64)> {
+    let (base, seq) = id.rsplit_once("-v")?;
+    if base.is_empty() || seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    seq.parse().ok().map(|n| (base, n))
+}
+
 /// A directory of model artifacts, addressed by id.
 pub struct ModelRegistry {
     dir: PathBuf,
+    byte_cap: u64,
+    state: Mutex<RegState>,
 }
 
 impl ModelRegistry {
-    /// Open (creating if missing) the registry at `dir`.
+    /// Open (creating if missing) the registry at `dir`. Also compacts:
+    /// temp files abandoned by a crashed writer are removed.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create model registry dir {}: {e}", dir.display()))?;
-        Ok(Self { dir })
+        let reg = Self {
+            dir,
+            byte_cap: u64::MAX,
+            state: Mutex::new(RegState { pins: HashMap::new(), last_use: HashMap::new(), tick: 0 }),
+        };
+        reg.compact();
+        Ok(reg)
+    }
+
+    /// Cap the total bytes of artifact envelopes on disk; past the cap,
+    /// LRU *version* files are evicted on `put_version`. `0` keeps the
+    /// registry unbounded.
+    pub fn with_byte_cap(mut self, cap_bytes: u64) -> Self {
+        self.byte_cap = if cap_bytes == 0 { u64::MAX } else { cap_bytes };
+        self
+    }
+
+    fn state_lock(&self) -> std::sync::MutexGuard<'_, RegState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn touch(&self, id: &str) {
+        let mut state = self.state_lock();
+        state.tick += 1;
+        let tick = state.tick;
+        state.last_use.insert(id.to_string(), tick);
+    }
+
+    /// Pin `id` against eviction for the guard's lifetime.
+    pub fn pin(&self, id: &str) -> PinGuard<'_> {
+        *self.state_lock().pins.entry(id.to_string()).or_insert(0) += 1;
+        PinGuard { reg: self, id: id.to_string() }
+    }
+
+    /// Remove leftovers a crashed writer may have abandoned (`.<id>.tmp-*`
+    /// files). Safe against live writers in *this* process: writers
+    /// rename away their temp file before `compact` could see a stale one
+    /// for longer than one put.
+    pub fn compact(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.')
+                && name.contains(".tmp-")
+                && std::fs::remove_file(entry.path()).is_ok()
+            {
+                ibox_obs::global().counter("registry.compacted").inc();
+            }
+        }
     }
 
     /// The backing directory.
@@ -118,6 +244,7 @@ impl ModelRegistry {
         if !path.is_file() {
             return Err(RegistryError::NotFound(id.to_string()));
         }
+        self.touch(id);
         ModelArtifact::load(&path).map_err(RegistryError::Artifact)
     }
 
@@ -133,7 +260,142 @@ impl ModelRegistry {
         write.map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             RegistryError::Artifact(ArtifactError::Io { path, detail: e.to_string() })
-        })
+        })?;
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Store one lineage step: the artifact lands at
+    /// `<id>-v<fit_seq>.artifact.json` *and* replaces the latest pointer
+    /// `<id>.artifact.json`, then the byte cap is enforced. Returns the
+    /// version id. The artifact must carry `fit_seq` lineage
+    /// ([`ModelArtifact::with_lineage`]).
+    pub fn put_version(&self, id: &str, artifact: &ModelArtifact) -> Result<String, RegistryError> {
+        Self::validate(id)?;
+        let Some(fit_seq) = artifact.fit_seq else {
+            return Err(RegistryError::InvalidId(format!("{id} (artifact missing fit_seq)")));
+        };
+        let version = format!("{id}-v{fit_seq}");
+        self.put(&version, artifact)?;
+        self.put(id, artifact)?;
+        self.enforce_byte_cap();
+        Ok(version)
+    }
+
+    /// The lineage of `id`, oldest first. `NotFound` only when neither a
+    /// latest pointer nor any version exists.
+    pub fn versions(&self, id: &str) -> Result<Vec<VersionSummary>, RegistryError> {
+        Self::validate(id)?;
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Ok(out) };
+        let prefix = format!("{id}-v");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(vid) = name.strip_suffix(ARTIFACT_FILE_SUFFIX) else { continue };
+            let Some((base, fit_seq)) = split_version(vid) else { continue };
+            if base != id {
+                continue;
+            }
+            debug_assert!(vid.starts_with(&prefix));
+            match ModelArtifact::load(&entry.path()) {
+                Ok(a) => out.push(VersionSummary {
+                    version: vid.to_string(),
+                    fit_seq,
+                    parent: a.parent,
+                    trace_digest: a.trace_digest,
+                    kind: a.kind,
+                }),
+                Err(e) => ibox_obs::warn!("registry: skipping version {name}: {e}"),
+            }
+        }
+        if out.is_empty() && !self.contains(id) {
+            return Err(RegistryError::NotFound(id.to_string()));
+        }
+        out.sort_by_key(|v| v.fit_seq);
+        Ok(out)
+    }
+
+    /// The newest on-disk version id of `id`, if the lineage has any.
+    /// Scans file names only — cheap enough for the replay hot path.
+    pub fn latest_version(&self, id: &str) -> Option<String> {
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        let mut best: Option<u64> = None;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(vid) = name.strip_suffix(ARTIFACT_FILE_SUFFIX) else { continue };
+            match split_version(vid) {
+                Some((base, seq)) if base == id => best = Some(best.unwrap_or(0).max(seq)),
+                _ => {}
+            }
+        }
+        best.map(|seq| format!("{id}-v{seq}"))
+    }
+
+    /// Total bytes of artifact envelopes on disk.
+    pub fn artifact_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return 0 };
+        entries
+            .flatten()
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(ARTIFACT_FILE_SUFFIX)))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Evict least-recently-used version files until the artifact bytes
+    /// fit the cap. Never evicted: latest pointers (bare ids), the
+    /// newest version of any lineage, and pinned versions. If nothing
+    /// else is evictable the registry is allowed to exceed the cap.
+    fn enforce_byte_cap(&self) {
+        if self.byte_cap == u64::MAX {
+            return;
+        }
+        let mut total = self.artifact_bytes();
+        if total <= self.byte_cap {
+            return;
+        }
+        // Version files on disk, with sizes; newest-of-lineage computed
+        // over this scan so it stays correct as files are removed.
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        let mut files: Vec<(String, u64, u64)> = Vec::new(); // (vid, seq, size)
+        let mut newest: HashMap<String, u64> = HashMap::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(vid) = name.strip_suffix(ARTIFACT_FILE_SUFFIX) else { continue };
+            let Some((base, seq)) = split_version(vid) else { continue };
+            let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let n = newest.entry(base.to_string()).or_insert(0);
+            *n = (*n).max(seq);
+            files.push((vid.to_string(), seq, size));
+        }
+        let state = self.state_lock();
+        // LRU first; never-used files (tick 0) go before used ones, ties
+        // broken by version id for determinism.
+        files.sort_by(|a, b| {
+            let (ta, tb) = (
+                state.last_use.get(&a.0).copied().unwrap_or(0),
+                state.last_use.get(&b.0).copied().unwrap_or(0),
+            );
+            ta.cmp(&tb).then_with(|| a.0.cmp(&b.0))
+        });
+        for (vid, seq, size) in files {
+            if total <= self.byte_cap {
+                break;
+            }
+            let base_newest =
+                split_version(&vid).and_then(|(base, _)| newest.get(base)).copied().unwrap_or(0);
+            if seq == base_newest || state.pins.contains_key(&vid) {
+                continue;
+            }
+            if std::fs::remove_file(self.path_of(&vid)).is_ok() {
+                total = total.saturating_sub(size);
+                ibox_obs::global().counter("registry.evicted").inc();
+                ibox_obs::info!("registry: evicted version {vid} ({size} bytes)");
+            }
+        }
     }
 
     /// Summaries of every loadable artifact, sorted by id. Files that are
@@ -147,6 +409,9 @@ impl ModelRegistry {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let Some(id) = name.strip_suffix(ARTIFACT_FILE_SUFFIX) else { continue };
+            if split_version(id).is_some() {
+                continue; // lineage entries list under /models/{id}/versions
+            }
             match self.get(id) {
                 Ok(artifact) => out.push(ModelSummary {
                     id: id.to_string(),
@@ -243,6 +508,80 @@ mod tests {
         std::fs::write(dir.join("fit-cacheentry.json"), "{\"IBoxNet\":{}}").unwrap();
         let ids: Vec<_> = reg.list().into_iter().map(|s| s.id).collect();
         assert_eq!(ids, vec!["fit-good"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn versioned(seq: u64) -> ModelArtifact {
+        let parent = (seq > 1).then(|| format!("sess-v{}", seq - 1));
+        sample().with_lineage(parent, "fnv1a:0011223344556677".to_string(), seq)
+    }
+
+    #[test]
+    fn put_version_builds_lineage_and_latest_pointer() {
+        let dir = tmpdir("lineage");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        for seq in 1..=3 {
+            let vid = reg.put_version("sess", &versioned(seq)).unwrap();
+            assert_eq!(vid, format!("sess-v{seq}"));
+        }
+        // Latest pointer serves the newest fit.
+        assert_eq!(reg.get("sess").unwrap().fit_seq, Some(3));
+        let lineage = reg.versions("sess").unwrap();
+        assert_eq!(
+            lineage.iter().map(|v| v.version.as_str()).collect::<Vec<_>>(),
+            vec!["sess-v1", "sess-v2", "sess-v3"]
+        );
+        assert_eq!(lineage[0].parent, None);
+        assert_eq!(lineage[2].parent.as_deref(), Some("sess-v2"));
+        assert_eq!(reg.latest_version("sess").as_deref(), Some("sess-v3"));
+        // Version files do not clutter the one-row-per-model listing.
+        let ids: Vec<_> = reg.list().into_iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["sess"]);
+        // Unknown lineage is a typed 404; a version id itself resolves.
+        assert_eq!(reg.versions("ghost").unwrap_err().status(), 404);
+        assert!(reg.get("sess-v2").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Acceptance: the byte cap evicts LRU versions, but never a pinned
+    /// version, never the newest of a lineage, never the latest pointer.
+    #[test]
+    fn byte_cap_evicts_lru_versions_but_never_pinned_or_newest() {
+        let dir = tmpdir("evict");
+        let size = versioned(1).to_json().len() as u64;
+        // Room for the latest pointer plus ~2.5 versions.
+        let reg = ModelRegistry::open(&dir).unwrap().with_byte_cap(size * 7 / 2);
+        for seq in 1..=3 {
+            reg.put_version("sess", &versioned(seq)).unwrap();
+        }
+        // v1 (LRU) was evicted to fit the cap; the rest survive.
+        assert!(!reg.contains("sess-v1"), "LRU version must be evicted");
+        assert!(reg.contains("sess-v2") && reg.contains("sess-v3") && reg.contains("sess"));
+        assert!(reg.artifact_bytes() <= size * 7 / 2);
+
+        let guard = reg.pin("sess-v2");
+        reg.put_version("sess", &versioned(4)).unwrap();
+        // v2 is pinned: eviction must skip it and take v3 instead.
+        assert!(reg.contains("sess-v2"), "pinned version must survive eviction");
+        assert!(!reg.contains("sess-v3"));
+        assert!(reg.contains("sess-v4"), "newest version is never evicted");
+        drop(guard);
+
+        reg.put_version("sess", &versioned(5)).unwrap();
+        // Unpinned now: v2 goes first (LRU), newest v5 + pointer stay.
+        assert!(!reg.contains("sess-v2"));
+        assert!(reg.contains("sess-v5") && reg.contains("sess"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_compacts_stale_tmp_files() {
+        let dir = tmpdir("compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".sess.tmp-99999"), "{}").unwrap();
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(!dir.join(".sess.tmp-99999").exists(), "open() compacts stale tmp files");
+        assert_eq!(reg.artifact_bytes(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,11 +26,12 @@ use serde::{Deserialize, Value};
 use ibox_obs::Stopwatch;
 
 use ibox::{BatchSpec, FitCache, FitCacheKey, ModelArtifact, ModelKind, ReplayOpts};
+use ibox_ingest::{FinalizeOutput, IngestConfig, SessionStore};
 use ibox_sim::SimTime;
-use ibox_trace::FlowTrace;
+use ibox_trace::{FlowMeta, FlowTrace, PacketRecord};
 
 use crate::http::{Request, Response};
-use crate::registry::ModelRegistry;
+use crate::registry::{split_version, ModelRegistry};
 
 /// State of an asynchronous `/fit` job keyed by model id.
 enum FitJob {
@@ -41,13 +42,29 @@ enum FitJob {
     Failed(String),
 }
 
+/// Resource knobs beyond [`App::new`]'s positional arguments: ingest
+/// budgets and refit cadence, the registry byte cap, and the fit-cache
+/// entry cap. `Default` keeps every limit unbounded (ingest budgets use
+/// the `IngestConfig` defaults).
+#[derive(Debug, Clone, Default)]
+pub struct AppOptions {
+    /// Ingest-session budgets and refit cadence.
+    pub ingest: IngestConfig,
+    /// Byte cap for artifact envelopes on disk (`0` = unbounded).
+    pub registry_cap_bytes: u64,
+    /// Entry cap for the in-memory fit cache (`0` = unbounded).
+    pub fitcache_max_entries: usize,
+}
+
 /// Everything the handlers share: the fit cache, the artifact registry,
-/// and the async-fit job table.
+/// the ingest session store, and the async-fit job table.
 pub struct App {
     /// Content-addressed fit cache, disk-backed on the registry dir.
     pub cache: FitCache,
     /// The artifact registry backing `GET /models`.
     pub registry: ModelRegistry,
+    /// Chunked ingest sessions under `<model_dir>/ingest`.
+    pub ingest: SessionStore,
     batch_jobs_cap: usize,
     max_async_fits: usize,
     stop: Arc<AtomicBool>,
@@ -69,9 +86,25 @@ impl App {
         max_async_fits: usize,
         stop: Arc<AtomicBool>,
     ) -> Result<Self, String> {
+        Self::with_options(model_dir, batch_jobs_cap, max_async_fits, stop, AppOptions::default())
+    }
+
+    /// [`App::new`] with explicit resource limits.
+    pub fn with_options(
+        model_dir: PathBuf,
+        batch_jobs_cap: usize,
+        max_async_fits: usize,
+        stop: Arc<AtomicBool>,
+        opts: AppOptions,
+    ) -> Result<Self, String> {
+        let mut cache = FitCache::with_dir(&model_dir)?;
+        if opts.fitcache_max_entries > 0 {
+            cache = cache.with_max_entries(opts.fitcache_max_entries);
+        }
         Ok(Self {
-            cache: FitCache::with_dir(&model_dir)?,
-            registry: ModelRegistry::open(&model_dir)?,
+            cache,
+            registry: ModelRegistry::open(&model_dir)?.with_byte_cap(opts.registry_cap_bytes),
+            ingest: SessionStore::open(&model_dir, opts.ingest).map_err(|e| e.to_string())?,
             batch_jobs_cap: batch_jobs_cap.max(1),
             max_async_fits: max_async_fits.max(1),
             stop,
@@ -124,9 +157,18 @@ pub fn endpoint_label(method: &str, path: &str) -> &'static str {
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", "/models") => "models",
+        ("GET", _) if path.starts_with("/models/") && path.ends_with("/versions") => {
+            "models_versions"
+        }
         ("GET", _) if path.starts_with("/models/") => "models_id",
         ("GET", "/traces") => "traces",
         ("GET", _) if path.starts_with("/trace/") => "trace",
+        ("GET", "/ingest/sessions") => "ingest_sessions",
+        ("GET", _) if path.starts_with("/ingest/sessions/") => "ingest_session",
+        ("POST", _) if path.starts_with("/traces/") && path.ends_with("/append") => "ingest_append",
+        ("POST", _) if path.starts_with("/traces/") && path.ends_with("/finalize") => {
+            "ingest_finalize"
+        }
         ("POST", "/fit") => "fit",
         ("POST", "/replay") => "replay",
         ("POST", "/batch") => "batch",
@@ -189,12 +231,44 @@ fn dispatch(app: &Arc<App>, req: &Request) -> Response {
         ("GET", "/healthz") => handle_healthz(app),
         ("GET", "/metrics") => handle_metrics(req),
         ("GET", "/models") => handle_models(app),
+        ("GET", path) if path.starts_with("/models/") && path.ends_with("/versions") => {
+            let id = &path["/models/".len()..path.len() - "/versions".len()];
+            handle_model_versions(app, id)
+        }
         ("GET", path) if path.starts_with("/models/") => {
             handle_model_by_id(app, &path["/models/".len()..])
         }
         ("GET", "/traces") => handle_traces(),
         ("GET", path) if path.starts_with("/trace/") => {
             handle_trace_by_id(&path["/trace/".len()..], req)
+        }
+        ("GET", "/ingest/sessions") => handle_ingest_sessions(app),
+        ("GET", path) if path.starts_with("/ingest/sessions/") => {
+            handle_ingest_session_by_id(app, &path["/ingest/sessions/".len()..])
+        }
+        ("POST", path) if path.starts_with("/traces/") && path.ends_with("/append") => {
+            let id = &path["/traces/".len()..path.len() - "/append".len()];
+            handle_ingest_append(app, id, req)
+        }
+        ("POST", path) if path.starts_with("/traces/") && path.ends_with("/finalize") => {
+            let id = &path["/traces/".len()..path.len() - "/finalize".len()];
+            handle_ingest_finalize(app, id)
+        }
+        // Disambiguation 404 (typed): `/traces/{id}` is neither a causal
+        // trace (`/trace/{id}`) nor a session view (`/ingest/sessions/{id}`).
+        // (`GET` on an append/finalize path still 405s below.)
+        ("GET", path)
+            if path.starts_with("/traces/")
+                && !path.ends_with("/append")
+                && !path.ends_with("/finalize") =>
+        {
+            Response::error(
+                404,
+                &format!(
+                    "no resource at {path}: ingest sessions are read at \
+                     /ingest/sessions/{{id}}, causal traces at /trace/{{id}}"
+                ),
+            )
         }
         ("POST", "/fit") => handle_fit(app, req),
         ("POST", "/replay") => handle_replay(app, req),
@@ -203,7 +277,9 @@ fn dispatch(app: &Arc<App>, req: &Request) -> Response {
         (_, path)
             if KNOWN_PATHS.contains(&path)
                 || path.starts_with("/models/")
-                || path.starts_with("/trace/") =>
+                || path.starts_with("/trace/")
+                || path.starts_with("/traces/")
+                || path.starts_with("/ingest/sessions/") =>
         {
             Response::error(405, &format!("method {} not allowed on {path}", req.method))
         }
@@ -212,8 +288,17 @@ fn dispatch(app: &Arc<App>, req: &Request) -> Response {
 }
 
 /// Paths that exist (under some method), for distinguishing 405 from 404.
-const KNOWN_PATHS: &[&str] =
-    &["/healthz", "/metrics", "/models", "/traces", "/fit", "/replay", "/batch", "/shutdown"];
+const KNOWN_PATHS: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/models",
+    "/traces",
+    "/ingest/sessions",
+    "/fit",
+    "/replay",
+    "/batch",
+    "/shutdown",
+];
 
 /// Build a compact JSON object response from string pairs.
 fn object_response(status: u16, fields: &[(&str, &str)]) -> Response {
@@ -376,6 +461,128 @@ fn fit_and_register(
     app.registry.put(id, &artifact).map_err(|e| e.to_string())
 }
 
+/// Map an ingest-layer error onto the typed HTTP envelope.
+fn ingest_error(e: &ibox_ingest::IngestError) -> Response {
+    Response::error(e.http_status(), &e.to_string())
+}
+
+fn handle_ingest_sessions(app: &Arc<App>) -> Response {
+    match app.ingest.list() {
+        Ok(sessions) => match serde_json::to_string(&sessions) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("cannot serialize session list: {e}")),
+        },
+        Err(e) => ingest_error(&e),
+    }
+}
+
+fn handle_ingest_session_by_id(app: &Arc<App>, id: &str) -> Response {
+    match app.ingest.status(id) {
+        Ok(status) => match serde_json::to_string(&status) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("cannot serialize session: {e}")),
+        },
+        Err(e) => ingest_error(&e),
+    }
+}
+
+/// Fit a session's (snapshot or finalized) trace through the
+/// single-flight cache and register it as the next lineage version
+/// `<id>-v<fit_seq>` plus the latest pointer at `<id>`.
+fn fit_session_version(app: &App, id: &str, out: &FinalizeOutput) -> Result<String, Response> {
+    let (_key, model) = app.cache.fit_path_model_keyed(&out.kind, &out.trace);
+    let parent = (out.fit_seq > 1).then(|| format!("{id}-v{}", out.fit_seq - 1));
+    let artifact =
+        ModelArtifact::new(&out.kind, model).with_lineage(parent, out.trace.digest(), out.fit_seq);
+    app.registry.put_version(id, &artifact).map_err(|e| Response::error(e.status(), &e.to_string()))
+}
+
+fn handle_ingest_append(app: &Arc<App>, id: &str, req: &Request) -> Response {
+    let body = match body_object(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let parsed = (|| {
+        let offset: u64 = required(&body, "offset")?;
+        let records: Vec<PacketRecord> = required(&body, "records")?;
+        let kind: Option<ModelKind> = field(&body, "model")?;
+        let meta: Option<FlowMeta> = field(&body, "meta")?;
+        Ok((offset, records, kind, meta))
+    })();
+    let (offset, records, kind, meta) = match parsed {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let res = match app.ingest.append(id, kind, meta, offset, records) {
+        Ok(r) => r,
+        Err(e) => return ingest_error(&e),
+    };
+    // Configured refit cadence: fold the stream so far into the next
+    // registered version, synchronously — the client learns the version
+    // id its chunk produced.
+    let version = if res.refit_due {
+        match app.ingest.snapshot(id) {
+            Ok(out) => match fit_session_version(app, id, &out) {
+                Ok(v) => Some(v),
+                Err(resp) => return resp,
+            },
+            Err(e) => return ingest_error(&e),
+        }
+    } else {
+        None
+    };
+    let mut fields = vec![
+        ("session".to_string(), Value::Str(id.to_string())),
+        ("outcome".to_string(), Value::Str(res.outcome.as_str().to_string())),
+        ("next_offset".to_string(), Value::U64(res.next_offset)),
+        ("chunks".to_string(), Value::U64(res.chunks)),
+        ("buffered".to_string(), Value::U64(res.buffered as u64)),
+    ];
+    if let Some(wm) = &res.watermark {
+        fields.push(("watermark".to_string(), serde::Serialize::to_value(wm)));
+    }
+    if let Some(v) = version {
+        fields.push(("version".to_string(), Value::Str(v)));
+    }
+    match serde_json::to_string(&Value::Object(fields)) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("cannot serialize append result: {e}")),
+    }
+}
+
+fn handle_ingest_finalize(app: &Arc<App>, id: &str) -> Response {
+    let out = match app.ingest.finalize(id) {
+        Ok(o) => o,
+        Err(e) => return ingest_error(&e),
+    };
+    let version = match fit_session_version(app, id, &out) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let records = out.trace.len().to_string();
+    let fit_seq = out.fit_seq.to_string();
+    object_response(
+        200,
+        &[
+            ("model", id),
+            ("version", &version),
+            ("fit_seq", &fit_seq),
+            ("records", &records),
+            ("status", "ready"),
+        ],
+    )
+}
+
+fn handle_model_versions(app: &Arc<App>, id: &str) -> Response {
+    match app.registry.versions(id) {
+        Ok(versions) => match serde_json::to_string(&versions) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("cannot serialize versions: {e}")),
+        },
+        Err(e) => Response::error(e.status(), &e.to_string()),
+    }
+}
+
 fn handle_fit(app: &Arc<App>, req: &Request) -> Response {
     let body = match body_object(req) {
         Ok(v) => v,
@@ -506,7 +713,17 @@ fn handle_replay(app: &Arc<App>, req: &Request) -> Response {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let artifact = match app.registry.get(&model_id) {
+    // Version resolution: an explicit `<id>-vN` pins that version; a
+    // base id with lineage resolves deterministically to its newest
+    // version. The pin holds for the whole replay, so registry eviction
+    // cannot remove the resolved version mid-read.
+    let resolved = if split_version(&model_id).is_some() {
+        model_id.clone()
+    } else {
+        app.registry.latest_version(&model_id).unwrap_or_else(|| model_id.clone())
+    };
+    let _pin = app.registry.pin(&resolved);
+    let artifact = match app.registry.get(&resolved) {
         Ok(a) => a,
         Err(e) => return Response::error(e.status(), &e.to_string()),
     };

@@ -28,8 +28,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ibox_ingest::IngestConfig;
+
 use crate::http::{parse_request, HttpLimits, Response};
-use crate::routes::{self, App};
+use crate::routes::{self, App, AppOptions};
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -49,6 +51,12 @@ pub struct ServeConfig {
     pub limits: HttpLimits,
     /// Most requests served per keep-alive connection.
     pub keep_alive_requests: usize,
+    /// Ingest-session budgets and refit cadence.
+    pub ingest: IngestConfig,
+    /// Byte cap for registry artifacts on disk (`0` = unbounded).
+    pub registry_cap_bytes: u64,
+    /// Entry cap for the in-memory fit cache (`0` = unbounded).
+    pub fitcache_max_entries: usize,
 }
 
 impl ServeConfig {
@@ -62,6 +70,9 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(10),
             limits: HttpLimits::default(),
             keep_alive_requests: 1000,
+            ingest: IngestConfig::default(),
+            registry_cap_bytes: 0,
+            fitcache_max_entries: 0,
         }
     }
 }
@@ -158,8 +169,18 @@ impl Server {
 
         let jobs = if config.jobs == 0 { ibox_runner::suggested_jobs() } else { config.jobs };
         let stop = Arc::new(AtomicBool::new(false));
-        let app =
-            Arc::new(App::new(config.model_dir.clone(), jobs, jobs.max(2), Arc::clone(&stop))?);
+        let opts = AppOptions {
+            ingest: config.ingest.clone(),
+            registry_cap_bytes: config.registry_cap_bytes,
+            fitcache_max_entries: config.fitcache_max_entries,
+        };
+        let app = Arc::new(App::with_options(
+            config.model_dir.clone(),
+            jobs,
+            jobs.max(2),
+            Arc::clone(&stop),
+            opts,
+        )?);
         app.set_addr(addr);
 
         let queue = Arc::new(ConnQueue::new(config.max_inflight));

@@ -344,3 +344,164 @@ fn shutdown_endpoint_drains_gracefully() {
     // join() returns: acceptor unblocked, workers drained, fits joined.
     server.join();
 }
+
+/// Streaming ingest over HTTP: chunks append (including out of order),
+/// the session is visible under `/ingest/sessions`, finalize registers
+/// a lineage version, and `/replay` resolves the base id to the pinned
+/// newest version — byte-identical to replaying that version directly.
+#[test]
+fn ingest_append_finalize_replay_roundtrip() {
+    let (server, _dir) = start(|c| c.ingest.refit_every_chunks = 2);
+    let mut c = client(&server);
+
+    let duration = SimTime::from_secs(2);
+    let train = ibox_testbed::run_protocol(
+        &ibox_testbed::Profile::Ethernet.builder().seed(7).duration(duration).sample(),
+        "cubic",
+        duration,
+        7,
+    );
+    let records = train.records();
+    let (a, b) = (records.len() / 3, 2 * records.len() / 3);
+    let meta = serde_json::to_string(&train.meta).unwrap();
+    let chunk = |offset: usize, recs: &[ibox_trace::PacketRecord]| {
+        format!(
+            r#"{{"offset": {offset}, "model": "IBoxNet", "meta": {meta}, "records": {}}}"#,
+            serde_json::to_string(&recs.to_vec()).unwrap()
+        )
+        .into_bytes()
+    };
+
+    // Chunk 3 arrives before chunk 2: buffered, then drained.
+    let (status, body) =
+        c.request("POST", "/traces/live/append", Some(&chunk(0, &records[..a]))).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = serde_json::parse_value(&text).unwrap();
+    assert_eq!(str_field(&v, "outcome").as_deref(), Some("accepted"), "{text}");
+    assert!(v.get("watermark").is_some(), "first chunk already yields an estimate: {text}");
+
+    let (status, body) =
+        c.request("POST", "/traces/live/append", Some(&chunk(b, &records[b..]))).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    assert_eq!(
+        str_field(&serde_json::parse_value(&text).unwrap(), "outcome").as_deref(),
+        Some("buffered"),
+        "{text}"
+    );
+
+    let (status, body) =
+        c.request("POST", "/traces/live/append", Some(&chunk(a, &records[a..b]))).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = serde_json::parse_value(&text).unwrap();
+    assert_eq!(str_field(&v, "outcome").as_deref(), Some("accepted"), "{text}");
+    // The cadence (every 2 chunks) fired on this append and registered
+    // a mid-stream version.
+    assert_eq!(str_field(&v, "version").as_deref(), Some("live-v1"), "{text}");
+
+    // The session is introspectable under both listing and singular routes.
+    let (status, body) = c.request("GET", "/ingest/sessions", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"live\""));
+    let (status, body) = c.request("GET", "/ingest/sessions/live", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = serde_json::parse_value(&text).unwrap();
+    assert_eq!(v.get("chunks").and_then(serde::Value::as_f64), Some(3.0), "{text}");
+
+    // Typed 404s on both trace route families.
+    let (status, _) = c.request("GET", "/ingest/sessions/ghost", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = c.request("GET", "/traces/ghost", None).unwrap();
+    assert_eq!(status, 404);
+    assert!(String::from_utf8_lossy(&body).contains("/ingest/sessions"));
+
+    // Finalize: seals, fits, registers the next lineage version.
+    let (status, body) = c.request("POST", "/traces/live/finalize", Some(b"{}")).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = serde_json::parse_value(&text).unwrap();
+    assert_eq!(str_field(&v, "version").as_deref(), Some("live-v2"), "{text}");
+    assert_eq!(str_field(&v, "status").as_deref(), Some("ready"), "{text}");
+
+    // Appending to a sealed session is a conflict; re-finalizing too.
+    let (status, _) =
+        c.request("POST", "/traces/live/append", Some(&chunk(0, &records[..a]))).unwrap();
+    assert_eq!(status, 409);
+
+    // The latest pointer and the lineage are both served.
+    let (status, body) = c.request("GET", "/models/live", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"fit_seq\":2"), "{text}");
+    assert!(text.contains(&format!("\"trace_digest\":\"{}\"", train.digest())), "{text}");
+    let (status, body) = c.request("GET", "/models/live/versions", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("live-v1") && text.contains("live-v2"), "{text}");
+    assert!(text.contains("\"parent\":\"live-v1\""), "{text}");
+
+    // Replay resolves the base id to the newest version, pinned: the
+    // bytes equal an explicit replay of that version.
+    let replay = |c: &mut HttpClient, model: &str| {
+        let body = format!(r#"{{"model": "{model}", "protocol": "cubic", "duration_s": 2}}"#);
+        let (status, bytes) = c.request("POST", "/replay", Some(body.as_bytes())).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        bytes
+    };
+    assert_eq!(replay(&mut c, "live"), replay(&mut c, "live-v2"));
+
+    server.handle().shutdown();
+    server.join();
+}
+
+/// Finalize is byte-identical to a one-shot `/fit` of the same records:
+/// the fitted model the lineage registers equals the content-addressed
+/// artifact a single `/fit` of the full trace produces.
+#[test]
+fn ingest_finalize_fit_matches_one_shot_fit_bytes() {
+    let (server, dir) = start(|_| {});
+    let mut c = client(&server);
+
+    let duration = SimTime::from_secs(2);
+    let train = ibox_testbed::run_protocol(
+        &ibox_testbed::Profile::Ethernet.builder().seed(9).duration(duration).sample(),
+        "cubic",
+        duration,
+        9,
+    );
+    let records = train.records();
+    let mid = records.len() / 2;
+    let meta = serde_json::to_string(&train.meta).unwrap();
+    for (offset, recs) in [(0, &records[..mid]), (mid, &records[mid..])] {
+        let body = format!(
+            r#"{{"offset": {offset}, "meta": {meta}, "records": {}}}"#,
+            serde_json::to_string(&recs.to_vec()).unwrap()
+        );
+        let (status, resp) =
+            c.request("POST", "/traces/oneshot/append", Some(body.as_bytes())).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    }
+    let (status, resp) = c.request("POST", "/traces/oneshot/finalize", Some(b"{}")).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+
+    // One-shot fit of the full inline trace.
+    let fit = format!(r#"{{"wait": true, "trace": {}}}"#, serde_json::to_string(&train).unwrap());
+    let (status, resp) = c.request("POST", "/fit", Some(fit.as_bytes())).unwrap();
+    let text = String::from_utf8(resp).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let fit_id = str_field(&serde_json::parse_value(&text).unwrap(), "model").unwrap();
+
+    let ingested = ModelArtifact::load(&ModelArtifact::registry_path(&dir, "oneshot-v1")).unwrap();
+    let oneshot = ModelArtifact::load(&ModelArtifact::registry_path(&dir, &fit_id)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&ingested.model).unwrap(),
+        serde_json::to_string(&oneshot.model).unwrap(),
+        "chunked-ingest fit must be byte-identical to the one-shot fit"
+    );
+
+    server.handle().shutdown();
+    server.join();
+}

@@ -13,10 +13,15 @@
 # --quick also smoke-tests composed paths: a 2-stage `--path` replay at
 # packet and flow fidelity, plus a legacy schema-1 artifact replayed
 # byte-identically to its schema-2 default.
+# --quick also smoke-tests streaming ingest: a 3-chunk `ibox ingest
+# append` + `finalize` against the live daemon, asserting the fitted
+# lineage version replays byte-identically to a one-shot fit and that
+# bare-id replays pin to the latest version.
 # --perf additionally runs the release `perf`, `trace`, `infer`,
-# `flow`, and `path` binaries in quick mode and fails on a regression
-# vs the committed BENCH_perf.json / BENCH_trace.json /
-# BENCH_infer.json / BENCH_flow.json / BENCH_path.json.
+# `flow`, `path`, and `ingest` binaries in quick mode and fails on a
+# regression vs the committed BENCH_perf.json / BENCH_trace.json /
+# BENCH_infer.json / BENCH_flow.json / BENCH_path.json /
+# BENCH_ingest.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +73,19 @@ gate 'Instant::now\(' crates/serve/src \
     "raw Instant::now() timing in ibox-serve — use ibox_obs::Stopwatch or span! so the timing is observable"
 gate 'Instant::now\(' crates/runner/src \
     "raw Instant::now() timing in ibox-runner — use ibox_obs::Stopwatch or span! so the timing is observable"
+# The ingest runtime must stay on the O(chunk) online fold — re-running
+# the batch estimators over the accumulated trace is exactly what the
+# crate exists to avoid. Comments and the #[cfg(test)] bit-identity
+# oracles (which *compare* against the batch path) are exempt.
+for f in crates/ingest/src/*.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+        | grep -E '(StaticParams|CrossTrafficEstimate)::estimate\(' > /dev/null; then
+        echo "FAIL: batch estimator call in ingest runtime code ($f) — fold through OnlineStaticParams / OnlineCrossTraffic" >&2
+        awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+            | grep -nE '(StaticParams|CrossTrafficEstimate)::estimate\(' >&2
+        exit 1
+    fi
+done
 # The chained-path refactor: outside the simulator, paths are composed
 # through PathSpec (PathEmulator::from_spec). Direct single-bottleneck
 # construction is a crates/sim implementation detail.
@@ -212,6 +230,28 @@ EOF
         || { echo "FAIL: prometheus exposition missing TYPE lines" >&2; kill "$serve_pid"; exit 1; }
     echo "trace smoke passed"
 
+    echo "==> ingest smoke: 3-chunk streaming append, finalize, version-pinned replay"
+    run ./target/release/ibox ingest append "$tmp/train.json" --url "$base" --session smoke --chunks 3
+    run ./target/release/ibox call "$base/ingest/sessions/smoke" -o "$tmp/ingest-status.json"
+    grep -q '"chunks"' "$tmp/ingest-status.json" \
+        || { echo "FAIL: ingest session status missing chunk count" >&2; kill "$serve_pid"; exit 1; }
+    run ./target/release/ibox ingest finalize --url "$base" --session smoke
+    run ./target/release/ibox call "$base/models/smoke/versions" -o "$tmp/ingest-versions.json"
+    grep -q '"smoke-v1"' "$tmp/ingest-versions.json" \
+        || { echo "FAIL: finalized session missing from the model lineage" >&2; cat "$tmp/ingest-versions.json" >&2; kill "$serve_pid"; exit 1; }
+    # Replaying the bare session id resolves to the latest version; an
+    # explicit pin of that version must answer the same bytes, and both
+    # must match the one-shot HTTP fit of the same training trace.
+    printf '{"model": "smoke", "protocol": "vegas", "duration_s": 4, "seed": 9}' > "$tmp/ingest-replay-req.json"
+    run ./target/release/ibox call --data "$tmp/ingest-replay-req.json" "$base/replay" -o "$tmp/ingest-replay-latest.json"
+    printf '{"model": "smoke-v1", "protocol": "vegas", "duration_s": 4, "seed": 9}' > "$tmp/ingest-replay-pin-req.json"
+    run ./target/release/ibox call --data "$tmp/ingest-replay-pin-req.json" "$base/replay" -o "$tmp/ingest-replay-pinned.json"
+    cmp "$tmp/ingest-replay-latest.json" "$tmp/ingest-replay-pinned.json" \
+        || { echo "FAIL: latest-version replay differs from the pinned-version replay" >&2; kill "$serve_pid"; exit 1; }
+    cmp "$tmp/ingest-replay-latest.json" "$tmp/replay-http.json" \
+        || { echo "FAIL: streamed-ingest fit did not replay byte-identically to the one-shot fit" >&2; kill "$serve_pid"; exit 1; }
+    echo "ingest smoke passed"
+
     run ./target/release/ibox call --post "$base/shutdown" > /dev/null
     wait "$serve_pid" \
         || { echo "FAIL: serve exited nonzero after graceful shutdown" >&2; exit 1; }
@@ -243,6 +283,9 @@ if [[ "${1:-}" == "--perf" || "${2:-}" == "--perf" ]]; then
     echo "==> path smoke: quick per-stage-count bench vs committed BENCH_path.json"
     (cd "$perf_tmp" && run "$repo/target/release/path" --quick --baseline "$repo/BENCH_path.json")
     echo "path bench smoke passed"
+    echo "==> ingest smoke: quick online-vs-batch refit bench vs committed BENCH_ingest.json"
+    (cd "$perf_tmp" && run "$repo/target/release/ingest" --quick --baseline "$repo/BENCH_ingest.json")
+    echo "ingest bench smoke passed"
 fi
 
 echo "all checks passed"
